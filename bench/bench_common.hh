@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Shared helpers for the figure/table benches: standard suites, run specs
+ * honouring the EIP_SIM_SCALE environment knob, and common headers/format.
+ *
+ * Every bench regenerates one table or figure of the paper (see DESIGN.md
+ * for the experiment index) and prints the series it plots. Absolute
+ * numbers come from our simulator and synthetic traces; EXPERIMENTS.md
+ * records how the shapes compare against the paper.
+ */
+
+#ifndef EIP_BENCH_COMMON_HH
+#define EIP_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/report.hh"
+#include "harness/runner.hh"
+#include "prefetch/factory.hh"
+#include "trace/workloads.hh"
+#include "util/stats_math.hh"
+#include "util/table_printer.hh"
+
+namespace eip::bench {
+
+/** Print the standard bench banner. */
+inline void
+banner(const char *figure, const char *what)
+{
+    std::printf("=====================================================\n");
+    std::printf("%s — %s\n", figure, what);
+    std::printf("(shape reproduction; see EXPERIMENTS.md for the "
+                "paper-vs-measured record)\n");
+    std::printf("=====================================================\n");
+}
+
+/** Default spec with the EIP_SIM_SCALE env knob applied. */
+inline harness::RunSpec
+spec(const std::string &config_id)
+{
+    harness::RunSpec s = harness::RunSpec::defaultSpec();
+    s.configId = config_id;
+    return s;
+}
+
+/** The CVP-like suite used by most figures. */
+inline std::vector<trace::Workload>
+suite(int seeds_per_category = 2)
+{
+    return trace::cvpSuite(seeds_per_category);
+}
+
+/** Normalized-IPC helper. */
+inline std::vector<double>
+normalizedIpc(const std::vector<harness::RunResult> &results,
+              const std::vector<harness::RunResult> &baseline)
+{
+    std::vector<double> out;
+    out.reserve(results.size());
+    for (size_t i = 0; i < results.size(); ++i)
+        out.push_back(results[i].stats.ipc() / baseline[i].stats.ipc());
+    return out;
+}
+
+} // namespace eip::bench
+
+#endif // EIP_BENCH_COMMON_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Extension study (paper §III-C1 / future work): the implications of
+ * wrong-path execution. ChampSim — and therefore the paper's evaluation —
+ * does not simulate the wrong path; the paper argues Entangling can avoid
+ * wrong-path pollution by buffering speculative pairs until commit. This
+ * bench quantifies, on our simulator:
+ *   (a) how much wrong-path fetch costs each prefetcher, and
+ *   (b) what the commit-time-training mitigation recovers.
+ */
+
+#include <functional>
+#include <memory>
+
+#include "bench_common.hh"
+#include "core/entangling.hh"
+#include "sim/cpu.hh"
+
+using namespace eip;
+
+namespace {
+
+struct Row
+{
+    std::string name;
+    double ipc_clean;  ///< no wrong path modelled (paper methodology)
+    double ipc_wrong;  ///< wrong-path fetch modelled
+    double acc_clean;
+    double acc_wrong;
+};
+
+Row
+evaluate(const std::string &label, const trace::Workload &w,
+         const std::function<std::unique_ptr<sim::Prefetcher>()> &make)
+{
+    Row row;
+    row.name = label;
+    for (bool wrong_path : {false, true}) {
+        sim::SimConfig cfg;
+        cfg.modelWrongPath = wrong_path;
+        auto pf = make();
+        sim::Cpu cpu(cfg);
+        if (pf != nullptr)
+            cpu.attachL1iPrefetcher(pf.get());
+        trace::Program prog = trace::buildProgram(w.program);
+        trace::Executor exec(prog, w.exec);
+        harness::RunSpec spec = harness::RunSpec::defaultSpec();
+        sim::SimStats stats =
+            cpu.run(exec, spec.instructions, spec.warmup);
+        (wrong_path ? row.ipc_wrong : row.ipc_clean) = stats.ipc();
+        (wrong_path ? row.acc_wrong : row.acc_clean) =
+            stats.l1i.accuracy();
+    }
+    return row;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Extension", "wrong-path execution and §III-C1");
+
+    // One srv workload (the class where pollution matters most).
+    trace::Workload workload = bench::suite(1)[3];
+
+    std::vector<Row> rows;
+    rows.push_back(evaluate("no", workload, [] {
+        return std::unique_ptr<sim::Prefetcher>{};
+    }));
+    rows.push_back(evaluate("NextLine", workload, [] {
+        return prefetch::makePrefetcher("nextline");
+    }));
+    rows.push_back(evaluate("Entangling-4K", workload, [] {
+        return prefetch::makePrefetcher("entangling-4k");
+    }));
+    rows.push_back(evaluate("Entangling-4K+commit", workload, [] {
+        core::EntanglingConfig cfg = core::EntanglingConfig::preset4K();
+        cfg.commitTimeTraining = true;
+        return std::unique_ptr<sim::Prefetcher>(
+            new core::EntanglingPrefetcher(cfg));
+    }));
+
+    TablePrinter table;
+    table.newRow();
+    table.cell(std::string("config"));
+    table.cell(std::string("IPC (no wrong path)"));
+    table.cell(std::string("IPC (wrong path)"));
+    table.cell(std::string("acc (no WP)"));
+    table.cell(std::string("acc (WP)"));
+    for (const auto &r : rows) {
+        table.newRow();
+        table.cell(r.name);
+        table.cell(r.ipc_clean, 3);
+        table.cell(r.ipc_wrong, 3);
+        table.cell(r.acc_clean, 3);
+        table.cell(r.acc_wrong, 3);
+    }
+    table.print();
+
+    std::printf(
+        "\nExpected shape (paper §III-C1/IV-A): all prefetchers benefit\n"
+        "from NOT modelling the wrong path (accuracy drops when it is\n"
+        "modelled); Entangling tolerates wrong-path pollution well, and\n"
+        "commit-time training recovers most of the difference without\n"
+        "hurting the clean-path configuration.\n");
+    return 0;
+}

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Figure 7: per-workload IPC normalized to the no-prefetch baseline, each
+ * configuration's series individually sorted ascending (the paper's
+ * s-curve layout), printed as percentiles.
+ */
+
+#include "bench_common.hh"
+
+using namespace eip;
+
+int
+main()
+{
+    bench::banner("Fig. 7", "normalized IPC across workloads (s-curves)");
+
+    auto workloads = bench::suite(3);
+    auto baseline = harness::runSuite(workloads, bench::spec("none"));
+
+    std::vector<std::string> configs = prefetch::mainLineup();
+    configs.emplace_back("ideal");
+
+    std::vector<std::string> names;
+    std::vector<std::vector<double>> series;
+    for (const auto &id : configs) {
+        auto results = harness::runSuite(workloads, bench::spec(id));
+        names.push_back(results.front().configName);
+        series.push_back(bench::normalizedIpc(results, baseline));
+    }
+    harness::printSortedSeries("normalized IPC (sorted per config)", names,
+                               series);
+
+    std::printf(
+        "\nExpected shape (paper Fig. 7): both Entangling configurations\n"
+        "dominate the other prefetchers across the curve; Entangling-4K\n"
+        "tracks the ideal closely for most workloads; the minimum stays\n"
+        ">= 1.0 (no workload is degraded), unlike NextLine.\n");
+    return 0;
+}

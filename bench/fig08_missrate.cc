@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Figure 8: per-workload L1I miss ratio, each configuration individually
+ * sorted (s-curves), printed as percentiles. Includes the no-prefetch
+ * baseline ("no").
+ */
+
+#include "bench_common.hh"
+
+using namespace eip;
+
+int
+main()
+{
+    bench::banner("Fig. 8", "L1I miss ratio across workloads");
+
+    auto workloads = bench::suite(3);
+
+    std::vector<std::string> configs = {"none"};
+    for (const auto &id : prefetch::mainLineup())
+        configs.push_back(id);
+
+    std::vector<std::string> names;
+    std::vector<std::vector<double>> series;
+    for (const auto &id : configs) {
+        auto results = harness::runSuite(workloads, bench::spec(id));
+        names.push_back(results.front().configName);
+        series.push_back(harness::collect(results, [](const auto &r) {
+            return r.stats.l1i.missRatio();
+        }));
+    }
+    harness::printSortedSeries("L1I miss ratio (sorted per config)", names,
+                               series);
+
+    std::printf(
+        "\nExpected shape (paper Fig. 8): Entangling reduces the miss\n"
+        "ratio drastically across the whole curve; its worst case stays\n"
+        "far below the other prefetchers' worst cases (~5-10%% vs >20%%).\n");
+    return 0;
+}

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Figure 9: per-workload prefetcher coverage (fraction of would-be misses
+ * eliminated), each configuration individually sorted, as percentiles.
+ */
+
+#include "bench_common.hh"
+
+using namespace eip;
+
+int
+main()
+{
+    bench::banner("Fig. 9", "prefetcher coverage across workloads");
+
+    auto workloads = bench::suite(3);
+
+    std::vector<std::string> names;
+    std::vector<std::vector<double>> series;
+    for (const auto &id : prefetch::mainLineup()) {
+        auto results = harness::runSuite(workloads, bench::spec(id));
+        names.push_back(results.front().configName);
+        series.push_back(harness::collect(results, [](const auto &r) {
+            return r.stats.l1i.coverage();
+        }));
+    }
+    harness::printSortedSeries("coverage (sorted per config)", names,
+                               series);
+
+    std::printf(
+        "\nExpected shape (paper Fig. 9): Entangling shows much higher\n"
+        "coverage than the other prefetchers across the curve "
+        "(Entangling-4K\n~90%% for most workloads in the paper; other "
+        "prefetchers below 50%%).\n");
+    return 0;
+}

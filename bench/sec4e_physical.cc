@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Section IV-E: training the L1I prefetchers with physical addresses. The
+ * virtual-to-physical page scatter breaks cross-page sequentiality and
+ * shrinks the compression reach, slightly reducing the gains. Prints the
+ * geomean speedup of the three Entangling configurations (and NextLine as
+ * a reference) under both address spaces.
+ */
+
+#include "bench_common.hh"
+
+using namespace eip;
+
+int
+main()
+{
+    bench::banner("Sec. IV-E", "physical-address training");
+
+    auto workloads = bench::suite(2);
+
+    auto run = [&](const std::string &id, bool physical) {
+        harness::RunSpec s = bench::spec(id);
+        s.physicalL1i = physical;
+        return harness::runSuite(workloads, s);
+    };
+
+    auto base_virt = run("none", false);
+    auto base_phys = run("none", true);
+
+    TablePrinter table;
+    table.newRow();
+    table.cell(std::string("config"));
+    table.cell(std::string("virtual speedup-%"));
+    table.cell(std::string("physical speedup-%"));
+
+    struct Entry
+    {
+        const char *virt_id;
+        const char *phys_id;
+    };
+    const Entry entries[] = {
+        {"nextline", "nextline"},
+        {"entangling-2k", "entangling-2k-phys"},
+        {"entangling-4k", "entangling-4k-phys"},
+        {"entangling-8k", "entangling-8k-phys"},
+    };
+    for (const auto &e : entries) {
+        auto virt = run(e.virt_id, false);
+        auto phys = run(e.phys_id, true);
+        table.newRow();
+        table.cell(virt.front().configName);
+        table.cell((harness::geomeanSpeedup(virt, base_virt) - 1.0) * 100.0,
+                   2);
+        table.cell((harness::geomeanSpeedup(phys, base_phys) - 1.0) * 100.0,
+                   2);
+    }
+    table.print();
+
+    std::printf(
+        "\nExpected shape (paper §IV-E): Entangling keeps outperforming\n"
+        "its competitors with physical training; the speedups drop\n"
+        "slightly versus virtual (paper: 5.62/8.10/8.87%% vs\n"
+        "7.50/9.60/10.1%%), and the 8K > 4K > 2K ordering is preserved.\n");
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Table IV: average energy consumed at each cache level (in nJ) and the
+ * geometric mean of the total energy normalized to no prefetching, for the
+ * prefetchers the paper tabulates.
+ */
+
+#include "bench_common.hh"
+#include "energy/energy_model.hh"
+
+using namespace eip;
+
+int
+main()
+{
+    bench::banner("Table IV", "cache-hierarchy energy per prefetcher");
+
+    auto workloads = bench::suite(2);
+    energy::EnergyModel model;
+
+    const std::vector<std::string> configs = {
+        "none",          "nextline",      "sn4l",   "mana-2k",
+        "mana-4k",       "entangling-2k", "entangling-4k", "rdip"};
+
+    // Collect per-config per-workload energy breakdowns.
+    std::vector<std::string> names;
+    std::vector<std::vector<energy::EnergyBreakdown>> energies;
+    for (const auto &id : configs) {
+        auto results = harness::runSuite(workloads, bench::spec(id));
+        names.push_back(results.front().configName);
+        std::vector<energy::EnergyBreakdown> row;
+        for (const auto &r : results)
+            row.push_back(model.evaluate(r.stats));
+        energies.push_back(std::move(row));
+    }
+
+    auto average = [](const std::vector<energy::EnergyBreakdown> &row,
+                      auto field) {
+        double sum = 0.0;
+        for (const auto &e : row)
+            sum += field(e);
+        return sum / static_cast<double>(row.size());
+    };
+
+    TablePrinter table;
+    table.newRow();
+    table.cell(std::string("metric"));
+    for (const auto &n : names)
+        table.cell(n);
+
+    const char *rows[] = {"Avg L1I energy (nJ)", "Avg L1D energy (nJ)",
+                          "Avg L2 energy (nJ)", "Avg LLC energy (nJ)"};
+    for (int metric = 0; metric < 4; ++metric) {
+        table.newRow();
+        table.cell(std::string(rows[metric]));
+        for (size_t c = 0; c < names.size(); ++c) {
+            double value = average(energies[c],
+                                   [&](const energy::EnergyBreakdown &e) {
+                                       switch (metric) {
+                                         case 0: return e.l1i;
+                                         case 1: return e.l1d;
+                                         case 2: return e.l2;
+                                         default: return e.llc;
+                                       }
+                                   });
+            table.cell(value, 1);
+        }
+    }
+
+    // Geometric mean of the normalized total energy per workload.
+    table.newRow();
+    table.cell(std::string("Geomean (norm. total)"));
+    for (size_t c = 0; c < names.size(); ++c) {
+        std::vector<double> ratios;
+        for (size_t w = 0; w < workloads.size(); ++w)
+            ratios.push_back(energies[c][w].total() /
+                             energies[0][w].total());
+        table.cell(geomean(ratios), 4);
+    }
+    table.print();
+
+    std::printf(
+        "\nExpected shape (paper Table IV): prefetching raises L1I energy\n"
+        "(extra accesses); among the evaluated schemes RDIP is the most\n"
+        "energy-frugal (few prefetches) and Entangling is the cheapest of\n"
+        "the high-coverage prefetchers, below NextLine/SN4L/MANA in\n"
+        "normalized total energy. (The paper's absolute below-baseline\n"
+        "totals stem from front-end re-access behaviour of its baseline\n"
+        "that this model does not reproduce; the relative ordering is the\n"
+        "reproduced shape.)\n");
+    return 0;
+}

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Extending the framework: implement a custom instruction prefetcher
+ * against the sim::Prefetcher hook API and evaluate it next to the
+ * built-in ones. The example implements a "targets" prefetcher that
+ * remembers the last taken-branch target per source line and prefetches
+ * it together with the next line — a minimal discontinuity+next-line
+ * hybrid in ~40 lines.
+ *
+ *   ./build/examples/custom_prefetcher
+ */
+
+#include <cstdio>
+#include <unordered_map>
+
+#include "harness/runner.hh"
+#include "prefetch/factory.hh"
+#include "sim/cache.hh"
+#include "sim/cpu.hh"
+#include "trace/workloads.hh"
+#include "util/table_printer.hh"
+
+namespace {
+
+using namespace eip;
+
+/**
+ * The custom prefetcher: on every access, prefetch the next line and the
+ * last observed discontinuity target out of this line.
+ */
+class TargetsPrefetcher : public sim::Prefetcher
+{
+  public:
+    std::string name() const override { return "Targets(custom)"; }
+
+    uint64_t
+    storageBits() const override
+    {
+        // One 58-bit target per table slot plus a 12-bit tag.
+        return kEntries * (58 + 12);
+    }
+
+    void
+    onBranch(sim::Addr pc, trace::BranchType type, sim::Addr target) override
+    {
+        (void)type;
+        if (target != 0)
+            table[index(sim::lineAddr(pc))] = sim::lineAddr(target);
+    }
+
+    void
+    onCacheOperate(const sim::CacheOperateInfo &info) override
+    {
+        owner->enqueuePrefetch(info.line + 1);
+        sim::Addr target = table[index(info.line)];
+        if (target != 0 && target != info.line)
+            owner->enqueuePrefetch(target);
+    }
+
+  private:
+    static constexpr size_t kEntries = 4096;
+
+    size_t index(sim::Addr line) const { return line % kEntries; }
+
+    std::unordered_map<size_t, sim::Addr> table;
+};
+
+/** Run a workload with an externally-owned prefetcher. */
+sim::SimStats
+runWith(const trace::Workload &w, sim::Prefetcher *pf)
+{
+    sim::SimConfig cfg;
+    sim::Cpu cpu(cfg);
+    if (pf != nullptr)
+        cpu.attachL1iPrefetcher(pf);
+    trace::Program prog = trace::buildProgram(w.program);
+    trace::Executor exec(prog, w.exec);
+    return cpu.run(exec, 500000, 300000);
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace eip;
+
+    trace::Workload workload = trace::cvpSuite(1)[1]; // one int workload
+
+    TablePrinter table;
+    table.newRow();
+    table.cell(std::string("config"));
+    table.cell(std::string("IPC"));
+    table.cell(std::string("MPKI"));
+    table.cell(std::string("coverage"));
+    table.cell(std::string("accuracy"));
+
+    auto report = [&](const std::string &name, const sim::SimStats &stats) {
+        table.newRow();
+        table.cell(name);
+        table.cell(stats.ipc(), 3);
+        table.cell(stats.l1iMpki(), 2);
+        table.cell(stats.l1i.coverage(), 3);
+        table.cell(stats.l1i.accuracy(), 3);
+    };
+
+    report("no", runWith(workload, nullptr));
+
+    auto nextline = prefetch::makePrefetcher("nextline");
+    report(nextline->name(), runWith(workload, nextline.get()));
+
+    TargetsPrefetcher custom;
+    report(custom.name(), runWith(workload, &custom));
+
+    auto entangling = prefetch::makePrefetcher("entangling-4k");
+    report(entangling->name(), runWith(workload, entangling.get()));
+
+    table.print();
+
+    std::printf(
+        "\nThe custom discontinuity+next-line hybrid beats plain NextLine\n"
+        "but not the latency-aware Entangling prefetcher: knowing *what*\n"
+        "to prefetch is not enough — the paper's point is knowing *when*.\n");
+    return 0;
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Configuration-space exploration of the Entangling prefetcher: sweeps the
+ * Entangled-table size, the merge distance, and the History-buffer depth
+ * on one workload, using the EntanglingConfig API directly (rather than
+ * the factory presets). Shows how a downstream user would tune the
+ * prefetcher for their own budget.
+ *
+ *   ./build/examples/prefetcher_tuning
+ */
+
+#include <cstdio>
+
+#include "core/entangling.hh"
+#include "sim/cpu.hh"
+#include "trace/workloads.hh"
+#include "util/table_printer.hh"
+
+namespace {
+
+using namespace eip;
+
+/** Run one config on the shared workload; returns (ipc, coverage, KB). */
+struct Outcome
+{
+    double ipc;
+    double coverage;
+    double storage_kb;
+};
+
+Outcome
+evaluate(const trace::Workload &workload, const core::EntanglingConfig &cfg)
+{
+    core::EntanglingPrefetcher pf(cfg);
+    sim::SimConfig sim_cfg;
+    sim::Cpu cpu(sim_cfg);
+    cpu.attachL1iPrefetcher(&pf);
+    trace::Program prog = trace::buildProgram(workload.program);
+    trace::Executor exec(prog, workload.exec);
+    sim::SimStats stats = cpu.run(exec, 500000, 300000);
+    return {stats.ipc(), stats.l1i.coverage(),
+            pf.storageBits() / 8.0 / 1024.0};
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace eip;
+
+    trace::Workload workload = trace::cvpSuite(1)[3]; // one srv workload
+
+    std::printf("Sweep 1: Entangled-table size (merge distance at the\n"
+                "paper's per-size setting)\n");
+    TablePrinter t1;
+    t1.newRow();
+    t1.cell(std::string("entries"));
+    t1.cell(std::string("storage-KB"));
+    t1.cell(std::string("IPC"));
+    t1.cell(std::string("coverage"));
+    for (uint32_t entries : {1024u, 2048u, 4096u, 8192u}) {
+        core::EntanglingConfig cfg = core::EntanglingConfig::preset4K();
+        cfg.tableEntries = entries;
+        cfg.mergeDistance = entries <= 2048 ? 15 : entries <= 4096 ? 6 : 5;
+        Outcome o = evaluate(workload, cfg);
+        t1.newRow();
+        t1.cell(uint64_t{entries});
+        t1.cell(o.storage_kb, 2);
+        t1.cell(o.ipc, 3);
+        t1.cell(o.coverage, 3);
+    }
+    t1.print();
+
+    std::printf("\nSweep 2: merge distance (4K-entry table)\n");
+    TablePrinter t2;
+    t2.newRow();
+    t2.cell(std::string("merge-distance"));
+    t2.cell(std::string("IPC"));
+    t2.cell(std::string("coverage"));
+    for (uint32_t dist : {0u, 3u, 6u, 10u, 15u}) {
+        core::EntanglingConfig cfg = core::EntanglingConfig::preset4K();
+        cfg.mergeDistance = dist;
+        Outcome o = evaluate(workload, cfg);
+        t2.newRow();
+        t2.cell(uint64_t{dist});
+        t2.cell(o.ipc, 3);
+        t2.cell(o.coverage, 3);
+    }
+    t2.print();
+
+    std::printf("\nSweep 3: History-buffer depth (4K-entry table; the\n"
+                "paper's cost-effective point is 16, EPI uses 1024)\n");
+    TablePrinter t3;
+    t3.newRow();
+    t3.cell(std::string("history"));
+    t3.cell(std::string("storage-KB"));
+    t3.cell(std::string("IPC"));
+    t3.cell(std::string("coverage"));
+    for (uint32_t depth : {8u, 16u, 64u, 256u}) {
+        core::EntanglingConfig cfg = core::EntanglingConfig::preset4K();
+        cfg.historyEntries = depth;
+        Outcome o = evaluate(workload, cfg);
+        t3.newRow();
+        t3.cell(uint64_t{depth});
+        t3.cell(o.storage_kb, 2);
+        t3.cell(o.ipc, 3);
+        t3.cell(o.coverage, 3);
+    }
+    t3.print();
+
+    std::printf("\nTake-away: the 16-entry history and 4K-entry table are\n"
+                "near the knee of both curves — the paper's cost-effective\n"
+                "design point.\n");
+    return 0;
+}

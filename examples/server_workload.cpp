@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Server-workload study: the scenario that motivates the paper — a
+ * server-class instruction footprint that thrashes the L1I. Compares the
+ * sub-64KB prefetcher line-up on one srv workload, reporting performance,
+ * misses, traffic, energy and front-end stall attribution.
+ *
+ *   ./build/examples/server_workload
+ */
+
+#include <cstdio>
+
+#include "energy/energy_model.hh"
+#include "harness/runner.hh"
+#include "trace/workloads.hh"
+#include "util/table_printer.hh"
+
+int
+main()
+{
+    using namespace eip;
+
+    // A srv-category workload: ~1.5MB of recurring code behind dispatch
+    // loops, far beyond the 32KB L1I.
+    trace::Workload workload;
+    workload.name = "frontend-server";
+    workload.category = "srv";
+    workload.program = trace::categoryConfig("srv");
+    workload.program.seed = 2026;
+    workload.exec.seed = 7;
+
+    energy::EnergyModel energy_model;
+
+    const char *configs[] = {"none",    "nextline",      "sn4l",
+                             "mana-4k", "rdip",          "entangling-2k",
+                             "entangling-4k", "ideal"};
+
+    TablePrinter table;
+    table.newRow();
+    table.cell(std::string("config"));
+    table.cell(std::string("IPC"));
+    table.cell(std::string("MPKI"));
+    table.cell(std::string("cov"));
+    table.cell(std::string("acc"));
+    table.cell(std::string("L2-traffic"));
+    table.cell(std::string("energy-nJ"));
+    table.cell(std::string("fetch-stall%"));
+
+    for (const char *id : configs) {
+        harness::RunSpec spec = harness::RunSpec::defaultSpec();
+        spec.configId = id;
+        harness::RunResult r = harness::runOne(workload, spec);
+        auto energy = energy_model.evaluate(r.stats);
+
+        table.newRow();
+        table.cell(r.configName);
+        table.cell(r.stats.ipc(), 3);
+        table.cell(r.stats.l1iMpki(), 2);
+        table.cell(r.stats.l1i.coverage(), 3);
+        table.cell(r.stats.l1i.accuracy(), 3);
+        table.cell(r.stats.l2.demandAccesses);
+        table.cell(energy.total(), 0);
+        table.cell(100.0 * r.stats.fetchStallLineMiss / r.stats.cycles, 1);
+    }
+    table.print();
+
+    std::printf(
+        "\nReading guide: the Entangling prefetcher converts most\n"
+        "instruction misses into timely hits (high coverage at high\n"
+        "accuracy), cutting both the fetch-stall share and the L2/LLC\n"
+        "energy versus the spatial-only prefetchers.\n");
+    return 0;
+}

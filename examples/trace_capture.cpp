@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Trace capture and replay: record a synthetic workload to a binary trace
+ * file, then drive two simulations from the *same* file — the workflow for
+ * evaluating prefetchers on a fixed instruction stream (and the adoption
+ * path for users converting their own traces into this format).
+ *
+ *   ./build/examples/trace_capture [path.trc]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "prefetch/factory.hh"
+#include "sim/cpu.hh"
+#include "trace/executor.hh"
+#include "trace/trace_file.hh"
+#include "trace/workloads.hh"
+#include "util/table_printer.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace eip;
+
+    std::string path = argc > 1 ? argv[1] : "/tmp/eip_example.trc";
+
+    // 1. Capture: run the synthetic generator once and persist the stream.
+    trace::Workload workload = trace::cvpSuite(1)[3]; // one srv workload
+    trace::Program program = trace::buildProgram(workload.program);
+    {
+        trace::Executor exec(program, workload.exec);
+        uint64_t n = trace::captureTrace(path, exec, 900000);
+        std::printf("captured %lu instructions to %s (%.1f MB)\n",
+                    static_cast<unsigned long>(n), path.c_str(),
+                    n * 27.0 / 1e6);
+    }
+
+    // 2. Replay the identical stream under different prefetchers.
+    TablePrinter table;
+    table.newRow();
+    table.cell(std::string("config"));
+    table.cell(std::string("IPC"));
+    table.cell(std::string("L1I MPKI"));
+    table.cell(std::string("coverage"));
+
+    for (const char *id : {"none", "nextline", "entangling-4k"}) {
+        trace::TraceReplayer replay(path);
+        auto pf = prefetch::makePrefetcher(id);
+        sim::SimConfig cfg;
+        sim::Cpu cpu(cfg);
+        if (pf != nullptr)
+            cpu.attachL1iPrefetcher(pf.get());
+        sim::SimStats stats = cpu.run(replay, 500000, 300000);
+
+        table.newRow();
+        table.cell(pf != nullptr ? pf->name() : std::string("no"));
+        table.cell(stats.ipc(), 3);
+        table.cell(stats.l1iMpki(), 2);
+        table.cell(stats.l1i.coverage(), 3);
+    }
+    table.print();
+
+    std::remove(path.c_str());
+    std::printf("\nEvery run consumed the identical instruction stream —\n"
+                "differences are purely the prefetcher's doing.\n");
+    return 0;
+}

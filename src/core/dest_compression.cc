@@ -1,0 +1,162 @@
+#include "core/dest_compression.hh"
+
+#include <algorithm>
+
+#include "util/bitops.hh"
+#include "util/panic.hh"
+
+namespace eip::core {
+
+CompressionScheme
+CompressionScheme::virtualScheme()
+{
+    return CompressionScheme{60, 3, 2, 6};
+}
+
+CompressionScheme
+CompressionScheme::physicalScheme()
+{
+    return CompressionScheme{44, 2, 2, 4};
+}
+
+unsigned
+CompressionScheme::maxModeFor(unsigned bits) const
+{
+    for (unsigned k = maxDests; k >= 1; --k) {
+        if (addrBits(k) >= bits)
+            return k;
+    }
+    return 0;
+}
+
+DestinationArray::DestinationArray(const CompressionScheme &scheme)
+    : scheme_(scheme)
+{
+    EIP_ASSERT(scheme.maxDests >= 1 && scheme.maxDests <= 16,
+               "compression scheme destination limit out of range");
+    dests.reserve(scheme.maxDests);
+}
+
+namespace {
+
+/** Address bits required to encode @p dst when @p src supplies the rest. */
+unsigned
+requiredBits(sim::Addr src, sim::Addr dst)
+{
+    return std::max(1u, significantBits(src, dst));
+}
+
+} // namespace
+
+bool
+DestinationArray::hasRoomFor(sim::Addr src_line, sim::Addr dst_line) const
+{
+    unsigned bits = requiredBits(src_line, dst_line);
+    unsigned mode_cap = scheme_.maxModeFor(bits);
+    if (mode_cap == 0)
+        return false; // not encodable at all (too far from the source)
+    for (const auto &d : dests) {
+        if (d.line == dst_line)
+            return true; // refresh, no growth
+    }
+    // The shared mode after insertion is the most restrictive requirement
+    // across all destinations; it is also the slot capacity.
+    for (const auto &d : dests)
+        mode_cap = std::min(mode_cap, scheme_.maxModeFor(d.bitsNeeded));
+    return dests.size() + 1 <= mode_cap;
+}
+
+bool
+DestinationArray::insert(sim::Addr src_line, sim::Addr dst_line,
+                         bool evict_on_full)
+{
+    unsigned bits = requiredBits(src_line, dst_line);
+    if (scheme_.maxModeFor(bits) == 0)
+        return false;
+
+    // Refresh an existing pair: reset its confidence to the maximum.
+    if (Destination *existing = find(dst_line)) {
+        existing->confidence.set(existing->confidence.max());
+        return true;
+    }
+
+    if (!hasRoomFor(src_line, dst_line)) {
+        if (!evict_on_full || dests.empty())
+            return false;
+        // Replace the lowest-confidence destination (paper §III-B1).
+        auto victim = std::min_element(
+            dests.begin(), dests.end(),
+            [](const Destination &a, const Destination &b) {
+                return a.confidence.value() < b.confidence.value();
+            });
+        dests.erase(victim);
+        recomputeMode();
+        if (!hasRoomFor(src_line, dst_line)) {
+            // Still impossible (the new destination alone demands a wide
+            // mode that cannot cover the survivors): keep shrinking.
+            while (!dests.empty() &&
+                   !hasRoomFor(src_line, dst_line)) {
+                dests.pop_back();
+                recomputeMode();
+            }
+            if (!hasRoomFor(src_line, dst_line))
+                return false;
+        }
+    }
+
+    Destination d;
+    d.line = dst_line;
+    d.bitsNeeded = bits;
+    d.confidence = SaturatingCounter(scheme_.confBits);
+    d.confidence.set(d.confidence.max());
+    dests.push_back(d);
+    recomputeMode();
+    return true;
+}
+
+Destination *
+DestinationArray::find(sim::Addr dst_line)
+{
+    for (auto &d : dests) {
+        if (d.line == dst_line)
+            return &d;
+    }
+    return nullptr;
+}
+
+void
+DestinationArray::dropDeadDestinations()
+{
+    auto dead = std::remove_if(dests.begin(), dests.end(),
+                               [](const Destination &d) {
+                                   return d.confidence.zero();
+                               });
+    if (dead != dests.end()) {
+        dests.erase(dead, dests.end());
+        recomputeMode();
+    }
+}
+
+void
+DestinationArray::clear()
+{
+    dests.clear();
+    mode_ = 0;
+}
+
+void
+DestinationArray::recomputeMode()
+{
+    if (dests.empty()) {
+        mode_ = 0;
+        return;
+    }
+    unsigned cap = scheme_.maxDests;
+    for (const auto &d : dests)
+        cap = std::min(cap, scheme_.maxModeFor(d.bitsNeeded));
+    EIP_ASSERT(dests.size() <= cap,
+               "destination array in an unrepresentable state");
+    mode_ = cap;
+}
+
+} // namespace eip::core

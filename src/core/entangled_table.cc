@@ -1,0 +1,158 @@
+#include "core/entangled_table.hh"
+
+#include "util/bitops.hh"
+#include "util/panic.hh"
+
+namespace eip::core {
+
+namespace {
+constexpr unsigned kTagBits = 10; ///< paper §III-C3
+} // namespace
+
+EntangledTable::EntangledTable(uint32_t entries, uint32_t ways,
+                               const CompressionScheme &scheme)
+    : numSets(entries / ways), numWays(ways),
+      setBits(floorLog2(entries / ways)), scheme_(scheme)
+{
+    EIP_ASSERT(entries % ways == 0, "entries must be a multiple of ways");
+    EIP_ASSERT(isPowerOf2(numSets), "set count must be a power of two");
+    table.assign(static_cast<size_t>(numSets) * numWays,
+                 EntangledEntry(scheme));
+}
+
+uint32_t
+EntangledTable::indexOf(sim::Addr line) const
+{
+    // "Indexed with a simple XOR operation of the different bits of the
+    // address" — fold the whole line address down to the set index width.
+    return static_cast<uint32_t>(xorFold(line, setBits)) & (numSets - 1);
+}
+
+uint16_t
+EntangledTable::tagOf(sim::Addr line) const
+{
+    return static_cast<uint16_t>(xorFold(line >> setBits, kTagBits));
+}
+
+EntangledEntry *
+EntangledTable::find(sim::Addr line)
+{
+    size_t base = static_cast<size_t>(indexOf(line)) * numWays;
+    uint16_t tag = tagOf(line);
+    for (uint32_t w = 0; w < numWays; ++w) {
+        EntangledEntry &e = table[base + w];
+        if (e.valid && e.tag == tag && e.line == line)
+            return &e;
+    }
+    return nullptr;
+}
+
+EntangledEntry *
+EntangledTable::insert(sim::Addr line)
+{
+    size_t base = static_cast<size_t>(indexOf(line)) * numWays;
+
+    // Prefer an invalid way.
+    for (uint32_t w = 0; w < numWays; ++w) {
+        EntangledEntry &e = table[base + w];
+        if (!e.valid) {
+            e.valid = true;
+            e.tag = tagOf(line);
+            e.line = line;
+            e.bbSize = 0;
+            e.dests.clear();
+            e.fifoOrder = ++fifoClock;
+            ++stats_.inserts;
+            return &e;
+        }
+    }
+
+    // Enhanced FIFO: pick the oldest entry; if it still holds entangled
+    // pairs and a pair-less way exists in the set, relocate its contents
+    // there instead of losing them (paper §III-C3).
+    EntangledEntry *victim = &table[base];
+    for (uint32_t w = 1; w < numWays; ++w) {
+        if (table[base + w].fifoOrder < victim->fifoOrder)
+            victim = &table[base + w];
+    }
+    if (!victim->dests.empty()) {
+        for (uint32_t w = 0; w < numWays; ++w) {
+            EntangledEntry &spare = table[base + w];
+            if (&spare != victim && spare.dests.empty()) {
+                spare = *victim; // keeps the victim's fifoOrder
+                ++stats_.relocations;
+                break;
+            }
+        }
+    }
+    ++stats_.evictions;
+    victim->valid = true;
+    victim->tag = tagOf(line);
+    victim->line = line;
+    victim->bbSize = 0;
+    victim->dests.clear();
+    victim->fifoOrder = ++fifoClock;
+    ++stats_.inserts;
+    return victim;
+}
+
+EntangledEntry *
+EntangledTable::recordBasicBlock(sim::Addr line, unsigned size)
+{
+    EntangledEntry *entry = find(line);
+    if (entry == nullptr)
+        entry = insert(line);
+    if (size > entry->bbSize)
+        entry->bbSize = static_cast<uint8_t>(std::min(size, 63u));
+    return entry;
+}
+
+bool
+EntangledTable::hasRoomFor(sim::Addr src_line, sim::Addr dst_line)
+{
+    EntangledEntry *entry = find(src_line);
+    if (entry == nullptr)
+        return true;
+    return entry->dests.hasRoomFor(src_line, dst_line);
+}
+
+bool
+EntangledTable::addPair(sim::Addr src_line, sim::Addr dst_line,
+                        bool evict_on_full)
+{
+    EntangledEntry *entry = find(src_line);
+    if (entry == nullptr)
+        entry = insert(src_line);
+    bool added = entry->dests.insert(src_line, dst_line, evict_on_full);
+    if (added)
+        ++stats_.pairsAdded;
+    else
+        ++stats_.pairsRejected;
+    return added;
+}
+
+std::pair<uint32_t, uint32_t>
+EntangledTable::coordsOf(const EntangledEntry &entry) const
+{
+    size_t pos = &entry - table.data();
+    return {static_cast<uint32_t>(pos / numWays),
+            static_cast<uint32_t>(pos % numWays)};
+}
+
+EntangledEntry &
+EntangledTable::entryAt(uint32_t set, uint32_t way)
+{
+    return table[static_cast<size_t>(set) * numWays + way];
+}
+
+uint64_t
+EntangledTable::storageBits() const
+{
+    uint64_t per_entry = kTagBits + 6 + scheme_.totalBits();
+    // Per-set FIFO position counters (log2(ways) bits each).
+    uint64_t per_set = floorLog2(numWays);
+    return static_cast<uint64_t>(numSets) * numWays * per_entry +
+           static_cast<uint64_t>(numSets) * per_set;
+}
+
+} // namespace eip::core

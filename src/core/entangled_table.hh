@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The Entangled table (paper §III): a 16-way set-associative structure
+ * whose entries hold a source basic-block head (10-bit XOR-folded tag), the
+ * maximum observed size of its basic block, and a compressed array of
+ * entangled destinations. Uses the paper's enhanced-FIFO replacement: the
+ * information of the FIFO victim is relocated into a pair-less way of the
+ * same set when one exists.
+ */
+
+#ifndef EIP_CORE_ENTANGLED_TABLE_HH
+#define EIP_CORE_ENTANGLED_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dest_compression.hh"
+#include "sim/types.hh"
+
+namespace eip::core {
+
+/** One source entry of the Entangled table. */
+struct EntangledEntry
+{
+    bool valid = false;
+    uint16_t tag = 0;      ///< 10-bit XOR-folded line tag
+    sim::Addr line = 0;    ///< full line address (model-level convenience;
+                           ///< the hardware reconstructs it from context)
+    uint8_t bbSize = 0;    ///< following consecutive lines (max observed)
+    DestinationArray dests;
+    uint64_t fifoOrder = 0;
+
+    explicit EntangledEntry(const CompressionScheme &scheme)
+        : dests(scheme)
+    {}
+};
+
+/** Aggregate usage statistics exported for the Fig. 12-15 benches. */
+struct EntangledTableStats
+{
+    uint64_t inserts = 0;
+    uint64_t evictions = 0;
+    uint64_t relocations = 0; ///< enhanced-FIFO victim rescues
+    uint64_t pairsAdded = 0;
+    uint64_t pairsRejected = 0; ///< destination not representable
+};
+
+/**
+ * The table proper. Entries are addressed by full line address; tags are
+ * folded to 10 bits, so (rare, intended) aliasing can occur exactly as in
+ * the hardware proposal.
+ */
+class EntangledTable
+{
+  public:
+    EntangledTable(uint32_t entries, uint32_t ways,
+                   const CompressionScheme &scheme);
+
+    /** Find the entry for @p line, or nullptr. */
+    EntangledEntry *find(sim::Addr line);
+    const EntangledEntry *
+    find(sim::Addr line) const
+    {
+        return const_cast<EntangledTable *>(this)->find(line);
+    }
+
+    /**
+     * Find-or-insert the entry for @p line and raise its basic-block size
+     * to @p size (sizes only ever grow, paper §III-A1).
+     */
+    EntangledEntry *recordBasicBlock(sim::Addr line, unsigned size);
+
+    /**
+     * Entangle @p dst_line to source @p src_line. Inserts the source entry
+     * if needed. @p evict_on_full replaces the lowest-confidence
+     * destination when the array is full.
+     * @return true when the pair is present on return.
+     */
+    bool addPair(sim::Addr src_line, sim::Addr dst_line, bool evict_on_full);
+
+    /** Does the entry for @p src_line have room for @p dst_line? Entries
+     *  that do not exist count as having room. */
+    bool hasRoomFor(sim::Addr src_line, sim::Addr dst_line);
+
+    uint32_t sets() const { return numSets; }
+    uint32_t ways() const { return numWays; }
+    uint32_t entries() const { return numSets * numWays; }
+    const EntangledTableStats &stats() const { return stats_; }
+
+    /** Entry coordinates (set, way) of @p entry — the paper's src pointer
+     *  stored in PQ/MSHR/L1I. */
+    std::pair<uint32_t, uint32_t> coordsOf(const EntangledEntry &entry) const;
+    EntangledEntry &entryAt(uint32_t set, uint32_t way);
+
+    /** Total storage in bits: per-entry tag, bb size, destination payload
+     *  and mode, plus per-set FIFO counters. */
+    uint64_t storageBits() const;
+
+    /** Iterate all valid entries (benches/tests). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &e : table) {
+            if (e.valid)
+                fn(e);
+        }
+    }
+
+  private:
+    uint32_t indexOf(sim::Addr line) const;
+    uint16_t tagOf(sim::Addr line) const;
+    /** Insert a fresh entry for @p line, running replacement if needed. */
+    EntangledEntry *insert(sim::Addr line);
+
+    uint32_t numSets;
+    uint32_t numWays;
+    unsigned setBits;
+    CompressionScheme scheme_;
+    std::vector<EntangledEntry> table; ///< set-major
+    uint64_t fifoClock = 0;
+    EntangledTableStats stats_;
+};
+
+} // namespace eip::core
+
+#endif // EIP_CORE_ENTANGLED_TABLE_HH

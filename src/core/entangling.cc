@@ -1,0 +1,462 @@
+#include "core/entangling.hh"
+
+#include <algorithm>
+
+#include "sim/cache.hh"
+#include "util/bitops.hh"
+#include "util/panic.hh"
+
+namespace eip::core {
+
+namespace {
+
+// Hardware extension sizes (paper §III-C3): the PQ, MSHR and L1I carry the
+// timing and src-entangled fields; their sizes are fixed by the baseline.
+constexpr unsigned kPqEntries = 32;
+constexpr unsigned kMshrEntries = 10;
+constexpr unsigned kL1iLines = 512;
+constexpr unsigned kMshrTimeBits = 12;
+constexpr unsigned kHistPtrBits = 4;
+constexpr unsigned kWayBits = 4; ///< 16-way Entangled table
+
+} // namespace
+
+EntanglingConfig
+EntanglingConfig::preset2K(bool physical)
+{
+    EntanglingConfig cfg;
+    cfg.tableEntries = 2048;
+    cfg.mergeDistance = 15;
+    cfg.physical = physical;
+    return cfg;
+}
+
+EntanglingConfig
+EntanglingConfig::preset4K(bool physical)
+{
+    EntanglingConfig cfg;
+    cfg.tableEntries = 4096;
+    cfg.mergeDistance = 6;
+    cfg.physical = physical;
+    return cfg;
+}
+
+EntanglingConfig
+EntanglingConfig::preset8K(bool physical)
+{
+    EntanglingConfig cfg;
+    cfg.tableEntries = 8192;
+    cfg.mergeDistance = 5;
+    cfg.physical = physical;
+    return cfg;
+}
+
+EntanglingConfig
+EntanglingConfig::presetSplit2K()
+{
+    // Budget-match the unified 2K point (~20.9KB): 1K pair entries
+    // (10.2KB) + 4K bb-size entries (8.1KB) + extensions/history.
+    EntanglingConfig cfg;
+    cfg.tableEntries = 1024;
+    cfg.tableWays = 16;
+    cfg.mergeDistance = 15;
+    cfg.splitBbEntries = 4096;
+    return cfg;
+}
+
+EntanglingConfig
+EntanglingConfig::presetEpi()
+{
+    EntanglingConfig cfg;
+    cfg.tableEntries = 8704; // 256 sets x 34 ways
+    cfg.tableWays = 34;
+    cfg.historyEntries = 1024;
+    cfg.mergeDistance = 5;
+    return cfg;
+}
+
+EntanglingPrefetcher::EntanglingPrefetcher(const EntanglingConfig &config)
+    : cfg(config),
+      scheme_(config.physical ? CompressionScheme::physicalScheme()
+                              : CompressionScheme::virtualScheme()),
+      table_(config.tableEntries, config.tableWays, scheme_),
+      bbTable(config.splitBbEntries != 0 ? config.splitBbEntries : 8,
+              config.splitBbEntries != 0 ? config.splitBbWays : 8),
+      history(config.historyEntries, config.timestampBits)
+{}
+
+unsigned
+EntanglingPrefetcher::bbSizeOf(sim::Addr line)
+{
+    if (cfg.splitBbEntries != 0)
+        return bbTable.lookup(line);
+    EntangledEntry *e = table_.find(line);
+    return e != nullptr ? e->bbSize : 0;
+}
+
+void
+EntanglingPrefetcher::recordBlock(sim::Addr line, unsigned size)
+{
+    if (cfg.splitBbEntries != 0)
+        bbTable.record(line, size);
+    else
+        table_.recordBasicBlock(line, size);
+}
+
+bool
+EntanglingPrefetcher::tracksBasicBlocks() const
+{
+    return cfg.variant != EntanglingVariant::Ent;
+}
+
+bool
+EntanglingPrefetcher::entangles() const
+{
+    return cfg.variant != EntanglingVariant::BB;
+}
+
+bool
+EntanglingPrefetcher::prefetchesDstBlock() const
+{
+    return cfg.variant == EntanglingVariant::BBEntBB ||
+           cfg.variant == EntanglingVariant::BBEntBBMerge;
+}
+
+bool
+EntanglingPrefetcher::merges() const
+{
+    return cfg.variant == EntanglingVariant::BBEntBBMerge;
+}
+
+std::string
+EntanglingPrefetcher::name() const
+{
+    std::string base;
+    switch (cfg.variant) {
+      case EntanglingVariant::BB: base = "BB"; break;
+      case EntanglingVariant::BBEnt: base = "BBEnt"; break;
+      case EntanglingVariant::BBEntBB: base = "BBEntBB"; break;
+      case EntanglingVariant::Ent: base = "Ent"; break;
+      case EntanglingVariant::BBEntBBMerge: base = "Entangling"; break;
+    }
+    if (cfg.historyEntries >= 1024)
+        base = "EPI";
+    if (cfg.splitBbEntries != 0)
+        base += "-split";
+    base += "-" + (cfg.tableEntries >= 1024
+                       ? std::to_string(cfg.tableEntries / 1024) + "K"
+                       : std::to_string(cfg.tableEntries));
+    if (cfg.physical)
+        base += "-phys";
+    return base;
+}
+
+uint64_t
+EntanglingPrefetcher::storageBits() const
+{
+    unsigned set_bits = floorLog2(table_.sets());
+    unsigned tag_bits = cfg.physical ? 42 : 58;
+    uint64_t src_bits = kWayBits + set_bits + 1; // way + set + access bit
+    uint64_t pq_mshr_entry = kMshrTimeBits + kHistPtrBits + src_bits;
+    uint64_t extensions = kPqEntries * pq_mshr_entry +
+                          kMshrEntries * pq_mshr_entry +
+                          kL1iLines * src_bits;
+    uint64_t bb_bits =
+        cfg.splitBbEntries != 0 ? bbTable.storageBits() : 0;
+    return table_.storageBits() + bb_bits +
+           history.storageBits(tag_bits) + extensions;
+}
+
+void
+EntanglingPrefetcher::issue(sim::Addr line, const EntangledEntry *src)
+{
+    EIP_ASSERT(owner != nullptr, "prefetcher not attached to a cache");
+    bool accepted = owner->enqueuePrefetch(line);
+    if (accepted && src != nullptr) {
+        auto [set, way] = table_.coordsOf(*src);
+        attribution[line] = SrcAttribution{set, way, src->tag};
+        // Shadow-state bound (hardware stores this in PQ/L1I fields).
+        if (attribution.size() > 100000)
+            attribution.clear();
+    }
+}
+
+void
+EntanglingPrefetcher::updateConfidence(sim::Addr line, bool good)
+{
+    auto it = attribution.find(line);
+    if (it == attribution.end())
+        return;
+    EntangledEntry &entry = table_.entryAt(it->second.set, it->second.way);
+    if (entry.valid && entry.tag == it->second.srcTag) {
+        if (Destination *dst = entry.dests.find(line)) {
+            if (good)
+                dst->confidence.increment();
+            else
+                dst->confidence.decrement();
+        }
+    }
+    attribution.erase(it);
+}
+
+void
+EntanglingPrefetcher::finishBasicBlock()
+{
+    if (!bbValid)
+        return;
+    uint32_t size = std::min(bbSize, cfg.maxBasicBlockSize);
+
+    if (merges() && bbInHistory) {
+        // Spatio-temporal merge (§III-B2): if a quasi-recent basic block
+        // overlaps or is contiguous with this one, extend it instead of
+        // recording a new block.
+        size_t slot = bbHistorySlot;
+        for (uint32_t step = 0; step < cfg.mergeDistance; ++step) {
+            slot = (slot + history.capacity() - 1) % history.capacity();
+            HistoryEntry &e = history.at(slot);
+            if (!e.valid)
+                break;
+            bool mergeable = e.line <= bbHead &&
+                             bbHead <= e.line + e.bbSize + 1;
+            if (!mergeable)
+                continue;
+            uint64_t merged = (bbHead + size) - e.line;
+            if (merged > cfg.maxBasicBlockSize)
+                continue; // 6-bit size field would overflow
+            if (merged > e.bbSize) {
+                e.bbSize = static_cast<uint8_t>(merged);
+                recordBlock(e.line, static_cast<unsigned>(merged));
+            }
+            // The merged block is not recorded in the history.
+            history.at(bbHistorySlot).valid = false;
+            ++stats_.merges;
+            bbValid = false;
+            return;
+        }
+    }
+
+    if (bbInHistory)
+        history.at(bbHistorySlot).bbSize = static_cast<uint8_t>(size);
+    recordBlock(bbHead, size);
+    bbValid = false;
+}
+
+void
+EntanglingPrefetcher::trackBasicBlock(sim::Addr line, sim::Cycle now,
+                                      bool is_miss)
+{
+    (void)is_miss;
+    if (!tracksBasicBlocks()) {
+        // "Ent" ablation: every accessed line goes straight to history.
+        bbHead = line;
+        bbSize = 0;
+        bbValid = true;
+        bbHistorySlot = history.push(line, now);
+        bbInHistory = true;
+        return;
+    }
+
+    if (bbValid) {
+        if (line >= bbHead && line <= bbHead + bbSize)
+            return; // re-access within the current block (tight loop)
+        if (line == bbHead + bbSize + 1 &&
+            bbSize < cfg.maxBasicBlockSize) {
+            ++bbSize; // next consecutive line: the block grows
+            return;
+        }
+        finishBasicBlock();
+    }
+
+    // A new basic block starts at this line.
+    bbValid = true;
+    bbHead = line;
+    bbSize = 0;
+    bbHistorySlot = history.push(line, now);
+    bbInHistory = true;
+}
+
+void
+EntanglingPrefetcher::triggerPrefetches(sim::Addr line, sim::Cycle now)
+{
+    (void)now;
+    EntangledEntry *entry = table_.find(line);
+    unsigned own_size = cfg.splitBbEntries != 0
+        ? bbTable.lookup(line)
+        : (entry != nullptr ? entry->bbSize : 0);
+    if (entry == nullptr && own_size == 0) {
+        ++stats_.tableMisses;
+        return;
+    }
+    ++stats_.tableHits;
+
+    // (1) Prefetch the rest of the current basic block.
+    if (tracksBasicBlocks()) {
+        for (uint32_t i = 1; i <= own_size; ++i)
+            issue(line + i, nullptr);
+        stats_.currentBbSize.record(own_size);
+    }
+
+    // (2) Prefetch each confident destination (and its basic block).
+    if (!entangles() || entry == nullptr)
+        return;
+    size_t found = 0;
+    // Snapshot: issuing prefetches cannot invalidate this entry, but keep
+    // the loop simple and bounded.
+    const auto &dests = entry->dests.all();
+    std::vector<sim::Addr> dst_lines;
+    dst_lines.reserve(dests.size());
+    for (const auto &dst : dests) {
+        if (dst.confidence.zero())
+            continue; // invalid pair (paper §III-B1)
+        dst_lines.push_back(dst.line);
+    }
+    for (sim::Addr dst_line : dst_lines) {
+        ++found;
+        issue(dst_line, entry);
+        if (prefetchesDstBlock()) {
+            ++stats_.extraSearches;
+            uint32_t dst_bb = bbSizeOf(dst_line);
+            for (uint32_t i = 1; i <= dst_bb; ++i)
+                issue(dst_line + i, nullptr);
+            stats_.dstBbSize.record(dst_bb);
+        }
+    }
+    stats_.destsPerHit.record(found);
+}
+
+void
+EntanglingPrefetcher::onCacheOperate(const sim::CacheOperateInfo &info)
+{
+    // Commit-time training (§III-C1): wrong-path events neither train nor
+    // trigger; the hardware buffers speculative pairs until commit.
+    if (info.speculative && cfg.commitTimeTraining)
+        return;
+
+    const sim::Addr line = info.line;
+    const sim::Cycle now = info.cycle;
+
+    // Confidence: a first demand hit on a prefetched line is timely; a
+    // demand miss merging into an in-flight prefetch is late (Fig. 5).
+    if (info.hitWasPrefetch) {
+        ++stats_.timelyUpdates;
+        updateConfidence(line, /*good=*/true);
+    } else if (info.missLatePrefetch) {
+        ++stats_.lateUpdates;
+        updateConfidence(line, /*good=*/false);
+    }
+
+    trackBasicBlock(line, now, !info.hit);
+
+    if (!info.hit) {
+        PendingMiss pm;
+        pm.demandCycle = now;
+        pm.startCycle = now;
+        if (info.missLatePrefetch) {
+            auto it = prefetchIssueTime.find(line);
+            if (it != prefetchIssueTime.end())
+                pm.startCycle = it->second; // the PQ timestamp (§III-A2)
+        }
+        if (line == bbHead && bbInHistory) {
+            pm.isHead = true;
+            // Snapshot the candidate sources: every head older than this
+            // miss, newest first (the hardware's History pointer walk).
+            pm.sources.reserve(history.capacity() - 1);
+            history.walkBackwards(
+                bbHistorySlot, history.capacity(),
+                [&](HistoryEntry &e) {
+                    pm.sources.emplace_back(e.line, e.timestamp);
+                    return false; // keep walking: collect them all
+                });
+        }
+        pendingMisses[line] = pm;
+        if (pendingMisses.size() > 100000)
+            pendingMisses.clear(); // shadow-state bound
+    }
+
+    triggerPrefetches(line, now);
+}
+
+void
+EntanglingPrefetcher::onPrefetchIssued(sim::Addr line, sim::Cycle cycle)
+{
+    prefetchIssueTime[line] = cycle;
+    if (prefetchIssueTime.size() > 100000)
+        prefetchIssueTime.clear(); // shadow-state bound
+}
+
+void
+EntanglingPrefetcher::onCacheFill(const sim::CacheFillInfo &info)
+{
+    const sim::Addr line = info.line;
+    prefetchIssueTime.erase(line);
+
+    // Wrong/early prefetch: an unused prefetched line leaves the cache.
+    if (info.evictedUnusedPrefetch) {
+        ++stats_.wrongUpdates;
+        updateConfidence(info.evictedLine, /*good=*/false);
+    }
+
+    if (!info.demandHappened) {
+        // Clean prefetch fill: nothing to learn yet.
+        return;
+    }
+
+    auto it = pendingMisses.find(line);
+    if (it == pendingMisses.end())
+        return;
+    PendingMiss pm = it->second;
+    pendingMisses.erase(it);
+
+    if (!entangles() || !pm.isHead || pm.sources.empty())
+        return;
+
+    // Latency of this fetch; the source must have executed at least this
+    // many cycles before the demand miss for a prefetch to be timely.
+    uint64_t latency = info.cycle - pm.startCycle;
+
+    // Walk the snapshot (newest source first) for the first head that ran
+    // at least `latency` cycles before the miss; fall back to the oldest
+    // head remembered.
+    size_t first_idx = pm.sources.size() - 1;
+    for (size_t i = 0; i < pm.sources.size(); ++i) {
+        if (history.age(pm.sources[i].second, pm.demandCycle) >= latency) {
+            first_idx = i;
+            break;
+        }
+    }
+    sim::Addr first_line = pm.sources[first_idx].first;
+    if (first_line == line)
+        return;
+
+    unsigned bits = std::max(1u, significantBits(first_line, line));
+    if (table_.hasRoomFor(first_line, line)) {
+        if (table_.addPair(first_line, line, /*evict_on_full=*/false)) {
+            ++stats_.pairsCreated;
+            stats_.destBits.record(bits);
+        }
+        return;
+    }
+
+    // First source is full: try one source further back (§III-B3), else
+    // evict the first source's weakest destination.
+    if (first_idx + 1 < pm.sources.size()) {
+        sim::Addr second_line = pm.sources[first_idx + 1].first;
+        if (second_line != line &&
+            table_.hasRoomFor(second_line, line)) {
+            if (table_.addPair(second_line, line,
+                               /*evict_on_full=*/false)) {
+                ++stats_.pairsCreated;
+                ++stats_.secondSourceUses;
+                stats_.destBits.record(
+                    std::max(1u, significantBits(second_line, line)));
+            }
+            return;
+        }
+    }
+    if (table_.addPair(first_line, line, /*evict_on_full=*/true)) {
+        ++stats_.pairsCreated;
+        stats_.destBits.record(bits);
+    }
+}
+
+} // namespace eip::core

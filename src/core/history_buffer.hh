@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The Entangling prefetcher's History buffer (paper §III-A2/C3): a small
+ * circular queue of recently seen basic-block heads with the timestamp of
+ * their first L1I access and the size of their basic block. Walked
+ * backwards on cache fills to locate a source whose access happened at
+ * least `latency` cycles before a miss.
+ */
+
+#ifndef EIP_CORE_HISTORY_BUFFER_HH
+#define EIP_CORE_HISTORY_BUFFER_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+#include "util/bitops.hh"
+#include "util/panic.hh"
+
+namespace eip::core {
+
+/** One recorded basic-block head. */
+struct HistoryEntry
+{
+    bool valid = false;
+    sim::Addr line = 0;     ///< head line address
+    uint64_t timestamp = 0; ///< wrapped to timestampBits
+    uint8_t bbSize = 0;     ///< following consecutive lines (updated late)
+    uint64_t generation = 0;///< detects stale slot references
+};
+
+/**
+ * Circular history of basic-block heads. Slot indices are stable hardware
+ * pointers (the 4-bit "position in the History buffer" the MSHR holds);
+ * a generation number detects reuse of a slot.
+ */
+class HistoryBuffer
+{
+  public:
+    HistoryBuffer(size_t entries, unsigned timestamp_bits)
+        : slots(entries), tsBits(timestamp_bits)
+    {
+        EIP_ASSERT(entries > 0, "history buffer needs at least one entry");
+    }
+
+    /** Record a new head; returns the slot index written. */
+    size_t
+    push(sim::Addr line, sim::Cycle now)
+    {
+        head = (head + 1) % slots.size();
+        HistoryEntry &e = slots[head];
+        e.valid = true;
+        e.line = line;
+        e.timestamp = now & mask(tsBits);
+        e.bbSize = 0;
+        e.generation = ++generationCounter;
+        return head;
+    }
+
+    HistoryEntry &at(size_t slot) { return slots[slot]; }
+    const HistoryEntry &at(size_t slot) const { return slots[slot]; }
+
+    /** Newest slot index. */
+    size_t newest() const { return head; }
+
+    /**
+     * Walk backwards (towards older entries) starting at the entry *before*
+     * @p from_slot, visiting at most @p max_steps entries. The callback
+     * returns true to stop the walk (entry accepted).
+     * @return pointer to the accepted entry or nullptr.
+     */
+    template <typename Pred>
+    HistoryEntry *
+    walkBackwards(size_t from_slot, size_t max_steps, Pred &&accept)
+    {
+        size_t slot = from_slot;
+        for (size_t step = 0; step < std::min(max_steps, slots.size() - 1);
+             ++step) {
+            slot = (slot + slots.size() - 1) % slots.size();
+            HistoryEntry &e = slots[slot];
+            if (!e.valid)
+                return nullptr;
+            if (accept(e))
+                return &e;
+        }
+        return nullptr;
+    }
+
+    /**
+     * Elapsed cycles between a recorded (wrapped) timestamp and @p now in
+     * the wrapped clock domain.
+     */
+    uint64_t
+    age(uint64_t recorded_ts, sim::Cycle now) const
+    {
+        return wrappedDistance(recorded_ts, now & mask(tsBits), tsBits);
+    }
+
+    size_t capacity() const { return slots.size(); }
+    unsigned timestampBits() const { return tsBits; }
+
+    /** Storage cost: tag + timestamp + size per entry, plus head pointer. */
+    uint64_t
+    storageBits(unsigned tag_bits) const
+    {
+        return slots.size() * (tag_bits + tsBits + 6) +
+               floorLog2(slots.size()) + 1;
+    }
+
+  private:
+    std::vector<HistoryEntry> slots;
+    unsigned tsBits;
+    size_t head = 0;
+    uint64_t generationCounter = 0;
+};
+
+} // namespace eip::core
+
+#endif // EIP_CORE_HISTORY_BUFFER_HH

@@ -1,0 +1,36 @@
+#include "energy/energy_model.hh"
+
+namespace eip::energy {
+
+EnergyModel::EnergyModel()
+{
+    // CACTI-P-like magnitudes at 22nm for the Table III capacities.
+    l1iCost = LevelEnergy{0.004, 0.013, 0.016}; // 32KB 8-way
+    l1dCost = LevelEnergy{0.005, 0.016, 0.019}; // 48KB 12-way
+    l2Cost = LevelEnergy{0.012, 0.055, 0.066};  // 512KB 8-way
+    llcCost = LevelEnergy{0.030, 0.160, 0.190}; // 2MB 16-way
+}
+
+double
+EnergyModel::levelEnergy(const sim::CacheStats &s, const LevelEnergy &cost)
+{
+    // Every demand access and every issued prefetch probes the tags; hits
+    // read data; fills and store writes write data.
+    double tags = static_cast<double>(s.demandAccesses + s.prefetchIssued);
+    double reads = static_cast<double>(s.demandHits);
+    double writes = static_cast<double>(s.fills + s.writeAccesses);
+    return tags * cost.tagAccess + reads * cost.read + writes * cost.write;
+}
+
+EnergyBreakdown
+EnergyModel::evaluate(const sim::SimStats &stats) const
+{
+    EnergyBreakdown out;
+    out.l1i = levelEnergy(stats.l1i, l1iCost);
+    out.l1d = levelEnergy(stats.l1d, l1dCost);
+    out.l2 = levelEnergy(stats.l2, l2Cost);
+    out.llc = levelEnergy(stats.llc, llcCost);
+    return out;
+}
+
+} // namespace eip::energy

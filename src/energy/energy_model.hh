@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Cache-hierarchy energy model (paper §IV-A/Table IV). The paper models
+ * energy with CACTI-P at 22nm, counting tag accesses, reads, and writes at
+ * every level. We use per-event constants of CACTI-like magnitude; Table IV
+ * compares prefetchers *relative* to each other and to no-prefetching, so
+ * the event counts (produced by the simulator) dominate the comparison.
+ */
+
+#ifndef EIP_ENERGY_ENERGY_MODEL_HH
+#define EIP_ENERGY_ENERGY_MODEL_HH
+
+#include "sim/stats.hh"
+
+namespace eip::energy {
+
+/** Per-event energy of one cache level, in nanojoules. */
+struct LevelEnergy
+{
+    double tagAccess = 0.0;
+    double read = 0.0;
+    double write = 0.0;
+};
+
+/** Energy breakdown of one simulation run. */
+struct EnergyBreakdown
+{
+    double l1i = 0.0;
+    double l1d = 0.0;
+    double l2 = 0.0;
+    double llc = 0.0;
+
+    double total() const { return l1i + l1d + l2 + llc; }
+};
+
+/** The model: constants per level, evaluation over SimStats. */
+class EnergyModel
+{
+  public:
+    /** CACTI-P-like 22nm defaults for the Table III hierarchy. */
+    EnergyModel();
+
+    /** Energy consumed by the caches during one run. */
+    EnergyBreakdown evaluate(const sim::SimStats &stats) const;
+
+    LevelEnergy l1iCost;
+    LevelEnergy l1dCost;
+    LevelEnergy l2Cost;
+    LevelEnergy llcCost;
+
+  private:
+    static double levelEnergy(const sim::CacheStats &s,
+                              const LevelEnergy &cost);
+};
+
+} // namespace eip::energy
+
+#endif // EIP_ENERGY_ENERGY_MODEL_HH

@@ -1,0 +1,285 @@
+#include "harness/cli.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "prefetch/factory.hh"
+#include "sim/config.hh"
+#include "sim/cpu.hh"
+#include "trace/trace_file.hh"
+#include "trace/workloads.hh"
+
+namespace eip::harness {
+
+namespace {
+
+/** All catalogue workloads (CVP-like plus CloudSuite-like). */
+std::vector<trace::Workload>
+catalogue()
+{
+    auto all = trace::cvpSuite(3);
+    for (auto &w : trace::cloudSuite())
+        all.push_back(w);
+    all.push_back(trace::tinyWorkload());
+    return all;
+}
+
+bool
+parseU64(const std::string &text, uint64_t &out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtoull(text.c_str(), &end, 10);
+    return end != nullptr && *end == '\0';
+}
+
+} // namespace
+
+std::string
+cliUsage()
+{
+    return
+        "eipsim — Entangling instruction-prefetcher simulator\n"
+        "\n"
+        "usage: eipsim [options]\n"
+        "  --workload NAME       catalogue workload (default srv-1)\n"
+        "  --trace FILE          replay a captured .trc file instead\n"
+        "  --prefetcher ID       none|ideal|l1i-64kb|l1i-96kb|nextline|\n"
+        "                        sn4l|mana-{2k,4k,8k}|rdip|djolt|fnl+mma|\n"
+        "                        pif|epi|entangling-{2k,4k,8k}[-phys]|\n"
+        "                        bb-4k|bbent-4k|bbentbb-4k|ent-4k\n"
+        "  --data-prefetcher ID  L1D prefetcher: none|stride\n"
+        "  --instructions N      measured instructions (default 600000)\n"
+        "  --warmup N            warm-up instructions (default 300000)\n"
+        "  --physical            train the L1I with physical addresses\n"
+        "  --wrong-path          model wrong-path execution\n"
+        "  --json                machine-readable output\n"
+        "  --list-workloads      print the workload catalogue\n"
+        "  --list-prefetchers    print the known prefetcher ids\n"
+        "  --config              print the simulated system (Table III)\n"
+        "  --help                this text\n";
+}
+
+CliOptions
+parseCli(const std::vector<std::string> &args)
+{
+    CliOptions opt;
+    for (size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        auto value = [&](const char *flag) -> std::optional<std::string> {
+            if (i + 1 >= args.size()) {
+                opt.error = std::string(flag) + " needs a value";
+                return std::nullopt;
+            }
+            return args[++i];
+        };
+
+        if (arg == "--help" || arg == "-h") {
+            opt.action = CliOptions::Action::Help;
+        } else if (arg == "--list-workloads") {
+            opt.action = CliOptions::Action::ListWorkloads;
+        } else if (arg == "--list-prefetchers") {
+            opt.action = CliOptions::Action::ListPrefetchers;
+        } else if (arg == "--config") {
+            opt.action = CliOptions::Action::ShowConfig;
+        } else if (arg == "--workload") {
+            if (auto v = value("--workload"))
+                opt.workload = *v;
+        } else if (arg == "--trace") {
+            if (auto v = value("--trace"))
+                opt.tracePath = *v;
+        } else if (arg == "--prefetcher") {
+            if (auto v = value("--prefetcher"))
+                opt.prefetcher = *v;
+        } else if (arg == "--data-prefetcher") {
+            if (auto v = value("--data-prefetcher"))
+                opt.dataPrefetcher = *v;
+        } else if (arg == "--instructions") {
+            auto v = value("--instructions");
+            if (v && !parseU64(*v, opt.instructions))
+                opt.error = "--instructions needs a number";
+        } else if (arg == "--warmup") {
+            auto v = value("--warmup");
+            if (v && !parseU64(*v, opt.warmup))
+                opt.error = "--warmup needs a number";
+        } else if (arg == "--physical") {
+            opt.physical = true;
+        } else if (arg == "--wrong-path") {
+            opt.wrongPath = true;
+        } else if (arg == "--json") {
+            opt.json = true;
+        } else {
+            opt.error = "unknown option: " + arg;
+        }
+        if (!opt.error.empty())
+            break;
+    }
+    if (opt.instructions == 0)
+        opt.error = "--instructions must be positive";
+    return opt;
+}
+
+std::string
+resultToJson(const RunResult &result)
+{
+    const sim::SimStats &s = result.stats;
+    std::ostringstream out;
+    out << "{\"workload\":\"" << result.workload << "\","
+        << "\"config\":\"" << result.configName << "\","
+        << "\"storage_kb\":" << result.storageKB << ","
+        << "\"instructions\":" << s.instructions << ","
+        << "\"cycles\":" << s.cycles << ","
+        << "\"ipc\":" << s.ipc() << ","
+        << "\"l1i_mpki\":" << s.l1iMpki() << ","
+        << "\"l1i_miss_ratio\":" << s.l1i.missRatio() << ","
+        << "\"coverage\":" << s.l1i.coverage() << ","
+        << "\"accuracy\":" << s.l1i.accuracy() << ","
+        << "\"prefetches_issued\":" << s.l1i.prefetchIssued << ","
+        << "\"useful\":" << s.l1i.usefulPrefetches << ","
+        << "\"late\":" << s.l1i.latePrefetches << ","
+        << "\"wrong\":" << s.l1i.wrongPrefetches << ","
+        << "\"branch_mpki\":"
+        << (s.instructions
+                ? 1000.0 * s.branchMispredicts / s.instructions : 0.0)
+        << "}";
+    return out.str();
+}
+
+int
+runCli(const CliOptions &opt)
+{
+    if (!opt.error.empty()) {
+        std::fprintf(stderr, "error: %s\n%s", opt.error.c_str(),
+                     cliUsage().c_str());
+        return 2;
+    }
+    switch (opt.action) {
+      case CliOptions::Action::Help:
+        std::fputs(cliUsage().c_str(), stdout);
+        return 0;
+      case CliOptions::Action::ShowConfig:
+        std::fputs(sim::SimConfig{}.describe().c_str(), stdout);
+        return 0;
+      case CliOptions::Action::ListPrefetchers: {
+        std::printf("none ideal l1i-64kb l1i-96kb\n");
+        for (const auto &id : prefetch::figure6Lineup())
+            std::printf("%s\n", id.c_str());
+        std::printf("pif\n");
+        return 0;
+      }
+      case CliOptions::Action::ListWorkloads: {
+        for (const auto &w : catalogue()) {
+            trace::Program prog = trace::buildProgram(w.program);
+            std::printf("%-12s %-7s %6.0f KB code\n", w.name.c_str(),
+                        w.category.c_str(),
+                        prog.footprintBytes() / 1024.0);
+        }
+        return 0;
+      }
+      case CliOptions::Action::Run:
+        break;
+    }
+
+    RunResult result;
+    if (!opt.tracePath.empty()) {
+        // Replay path: drive the CPU from the trace file directly.
+        sim::SimConfig cfg;
+        cfg.physicalL1I = opt.physical;
+        cfg.modelWrongPath = opt.wrongPath;
+        std::string pf_id = opt.prefetcher;
+        if (pf_id == "ideal") {
+            cfg.l1i.idealHit = true;
+            pf_id = "none";
+        }
+        auto pf = prefetch::makePrefetcher(pf_id);
+        sim::Cpu cpu(cfg);
+        if (pf != nullptr)
+            cpu.attachL1iPrefetcher(pf.get());
+        trace::TraceReplayer replay(opt.tracePath);
+        result.workload = opt.tracePath;
+        result.configName = pf != nullptr ? pf->name() : opt.prefetcher;
+        result.storageKB =
+            pf != nullptr ? pf->storageBits() / 8.0 / 1024.0 : 0.0;
+        result.stats = cpu.run(replay, opt.instructions, opt.warmup);
+    } else {
+        std::optional<trace::Workload> chosen;
+        for (const auto &w : catalogue()) {
+            if (w.name == opt.workload)
+                chosen = w;
+        }
+        if (!chosen) {
+            std::fprintf(stderr,
+                         "error: unknown workload '%s' "
+                         "(try --list-workloads)\n",
+                         opt.workload.c_str());
+            return 2;
+        }
+        RunSpec spec;
+        spec.configId = opt.prefetcher;
+        spec.dataPrefetcher = opt.dataPrefetcher;
+        spec.instructions = opt.instructions;
+        spec.warmup = opt.warmup;
+        spec.physicalL1i = opt.physical;
+        // Wrong-path needs the config flag: route through runOne only for
+        // the common case; otherwise run manually.
+        if (!opt.wrongPath) {
+            result = runOne(*chosen, spec);
+        } else {
+            sim::SimConfig cfg;
+            cfg.physicalL1I = opt.physical;
+            cfg.modelWrongPath = true;
+            std::string pf_id = opt.prefetcher;
+            if (pf_id == "ideal") {
+                cfg.l1i.idealHit = true;
+                pf_id = "none";
+            }
+            auto pf = prefetch::makePrefetcher(pf_id);
+            sim::Cpu cpu(cfg);
+            if (pf != nullptr)
+                cpu.attachL1iPrefetcher(pf.get());
+            trace::Program prog = trace::buildProgram(chosen->program);
+            trace::Executor exec(prog, chosen->exec);
+            result.workload = chosen->name;
+            result.configName =
+                pf != nullptr ? pf->name() : std::string("no");
+            result.storageKB =
+                pf != nullptr ? pf->storageBits() / 8.0 / 1024.0 : 0.0;
+            result.stats = cpu.run(exec, opt.instructions, opt.warmup);
+        }
+    }
+
+    if (opt.json) {
+        std::printf("%s\n", resultToJson(result).c_str());
+        return 0;
+    }
+    const sim::SimStats &s = result.stats;
+    std::printf("workload      %s\n", result.workload.c_str());
+    std::printf("config        %s (%.2f KB)\n", result.configName.c_str(),
+                result.storageKB);
+    std::printf("instructions  %llu\n",
+                static_cast<unsigned long long>(s.instructions));
+    std::printf("cycles        %llu\n",
+                static_cast<unsigned long long>(s.cycles));
+    std::printf("IPC           %.4f\n", s.ipc());
+    std::printf("L1I MPKI      %.2f (miss ratio %.4f)\n", s.l1iMpki(),
+                s.l1i.missRatio());
+    std::printf("coverage      %.4f\n", s.l1i.coverage());
+    std::printf("accuracy      %.4f\n", s.l1i.accuracy());
+    std::printf("prefetches    issued %llu, useful %llu, late %llu, "
+                "wrong %llu\n",
+                static_cast<unsigned long long>(s.l1i.prefetchIssued),
+                static_cast<unsigned long long>(s.l1i.usefulPrefetches),
+                static_cast<unsigned long long>(s.l1i.latePrefetches),
+                static_cast<unsigned long long>(s.l1i.wrongPrefetches));
+    if (s.l1i.wrongPathAccesses > 0) {
+        std::printf("wrong path    %llu accesses, %llu misses\n",
+                    static_cast<unsigned long long>(
+                        s.l1i.wrongPathAccesses),
+                    static_cast<unsigned long long>(
+                        s.l1i.wrongPathMisses));
+    }
+    return 0;
+}
+
+} // namespace eip::harness

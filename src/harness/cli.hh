@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Command-line interface of the `eipsim` driver tool: a tested, reusable
+ * argument parser plus the run/report entry point. Keeping the parsing in
+ * the harness library lets the unit tests cover it without spawning
+ * processes.
+ */
+
+#ifndef EIP_HARNESS_CLI_HH
+#define EIP_HARNESS_CLI_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+
+namespace eip::harness {
+
+/** Parsed command line of the eipsim tool. */
+struct CliOptions
+{
+    enum class Action
+    {
+        Run,             ///< simulate and report
+        ListWorkloads,
+        ListPrefetchers,
+        ShowConfig,      ///< print Table III
+        Help,
+    };
+
+    Action action = Action::Run;
+    std::string workload = "srv-1";  ///< catalogue name
+    std::string tracePath;           ///< when set, replay this trace file
+    std::string prefetcher = "entangling-4k";
+    std::string dataPrefetcher = "none";
+    uint64_t instructions = 600000;
+    uint64_t warmup = 300000;
+    bool physical = false;
+    bool wrongPath = false;
+    bool json = false;
+    std::string error; ///< non-empty when parsing failed
+};
+
+/** Parse argv (excluding argv[0]). Never exits; errors land in .error. */
+CliOptions parseCli(const std::vector<std::string> &args);
+
+/** The tool's usage text. */
+std::string cliUsage();
+
+/** Serialize one run result as a JSON object (single line). */
+std::string resultToJson(const RunResult &result);
+
+/**
+ * Execute the parsed options end-to-end and print the report to stdout.
+ * @return process exit code.
+ */
+int runCli(const CliOptions &options);
+
+} // namespace eip::harness
+
+#endif // EIP_HARNESS_CLI_HH

@@ -1,0 +1,87 @@
+#include "harness/report.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "util/stats_math.hh"
+
+namespace eip::harness {
+
+std::vector<double>
+collect(const std::vector<RunResult> &results, const Metric &metric)
+{
+    std::vector<double> out;
+    out.reserve(results.size());
+    for (const auto &r : results)
+        out.push_back(metric(r));
+    return out;
+}
+
+void
+printSortedSeries(const std::string &title,
+                  const std::vector<std::string> &config_names,
+                  const std::vector<std::vector<double>> &series)
+{
+    std::printf("%s\n", title.c_str());
+    static const std::pair<const char *, double> kPoints[] = {
+        {"min", 0.0},  {"p10", 0.10}, {"p25", 0.25}, {"p50", 0.50},
+        {"p75", 0.75}, {"p90", 0.90}, {"max", 1.0},
+    };
+
+    TablePrinter table;
+    table.newRow();
+    table.cell(std::string("config"));
+    for (const auto &[label, q] : kPoints) {
+        (void)q;
+        table.cell(std::string(label));
+    }
+    for (size_t c = 0; c < config_names.size(); ++c) {
+        table.newRow();
+        table.cell(config_names[c]);
+        for (const auto &[label, q] : kPoints) {
+            (void)label;
+            table.cell(percentile(series[c], q), 3);
+        }
+    }
+    table.print();
+}
+
+void
+printPerCategory(const std::string &title,
+                 const std::vector<std::string> &config_names,
+                 const std::vector<std::vector<RunResult>> &results,
+                 const Metric &metric)
+{
+    std::printf("%s\n", title.c_str());
+
+    // Stable category order across all runs.
+    std::vector<std::string> categories;
+    for (const auto &r : results.front()) {
+        if (std::find(categories.begin(), categories.end(), r.category) ==
+            categories.end()) {
+            categories.push_back(r.category);
+        }
+    }
+
+    TablePrinter table;
+    table.newRow();
+    table.cell(std::string("config"));
+    for (const auto &cat : categories)
+        table.cell(cat);
+    for (size_t c = 0; c < config_names.size(); ++c) {
+        table.newRow();
+        table.cell(config_names[c]);
+        for (const auto &cat : categories) {
+            std::vector<double> values;
+            for (const auto &r : results[c]) {
+                if (r.category == cat)
+                    values.push_back(metric(r));
+            }
+            table.cell(mean(values), 3);
+        }
+    }
+    table.print();
+}
+
+} // namespace eip::harness

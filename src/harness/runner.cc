@@ -1,0 +1,117 @@
+#include "harness/runner.hh"
+
+#include <cstdlib>
+
+#include "core/entangling.hh"
+#include "prefetch/factory.hh"
+#include "sim/cpu.hh"
+#include "util/panic.hh"
+#include "util/stats_math.hh"
+
+namespace eip::harness {
+
+RunSpec
+RunSpec::defaultSpec()
+{
+    RunSpec spec;
+    if (const char *scale_env = std::getenv("EIP_SIM_SCALE")) {
+        double scale = std::atof(scale_env);
+        if (scale > 0.0) {
+            spec.instructions =
+                static_cast<uint64_t>(spec.instructions * scale);
+            // The warm-up must cover at least one recurrence cycle of the
+            // synthetic workloads or no history-based prefetcher can
+            // train; scaling only ever lengthens it.
+            if (scale > 1.0)
+                spec.warmup = static_cast<uint64_t>(spec.warmup * scale);
+        }
+    }
+    return spec;
+}
+
+RunResult
+runOne(const trace::Workload &workload, const RunSpec &spec)
+{
+    sim::SimConfig cfg;
+    cfg.physicalL1I = spec.physicalL1i;
+
+    std::string pf_id = spec.configId;
+    if (spec.configId == "ideal") {
+        cfg.l1i.idealHit = true;
+        pf_id = "none";
+    } else if (spec.configId == "l1i-64kb") {
+        cfg.enlargeL1i(64);
+        pf_id = "none";
+    } else if (spec.configId == "l1i-96kb") {
+        cfg.enlargeL1i(96);
+        pf_id = "none";
+    }
+
+    auto prefetcher = prefetch::makePrefetcher(pf_id);
+    auto data_prefetcher = prefetch::makePrefetcher(spec.dataPrefetcher);
+
+    sim::Cpu cpu(cfg);
+    if (prefetcher != nullptr)
+        cpu.attachL1iPrefetcher(prefetcher.get());
+    if (data_prefetcher != nullptr)
+        cpu.l1d().attachPrefetcher(data_prefetcher.get());
+
+    trace::Program program = trace::buildProgram(workload.program);
+    trace::Executor exec(program, workload.exec);
+
+    RunResult result;
+    result.workload = workload.name;
+    result.category = workload.category;
+    result.stats = cpu.run(exec, spec.instructions, spec.warmup);
+
+    if (prefetcher != nullptr) {
+        result.configName = prefetcher->name();
+        result.storageKB =
+            static_cast<double>(prefetcher->storageBits()) / 8.0 / 1024.0;
+    } else {
+        result.configName = spec.configId == "none" ? "no" : spec.configId;
+    }
+
+    if (auto *ent =
+            dynamic_cast<core::EntanglingPrefetcher *>(prefetcher.get())) {
+        const core::EntanglingStats &a = ent->analysis();
+        result.hasEntanglingAnalysis = true;
+        result.avgDestsPerHit = a.destsPerHit.average();
+        result.avgCurrentBbSize = a.currentBbSize.average();
+        result.avgDstBbSize = a.dstBbSize.average();
+        result.destBitsFractions.resize(a.destBits.buckets());
+        for (size_t b = 0; b < a.destBits.buckets(); ++b)
+            result.destBitsFractions[b] = a.destBits.fraction(b);
+    }
+    return result;
+}
+
+std::vector<RunResult>
+runSuite(const std::vector<trace::Workload> &suite, const RunSpec &spec)
+{
+    std::vector<RunResult> results;
+    results.reserve(suite.size());
+    for (const auto &w : suite)
+        results.push_back(runOne(w, spec));
+    return results;
+}
+
+double
+geomeanSpeedup(const std::vector<RunResult> &results,
+               const std::vector<RunResult> &baseline)
+{
+    EIP_ASSERT(results.size() == baseline.size(),
+               "speedup needs matching result sets");
+    std::vector<double> ratios;
+    ratios.reserve(results.size());
+    for (size_t i = 0; i < results.size(); ++i) {
+        EIP_ASSERT(results[i].workload == baseline[i].workload,
+                   "speedup result sets must cover the same workloads");
+        double base_ipc = baseline[i].stats.ipc();
+        if (base_ipc > 0.0)
+            ratios.push_back(results[i].stats.ipc() / base_ipc);
+    }
+    return geomean(ratios);
+}
+
+} // namespace eip::harness

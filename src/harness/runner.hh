@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Experiment runner: builds a workload, attaches a prefetcher (or a cache
+ * configuration such as Ideal / larger L1I), simulates, and returns the
+ * statistics. All benches and the examples go through this entry point.
+ */
+
+#ifndef EIP_HARNESS_RUNNER_HH
+#define EIP_HARNESS_RUNNER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/stats.hh"
+#include "trace/workloads.hh"
+
+namespace eip::core {
+struct EntanglingStats;
+}
+
+namespace eip::harness {
+
+/** One simulation request. */
+struct RunSpec
+{
+    /** Prefetcher id (see prefetch::makePrefetcher) or one of the cache
+     *  configurations: "ideal", "l1i-64kb", "l1i-96kb". */
+    std::string configId = "none";
+    uint64_t instructions = 600000;
+    uint64_t warmup = 300000;
+    bool physicalL1i = false;
+    /** Optional L1D prefetcher id ("none" or "stride"). */
+    std::string dataPrefetcher = "none";
+
+    /** Global scaling knob honoured by all benches: the environment
+     *  variable EIP_SIM_SCALE (e.g. "0.2" or "3") multiplies instruction
+     *  budgets. Applied by defaultSpec(). */
+    static RunSpec defaultSpec();
+};
+
+/** Result of one run. */
+struct RunResult
+{
+    std::string workload;
+    std::string category;
+    std::string configName;  ///< pretty prefetcher/config name
+    double storageKB = 0.0;  ///< prefetcher storage (0 for cache configs)
+    sim::SimStats stats;
+
+    // Entangling-internal analysis (only for entangling configs).
+    bool hasEntanglingAnalysis = false;
+    double avgDestsPerHit = 0.0;
+    double avgCurrentBbSize = 0.0;
+    double avgDstBbSize = 0.0;
+    /** Fraction of inserted destinations per encoding width bucket
+     *  (index = bits needed; see CompressionScheme). */
+    std::vector<double> destBitsFractions;
+};
+
+/** Run @p workload under @p spec. */
+RunResult runOne(const trace::Workload &workload, const RunSpec &spec);
+
+/** Run a whole suite under one config; one result per workload. */
+std::vector<RunResult> runSuite(const std::vector<trace::Workload> &suite,
+                                const RunSpec &spec);
+
+/** Geometric mean of IPC normalized against a baseline result set (the
+ *  baseline must cover the same workloads in the same order). */
+double geomeanSpeedup(const std::vector<RunResult> &results,
+                      const std::vector<RunResult> &baseline);
+
+} // namespace eip::harness
+
+#endif // EIP_HARNESS_RUNNER_HH

@@ -1,0 +1,150 @@
+#include "prefetch/djolt.hh"
+
+#include <algorithm>
+
+#include "util/bitops.hh"
+#include "util/panic.hh"
+
+namespace eip::prefetch {
+
+DjoltPrefetcher::Table::Table(const DjoltRange &r)
+    : range(r), numSets(r.entries / r.ways)
+{
+    EIP_ASSERT(isPowerOf2(numSets), "D-JOLT set count must be a power of 2");
+    entries.resize(r.entries);
+}
+
+DjoltPrefetcher::Entry *
+DjoltPrefetcher::Table::find(uint64_t sig)
+{
+    size_t set = static_cast<size_t>(xorFold(sig, floorLog2(numSets))) &
+                 (numSets - 1);
+    size_t base = set * range.ways;
+    for (uint32_t w = 0; w < range.ways; ++w) {
+        Entry &e = entries[base + w];
+        if (e.valid && e.signature == sig)
+            return &e;
+    }
+    return nullptr;
+}
+
+DjoltPrefetcher::Entry *
+DjoltPrefetcher::Table::findOrInsert(uint64_t sig)
+{
+    if (Entry *e = find(sig)) {
+        e->lastUse = ++clock;
+        return e;
+    }
+    size_t set = static_cast<size_t>(xorFold(sig, floorLog2(numSets))) &
+                 (numSets - 1);
+    size_t base = set * range.ways;
+    Entry *victim = &entries[base];
+    for (uint32_t w = 0; w < range.ways; ++w) {
+        Entry &e = entries[base + w];
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.lastUse < victim->lastUse)
+            victim = &e;
+    }
+    victim->valid = true;
+    victim->signature = sig;
+    victim->lines.clear();
+    victim->lastUse = ++clock;
+    return victim;
+}
+
+void
+DjoltPrefetcher::Table::record(uint64_t sig, sim::Addr line)
+{
+    Entry *e = findOrInsert(sig);
+    if (std::find(e->lines.begin(), e->lines.end(), line) != e->lines.end())
+        return;
+    if (e->lines.size() >= range.linesPerEntry)
+        e->lines.erase(e->lines.begin());
+    e->lines.push_back(line);
+}
+
+DjoltPrefetcher::DjoltPrefetcher(const DjoltConfig &config)
+    : cfg(config), shortTable(config.shortRange), longTable(config.longRange)
+{}
+
+uint64_t
+DjoltPrefetcher::storageBits() const
+{
+    auto table_bits = [](const DjoltRange &r) {
+        // Partial tag + region-relative 30-bit line addresses + LRU (the
+        // paper's configuration totals 125KB).
+        uint64_t per_entry = 14 + r.linesPerEntry * 30 + 2;
+        return static_cast<uint64_t>(r.entries) * per_entry;
+    };
+    return table_bits(cfg.shortRange) + table_bits(cfg.longRange) +
+           (cfg.shortRange.lookaheadCalls + cfg.longRange.lookaheadCalls) *
+               64;
+}
+
+void
+DjoltPrefetcher::prefetchFor(Table &table, uint64_t sig)
+{
+    Entry *e = table.find(sig);
+    if (e == nullptr)
+        return;
+    e->lastUse = ++table.clock;
+    for (sim::Addr line : e->lines)
+        owner->enqueuePrefetch(line);
+}
+
+void
+DjoltPrefetcher::onBranch(sim::Addr pc, trace::BranchType type,
+                          sim::Addr target)
+{
+    using trace::BranchType;
+    if (type != BranchType::DirectCall &&
+        type != BranchType::IndirectCall && type != BranchType::Return) {
+        return;
+    }
+
+    // The signature folds the last `signatureCalls` call/return tokens —
+    // a *windowed* context, so identical call sequences reproduce
+    // identical signatures regardless of what preceded them.
+    uint64_t token = type == BranchType::Return
+        ? (pc >> 2) * 0x2545f4914f6cdd1dULL
+        : ((pc >> 2) ^ (target >> 1)) * 0x9e3779b97f4a7c15ULL;
+    recentTokens.push_back(token);
+    while (recentTokens.size() > cfg.signatureCalls)
+        recentTokens.pop_front();
+    signature = 0x5eed;
+    for (uint64_t t : recentTokens)
+        signature = (signature << 5) ^ (signature >> 3) ^ t;
+
+    signatureHistory.push_back(signature);
+    size_t keep = std::max(cfg.shortRange.lookaheadCalls,
+                           cfg.longRange.lookaheadCalls) + 1;
+    while (signatureHistory.size() > keep)
+        signatureHistory.pop_front();
+
+    // Consult both ranges with the *current* signature: entries were
+    // trained with the signature that preceded their misses by the
+    // configured distance, so the hits are misses expected ahead.
+    prefetchFor(shortTable, signature);
+    prefetchFor(longTable, signature);
+}
+
+void
+DjoltPrefetcher::onCacheOperate(const sim::CacheOperateInfo &info)
+{
+    if (info.hit)
+        return;
+    auto sig_ago = [&](uint32_t calls) -> const uint64_t * {
+        if (signatureHistory.size() <= calls)
+            return nullptr;
+        return &signatureHistory[signatureHistory.size() - 1 - calls];
+    };
+    if (const uint64_t *s = sig_ago(cfg.shortRange.lookaheadCalls))
+        shortTable.record(*s, info.line);
+    if (const uint64_t *s = sig_ago(cfg.longRange.lookaheadCalls))
+        longTable.record(*s, info.line);
+}
+
+} // namespace eip::prefetch

@@ -1,0 +1,116 @@
+#include "prefetch/factory.hh"
+
+#include "core/entangling.hh"
+#include "prefetch/djolt.hh"
+#include "prefetch/fnl_mma.hh"
+#include "prefetch/mana.hh"
+#include "prefetch/nextline.hh"
+#include "prefetch/pif.hh"
+#include "prefetch/rdip.hh"
+#include "prefetch/sn4l.hh"
+#include "prefetch/stride.hh"
+#include "util/panic.hh"
+
+namespace eip::prefetch {
+
+namespace {
+
+using core::EntanglingConfig;
+using core::EntanglingPrefetcher;
+using core::EntanglingVariant;
+
+/** Parse "-2k/-4k/-8k" size suffixes; returns 0 when absent. */
+unsigned
+sizeSuffix(const std::string &id)
+{
+    if (id.find("-2k") != std::string::npos)
+        return 2048;
+    if (id.find("-4k") != std::string::npos)
+        return 4096;
+    if (id.find("-8k") != std::string::npos)
+        return 8192;
+    return 0;
+}
+
+EntanglingConfig
+entanglingConfigFor(unsigned entries, bool physical)
+{
+    switch (entries) {
+      case 2048: return EntanglingConfig::preset2K(physical);
+      case 8192: return EntanglingConfig::preset8K(physical);
+      default: return EntanglingConfig::preset4K(physical);
+    }
+}
+
+} // namespace
+
+std::unique_ptr<sim::Prefetcher>
+makePrefetcher(const std::string &id)
+{
+    if (id == "none" || id == "ideal")
+        return nullptr;
+    if (id == "nextline")
+        return std::make_unique<NextLinePrefetcher>();
+    if (id == "sn4l")
+        return std::make_unique<Sn4lPrefetcher>();
+    if (id.rfind("mana", 0) == 0) {
+        ManaConfig cfg;
+        cfg.entries = sizeSuffix(id) ? sizeSuffix(id) : 4096;
+        return std::make_unique<ManaPrefetcher>(cfg);
+    }
+    if (id == "stride")
+        return std::make_unique<StridePrefetcher>();
+    if (id == "pif")
+        return std::make_unique<PifPrefetcher>(PifConfig{});
+    if (id == "rdip")
+        return std::make_unique<RdipPrefetcher>(RdipConfig{});
+    if (id == "djolt")
+        return std::make_unique<DjoltPrefetcher>(DjoltConfig{});
+    if (id == "fnl+mma")
+        return std::make_unique<FnlMmaPrefetcher>(FnlMmaConfig{});
+    if (id == "epi")
+        return std::make_unique<EntanglingPrefetcher>(
+            EntanglingConfig::presetEpi());
+
+    bool physical = id.find("-phys") != std::string::npos;
+    unsigned entries = sizeSuffix(id) ? sizeSuffix(id) : 4096;
+    EntanglingConfig cfg = entanglingConfigFor(entries, physical);
+    if (id.rfind("entangling", 0) == 0) {
+        return std::make_unique<EntanglingPrefetcher>(cfg);
+    }
+    if (id.rfind("bbentbb", 0) == 0) {
+        cfg.variant = EntanglingVariant::BBEntBB;
+        return std::make_unique<EntanglingPrefetcher>(cfg);
+    }
+    if (id.rfind("bbent", 0) == 0) {
+        cfg.variant = EntanglingVariant::BBEnt;
+        return std::make_unique<EntanglingPrefetcher>(cfg);
+    }
+    if (id.rfind("bb", 0) == 0) {
+        cfg.variant = EntanglingVariant::BB;
+        return std::make_unique<EntanglingPrefetcher>(cfg);
+    }
+    if (id.rfind("ent", 0) == 0) {
+        cfg.variant = EntanglingVariant::Ent;
+        return std::make_unique<EntanglingPrefetcher>(cfg);
+    }
+    EIP_FATAL("unknown prefetcher id");
+}
+
+std::vector<std::string>
+mainLineup()
+{
+    return {"nextline", "sn4l",          "mana-2k",      "mana-4k",
+            "rdip",     "entangling-2k", "entangling-4k"};
+}
+
+std::vector<std::string>
+figure6Lineup()
+{
+    return {"nextline",      "sn4l",          "mana-2k", "mana-4k",
+            "mana-8k",       "rdip",          "djolt",   "fnl+mma",
+            "epi",           "entangling-2k", "entangling-4k",
+            "entangling-8k"};
+}
+
+} // namespace eip::prefetch

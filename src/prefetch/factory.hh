@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Prefetcher factory: creates any prefetcher evaluated in the paper by its
+ * name, and enumerates the standard line-ups used by the benches.
+ */
+
+#ifndef EIP_PREFETCH_FACTORY_HH
+#define EIP_PREFETCH_FACTORY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/prefetcher_api.hh"
+
+namespace eip::prefetch {
+
+/**
+ * Create a prefetcher by identifier. Known ids:
+ *   none, nextline, sn4l, mana-2k, mana-4k, mana-8k, rdip, djolt, fnl+mma,
+ *   pif, epi, entangling-2k, entangling-4k, entangling-8k (append "-phys" to an
+ *   entangling id for physical-address compression), and the ablation
+ *   variants bb-NK, bbent-NK, bbentbb-NK, ent-NK (N in {2,4,8}).
+ * Returns nullptr for "none" (and for "ideal", which is a cache mode, not
+ * a prefetcher). Aborts on unknown ids.
+ */
+std::unique_ptr<sim::Prefetcher> makePrefetcher(const std::string &id);
+
+/** The sub-64KB line-up used by the per-workload figures (Fig. 7-10). */
+std::vector<std::string> mainLineup();
+
+/** Every point of the IPC-vs-storage figure (Fig. 6), except the larger
+ *  L1I configurations and Ideal, which are cache configs. */
+std::vector<std::string> figure6Lineup();
+
+} // namespace eip::prefetch
+
+#endif // EIP_PREFETCH_FACTORY_HH

@@ -1,0 +1,124 @@
+#include "prefetch/fnl_mma.hh"
+
+#include "util/bitops.hh"
+#include "util/panic.hh"
+
+namespace eip::prefetch {
+
+FnlMmaPrefetcher::FnlMmaPrefetcher(const FnlMmaConfig &config)
+    : cfg(config), mmaSets(config.mmaEntries / config.mmaWays)
+{
+    EIP_ASSERT(isPowerOf2(mmaSets), "MMA set count must be a power of 2");
+    // Start weakly worth-prefetching: plain next-line until trained down.
+    fnl.assign(cfg.fnlBits / 2, SaturatingCounter(2, 2));
+    mma.resize(cfg.mmaEntries);
+}
+
+uint64_t
+FnlMmaPrefetcher::storageBits() const
+{
+    // FNL counters + MMA entries (partial tag + successor + LRU).
+    uint64_t mma_entry = 14 + 58 + 2;
+    return cfg.fnlBits +
+           static_cast<uint64_t>(cfg.mmaEntries) * mma_entry +
+           cfg.missAhead * 58;
+}
+
+size_t
+FnlMmaPrefetcher::fnlIndex(sim::Addr line) const
+{
+    return static_cast<size_t>(xorFold(line, floorLog2(fnl.size()))) %
+           fnl.size();
+}
+
+FnlMmaPrefetcher::MmaEntry *
+FnlMmaPrefetcher::mmaFind(sim::Addr line)
+{
+    size_t set = static_cast<size_t>(xorFold(line, floorLog2(mmaSets))) &
+                 (mmaSets - 1);
+    size_t base = set * cfg.mmaWays;
+    for (uint32_t w = 0; w < cfg.mmaWays; ++w) {
+        MmaEntry &e = mma[base + w];
+        if (e.valid && e.line == line)
+            return &e;
+    }
+    return nullptr;
+}
+
+FnlMmaPrefetcher::MmaEntry *
+FnlMmaPrefetcher::mmaFindOrInsert(sim::Addr line)
+{
+    if (MmaEntry *e = mmaFind(line)) {
+        e->lastUse = ++clock;
+        return e;
+    }
+    size_t set = static_cast<size_t>(xorFold(line, floorLog2(mmaSets))) &
+                 (mmaSets - 1);
+    size_t base = set * cfg.mmaWays;
+    MmaEntry *victim = &mma[base];
+    for (uint32_t w = 0; w < cfg.mmaWays; ++w) {
+        MmaEntry &e = mma[base + w];
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.lastUse < victim->lastUse)
+            victim = &e;
+    }
+    victim->valid = true;
+    victim->line = line;
+    victim->ahead = 0;
+    victim->lastUse = ++clock;
+    return victim;
+}
+
+void
+FnlMmaPrefetcher::onCacheOperate(const sim::CacheOperateInfo &info)
+{
+    sim::Addr line = info.line;
+
+    // --- FNL: prefetch the next lines deemed worth it. ---
+    for (uint32_t i = 1; i <= cfg.fnlDepth; ++i) {
+        if (fnl[fnlIndex(line + i)].strong())
+            owner->enqueuePrefetch(line + i);
+    }
+    if (!info.hit) {
+        // This line missed: its predecessors should have prefetched it.
+        fnl[fnlIndex(line)].increment();
+    }
+
+    // --- MMA: on a miss, train and chase the miss-ahead chain. ---
+    if (info.hit)
+        return;
+
+    missQueue.push_back(line);
+    if (missQueue.size() > cfg.missAhead + 1)
+        missQueue.erase(missQueue.begin());
+    if (missQueue.size() == cfg.missAhead + 1) {
+        // The miss `missAhead` positions ago now knows its n-th successor.
+        MmaEntry *e = mmaFindOrInsert(missQueue.front());
+        e->ahead = line;
+    }
+
+    sim::Addr cursor = line;
+    for (uint32_t step = 0; step < cfg.chase; ++step) {
+        MmaEntry *e = mmaFind(cursor);
+        if (e == nullptr || e->ahead == 0)
+            break;
+        owner->enqueuePrefetch(e->ahead);
+        // Pull in the sequential neighbourhood of the predicted miss too.
+        if (fnl[fnlIndex(e->ahead + 1)].strong())
+            owner->enqueuePrefetch(e->ahead + 1);
+        cursor = e->ahead;
+    }
+}
+
+void
+FnlMmaPrefetcher::onCacheFill(const sim::CacheFillInfo &info)
+{
+    // Wrong prefetch: trained-down so FNL stops pulling this line.
+    if (info.evictedUnusedPrefetch)
+        fnl[fnlIndex(info.evictedLine)].decrement();
+}
+
+} // namespace eip::prefetch

@@ -1,0 +1,125 @@
+#include "prefetch/mana.hh"
+
+#include "util/panic.hh"
+
+namespace eip::prefetch {
+
+ManaPrefetcher::ManaPrefetcher(const ManaConfig &config)
+    : cfg(config), numSets(config.entries / config.ways)
+{
+    EIP_ASSERT(isPowerOf2(numSets), "MANA set count must be a power of 2");
+    table.resize(cfg.entries);
+}
+
+std::string
+ManaPrefetcher::name() const
+{
+    return "MANA-" + std::to_string(cfg.entries / 1024) + "K";
+}
+
+uint64_t
+ManaPrefetcher::storageBits() const
+{
+    // Tag (partial, 16b) + footprint + successor pointer + LRU.
+    uint64_t ptr_bits = floorLog2(cfg.entries) + 1;
+    uint64_t per_entry = 16 + cfg.footprintLines + ptr_bits + 2;
+    return static_cast<uint64_t>(cfg.entries) * per_entry + 58 + 8;
+}
+
+uint32_t
+ManaPrefetcher::setIndex(sim::Addr line) const
+{
+    return static_cast<uint32_t>(xorFold(line, floorLog2(numSets))) &
+           (numSets - 1);
+}
+
+ManaPrefetcher::Entry *
+ManaPrefetcher::find(sim::Addr line)
+{
+    size_t base = static_cast<size_t>(setIndex(line)) * cfg.ways;
+    for (uint32_t w = 0; w < cfg.ways; ++w) {
+        Entry &e = table[base + w];
+        if (e.valid && e.line == line)
+            return &e;
+    }
+    return nullptr;
+}
+
+ManaPrefetcher::Entry *
+ManaPrefetcher::findOrInsert(sim::Addr line)
+{
+    if (Entry *e = find(line)) {
+        e->lastUse = ++clock;
+        return e;
+    }
+    size_t base = static_cast<size_t>(setIndex(line)) * cfg.ways;
+    Entry *victim = &table[base];
+    for (uint32_t w = 0; w < cfg.ways; ++w) {
+        Entry &e = table[base + w];
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.lastUse < victim->lastUse)
+            victim = &e;
+    }
+    *victim = Entry{};
+    victim->valid = true;
+    victim->line = line;
+    victim->lastUse = ++clock;
+    return victim;
+}
+
+void
+ManaPrefetcher::prefetchRegion(const Entry &e)
+{
+    owner->enqueuePrefetch(e.line);
+    for (uint32_t i = 0; i < cfg.footprintLines; ++i) {
+        if (e.footprint & (1u << i))
+            owner->enqueuePrefetch(e.line + 1 + i);
+    }
+}
+
+void
+ManaPrefetcher::onCacheOperate(const sim::CacheOperateInfo &info)
+{
+    sim::Addr line = info.line;
+
+    // --- Training: extend or close the current spatial region. ---
+    if (hasTrigger && line > triggerLine &&
+        line - triggerLine <= cfg.footprintLines) {
+        triggerFootprint |=
+            static_cast<uint8_t>(1u << (line - triggerLine - 1));
+    } else if (!hasTrigger || line != triggerLine) {
+        // New trigger: commit the footprint and chain the successor.
+        if (hasTrigger) {
+            Entry *prev = findOrInsert(triggerLine);
+            prev->footprint |= triggerFootprint;
+            Entry *next = findOrInsert(line);
+            // findOrInsert may have moved prev; re-find to be safe.
+            prev = find(triggerLine);
+            if (prev != nullptr) {
+                prev->successor =
+                    static_cast<uint32_t>(next - table.data());
+                prev->successorValid = true;
+            }
+        }
+        hasTrigger = true;
+        triggerLine = line;
+        triggerFootprint = 0;
+    }
+
+    // --- Prediction: walk the chain `lookahead` regions ahead. ---
+    Entry *e = find(line);
+    uint32_t steps = 0;
+    while (e != nullptr && e->successorValid && steps < cfg.lookahead) {
+        Entry &succ = table[e->successor];
+        if (!succ.valid)
+            break;
+        prefetchRegion(succ);
+        e = &succ;
+        ++steps;
+    }
+}
+
+} // namespace eip::prefetch

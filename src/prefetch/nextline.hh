@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Pure next-line instruction prefetcher [8]: on every access, prefetch the
+ * next sequential cache line. Zero storage.
+ */
+
+#ifndef EIP_PREFETCH_NEXTLINE_HH
+#define EIP_PREFETCH_NEXTLINE_HH
+
+#include "sim/cache.hh"
+#include "sim/prefetcher_api.hh"
+
+namespace eip::prefetch {
+
+/** The simplest baseline of §IV-B. */
+class NextLinePrefetcher : public sim::Prefetcher
+{
+  public:
+    std::string name() const override { return "NextLine"; }
+    uint64_t storageBits() const override { return 0; }
+
+    void
+    onCacheOperate(const sim::CacheOperateInfo &info) override
+    {
+        owner->enqueuePrefetch(info.line + 1);
+    }
+};
+
+} // namespace eip::prefetch
+
+#endif // EIP_PREFETCH_NEXTLINE_HH

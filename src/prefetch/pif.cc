@@ -1,0 +1,88 @@
+#include "prefetch/pif.hh"
+
+#include "util/bitops.hh"
+#include "util/panic.hh"
+
+namespace eip::prefetch {
+
+PifPrefetcher::PifPrefetcher(const PifConfig &config)
+    : cfg(config)
+{
+    EIP_ASSERT(cfg.historyRecords > 0, "PIF history must be non-empty");
+    history.resize(cfg.historyRecords);
+}
+
+uint64_t
+PifPrefetcher::storageBits() const
+{
+    // History record: 30-bit compacted trigger + footprint; index entry:
+    // tag + history pointer.
+    uint64_t record_bits = 30 + cfg.footprintLines;
+    uint64_t index_bits = 30 + floorLog2(cfg.historyRecords) + 1;
+    return static_cast<uint64_t>(cfg.historyRecords) * record_bits +
+           static_cast<uint64_t>(cfg.indexEntries) * index_bits;
+}
+
+void
+PifPrefetcher::commitRegion()
+{
+    if (!hasTrigger)
+        return;
+    head = (head + 1) % history.size();
+    Record &r = history[head];
+    // The index tracks only the latest occurrence of each trigger; evict
+    // the overwritten record's stale index entry if it still points here.
+    if (r.valid) {
+        auto it = index.find(r.trigger);
+        if (it != index.end() && it->second == head)
+            index.erase(it);
+    }
+    r.valid = true;
+    r.trigger = triggerLine;
+    r.footprint = triggerFootprint;
+    // Bound the model's index like the hardware table (drop-all is crude
+    // but only ever forgets streams, never corrupts them).
+    if (index.size() >= cfg.indexEntries)
+        index.clear();
+    index[triggerLine] = head;
+}
+
+void
+PifPrefetcher::replayFrom(size_t position)
+{
+    for (uint32_t step = 1; step <= cfg.streamDepth; ++step) {
+        const Record &r = history[(position + step) % history.size()];
+        if (!r.valid)
+            return;
+        owner->enqueuePrefetch(r.trigger);
+        for (uint32_t i = 0; i < cfg.footprintLines; ++i) {
+            if (r.footprint & (1u << i))
+                owner->enqueuePrefetch(r.trigger + 1 + i);
+        }
+    }
+}
+
+void
+PifPrefetcher::onCacheOperate(const sim::CacheOperateInfo &info)
+{
+    sim::Addr line = info.line;
+
+    // --- Record the fetch stream as spatial regions. ---
+    if (hasTrigger && line > triggerLine &&
+        line - triggerLine <= cfg.footprintLines) {
+        triggerFootprint |=
+            static_cast<uint8_t>(1u << (line - triggerLine - 1));
+    } else if (!hasTrigger || line != triggerLine) {
+        commitRegion();
+        hasTrigger = true;
+        triggerLine = line;
+        triggerFootprint = 0;
+    }
+
+    // --- Replay the temporal stream on an index hit. ---
+    auto it = index.find(line);
+    if (it != index.end())
+        replayFrom(it->second);
+}
+
+} // namespace eip::prefetch

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * PIF — Proactive Instruction Fetch (Ferdman et al., MICRO'11), the
+ * high-storage temporal-streaming reference the paper's related work
+ * positions RDIP and Entangling against (PIF reaches a 99.5% L1I hit rate
+ * at a storage cost "beyond the limits considered in [the paper's]
+ * evaluation").
+ *
+ * Model: the instruction-fetch stream is compacted into spatial records
+ * (a trigger line plus an 8-bit footprint of the following lines) and
+ * logged into a large circular history. An index table remembers the most
+ * recent history position of each trigger. When a demand access hits the
+ * index, the prefetcher replays the next `streamDepth` records from that
+ * history position — the temporal stream.
+ */
+
+#ifndef EIP_PREFETCH_PIF_HH
+#define EIP_PREFETCH_PIF_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/cache.hh"
+#include "sim/prefetcher_api.hh"
+
+namespace eip::prefetch {
+
+/** Configuration; defaults give ~170KB, PIF-scale. */
+struct PifConfig
+{
+    uint32_t historyRecords = 32 * 1024;
+    uint32_t indexEntries = 8192;
+    uint32_t footprintLines = 8;
+    uint32_t streamDepth = 5; ///< records replayed per index hit
+};
+
+class PifPrefetcher : public sim::Prefetcher
+{
+  public:
+    explicit PifPrefetcher(const PifConfig &cfg);
+
+    std::string name() const override { return "PIF"; }
+    uint64_t storageBits() const override;
+
+    void onCacheOperate(const sim::CacheOperateInfo &info) override;
+
+  private:
+    struct Record
+    {
+        sim::Addr trigger = 0;
+        uint8_t footprint = 0;
+        bool valid = false;
+    };
+
+    void commitRegion();
+    void replayFrom(size_t position);
+
+    PifConfig cfg;
+    std::vector<Record> history; ///< circular log of spatial records
+    size_t head = 0;
+    /** trigger line -> most recent history position. */
+    std::unordered_map<sim::Addr, size_t> index;
+
+    // Current spatial region being accumulated.
+    bool hasTrigger = false;
+    sim::Addr triggerLine = 0;
+    uint8_t triggerFootprint = 0;
+};
+
+} // namespace eip::prefetch
+
+#endif // EIP_PREFETCH_PIF_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * SN4L [6]: memory-efficient "sequential next-4-line" prefetcher. A
+ * 16K-bit worthiness vector gates which of the next four lines of the
+ * current access are prefetched: a bit is set when the corresponding line
+ * missed in the past (prefetching it would have helped) and cleared when a
+ * prefetched line is evicted unused.
+ */
+
+#ifndef EIP_PREFETCH_SN4L_HH
+#define EIP_PREFETCH_SN4L_HH
+
+#include <vector>
+
+#include "sim/cache.hh"
+#include "sim/prefetcher_api.hh"
+#include "util/bitops.hh"
+
+namespace eip::prefetch {
+
+/** The 2.06KB low-budget baseline of §IV-B. */
+class Sn4lPrefetcher : public sim::Prefetcher
+{
+  public:
+    explicit Sn4lPrefetcher(uint32_t vector_bits = 16 * 1024)
+        : worthy(vector_bits, false)
+    {}
+
+    std::string name() const override { return "SN4L"; }
+
+    uint64_t
+    storageBits() const override
+    {
+        // The vector plus the last-line register and small control state
+        // (the paper quotes 2.06KB total).
+        return worthy.size() + 58 + 420;
+    }
+
+    void
+    onCacheOperate(const sim::CacheOperateInfo &info) override
+    {
+        if (!info.hit)
+            worthy[index(info.line)] = true; // this line was worth having
+        for (sim::Addr i = 1; i <= 4; ++i) {
+            if (worthy[index(info.line + i)])
+                owner->enqueuePrefetch(info.line + i);
+        }
+    }
+
+    void
+    onCacheFill(const sim::CacheFillInfo &info) override
+    {
+        if (info.evictedUnusedPrefetch)
+            worthy[index(info.evictedLine)] = false;
+    }
+
+  private:
+    size_t
+    index(sim::Addr line) const
+    {
+        return static_cast<size_t>(
+            xorFold(line, floorLog2(worthy.size())) % worthy.size());
+    }
+
+    std::vector<bool> worthy;
+};
+
+} // namespace eip::prefetch
+
+#endif // EIP_PREFETCH_SN4L_HH

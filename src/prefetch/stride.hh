@@ -1,0 +1,92 @@
+/**
+ * @file
+ * PC-indexed stride prefetcher for the data side (L1D). Not part of the
+ * paper's contribution — the paper's baseline system, like any realistic
+ * substrate, has data prefetching available; this completes the hierarchy
+ * so instruction-prefetcher results are not measured against a data side
+ * artificially starved of one.
+ */
+
+#ifndef EIP_PREFETCH_STRIDE_HH
+#define EIP_PREFETCH_STRIDE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/cache.hh"
+#include "sim/prefetcher_api.hh"
+#include "util/bitops.hh"
+#include "util/saturating_counter.hh"
+
+namespace eip::prefetch {
+
+/** Classic RPT-style stride detector: per-PC last line, stride, confidence. */
+class StridePrefetcher : public sim::Prefetcher
+{
+  public:
+    explicit StridePrefetcher(uint32_t entries = 256, uint32_t degree = 2)
+        : degree_(degree), table(entries)
+    {
+        EIP_ASSERT(isPowerOf2(entries),
+                   "stride table size must be a power of two");
+    }
+
+    std::string name() const override { return "Stride-L1D"; }
+
+    uint64_t
+    storageBits() const override
+    {
+        // Tag + last line + stride + 2-bit confidence.
+        return table.size() * (12 + 30 + 12 + 2);
+    }
+
+    void
+    onCacheOperate(const sim::CacheOperateInfo &info) override
+    {
+        Entry &e = table[index(info.triggerPc)];
+        int64_t stride = static_cast<int64_t>(info.line) -
+                         static_cast<int64_t>(e.lastLine);
+        if (e.valid && stride == e.stride && stride != 0) {
+            e.confidence.increment();
+            if (e.confidence.strong()) {
+                for (uint32_t d = 1; d <= degree_; ++d) {
+                    owner->enqueuePrefetch(static_cast<sim::Addr>(
+                        static_cast<int64_t>(info.line) + stride * d));
+                }
+            }
+        } else if (e.valid) {
+            e.confidence.decrement();
+            if (e.confidence.zero())
+                e.stride = stride;
+        } else {
+            e.valid = true;
+            e.stride = stride;
+        }
+        e.lastLine = info.line;
+    }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        sim::Addr lastLine = 0;
+        int64_t stride = 0;
+        SaturatingCounter confidence{2, 0};
+    };
+
+    size_t
+    index(sim::Addr pc) const
+    {
+        return static_cast<size_t>(xorFold(pc >> 2,
+                                           floorLog2(table.size()))) &
+               (table.size() - 1);
+    }
+
+    uint32_t degree_;
+    std::vector<Entry> table;
+};
+
+} // namespace eip::prefetch
+
+#endif // EIP_PREFETCH_STRIDE_HH

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Front-end branch structures: gshare conditional predictor, set-associative
+ * BTB, return address stack, and an indirect target cache (the "Target
+ * Cache" for indirect branches mentioned in §IV-A).
+ */
+
+#ifndef EIP_SIM_BRANCH_HH
+#define EIP_SIM_BRANCH_HH
+
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/types.hh"
+#include "trace/instruction.hh"
+#include "util/saturating_counter.hh"
+
+namespace eip::sim {
+
+/** Interface for conditional-branch direction predictors. */
+class DirectionPredictor
+{
+  public:
+    virtual ~DirectionPredictor() = default;
+
+    /** Predicted direction of the branch at @p pc. */
+    virtual bool predict(Addr pc) const = 0;
+    /** Train with the actual outcome (also rolls the global history). */
+    virtual void update(Addr pc, bool taken) = 0;
+};
+
+/** gshare: global-history-XOR-PC indexed table of 2-bit counters. */
+class GsharePredictor : public DirectionPredictor
+{
+  public:
+    explicit GsharePredictor(unsigned index_bits);
+
+    bool predict(Addr pc) const override;
+    void update(Addr pc, bool taken) override;
+
+  private:
+    size_t index(Addr pc) const;
+
+    unsigned indexBits;
+    uint64_t history = 0;
+    std::vector<SaturatingCounter> table;
+};
+
+/**
+ * Hashed perceptron predictor (Jiménez-style): a PC-indexed row of signed
+ * weights dotted with the global history; trained on mispredictions and
+ * low-confidence correct predictions.
+ */
+class PerceptronPredictor : public DirectionPredictor
+{
+  public:
+    /**
+     * @param rows Number of perceptrons (power of two).
+     * @param history_bits Global-history length (weights per perceptron).
+     */
+    PerceptronPredictor(unsigned rows, unsigned history_bits);
+
+    bool predict(Addr pc) const override;
+    void update(Addr pc, bool taken) override;
+
+  private:
+    int dot(Addr pc) const;
+    size_t rowOf(Addr pc) const;
+
+    unsigned historyBits;
+    int threshold;
+    uint64_t history = 0;
+    std::vector<int8_t> weights; ///< rows x (historyBits + 1 bias)
+};
+
+/** Set-associative branch target buffer with LRU replacement. */
+class Btb
+{
+  public:
+    Btb(uint32_t entries, uint32_t ways);
+
+    /** @return target of @p pc, or 0 when the BTB misses. */
+    Addr lookup(Addr pc);
+    void update(Addr pc, Addr target);
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        Addr pc = 0;
+        Addr target = 0;
+        uint64_t lastUse = 0;
+    };
+
+    uint32_t numSets;
+    uint32_t numWays;
+    uint64_t clock = 0;
+    std::vector<Entry> table;
+};
+
+/** Classic return address stack; overflows wrap (oldest entries lost). */
+class ReturnAddressStack
+{
+  public:
+    explicit ReturnAddressStack(uint32_t entries)
+        : storage(entries)
+    {}
+
+    void
+    push(Addr return_pc)
+    {
+        top = (top + 1) % storage.size();
+        storage[top] = return_pc;
+        if (depth < storage.size())
+            ++depth;
+    }
+
+    /** Pop the predicted return target; 0 when empty. */
+    Addr
+    pop()
+    {
+        if (depth == 0)
+            return 0;
+        Addr value = storage[top];
+        top = (top + storage.size() - 1) % storage.size();
+        --depth;
+        return value;
+    }
+
+    /** Peek at the i-th entry from the top (for RDIP-style signatures). */
+    Addr
+    peek(uint32_t i) const
+    {
+        if (i >= depth)
+            return 0;
+        return storage[(top + storage.size() - i) % storage.size()];
+    }
+
+    uint32_t size() const { return depth; }
+
+  private:
+    std::vector<Addr> storage;
+    size_t top = 0;
+    uint32_t depth = 0;
+};
+
+/** Direct-mapped indirect target cache indexed by PC ⊕ path history. */
+class IndirectTargetCache
+{
+  public:
+    explicit IndirectTargetCache(uint32_t entries);
+
+    Addr predict(Addr pc) const;
+    void update(Addr pc, Addr target);
+
+  private:
+    size_t index(Addr pc) const;
+
+    std::vector<Addr> table;
+    uint64_t pathHistory = 0;
+};
+
+} // namespace eip::sim
+
+#endif // EIP_SIM_BRANCH_HH

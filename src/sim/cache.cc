@@ -1,0 +1,389 @@
+#include "sim/cache.hh"
+
+#include <algorithm>
+
+#include "util/bitops.hh"
+#include "util/panic.hh"
+
+namespace eip::sim {
+
+namespace {
+
+/** Classify a demand miss by the latency the consumer will observe. */
+void
+classifyMiss(CacheStats &stats, Cycle ready, Cycle now)
+{
+    uint64_t wait = ready > now ? ready - now : 0;
+    stats.missLatencySum += wait;
+    if (wait <= 20)
+        ++stats.missesShort;
+    else if (wait <= 60)
+        ++stats.missesMedium;
+    else
+        ++stats.missesLong;
+}
+
+} // namespace
+
+Cache::Cache(const CacheConfig &config)
+    : cfg(config), numSets(config.sets())
+{
+    EIP_ASSERT(isPowerOf2(numSets), "cache set count must be a power of 2");
+    EIP_ASSERT(cfg.ways >= 1, "cache needs at least one way");
+    lines.resize(static_cast<size_t>(numSets) * cfg.ways);
+    uint32_t mshr_count = cfg.mshrEntries == 0 ? 4096 : cfg.mshrEntries;
+    mshrs.resize(mshr_count);
+}
+
+Cache::Line *
+Cache::findLine(Addr line)
+{
+    size_t base = static_cast<size_t>(setIndex(line)) * cfg.ways;
+    for (uint32_t w = 0; w < cfg.ways; ++w) {
+        Line &entry = lines[base + w];
+        if (entry.valid && entry.line == line)
+            return &entry;
+    }
+    return nullptr;
+}
+
+Cache::Mshr *
+Cache::findMshr(Addr line)
+{
+    for (auto &m : mshrs) {
+        if (m.valid && m.line == line)
+            return &m;
+    }
+    return nullptr;
+}
+
+Cache::Mshr *
+Cache::allocMshr()
+{
+    for (auto &m : mshrs) {
+        if (!m.valid)
+            return &m;
+    }
+    return nullptr;
+}
+
+uint32_t
+Cache::freeMshrs() const
+{
+    uint32_t free = 0;
+    for (const auto &m : mshrs)
+        free += m.valid ? 0 : 1;
+    return free;
+}
+
+Cycle
+Cache::fetchFromBelow(Addr line, Addr pc, Cycle now)
+{
+    if (nextLevel != nullptr)
+        return nextLevel->demandAccess(line, pc, now).ready;
+    EIP_ASSERT(dram_ != nullptr, "last-level cache has no DRAM attached");
+    return dram_->access(now);
+}
+
+Cache::Line *
+Cache::chooseVictim(size_t set_base)
+{
+    // Invalid ways always win.
+    for (uint32_t w = 0; w < cfg.ways; ++w) {
+        if (!lines[set_base + w].valid)
+            return &lines[set_base + w];
+    }
+    switch (cfg.replacement) {
+      case ReplacementPolicy::Lru:
+      case ReplacementPolicy::Fifo: {
+        // Same victim rule (smallest stamp); they differ in touchLine().
+        Line *victim = &lines[set_base];
+        for (uint32_t w = 1; w < cfg.ways; ++w) {
+            if (lines[set_base + w].lastUse < victim->lastUse)
+                victim = &lines[set_base + w];
+        }
+        return victim;
+      }
+      case ReplacementPolicy::Random: {
+        // xorshift64 step.
+        victimSeed ^= victimSeed << 13;
+        victimSeed ^= victimSeed >> 7;
+        victimSeed ^= victimSeed << 17;
+        return &lines[set_base + victimSeed % cfg.ways];
+      }
+      case ReplacementPolicy::Srrip: {
+        // Find (ageing as needed) a line with the maximum RRPV.
+        while (true) {
+            for (uint32_t w = 0; w < cfg.ways; ++w) {
+                if (lines[set_base + w].rrpv >= 3)
+                    return &lines[set_base + w];
+            }
+            for (uint32_t w = 0; w < cfg.ways; ++w)
+                ++lines[set_base + w].rrpv;
+        }
+      }
+    }
+    return &lines[set_base];
+}
+
+void
+Cache::touchLine(Line &line)
+{
+    switch (cfg.replacement) {
+      case ReplacementPolicy::Lru:
+        line.lastUse = ++lruClock;
+        break;
+      case ReplacementPolicy::Fifo:
+      case ReplacementPolicy::Random:
+        break; // no promotion on hit
+      case ReplacementPolicy::Srrip:
+        line.rrpv = 0;
+        break;
+    }
+}
+
+void
+Cache::installLine(const Mshr &entry)
+{
+    size_t base = static_cast<size_t>(setIndex(entry.line)) * cfg.ways;
+    Line *victim = chooseVictim(base);
+
+    CacheFillInfo info;
+    info.line = entry.line;
+    info.cycle = entry.ready;
+    info.byPrefetch = entry.isPrefetch;
+    info.demandHappened = entry.demandTouched;
+
+    if (victim->valid) {
+        ++stats_.evictions;
+        info.evictedValid = true;
+        info.evictedLine = victim->line;
+        if (victim->prefetched && !victim->used) {
+            ++stats_.wrongPrefetches;
+            info.evictedUnusedPrefetch = true;
+        }
+    }
+
+    victim->valid = true;
+    victim->line = entry.line;
+    victim->lastUse = ++lruClock; // LRU stamp == FIFO fill stamp here
+    victim->rrpv = 2;             // SRRIP long re-reference insertion
+    victim->prefetched = entry.isPrefetch;
+    victim->used = entry.demandTouched;
+    ++stats_.fills;
+
+    if (prefetcher != nullptr)
+        prefetcher->onCacheFill(info);
+}
+
+void
+Cache::drainFills(Cycle now)
+{
+    // Process completed misses in arrival order so eviction decisions and
+    // fill hooks observe a consistent timeline.
+    while (true) {
+        Mshr *earliest = nullptr;
+        for (auto &m : mshrs) {
+            if (m.valid && m.ready <= now &&
+                (earliest == nullptr || m.ready < earliest->ready)) {
+                earliest = &m;
+            }
+        }
+        if (earliest == nullptr)
+            return;
+        installLine(*earliest);
+        earliest->valid = false;
+    }
+}
+
+bool
+Cache::probe(Addr line, Cycle now)
+{
+    drainFills(now);
+    return findLine(line) != nullptr;
+}
+
+Cache::Access
+Cache::demandAccess(Addr line, Addr pc, Cycle now)
+{
+    drainFills(now);
+
+    Access result;
+    CacheOperateInfo op;
+    op.line = line;
+    op.triggerPc = pc;
+    op.cycle = now;
+
+    if (Line *hit = findLine(line)) {
+        ++stats_.demandAccesses;
+        ++stats_.demandHits;
+        touchLine(*hit);
+        if (hit->prefetched && !hit->used) {
+            ++stats_.usefulPrefetches;
+            op.hitWasPrefetch = true;
+        }
+        hit->used = true;
+        result.hit = true;
+        result.ready = now + cfg.hitLatency;
+        op.hit = true;
+        if (prefetcher != nullptr)
+            prefetcher->onCacheOperate(op);
+        return result;
+    }
+
+    if (cfg.idealHit) {
+        // Perfect L1I: always hit, but forward the request below so the
+        // pollution of the L2/LLC is still modelled (paper §IV-B).
+        ++stats_.demandAccesses;
+        ++stats_.demandHits;
+        ++stats_.prefetchIssued;
+        fetchFromBelow(line, pc, now);
+        Mshr pseudo;
+        pseudo.line = line;
+        pseudo.ready = now;
+        pseudo.isPrefetch = false;
+        pseudo.demandTouched = true;
+        installLine(pseudo);
+        result.hit = true;
+        result.ready = now + cfg.hitLatency;
+        return result;
+    }
+
+    if (Mshr *inflight = findMshr(line)) {
+        ++stats_.demandAccesses;
+        ++stats_.demandMisses;
+        if (inflight->isPrefetch && !inflight->demandTouched) {
+            // The paper's "late prefetch": a demand miss finds the access
+            // bit unset in the MSHR entry allocated by a prefetch.
+            ++stats_.latePrefetches;
+            op.missLatePrefetch = true;
+        } else {
+            ++stats_.mshrMerges;
+        }
+        inflight->demandTouched = true;
+        result.ready = std::max(inflight->ready, now + cfg.hitLatency);
+        classifyMiss(stats_, result.ready, now);
+        if (prefetcher != nullptr)
+            prefetcher->onCacheOperate(op);
+        return result;
+    }
+
+    Mshr *slot = allocMshr();
+    if (slot == nullptr) {
+        result.mshrFull = true;
+        result.ready = now + 1;
+        return result;
+    }
+
+    ++stats_.demandAccesses;
+    ++stats_.demandMisses;
+    slot->valid = true;
+    slot->line = line;
+    slot->isPrefetch = false;
+    slot->demandTouched = true;
+    slot->ready = fetchFromBelow(line, pc, now);
+    result.ready = slot->ready;
+    classifyMiss(stats_, result.ready, now);
+    if (prefetcher != nullptr)
+        prefetcher->onCacheOperate(op);
+    return result;
+}
+
+void
+Cache::speculativeAccess(Addr line, Addr pc, Cycle now)
+{
+    drainFills(now);
+    ++stats_.wrongPathAccesses;
+
+    CacheOperateInfo op;
+    op.line = line;
+    op.triggerPc = pc;
+    op.cycle = now;
+    op.speculative = true;
+
+    if (Line *hit = findLine(line)) {
+        // Touch the replacement state as real wrong-path fetch would, but
+        // leave the prefetch used-bit alone: a speculative touch is not a
+        // use.
+        touchLine(*hit);
+        op.hit = true;
+        if (prefetcher != nullptr)
+            prefetcher->onCacheOperate(op);
+        return;
+    }
+    ++stats_.wrongPathMisses;
+    if (findMshr(line) == nullptr && !cfg.idealHit) {
+        if (Mshr *slot = allocMshr()) {
+            slot->valid = true;
+            slot->line = line;
+            slot->isPrefetch = false;
+            slot->demandTouched = true; // wrong-path fills look demanded
+            slot->ready = fetchFromBelow(line, pc, now);
+        }
+    }
+    if (prefetcher != nullptr)
+        prefetcher->onCacheOperate(op);
+}
+
+bool
+Cache::enqueuePrefetch(Addr line)
+{
+    ++stats_.prefetchRequested;
+    if (cfg.pqEntries == 0) {
+        ++stats_.prefetchDroppedFull;
+        return false;
+    }
+    // Duplicate suppression inside the queue (small, linear scan is fine).
+    for (const auto &e : pq) {
+        if (e.line == line) {
+            ++stats_.prefetchFiltered;
+            return false;
+        }
+    }
+    if (pq.size() >= cfg.pqEntries) {
+        ++stats_.prefetchDroppedFull;
+        return false;
+    }
+    pq.push_back(PqEntry{line});
+    return true;
+}
+
+void
+Cache::issuePrefetches(Cycle now)
+{
+    uint32_t budget = cfg.pqIssuePerCycle;
+    while (budget > 0 && !pq.empty()) {
+        Addr line = pq.front().line;
+        if (findLine(line) != nullptr || findMshr(line) != nullptr) {
+            ++stats_.prefetchFiltered;
+            pq.pop_front();
+            continue;
+        }
+        if (freeMshrs() <= cfg.pfMshrReserve)
+            return; // keep demand-reserved MSHRs free; retry next cycle
+        Mshr *slot = allocMshr();
+        if (slot == nullptr)
+            return;
+        slot->valid = true;
+        slot->line = line;
+        slot->isPrefetch = true;
+        slot->demandTouched = false;
+        slot->ready = fetchFromBelow(line, /*pc=*/0, now);
+        ++stats_.prefetchIssued;
+        if (prefetcher != nullptr)
+            prefetcher->onPrefetchIssued(line, now);
+        pq.pop_front();
+        --budget;
+    }
+}
+
+void
+Cache::tick(Cycle now)
+{
+    drainFills(now);
+    issuePrefetches(now);
+    if (prefetcher != nullptr)
+        prefetcher->onCycle(now);
+}
+
+} // namespace eip::sim

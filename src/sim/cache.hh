@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Set-associative, non-blocking cache model with MSHRs, a prefetch queue,
+ * per-line prefetch/used bits and prefetcher hooks. Timing uses latency
+ * propagation: each miss computes its fill cycle by asking the next level
+ * (recursively down to DRAM); fills are drained lazily as time advances.
+ */
+
+#ifndef EIP_SIM_CACHE_HH
+#define EIP_SIM_CACHE_HH
+
+#include <deque>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/dram.hh"
+#include "sim/prefetcher_api.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace eip::sim {
+
+/**
+ * One cache level. Works on cache-line addresses throughout. Levels are
+ * chained with setNextLevel(); the last level must have a Dram attached.
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &cfg);
+
+    void setNextLevel(Cache *next) { nextLevel = next; }
+    void setDram(Dram *dram) { dram_ = dram; }
+
+    /** Attach an instruction prefetcher (L1I only). */
+    void
+    attachPrefetcher(Prefetcher *pf)
+    {
+        prefetcher = pf;
+        if (pf != nullptr)
+            pf->attach(*this);
+    }
+
+    /** Result of a demand access. */
+    struct Access
+    {
+        bool hit = false;       ///< array hit (or ideal-mode hit)
+        bool mshrFull = false;  ///< access rejected: retry later
+        Cycle ready = 0;        ///< cycle the data can be consumed
+    };
+
+    /**
+     * Demand access to @p line issued at @p now by instruction @p pc.
+     * Drains completed fills first. On MSHR exhaustion returns mshrFull and
+     * records nothing (the caller retries and statistics stay single-count).
+     */
+    Access demandAccess(Addr line, Addr pc, Cycle now);
+
+    /**
+     * Wrong-path access: looks up and, on a miss, fetches and installs the
+     * line like a demand access (the pollution §III-C1 talks about), but
+     * is accounted separately (wrongPathAccesses/Misses) and never counts
+     * towards hit/miss/useful-prefetch statistics. The prefetcher hook is
+     * invoked with `speculative` set. Drops silently when MSHRs are full.
+     */
+    void speculativeAccess(Addr line, Addr pc, Cycle now);
+
+    /** Peek: would @p line hit right now? Drains fills; no side effects. */
+    bool probe(Addr line, Cycle now);
+
+    /**
+     * Request a prefetch of @p line (prefetcher-facing). Enqueued into the
+     * prefetch queue; dropped when the queue is full or disabled.
+     * @return true when the request was accepted into the queue.
+     */
+    bool enqueuePrefetch(Addr line);
+
+    /** Per-cycle maintenance: drain fills, issue queued prefetches. */
+    void tick(Cycle now);
+
+    const CacheStats &stats() const { return stats_; }
+    CacheStats &stats() { return stats_; }
+    const CacheConfig &config() const { return cfg; }
+
+    /** Number of free MSHR entries (for tests). */
+    uint32_t freeMshrs() const;
+    /** Prefetch-queue occupancy (for tests). */
+    size_t pqOccupancy() const { return pq.size(); }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        Addr line = 0;
+        uint64_t lastUse = 0;   ///< LRU stamp (doubles as FIFO fill stamp)
+        uint8_t rrpv = 3;       ///< SRRIP re-reference prediction value
+        bool prefetched = false; ///< brought in by a prefetch
+        bool used = false;       ///< touched by a demand access since fill
+    };
+
+    struct Mshr
+    {
+        bool valid = false;
+        Addr line = 0;
+        Cycle ready = kCycleNever;
+        bool isPrefetch = false;
+        bool demandTouched = false; ///< the paper's MSHR "access bit"
+    };
+
+    struct PqEntry
+    {
+        Addr line = 0;
+    };
+
+    uint32_t setIndex(Addr line) const { return line & (numSets - 1); }
+    Line *findLine(Addr line);
+    /** Pick the victim way in @p set_base per the configured policy. */
+    Line *chooseVictim(size_t set_base);
+    /** Promote @p line after a demand hit per the configured policy. */
+    void touchLine(Line &line);
+    Mshr *findMshr(Addr line);
+    Mshr *allocMshr();
+    /** Fetch @p line from the next level; returns data-ready cycle. */
+    Cycle fetchFromBelow(Addr line, Addr pc, Cycle now);
+    /** Install @p line; fires eviction bookkeeping and returns fill info. */
+    void installLine(const Mshr &entry);
+    void drainFills(Cycle now);
+    void issuePrefetches(Cycle now);
+
+    CacheConfig cfg;
+    uint32_t numSets;
+    std::vector<Line> lines;  ///< numSets * ways, set-major
+    std::vector<Mshr> mshrs;
+    std::deque<PqEntry> pq;
+    uint64_t lruClock = 0;
+    uint64_t victimSeed = 0x9E3779B97F4A7C15ULL; ///< Random-policy state
+
+    Cache *nextLevel = nullptr;
+    Dram *dram_ = nullptr;
+    Prefetcher *prefetcher = nullptr;
+
+    CacheStats stats_;
+};
+
+} // namespace eip::sim
+
+#endif // EIP_SIM_CACHE_HH

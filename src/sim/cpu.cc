@@ -1,0 +1,348 @@
+#include "sim/cpu.hh"
+
+#include <algorithm>
+
+#include "util/panic.hh"
+
+namespace eip::sim {
+
+namespace {
+constexpr size_t kMaxGroupInsts = 64; ///< cap on one fetch group
+} // namespace
+
+Cpu::Cpu(const SimConfig &config)
+    : cfg(config),
+      l1i_(std::make_unique<Cache>(config.l1i)),
+      l1d_(std::make_unique<Cache>(config.l1d)),
+      l2_(std::make_unique<Cache>(config.l2)),
+      llc_(std::make_unique<Cache>(config.llc)),
+      dram_(std::make_unique<Dram>(config.dramLatency, config.dramJitter)),
+      vmem(config.vmemSeed),
+      direction(config.predictor == SimConfig::Predictor::Perceptron
+          ? static_cast<DirectionPredictor *>(new PerceptronPredictor(
+                config.perceptronRows, config.perceptronHistory))
+          : static_cast<DirectionPredictor *>(
+                new GsharePredictor(config.gshareBits))),
+      btb(config.btbEntries, config.btbWays),
+      ras(config.rasEntries),
+      itc(config.itcEntries)
+{
+    l1i_->setNextLevel(l2_.get());
+    l1d_->setNextLevel(l2_.get());
+    l2_->setNextLevel(llc_.get());
+    llc_->setDram(dram_.get());
+}
+
+Cpu::~Cpu() = default;
+
+void
+Cpu::attachL1iPrefetcher(Prefetcher *pf)
+{
+    l1iPrefetcher = pf;
+    l1i_->attachPrefetcher(pf);
+}
+
+Addr
+Cpu::l1iLine(Addr pc)
+{
+    return cfg.physicalL1I ? lineAddr(vmem.translate(pc)) : lineAddr(pc);
+}
+
+uint8_t
+Cpu::predictBranch(const trace::Instruction &inst)
+{
+    using trace::BranchType;
+    ++branches;
+
+    uint8_t kind = 0; // 0 none, 1 decode-resteer, 2 execute-flush
+    lastPredictedPc = inst.nextPc();
+    switch (inst.branch) {
+      case BranchType::Conditional: {
+        bool predicted = direction->predict(inst.pc);
+        direction->update(inst.pc, inst.taken);
+        if (predicted != inst.taken) {
+            ++branchMispredicts;
+            kind = 2;
+            // The wrong path: the direction the predictor chose.
+            lastPredictedPc =
+                predicted ? btb.lookup(inst.pc) : inst.nextPc();
+        } else if (inst.taken) {
+            Addr btb_target = btb.lookup(inst.pc);
+            if (btb_target != inst.target) {
+                ++btbMisses;
+                kind = std::max<uint8_t>(kind, 1);
+            }
+        }
+        if (inst.taken)
+            btb.update(inst.pc, inst.target);
+        break;
+      }
+      case BranchType::DirectJump:
+      case BranchType::DirectCall: {
+        Addr btb_target = btb.lookup(inst.pc);
+        if (btb_target != inst.target) {
+            ++btbMisses;
+            kind = 1; // direct target is recomputed at decode
+        }
+        btb.update(inst.pc, inst.target);
+        if (inst.branch == BranchType::DirectCall)
+            ras.push(inst.nextPc());
+        break;
+      }
+      case BranchType::IndirectJump:
+      case BranchType::IndirectCall: {
+        Addr predicted = itc.predict(inst.pc);
+        if (predicted != inst.target) {
+            ++branchMispredicts;
+            kind = 2;
+            lastPredictedPc = predicted;
+        }
+        itc.update(inst.pc, inst.target);
+        if (inst.branch == BranchType::IndirectCall)
+            ras.push(inst.nextPc());
+        break;
+      }
+      case BranchType::Return: {
+        Addr predicted = ras.pop();
+        if (predicted != inst.target) {
+            ++branchMispredicts;
+            kind = 2;
+            lastPredictedPc = predicted;
+        }
+        break;
+      }
+      case BranchType::NotBranch:
+        EIP_PANIC("predictBranch called on a non-branch");
+    }
+
+    if (l1iPrefetcher != nullptr)
+        l1iPrefetcher->onBranch(inst.pc, inst.branch, inst.target);
+    return kind;
+}
+
+void
+Cpu::predictStage(trace::InstructionSource &trace)
+{
+    if (predictBlockedOnBranch || now < predictStallUntil)
+        return;
+
+    for (uint32_t i = 0; i < cfg.predictWidth; ++i) {
+        if (ftqInsts >= cfg.ftqEntries)
+            return;
+
+        const trace::Instruction inst = trace.next();
+        uint8_t mispredict = 0;
+        if (inst.isBranch())
+            mispredict = predictBranch(inst);
+
+        Addr line = l1iLine(inst.pc);
+        bool append = !ftq.empty() && ftq.back().line == line &&
+                      ftq.back().insts.size() < kMaxGroupInsts;
+        if (!append) {
+            FtqGroup group;
+            group.line = line;
+            ftq.push_back(std::move(group));
+        }
+        ftq.back().insts.push_back(inst);
+        ftq.back().mispredict.push_back(mispredict);
+        ++ftqInsts;
+
+        if (mispredict == 1) {
+            // BTB miss on a direct branch: target produced at decode.
+            predictStallUntil =
+                std::max(predictStallUntil, now + cfg.decodeResteerPenalty);
+            return;
+        }
+        if (mispredict == 2) {
+            // Wrong direction / wrong indirect target: the front-end can
+            // not continue until the branch resolves at execute. With
+            // wrong-path modelling it keeps fetching down the predicted
+            // (wrong) path meanwhile.
+            predictBlockedOnBranch = true;
+            if (cfg.modelWrongPath && lastPredictedPc != 0) {
+                wrongPathActive = true;
+                wrongPathPc = lastPredictedPc;
+            }
+            return;
+        }
+        if (inst.taken)
+            return; // at most one taken branch per predict cycle
+    }
+}
+
+void
+Cpu::wrongPathStage()
+{
+    if (!wrongPathActive)
+        return;
+    if (!predictBlockedOnBranch) {
+        wrongPathActive = false; // the branch resolved: squash
+        return;
+    }
+    // Follow the wrong path sequentially, one line group per cycle (a
+    // common wrong-path approximation: no nested control flow).
+    for (uint32_t i = 0; i < cfg.wrongPathLinesPerCycle; ++i) {
+        l1i_->speculativeAccess(l1iLine(wrongPathPc), wrongPathPc, now);
+        wrongPathPc += kLineSize;
+    }
+}
+
+void
+Cpu::l1iAccessStage()
+{
+    // Fetch-directed prefetching: initiate the L1I access for every line
+    // sitting in the FTQ (these count as demand accesses, §IV-A).
+    for (auto &group : ftq) {
+        if (!group.accessPending)
+            continue;
+        Addr pc = group.insts.empty() ? lineToByte(group.line)
+                                      : group.insts.front().pc;
+        Cache::Access res = l1i_->demandAccess(group.line, pc, now);
+        if (res.mshrFull)
+            return; // retry next cycle, in order
+        group.ready = res.ready;
+        group.accessPending = false;
+    }
+}
+
+Cycle
+Cpu::backendLatency(const trace::Instruction &inst)
+{
+    Cycle base = now + cfg.backendDepth;
+    if (inst.isLoad) {
+        Cache::Access res =
+            l1d_->demandAccess(lineAddr(inst.memAddr), inst.pc, now);
+        if (res.mshrFull)
+            return base + 20;
+        return std::max(base + 1, res.ready);
+    }
+    if (inst.isStore) {
+        // Write-allocate; the store buffer hides the latency.
+        l1d_->demandAccess(lineAddr(inst.memAddr), inst.pc, now);
+        ++l1d_->stats().writeAccesses;
+        return base + 1;
+    }
+    if (inst.isFp)
+        return base + 4;
+    return base + 1;
+}
+
+void
+Cpu::fetchStage()
+{
+    uint32_t budget = cfg.fetchWidth;
+    if (ftq.empty())
+        ++fetchStallFtqEmpty;
+    while (budget > 0 && !ftq.empty()) {
+        FtqGroup &group = ftq.front();
+        if (group.accessPending || group.ready > now) {
+            if (budget == cfg.fetchWidth)
+                ++fetchStallLineMiss;
+            return; // instruction line not arrived yet
+        }
+        while (budget > 0 && group.consumed < group.insts.size()) {
+            if (rob.size() >= cfg.robEntries) {
+                if (budget == cfg.fetchWidth)
+                    ++fetchStallRobFull;
+                return;
+            }
+            const trace::Instruction &inst = group.insts[group.consumed];
+            uint8_t mispredict = group.mispredict[group.consumed];
+            RobEntry entry;
+            entry.done = backendLatency(inst);
+            entry.mispredict = mispredict;
+            if (mispredict == 2) {
+                // The branch's resolution time is now known: release the
+                // prediction unit after the flush penalty.
+                predictStallUntil = std::max(
+                    predictStallUntil, entry.done + cfg.executeFlushPenalty);
+                predictBlockedOnBranch = false;
+            }
+            rob.push_back(entry);
+            ++group.consumed;
+            --budget;
+            --ftqInsts;
+        }
+        if (group.consumed == group.insts.size())
+            ftq.pop_front();
+    }
+}
+
+void
+Cpu::retireStage()
+{
+    uint32_t budget = cfg.retireWidth;
+    while (budget > 0 && !rob.empty() && rob.front().done <= now) {
+        rob.pop_front();
+        ++retired;
+        --budget;
+    }
+}
+
+SimStats
+Cpu::run(trace::InstructionSource &trace, uint64_t instructions,
+         uint64_t warmup_instructions)
+{
+    EIP_ASSERT(instructions > 0, "instruction budget must be positive");
+
+    bool warm = warmup_instructions == 0;
+    uint64_t measure_start_retired = 0;
+    Cycle measure_start_cycle = 0;
+    uint64_t dram_start = 0;
+
+    const uint64_t total_budget = warmup_instructions + instructions;
+    // Generous watchdog: the core cannot be slower than 1 instruction per
+    // 10k cycles unless the pipeline deadlocked (a bug).
+    const Cycle watchdog = 10000 * total_budget + 10'000'000;
+
+    while (true) {
+        ++now;
+        retireStage();
+        fetchStage();
+        l1iAccessStage();
+        wrongPathStage();
+        predictStage(trace);
+        l1i_->tick(now);
+        l1d_->tick(now);
+        l2_->tick(now);
+        llc_->tick(now);
+
+        if (!warm && retired >= warmup_instructions) {
+            warm = true;
+            measure_start_retired = retired;
+            measure_start_cycle = now;
+            dram_start = dram_->accesses();
+            l1i_->stats() = CacheStats{};
+            l1d_->stats() = CacheStats{};
+            l2_->stats() = CacheStats{};
+            llc_->stats() = CacheStats{};
+            branches = 0;
+            branchMispredicts = 0;
+            btbMisses = 0;
+            fetchStallLineMiss = 0;
+            fetchStallFtqEmpty = 0;
+            fetchStallRobFull = 0;
+        }
+        if (warm && retired >= measure_start_retired + instructions)
+            break;
+        EIP_ASSERT(now < watchdog, "pipeline deadlock (watchdog expired)");
+    }
+
+    SimStats stats;
+    stats.instructions = retired - measure_start_retired;
+    stats.cycles = now - measure_start_cycle;
+    stats.branches = branches;
+    stats.branchMispredicts = branchMispredicts;
+    stats.btbMisses = btbMisses;
+    stats.fetchStallLineMiss = fetchStallLineMiss;
+    stats.fetchStallFtqEmpty = fetchStallFtqEmpty;
+    stats.fetchStallRobFull = fetchStallRobFull;
+    stats.l1i = l1i_->stats();
+    stats.l1d = l1d_->stats();
+    stats.l2 = l2_->stats();
+    stats.llc = llc_->stats();
+    stats.dramAccesses = dram_->accesses() - dram_start;
+    return stats;
+}
+
+} // namespace eip::sim

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Top-level CPU model: a trace-driven out-of-order core with a decoupled
+ * front-end (branch-prediction unit running ahead of fetch, fetch-directed
+ * L1I accesses as lines enter the fetch target queue), a four-level memory
+ * hierarchy, and a width/ROB-limited back-end. This mirrors the modified
+ * ChampSim used by the paper (§IV-A).
+ */
+
+#ifndef EIP_SIM_CPU_HH
+#define EIP_SIM_CPU_HH
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "sim/branch.hh"
+#include "sim/cache.hh"
+#include "sim/config.hh"
+#include "sim/dram.hh"
+#include "sim/stats.hh"
+#include "sim/vmem.hh"
+#include "trace/executor.hh"
+#include "trace/instruction.hh"
+
+namespace eip::sim {
+
+/**
+ * The simulated processor. Construct with a config, attach an optional L1I
+ * prefetcher, then run() a workload executor for a given instruction budget.
+ */
+class Cpu
+{
+  public:
+    explicit Cpu(const SimConfig &cfg);
+    ~Cpu();
+
+    Cpu(const Cpu &) = delete;
+    Cpu &operator=(const Cpu &) = delete;
+
+    /** Attach the L1I prefetcher (may be null for the no-prefetch baseline).
+     *  The prefetcher is owned by the caller and must outlive the Cpu. */
+    void attachL1iPrefetcher(Prefetcher *pf);
+
+    /**
+     * Simulate until @p instructions have retired after a warm-up of
+     * @p warmup_instructions (during which all structures train but
+     * statistics are discarded).
+     */
+    SimStats run(trace::InstructionSource &trace, uint64_t instructions,
+                 uint64_t warmup_instructions = 0);
+
+    Cache &l1i() { return *l1i_; }
+    Cache &l1d() { return *l1d_; }
+    Cache &l2() { return *l2_; }
+    Cache &llc() { return *llc_; }
+    const SimConfig &config() const { return cfg; }
+
+  private:
+    /** One fetch group: consecutive instructions within one cache line. */
+    struct FtqGroup
+    {
+        Addr line = 0;            ///< L1I-space line address
+        Cycle ready = kCycleNever;
+        bool accessPending = true;
+        std::vector<trace::Instruction> insts;
+        size_t consumed = 0;
+        /** Per-instruction mispredict class: 0 none, 1 decode, 2 execute. */
+        std::vector<uint8_t> mispredict;
+    };
+
+    struct RobEntry
+    {
+        Cycle done = 0;
+        uint8_t mispredict = 0;
+    };
+
+    void predictStage(trace::InstructionSource &trace);
+    /** Fetch down the mispredicted path while the branch resolves. */
+    void wrongPathStage();
+    void l1iAccessStage();
+    void fetchStage();
+    void retireStage();
+    /** Compute the completion cycle of an instruction entering the ROB. */
+    Cycle backendLatency(const trace::Instruction &inst);
+    /** Classify the prediction of a branch; trains all predictors and
+     *  leaves the (possibly wrong) predicted target in lastPredictedPc. */
+    uint8_t predictBranch(const trace::Instruction &inst);
+    /** Line address of @p pc in the L1I's address space. */
+    Addr l1iLine(Addr pc);
+
+    SimConfig cfg;
+    std::unique_ptr<Cache> l1i_;
+    std::unique_ptr<Cache> l1d_;
+    std::unique_ptr<Cache> l2_;
+    std::unique_ptr<Cache> llc_;
+    std::unique_ptr<Dram> dram_;
+    VirtualMemory vmem;
+
+    std::unique_ptr<DirectionPredictor> direction;
+    Btb btb;
+    ReturnAddressStack ras;
+    IndirectTargetCache itc;
+    Prefetcher *l1iPrefetcher = nullptr;
+
+    // Pipeline state.
+    Cycle now = 0;
+    std::deque<FtqGroup> ftq;
+    size_t ftqInsts = 0;
+    Cycle predictStallUntil = 0;
+    bool predictBlockedOnBranch = false;
+    bool wrongPathActive = false;
+    Addr wrongPathPc = 0;
+    Addr lastPredictedPc = 0; ///< where the front-end believed it was going
+    std::deque<RobEntry> rob;
+    uint64_t retired = 0;
+
+    // Raw counters (copied into SimStats).
+    uint64_t branches = 0;
+    uint64_t branchMispredicts = 0;
+    uint64_t btbMisses = 0;
+    uint64_t fetchStallLineMiss = 0;
+    uint64_t fetchStallFtqEmpty = 0;
+    uint64_t fetchStallRobFull = 0;
+};
+
+} // namespace eip::sim
+
+#endif // EIP_SIM_CPU_HH

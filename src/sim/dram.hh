@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Main-memory model: fixed base latency plus randomized row-miss jitter.
+ * The latency *variation* matters to the paper (it is why the Entangling
+ * prefetcher carries per-destination confidence), so the jitter is on by
+ * default.
+ */
+
+#ifndef EIP_SIM_DRAM_HH
+#define EIP_SIM_DRAM_HH
+
+#include "sim/types.hh"
+#include "util/rng.hh"
+
+namespace eip::sim {
+
+/** Simple DRAM: returns the cycle at which a request's data is available. */
+class Dram
+{
+  public:
+    Dram(uint32_t base_latency, uint32_t jitter, uint64_t seed = 0xD3A3)
+        : baseLatency(base_latency), jitter_(jitter), rng(seed)
+    {}
+
+    /** Perform an access issued at @p now; returns the data-ready cycle. */
+    Cycle
+    access(Cycle now)
+    {
+        ++accesses_;
+        Cycle extra = 0;
+        if (jitter_ > 0 && rng.chance(0.3))
+            extra = rng.below(jitter_);
+        return now + baseLatency + extra;
+    }
+
+    uint64_t accesses() const { return accesses_; }
+
+  private:
+    uint32_t baseLatency;
+    uint32_t jitter_;
+    Rng rng;
+    uint64_t accesses_ = 0;
+};
+
+} // namespace eip::sim
+
+#endif // EIP_SIM_DRAM_HH

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The instruction-prefetcher interface, mirroring the hooks ChampSim/IPC-1
+ * exposes to contestants: cache operate, cache fill, branch operate, and
+ * cycle operate. All prefetchers in this repository (the Entangling
+ * prefetcher and every baseline) implement exactly this interface.
+ */
+
+#ifndef EIP_SIM_PREFETCHER_API_HH
+#define EIP_SIM_PREFETCHER_API_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+#include "trace/instruction.hh"
+
+namespace eip::sim {
+
+class Cache;
+
+/** Information passed on every demand access to the owning cache. */
+struct CacheOperateInfo
+{
+    Addr line = 0;            ///< cache-line address of the access
+    Addr triggerPc = 0;       ///< PC of the fetching instruction
+    Cycle cycle = 0;
+    bool hit = false;         ///< present in the cache array
+    bool hitWasPrefetch = false; ///< hit on a not-yet-used prefetched line
+    bool missLatePrefetch = false; ///< miss merged into in-flight prefetch
+    /** Access made down a mispredicted path (only when the simulator
+     *  models wrong-path execution). A real prefetcher cannot observe
+     *  this bit at access time; it stands in for the paper's §III-C1
+     *  commit-time training buffer when evaluating that mitigation. */
+    bool speculative = false;
+};
+
+/** Information passed on every cache fill. */
+struct CacheFillInfo
+{
+    Addr line = 0;
+    Cycle cycle = 0;
+    bool byPrefetch = false;  ///< fill caused by a prefetch request
+    bool demandHappened = false; ///< a demand touched the MSHR before fill
+    bool evictedValid = false;
+    Addr evictedLine = 0;
+    bool evictedUnusedPrefetch = false; ///< wrong/early prefetch eviction
+};
+
+/**
+ * Base class for L1I prefetchers. The owning cache calls the on*() hooks;
+ * the prefetcher requests lines through Cache::enqueuePrefetch() (declared
+ * in cache.hh) using the pointer passed at attach time.
+ */
+class Prefetcher
+{
+  public:
+    virtual ~Prefetcher() = default;
+
+    /** Human-readable name used by the harness tables. */
+    virtual std::string name() const = 0;
+
+    /** Storage cost of the hardware structures, in bits. */
+    virtual uint64_t storageBits() const = 0;
+
+    /** Called once when the prefetcher is attached to its cache. */
+    virtual void attach(Cache &cache) { owner = &cache; }
+
+    /** Demand access to the owning cache (one call per distinct line). */
+    virtual void onCacheOperate(const CacheOperateInfo &info)
+    {
+        (void)info;
+    }
+
+    /** A line was installed in the owning cache. */
+    virtual void onCacheFill(const CacheFillInfo &info) { (void)info; }
+
+    /**
+     * A queued prefetch left the PQ towards the next level (this is when
+     * the paper's PQ entry records its timestamp). Not called for requests
+     * filtered or dropped before issue.
+     */
+    virtual void onPrefetchIssued(Addr line, Cycle cycle)
+    {
+        (void)line;
+        (void)cycle;
+    }
+
+    /** A branch was predicted by the front-end (retire-order stream). */
+    virtual void
+    onBranch(Addr pc, trace::BranchType type, Addr target)
+    {
+        (void)pc;
+        (void)type;
+        (void)target;
+    }
+
+    /** Called every simulated cycle. */
+    virtual void onCycle(Cycle now) { (void)now; }
+
+  protected:
+    Cache *owner = nullptr;
+};
+
+} // namespace eip::sim
+
+#endif // EIP_SIM_PREFETCHER_API_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Per-run simulation statistics: raw event counters plus the derived metrics
+ * the paper reports (IPC, MPKI, miss ratio, coverage, accuracy).
+ */
+
+#ifndef EIP_SIM_STATS_HH
+#define EIP_SIM_STATS_HH
+
+#include <cstdint>
+
+namespace eip::sim {
+
+/** Event counters of one cache level. */
+struct CacheStats
+{
+    uint64_t demandAccesses = 0;
+    uint64_t demandHits = 0;
+    uint64_t demandMisses = 0;       ///< includes late-prefetch misses
+    uint64_t mshrMerges = 0;
+
+    uint64_t prefetchRequested = 0;  ///< handed to the PQ by the prefetcher
+    uint64_t prefetchDroppedFull = 0;///< PQ overflow
+    uint64_t prefetchFiltered = 0;   ///< already cached / in flight
+    uint64_t prefetchIssued = 0;     ///< sent to the next level
+    uint64_t usefulPrefetches = 0;   ///< prefetched line hit before eviction
+    uint64_t latePrefetches = 0;     ///< demand merged into in-flight prefetch
+    uint64_t wrongPrefetches = 0;    ///< prefetched line evicted unused
+
+    uint64_t fills = 0;
+    uint64_t evictions = 0;
+    uint64_t writeAccesses = 0;      ///< store writes (L1D)
+
+    // Wrong-path traffic (zero unless the CPU models wrong-path fetch).
+    uint64_t wrongPathAccesses = 0;
+    uint64_t wrongPathMisses = 0;
+
+    // Demand-miss cost classification (by observed fill latency).
+    uint64_t missesShort = 0;   ///< <= 20 cycles (next level hit)
+    uint64_t missesMedium = 0;  ///< <= 60 cycles (LLC-class)
+    uint64_t missesLong = 0;    ///< beyond (DRAM-class)
+    uint64_t missLatencySum = 0;
+
+    double
+    missRatio() const
+    {
+        return demandAccesses == 0
+            ? 0.0
+            : static_cast<double>(demandMisses) /
+                  static_cast<double>(demandAccesses);
+    }
+
+    /** Fraction of would-be misses eliminated by prefetching. */
+    double
+    coverage() const
+    {
+        uint64_t would_be = usefulPrefetches + demandMisses;
+        return would_be == 0
+            ? 0.0
+            : static_cast<double>(usefulPrefetches) /
+                  static_cast<double>(would_be);
+    }
+
+    /** Fraction of issued prefetches that were useful. */
+    double
+    accuracy() const
+    {
+        return prefetchIssued == 0
+            ? 0.0
+            : static_cast<double>(usefulPrefetches) /
+                  static_cast<double>(prefetchIssued);
+    }
+};
+
+/** Whole-run statistics. */
+struct SimStats
+{
+    uint64_t instructions = 0;
+    uint64_t cycles = 0;
+
+    uint64_t branches = 0;
+    uint64_t branchMispredicts = 0;  ///< direction/indirect-target errors
+    uint64_t btbMisses = 0;          ///< taken branch with unknown target
+
+    // Front-end stall attribution (cycles with zero instructions fetched).
+    uint64_t fetchStallLineMiss = 0; ///< head FTQ line not yet arrived
+    uint64_t fetchStallFtqEmpty = 0; ///< FTQ drained (mispredict recovery)
+    uint64_t fetchStallRobFull = 0;
+
+    CacheStats l1i;
+    CacheStats l1d;
+    CacheStats l2;
+    CacheStats llc;
+    uint64_t dramAccesses = 0;
+
+    double
+    ipc() const
+    {
+        return cycles == 0
+            ? 0.0
+            : static_cast<double>(instructions) /
+                  static_cast<double>(cycles);
+    }
+
+    /** L1I misses per kilo-instruction. */
+    double
+    l1iMpki() const
+    {
+        return instructions == 0
+            ? 0.0
+            : 1000.0 * static_cast<double>(l1i.demandMisses) /
+                  static_cast<double>(instructions);
+    }
+};
+
+} // namespace eip::sim
+
+#endif // EIP_SIM_STATS_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Fundamental simulator types and address helpers.
+ */
+
+#ifndef EIP_SIM_TYPES_HH
+#define EIP_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace eip::sim {
+
+using Addr = uint64_t;   ///< byte address (virtual or physical)
+using Cycle = uint64_t;  ///< absolute simulation cycle
+
+constexpr unsigned kLineBits = 6;           ///< 64-byte cache lines
+constexpr uint64_t kLineSize = 1ULL << kLineBits;
+
+/** Cache-line address (byte address >> 6). */
+constexpr Addr
+lineAddr(Addr byte_addr)
+{
+    return byte_addr >> kLineBits;
+}
+
+/** First byte address of a cache line. */
+constexpr Addr
+lineToByte(Addr line)
+{
+    return line << kLineBits;
+}
+
+constexpr unsigned kPageBits = 12;          ///< 4KB pages
+constexpr uint64_t kPageSize = 1ULL << kPageBits;
+
+constexpr Addr
+pageAddr(Addr byte_addr)
+{
+    return byte_addr >> kPageBits;
+}
+
+/** A cycle value that means "never" / invalid. */
+constexpr Cycle kCycleNever = ~Cycle{0};
+
+} // namespace eip::sim
+
+#endif // EIP_SIM_TYPES_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Deterministic virtual-to-physical page mapping. Used for the paper's
+ * physical-address experiments (§III-C4 and §IV-E): consecutive virtual
+ * pages are generally not consecutive physically, which slightly reduces
+ * the coverage of sequential prefetching across page boundaries.
+ */
+
+#ifndef EIP_SIM_VMEM_HH
+#define EIP_SIM_VMEM_HH
+
+#include <unordered_map>
+
+#include "sim/types.hh"
+
+namespace eip::sim {
+
+/**
+ * Allocates physical frames for virtual pages on first touch, in a
+ * deterministic pseudo-random order (seeded). Mappings are stable for the
+ * lifetime of the object.
+ */
+class VirtualMemory
+{
+  public:
+    explicit VirtualMemory(uint64_t seed = 0xF00D) : seed_(seed) {}
+
+    /** Translate a virtual byte address to a physical byte address. */
+    Addr
+    translate(Addr vaddr)
+    {
+        Addr vpage = pageAddr(vaddr);
+        auto it = pageTable.find(vpage);
+        if (it == pageTable.end()) {
+            // Scramble a frame counter through a bijective mixer so frames
+            // are unique but non-contiguous (48-bit physical space).
+            Addr frame = scramble(nextFrame++) & ((Addr{1} << 36) - 1);
+            it = pageTable.emplace(vpage, frame).first;
+        }
+        return (it->second << kPageBits) | (vaddr & (kPageSize - 1));
+    }
+
+    size_t mappedPages() const { return pageTable.size(); }
+
+  private:
+    /** splitmix64 finalizer: a bijective 64-bit mixing function. */
+    Addr
+    scramble(Addr x) const
+    {
+        x += seed_;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+        return x ^ (x >> 31);
+    }
+
+    uint64_t seed_;
+    Addr nextFrame = 0x100000; ///< keep frames away from address zero
+    std::unordered_map<Addr, Addr> pageTable;
+};
+
+} // namespace eip::sim
+
+#endif // EIP_SIM_VMEM_HH

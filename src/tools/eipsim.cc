@@ -1,0 +1,18 @@
+/**
+ * @file
+ * eipsim — the command-line driver: simulate any catalogue workload or a
+ * captured trace under any prefetcher and print the metrics (or JSON).
+ * All logic lives in harness/cli.{hh,cc} where the tests can reach it.
+ */
+
+#include <string>
+#include <vector>
+
+#include "harness/cli.hh"
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    return eip::harness::runCli(eip::harness::parseCli(args));
+}

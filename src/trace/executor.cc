@@ -1,0 +1,219 @@
+#include "trace/executor.hh"
+
+#include "util/panic.hh"
+
+namespace eip::trace {
+
+Executor::Executor(const Program &program, const ExecutorConfig &cfg)
+    : prog(program), config(cfg), rng(cfg.seed)
+{
+    EIP_ASSERT(!prog.functions.empty(), "cannot execute an empty program");
+    advanceToBlock(0, 0);
+}
+
+void
+Executor::advanceToBlock(uint32_t func, uint32_t block)
+{
+    curFunc = func;
+    curBlock = block;
+    bodyPos = 0;
+    bodyPc = prog.functions[func].blocks[block].startPc;
+}
+
+uint64_t
+Executor::dataAddress(const StaticInst &inst, uint64_t pc)
+{
+    switch (inst.memPattern) {
+      case MemPattern::Stack: {
+        // A fixed frame slot (a local variable of this function).
+        uint64_t frame_top =
+            config.stackBase - stack.size() * config.frameBytes;
+        return frame_top - inst.memParam;
+      }
+      case MemPattern::Stream: {
+        // Constant-stride stream, private to this instruction site.
+        uint64_t &cursor = streamCursor[pc];
+        if (cursor == 0)
+            cursor = config.globalBase + (pc % config.dataFootprintBytes);
+        cursor += inst.memParam;
+        if (cursor > config.globalBase + 2 * config.dataFootprintBytes)
+            cursor = config.globalBase + (pc % config.dataFootprintBytes);
+        return cursor;
+      }
+      case MemPattern::Global:
+      default:
+        // Hot-skewed reuse over the shared data footprint.
+        return config.globalBase +
+               (rng.skewedBelow(config.dataFootprintBytes) & ~uint64_t{7});
+    }
+}
+
+void
+Executor::emitBody(const StaticInst &inst, uint64_t pc)
+{
+    out = Instruction{};
+    out.pc = pc;
+    out.size = inst.size;
+    switch (inst.kind) {
+      case InstKind::Load:
+        out.isLoad = true;
+        out.memAddr = dataAddress(inst, pc);
+        break;
+      case InstKind::Store:
+        out.isStore = true;
+        out.memAddr = dataAddress(inst, pc);
+        break;
+      case InstKind::FpAlu:
+        out.isFp = true;
+        break;
+      case InstKind::Alu:
+      case InstKind::Nop:
+        break;
+    }
+}
+
+void
+Executor::emitTerminator()
+{
+    const Function &fn = prog.functions[curFunc];
+    const Block &blk = fn.blocks[curBlock];
+    uint64_t pc = blk.termPc();
+
+    out = Instruction{};
+    out.pc = pc;
+    out.size = blk.termSize;
+
+    switch (blk.term) {
+      case TerminatorKind::FallThrough: {
+        // Plain ALU op; control continues into the next block.
+        advanceToBlock(curFunc, blk.fallBlock);
+        return;
+      }
+      case TerminatorKind::CondBranch: {
+        out.branch = BranchType::Conditional;
+        bool taken;
+        if (blk.loopTripCount > 0) {
+            // Loop back-edge with a drawn trip count per loop entry.
+            uint64_t key = (uint64_t{curFunc} << 32) | curBlock;
+            auto it = loopTrips.find(key);
+            if (it == loopTrips.end()) {
+                uint32_t trips = 1 + static_cast<uint32_t>(
+                    rng.below(2 * blk.loopTripCount));
+                it = loopTrips.emplace(key, trips).first;
+            }
+            if (it->second > 0) {
+                --it->second;
+                taken = true;
+            } else {
+                loopTrips.erase(it);
+                taken = false;
+            }
+        } else {
+            taken = rng.chance(blk.takenProb);
+        }
+        out.taken = taken;
+        if (taken) {
+            out.target = fn.blocks[blk.takenBlock].startPc;
+            advanceToBlock(curFunc, blk.takenBlock);
+        } else {
+            advanceToBlock(curFunc, blk.fallBlock);
+        }
+        return;
+      }
+      case TerminatorKind::Jump: {
+        out.branch = BranchType::DirectJump;
+        out.taken = true;
+        out.target = fn.blocks[blk.takenBlock].startPc;
+        advanceToBlock(curFunc, blk.takenBlock);
+        return;
+      }
+      case TerminatorKind::IndirectJump: {
+        out.branch = BranchType::IndirectJump;
+        out.taken = true;
+        uint32_t idx = static_cast<uint32_t>(
+            rng.skewedBelow(blk.indirectTargets.size()));
+        uint32_t target_block = blk.indirectTargets[idx];
+        out.target = fn.blocks[target_block].startPc;
+        advanceToBlock(curFunc, target_block);
+        return;
+      }
+      case TerminatorKind::Call:
+      case TerminatorKind::IndirectCall: {
+        uint32_t callee;
+        if (blk.term == TerminatorKind::Call) {
+            callee = blk.callees.front();
+        } else if (blk.callees.size() >= 8) {
+            // Wide dispatch site (event loop). Real servers show strong
+            // request-type locality: handlers are processed in mostly
+            // cyclic runs with occasional jumps, so long control-flow
+            // sequences recur — the property correlation prefetchers rely
+            // on. Model: advance through the candidate list with high
+            // probability, sometimes repeat, rarely jump at random.
+            uint64_t key = (uint64_t{curFunc} << 32) | curBlock;
+            uint32_t &pos = dispatchPos[key];
+            double u = rng.uniform();
+            if (u < 0.80)
+                pos = (pos + 1) % blk.callees.size();
+            else if (u < 0.92)
+                ; // repeat the same handler (a burst of one request type)
+            else
+                pos = static_cast<uint32_t>(rng.below(blk.callees.size()));
+            callee = blk.callees[pos];
+        } else {
+            // Small virtual-dispatch site: skewed towards a hot target.
+            uint32_t idx = static_cast<uint32_t>(
+                rng.skewedBelow(blk.callees.size()));
+            callee = blk.callees[idx];
+        }
+        bool elide = stack.size() >= config.maxCallDepth ||
+                     callee == curFunc;
+        if (elide) {
+            // Depth guard: execute as a plain instruction.
+            advanceToBlock(curFunc, blk.fallBlock);
+            return;
+        }
+        out.branch = blk.term == TerminatorKind::Call
+            ? BranchType::DirectCall : BranchType::IndirectCall;
+        out.taken = true;
+        out.target = prog.functions[callee].entryPc;
+        stack.push_back(Frame{curFunc, blk.fallBlock});
+        advanceToBlock(callee, 0);
+        return;
+      }
+      case TerminatorKind::Return: {
+        out.branch = BranchType::Return;
+        out.taken = true;
+        if (stack.empty()) {
+            // Driver loop: restart main.
+            out.target = prog.functions[0].entryPc;
+            advanceToBlock(0, 0);
+        } else {
+            Frame frame = stack.back();
+            stack.pop_back();
+            out.target =
+                prog.functions[frame.func].blocks[frame.resumeBlock].startPc;
+            advanceToBlock(frame.func, frame.resumeBlock);
+        }
+        return;
+      }
+    }
+    EIP_PANIC("unhandled terminator kind");
+}
+
+const Instruction &
+Executor::next()
+{
+    const Block &blk = prog.functions[curFunc].blocks[curBlock];
+    if (bodyPos < blk.body.size()) {
+        const StaticInst &inst = blk.body[bodyPos];
+        emitBody(inst, bodyPc);
+        bodyPc += inst.size;
+        ++bodyPos;
+    } else {
+        emitTerminator();
+    }
+    ++emittedCount;
+    return out;
+}
+
+} // namespace eip::trace

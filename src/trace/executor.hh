@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Trace executor: walks a synthetic Program's CFG and produces the dynamic
+ * instruction stream consumed by the simulated core. The stream is infinite
+ * (when main returns, execution restarts at its entry — a driver loop), so
+ * the caller decides the instruction budget.
+ */
+
+#ifndef EIP_TRACE_EXECUTOR_HH
+#define EIP_TRACE_EXECUTOR_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/instruction.hh"
+#include "trace/program.hh"
+#include "util/rng.hh"
+
+namespace eip::trace {
+
+/** Runtime knobs of the executor. */
+struct ExecutorConfig
+{
+    uint64_t seed = 7;
+    uint32_t maxCallDepth = 24;   ///< calls beyond this depth are elided
+    uint64_t stackBase = 0x7fff'ffff'0000ULL;
+    uint64_t frameBytes = 256;
+    uint64_t globalBase = 0x10'0000'0000ULL;
+    uint64_t dataFootprintBytes = 640ULL << 10;
+};
+
+/**
+ * Deterministic CFG walker. Identical (program, config) pairs yield
+ * bit-identical instruction streams.
+ */
+class Executor : public InstructionSource
+{
+  public:
+    Executor(const Program &program, const ExecutorConfig &cfg);
+
+    /** Produce the next dynamic instruction. Never fails. */
+    const Instruction &next() override;
+
+    /** Dynamic instructions emitted so far. */
+    uint64_t emitted() const { return emittedCount; }
+
+    /** Current call depth (for tests). */
+    size_t callDepth() const { return stack.size(); }
+
+  private:
+    struct Frame
+    {
+        uint32_t func;
+        uint32_t resumeBlock; ///< caller block to resume at after return
+    };
+
+    /** Position inside the current block's body; equal to body size when
+     *  the terminator is next. */
+    void advanceToBlock(uint32_t func, uint32_t block);
+    void emitBody(const StaticInst &inst, uint64_t pc);
+    void emitTerminator();
+    uint64_t dataAddress(const StaticInst &inst, uint64_t pc);
+
+    const Program &prog;
+    ExecutorConfig config;
+    Rng rng;
+
+    uint32_t curFunc = 0;
+    uint32_t curBlock = 0;
+    size_t bodyPos = 0;
+    uint64_t bodyPc = 0;
+
+    std::vector<Frame> stack;
+    /** Remaining trips for active loop back-edges, keyed by
+     *  (func << 32) | block. */
+    std::unordered_map<uint64_t, uint32_t> loopTrips;
+    /** Cyclic position of each wide dispatch site (same key scheme). */
+    std::unordered_map<uint64_t, uint32_t> dispatchPos;
+
+    Instruction out;
+    uint64_t emittedCount = 0;
+    /** Per-site cursors of streaming loads/stores, keyed by pc. */
+    std::unordered_map<uint64_t, uint64_t> streamCursor;
+};
+
+} // namespace eip::trace
+
+#endif // EIP_TRACE_EXECUTOR_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Deterministic synthetic-program generator. Produces a Program (CFG +
+ * concrete code layout) whose dynamic behaviour — instruction footprint,
+ * call depth, loop reuse, branch bias — is controlled per workload category.
+ *
+ * This is the substitution for the proprietary CVP-1/2 and CloudSuite traces
+ * used by the paper (see DESIGN.md §2): the prefetchers under study exploit
+ * recurring control flow whose footprint exceeds the L1I, which is exactly
+ * what these knobs control.
+ */
+
+#ifndef EIP_TRACE_PROGRAM_BUILDER_HH
+#define EIP_TRACE_PROGRAM_BUILDER_HH
+
+#include <cstdint>
+
+#include "trace/program.hh"
+
+namespace eip::trace {
+
+/** Generation knobs for one synthetic program. */
+struct ProgramConfig
+{
+    uint64_t seed = 1;
+
+    uint32_t numFunctions = 64;
+    uint32_t minBlocksPerFunction = 4;
+    uint32_t maxBlocksPerFunction = 12;
+    uint32_t minBlockInsts = 2;
+    uint32_t maxBlockInsts = 16;
+
+    double loadFraction = 0.25;   ///< of body instructions
+    double storeFraction = 0.10;
+    double fpFraction = 0.00;
+
+    double condBlockFraction = 0.35; ///< blocks ending in cond. branch
+    double callBlockFraction = 0.20; ///< blocks ending in a call
+    double jumpBlockFraction = 0.08; ///< blocks ending in a direct jump
+    double indirectFraction = 0.05;  ///< calls/jumps made indirect
+
+    double loopFraction = 0.25;   ///< cond. branches that are loop back-edges
+    uint32_t minLoopTrips = 2;
+    uint32_t maxLoopTrips = 32;
+    double condTakenBias = 0.4;   ///< mean taken prob of forward branches
+
+    double callLocality = 1.0;    ///< 0 = uniform callees, 1 = heavily local
+
+    /**
+     * Budget (expected dynamic instructions per invocation) above which a
+     * function is not eligible as a callee. Bounds the cost of one
+     * "request" so execution cycles through the code footprint instead of
+     * sinking into one unbounded call tree.
+     */
+    double maxCalleeCost = 4000.0;
+
+    /**
+     * Fraction of conditional branches that are strongly biased (taken
+     * probability 0.05 or 0.95). Biased branches give each function a
+     * mostly-recurring path — the property temporal/correlation
+     * prefetchers rely on — while the remainder model data-dependent
+     * control flow.
+     */
+    double biasedBranchFraction = 0.7;
+
+    /**
+     * Dispatcher functions model server event loops: an indirect call site
+     * inside a loop whose candidate callees are spread across the whole
+     * function space. Function 0 is always a dispatcher; additionally every
+     * dispatcherEvery-th function is one (0 disables extra dispatchers).
+     * This is what makes the *dynamic* instruction footprint approach the
+     * static code footprint, as in real server workloads.
+     */
+    uint32_t dispatcherFanout = 16;
+    uint32_t dispatcherEvery = 0;
+    uint32_t dispatcherLoopTrips = 16;
+
+    uint64_t codeBase = 0x400000; ///< load address of the first function
+    uint32_t functionAlign = 64;  ///< function start alignment (bytes)
+    uint32_t interFunctionPad = 0; ///< extra cold bytes between functions
+
+    /**
+     * Code modules: functions are partitioned into contiguous index
+     * ranges, each laid out at its own base address (the main binary plus
+     * shared libraries). Cross-module entangled pairs need wide
+     * destination encodings, exercising the restrictive compression modes
+     * exactly as the paper's srv traces do (Fig. 12).
+     */
+    uint32_t moduleCount = 1;
+    uint64_t moduleStride = 8ULL << 20;    ///< VA distance between modules
+};
+
+/**
+ * Build a program from the config. Identical (config, seed) pairs yield
+ * bit-identical programs.
+ */
+Program buildProgram(const ProgramConfig &cfg);
+
+} // namespace eip::trace
+
+#endif // EIP_TRACE_PROGRAM_BUILDER_HH

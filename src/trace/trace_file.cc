@@ -1,0 +1,161 @@
+#include "trace/trace_file.hh"
+
+#include <cstring>
+
+#include "util/panic.hh"
+
+namespace eip::trace {
+
+namespace {
+
+/** On-disk record layout (little-endian, packed manually for portability). */
+struct PackedRecord
+{
+    uint64_t pc;
+    uint64_t target;
+    uint64_t memAddr;
+    uint8_t size;
+    uint8_t branch;
+    uint8_t flags; // bit0 taken, bit1 load, bit2 store, bit3 fp
+};
+
+constexpr size_t kRecordBytes = 8 + 8 + 8 + 1 + 1 + 1;
+
+void
+writeU64(uint8_t *out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+uint64_t
+readU64(const uint8_t *in)
+{
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<uint64_t>(in[i]) << (8 * i);
+    return v;
+}
+
+void
+packRecord(const Instruction &inst, uint8_t *buf)
+{
+    writeU64(buf, inst.pc);
+    writeU64(buf + 8, inst.target);
+    writeU64(buf + 16, inst.memAddr);
+    buf[24] = inst.size;
+    buf[25] = static_cast<uint8_t>(inst.branch);
+    uint8_t flags = 0;
+    flags |= inst.taken ? 1 : 0;
+    flags |= inst.isLoad ? 2 : 0;
+    flags |= inst.isStore ? 4 : 0;
+    flags |= inst.isFp ? 8 : 0;
+    buf[26] = flags;
+}
+
+void
+unpackRecord(const uint8_t *buf, Instruction &inst)
+{
+    inst.pc = readU64(buf);
+    inst.target = readU64(buf + 8);
+    inst.memAddr = readU64(buf + 16);
+    inst.size = buf[24];
+    inst.branch = static_cast<BranchType>(buf[25]);
+    uint8_t flags = buf[26];
+    inst.taken = (flags & 1) != 0;
+    inst.isLoad = (flags & 2) != 0;
+    inst.isStore = (flags & 4) != 0;
+    inst.isFp = (flags & 8) != 0;
+}
+
+constexpr size_t kPackedBytes = kRecordBytes + 1; // incl. flags byte
+constexpr size_t kHeaderBytes = 8 + 4 + 4 + 8;    // magic, ver, pad, count
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path)
+{
+    file = std::fopen(path.c_str(), "wb");
+    if (file == nullptr)
+        EIP_FATAL("cannot open trace file for writing");
+    uint8_t header[kHeaderBytes] = {};
+    writeU64(header, kTraceMagic);
+    header[8] = kTraceVersion;
+    // Count patched on close.
+    if (std::fwrite(header, 1, sizeof(header), file) != sizeof(header))
+        EIP_FATAL("trace header write failed");
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+}
+
+void
+TraceWriter::append(const Instruction &inst)
+{
+    EIP_ASSERT(file != nullptr, "append to a closed trace writer");
+    uint8_t buf[kPackedBytes];
+    packRecord(inst, buf);
+    if (std::fwrite(buf, 1, sizeof(buf), file) != sizeof(buf))
+        EIP_FATAL("trace record write failed");
+    ++count;
+}
+
+void
+TraceWriter::close()
+{
+    if (file == nullptr)
+        return;
+    // Patch the instruction count into the header.
+    uint8_t count_bytes[8];
+    writeU64(count_bytes, count);
+    std::fseek(file, 16, SEEK_SET);
+    if (std::fwrite(count_bytes, 1, 8, file) != 8)
+        EIP_FATAL("trace header patch failed");
+    std::fclose(file);
+    file = nullptr;
+}
+
+TraceReader::TraceReader(const std::string &path, bool loop)
+    : loop_(loop)
+{
+    file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr)
+        EIP_FATAL("cannot open trace file for reading");
+    uint8_t header[kHeaderBytes];
+    if (std::fread(header, 1, sizeof(header), file) != sizeof(header))
+        EIP_FATAL("trace header read failed");
+    if (readU64(header) != kTraceMagic)
+        EIP_FATAL("not an EIP trace file (bad magic)");
+    if (header[8] != kTraceVersion)
+        EIP_FATAL("unsupported trace file version");
+    total = readU64(header + 16);
+}
+
+TraceReader::~TraceReader()
+{
+    if (file != nullptr)
+        std::fclose(file);
+}
+
+bool
+TraceReader::next(Instruction &out)
+{
+    if (total == 0)
+        return false;
+    if (position >= total) {
+        if (!loop_)
+            return false;
+        std::fseek(file, kHeaderBytes, SEEK_SET);
+        position = 0;
+    }
+    uint8_t buf[kPackedBytes];
+    if (std::fread(buf, 1, sizeof(buf), file) != sizeof(buf))
+        EIP_FATAL("trace record read failed (truncated file?)");
+    unpackRecord(buf, out);
+    ++position;
+    return true;
+}
+
+} // namespace eip::trace

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Binary trace file format: save a dynamic instruction stream to disk and
+ * replay it later, ChampSim-style. Lets users capture a synthetic workload
+ * once and feed identical traces to many simulations, or import their own
+ * streams by converting to this format.
+ *
+ * Format: a 24-byte header (magic, version, instruction count) followed by
+ * fixed-size little-endian records (one per instruction, 26 bytes packed).
+ */
+
+#ifndef EIP_TRACE_TRACE_FILE_HH
+#define EIP_TRACE_TRACE_FILE_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "trace/instruction.hh"
+#include "util/panic.hh"
+
+namespace eip::trace {
+
+/** Magic bytes identifying an EIP trace file. */
+constexpr uint64_t kTraceMagic = 0x45495054'52414345ULL; // "EIPTRACE"
+constexpr uint32_t kTraceVersion = 1;
+
+/**
+ * Streaming trace writer. Records are buffered and flushed on close (or
+ * destruction). The header's instruction count is patched at close time.
+ */
+class TraceWriter
+{
+  public:
+    /** Open @p path for writing; fatal on I/O error. */
+    explicit TraceWriter(const std::string &path);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** Append one instruction. */
+    void append(const Instruction &inst);
+
+    /** Flush, patch the header, and close. Idempotent. */
+    void close();
+
+    uint64_t written() const { return count; }
+
+  private:
+    std::FILE *file = nullptr;
+    uint64_t count = 0;
+};
+
+/**
+ * Trace reader: loads the header eagerly, streams records on demand, and
+ * can optionally loop (restart at the beginning when exhausted) so a short
+ * capture can drive an arbitrarily long simulation — matching the
+ * Executor's infinite-stream contract.
+ */
+class TraceReader
+{
+  public:
+    /** Open @p path; fatal on missing file or bad magic/version. */
+    explicit TraceReader(const std::string &path, bool loop = true);
+    ~TraceReader();
+
+    TraceReader(const TraceReader &) = delete;
+    TraceReader &operator=(const TraceReader &) = delete;
+
+    /** Instructions recorded in the file. */
+    uint64_t size() const { return total; }
+
+    /**
+     * Read the next instruction into @p out.
+     * @return false at end-of-trace when looping is disabled.
+     */
+    bool next(Instruction &out);
+
+  private:
+    std::FILE *file = nullptr;
+    uint64_t total = 0;
+    uint64_t position = 0;
+    bool loop_;
+};
+
+/**
+ * Adapter: replays a trace file as an InstructionSource the CPU can
+ * consume. Loops by construction (the source contract requires an
+ * endless stream).
+ */
+class TraceReplayer : public InstructionSource
+{
+  public:
+    explicit TraceReplayer(const std::string &path)
+        : reader(path, /*loop=*/true)
+    {
+        EIP_ASSERT(reader.size() > 0, "cannot replay an empty trace");
+    }
+
+    const Instruction &
+    next() override
+    {
+        reader.next(current);
+        return current;
+    }
+
+    uint64_t traceLength() const { return reader.size(); }
+
+  private:
+    TraceReader reader;
+    Instruction current;
+};
+
+/** Capture @p count instructions from any generator into @p path. */
+template <typename Source>
+uint64_t
+captureTrace(const std::string &path, Source &source, uint64_t count)
+{
+    TraceWriter writer(path);
+    for (uint64_t i = 0; i < count; ++i)
+        writer.append(source.next());
+    writer.close();
+    return writer.written();
+}
+
+} // namespace eip::trace
+
+#endif // EIP_TRACE_TRACE_FILE_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Workload catalogue: synthetic stand-ins for the CVP-1/2 trace categories
+ * (crypto / int / fp / srv) and the CloudSuite applications evaluated in the
+ * paper. Each workload is a (generator config, executor config) pair; the
+ * harness builds and executes them on demand.
+ */
+
+#ifndef EIP_TRACE_WORKLOADS_HH
+#define EIP_TRACE_WORKLOADS_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/executor.hh"
+#include "trace/program_builder.hh"
+
+namespace eip::trace {
+
+/** A named synthetic workload. */
+struct Workload
+{
+    std::string name;
+    std::string category; ///< crypto | int | fp | srv | cloud
+    ProgramConfig program;
+    ExecutorConfig exec;
+};
+
+/** Base generator config for one CVP category (before seeding). */
+ProgramConfig categoryConfig(const std::string &category);
+
+/**
+ * The CVP-like suite: @p seeds_per_category seeded variants of each of the
+ * four categories. The paper uses 959 selected traces; we default to a
+ * laptop-scale sample that preserves the category mix.
+ */
+std::vector<Workload> cvpSuite(int seeds_per_category = 3);
+
+/** CloudSuite-like applications: cassandra, cloud9, nutch, streaming. */
+std::vector<Workload> cloudSuite();
+
+/** A small, fast workload for tests and the quickstart example. */
+Workload tinyWorkload(uint64_t seed = 1);
+
+} // namespace eip::trace
+
+#endif // EIP_TRACE_WORKLOADS_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Bit-manipulation helpers used across the simulator and the prefetcher
+ * hardware models (index hashing, tag folding, field extraction).
+ */
+
+#ifndef EIP_UTIL_BITOPS_HH
+#define EIP_UTIL_BITOPS_HH
+
+#include <cstdint>
+
+namespace eip {
+
+/** Integer log2 (floor); returns 0 for x == 0. */
+constexpr unsigned
+floorLog2(uint64_t x)
+{
+    unsigned r = 0;
+    while (x >>= 1)
+        ++r;
+    return r;
+}
+
+/** True iff x is a power of two (and non-zero). */
+constexpr bool
+isPowerOf2(uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** A mask with the low @p bits bits set. Valid for bits in [0, 64]. */
+constexpr uint64_t
+mask(unsigned bits)
+{
+    return bits >= 64 ? ~uint64_t{0} : (uint64_t{1} << bits) - 1;
+}
+
+/** Extract bits [lo, lo+len) of @p value. */
+constexpr uint64_t
+bits(uint64_t value, unsigned lo, unsigned len)
+{
+    return (value >> lo) & mask(len);
+}
+
+/**
+ * Fold a value down to @p width bits by repeatedly XOR-ing @p width-bit
+ * chunks. This is the tag/index compression scheme the paper's Entangled
+ * table uses ("indexed with a simple XOR operation of the different bits of
+ * the address").
+ */
+constexpr uint64_t
+xorFold(uint64_t value, unsigned width)
+{
+    if (width == 0 || width >= 64)
+        return value;
+    uint64_t folded = 0;
+    while (value != 0) {
+        folded ^= value & mask(width);
+        value >>= width;
+    }
+    return folded;
+}
+
+/**
+ * Number of low-order bits needed so that @p a and @p b agree on all bits
+ * above them, i.e. the position of the most significant differing bit + 1.
+ * Returns 0 when a == b.
+ */
+constexpr unsigned
+significantBits(uint64_t a, uint64_t b)
+{
+    uint64_t diff = a ^ b;
+    return diff == 0 ? 0 : floorLog2(diff) + 1;
+}
+
+/**
+ * Distance between two timestamps in a wrapping @p width-bit clock domain,
+ * assuming @p later happened no more than 2^width cycles after @p earlier.
+ */
+constexpr uint64_t
+wrappedDistance(uint64_t earlier, uint64_t later, unsigned width)
+{
+    return (later - earlier) & mask(width);
+}
+
+} // namespace eip
+
+#endif // EIP_UTIL_BITOPS_HH

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Fixed-capacity circular buffer. Models small hardware queues such as the
+ * Entangling History buffer (16 entries) and the fetch target queue.
+ */
+
+#ifndef EIP_UTIL_CIRCULAR_BUFFER_HH
+#define EIP_UTIL_CIRCULAR_BUFFER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "util/panic.hh"
+
+namespace eip {
+
+/**
+ * A circular queue of fixed capacity. Pushing when full overwrites the
+ * oldest element (hardware-FIFO semantics); explicit pop is also provided
+ * for queue-style consumers.
+ *
+ * Index 0 is the newest element; index size()-1 is the oldest. This matches
+ * the "walk backwards through history" access pattern of the prefetcher.
+ */
+template <typename T>
+class CircularBuffer
+{
+  public:
+    explicit CircularBuffer(size_t capacity)
+        : storage(capacity)
+    {
+        EIP_ASSERT(capacity > 0, "circular buffer capacity must be > 0");
+    }
+
+    /** Append a new element, overwriting the oldest when full. */
+    void
+    push(const T &value)
+    {
+        head = (head + 1) % storage.size();
+        storage[head] = value;
+        if (count < storage.size())
+            ++count;
+    }
+
+    /** Remove the oldest element. */
+    void
+    popOldest()
+    {
+        EIP_ASSERT(count > 0, "pop from empty circular buffer");
+        --count;
+    }
+
+    /** Access the i-th newest element (0 = most recent). */
+    T &
+    fromNewest(size_t i)
+    {
+        EIP_ASSERT(i < count, "circular buffer index out of range");
+        return storage[(head + storage.size() - i) % storage.size()];
+    }
+
+    const T &
+    fromNewest(size_t i) const
+    {
+        EIP_ASSERT(i < count, "circular buffer index out of range");
+        return storage[(head + storage.size() - i) % storage.size()];
+    }
+
+    /** Physical slot of the i-th newest element (stable until overwrite). */
+    size_t
+    slotOfNewest(size_t i) const
+    {
+        EIP_ASSERT(i < count, "circular buffer index out of range");
+        return (head + storage.size() - i) % storage.size();
+    }
+
+    /** Access by physical slot (for hardware-pointer style references). */
+    T &atSlot(size_t slot) { return storage[slot]; }
+    const T &atSlot(size_t slot) const { return storage[slot]; }
+
+    /**
+     * How many pushes ago the element in @p slot was written, modulo the
+     * capacity. After a full wrap the slot has been recycled and the age
+     * restarts — callers needing staleness detection must track their own
+     * generation (see core::HistoryBuffer).
+     */
+    size_t
+    ageOfSlot(size_t slot) const
+    {
+        size_t age = (head + storage.size() - slot) % storage.size();
+        return age < count ? age : storage.size();
+    }
+
+    size_t size() const { return count; }
+    size_t capacity() const { return storage.size(); }
+    bool empty() const { return count == 0; }
+    bool full() const { return count == storage.size(); }
+    void clear() { count = 0; }
+
+  private:
+    std::vector<T> storage;
+    size_t head = 0; // slot of the newest element
+    size_t count = 0;
+};
+
+} // namespace eip
+
+#endif // EIP_UTIL_CIRCULAR_BUFFER_HH

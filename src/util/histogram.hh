@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Simple bucketed histogram used by the prefetcher statistics (compression
+ * format breakdown, destinations-per-hit, basic-block sizes).
+ */
+
+#ifndef EIP_UTIL_HISTOGRAM_HH
+#define EIP_UTIL_HISTOGRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/panic.hh"
+
+namespace eip {
+
+/** Fixed-bucket histogram over small integer keys; overflow bucket at end. */
+class Histogram
+{
+  public:
+    explicit Histogram(size_t num_buckets)
+        : counts(num_buckets + 1, 0)
+    {
+        EIP_ASSERT(num_buckets > 0, "histogram needs at least one bucket");
+    }
+
+    /** Record one observation of @p key (keys >= buckets go to overflow). */
+    void
+    record(size_t key, uint64_t weight = 1)
+    {
+        size_t idx = key < counts.size() - 1 ? key : counts.size() - 1;
+        counts[idx] += weight;
+        total_ += weight;
+        weightedSum += static_cast<double>(key) * static_cast<double>(weight);
+    }
+
+    uint64_t count(size_t bucket) const { return counts.at(bucket); }
+    uint64_t overflow() const { return counts.back(); }
+    uint64_t total() const { return total_; }
+    size_t buckets() const { return counts.size() - 1; }
+
+    /** Fraction of observations in @p bucket (0 if empty). */
+    double
+    fraction(size_t bucket) const
+    {
+        return total_ == 0
+            ? 0.0
+            : static_cast<double>(counts.at(bucket)) /
+                  static_cast<double>(total_);
+    }
+
+    /** Mean of recorded keys. */
+    double
+    average() const
+    {
+        return total_ == 0 ? 0.0
+                           : weightedSum / static_cast<double>(total_);
+    }
+
+    void
+    clear()
+    {
+        std::fill(counts.begin(), counts.end(), 0);
+        total_ = 0;
+        weightedSum = 0.0;
+    }
+
+  private:
+    std::vector<uint64_t> counts;
+    uint64_t total_ = 0;
+    double weightedSum = 0.0;
+};
+
+} // namespace eip
+
+#endif // EIP_UTIL_HISTOGRAM_HH

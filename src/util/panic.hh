@@ -1,0 +1,46 @@
+/**
+ * @file
+ * gem5-style error reporting helpers.
+ *
+ * panic() is for conditions that indicate a bug in this library and should
+ * never happen regardless of user input; fatal() is for user errors (bad
+ * configuration, invalid arguments) where the process cannot continue.
+ */
+
+#ifndef EIP_UTIL_PANIC_HH
+#define EIP_UTIL_PANIC_HH
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace eip {
+
+/** Print a bug report message and abort (core dump / debugger friendly). */
+[[noreturn]] inline void
+panicImpl(const char *file, int line, const char *msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg, file, line);
+    std::abort();
+}
+
+/** Print a user-error message and exit with status 1. */
+[[noreturn]] inline void
+fatalImpl(const char *file, int line, const char *msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg, file, line);
+    std::exit(1);
+}
+
+} // namespace eip
+
+#define EIP_PANIC(msg) ::eip::panicImpl(__FILE__, __LINE__, (msg))
+#define EIP_FATAL(msg) ::eip::fatalImpl(__FILE__, __LINE__, (msg))
+
+/** Invariant check that is active in all build types. */
+#define EIP_ASSERT(cond, msg)                                               \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            EIP_PANIC(msg);                                                 \
+    } while (0)
+
+#endif // EIP_UTIL_PANIC_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator (xoshiro256**) used by the
+ * synthetic workload generators and the DRAM jitter model. All simulations
+ * in this repository are bit-reproducible given the same seeds.
+ */
+
+#ifndef EIP_UTIL_RNG_HH
+#define EIP_UTIL_RNG_HH
+
+#include <cstdint>
+
+namespace eip {
+
+/** xoshiro256** by Blackman & Vigna; small, fast, and high quality. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+    /** Re-initialize the state from a single seed via splitmix64. */
+    void
+    reseed(uint64_t seed)
+    {
+        for (auto &word : state) {
+            seed += 0x9e3779b97f4a7c15ULL;
+            uint64_t z = seed;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        const uint64_t result = rotl(state[1] * 5, 7) * 9;
+        const uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). Returns 0 when bound == 0. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        return bound == 0 ? 0 : next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    uint64_t
+    between(uint64_t lo, uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli trial with probability @p p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /**
+     * Geometric-ish pick in [0, n): favours small indices. Used to make
+     * synthetic call graphs and branch targets exhibit locality.
+     */
+    uint64_t
+    skewedBelow(uint64_t n)
+    {
+        if (n <= 1)
+            return 0;
+        double u = uniform();
+        return static_cast<uint64_t>(u * u * static_cast<double>(n));
+    }
+
+  private:
+    static constexpr uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t state[4] = {};
+};
+
+} // namespace eip
+
+#endif // EIP_UTIL_RNG_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Small statistics helpers for the evaluation harness: geometric mean,
+ * arithmetic mean, standard deviation, percentile.
+ */
+
+#ifndef EIP_UTIL_STATS_MATH_HH
+#define EIP_UTIL_STATS_MATH_HH
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace eip {
+
+/** Geometric mean; ignores non-positive values. Returns 0 for empty input. */
+inline double
+geomean(const std::vector<double> &values)
+{
+    double log_sum = 0.0;
+    size_t n = 0;
+    for (double v : values) {
+        if (v > 0.0) {
+            log_sum += std::log(v);
+            ++n;
+        }
+    }
+    return n == 0 ? 0.0 : std::exp(log_sum / static_cast<double>(n));
+}
+
+/** Arithmetic mean. Returns 0 for empty input. */
+inline double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+/** Population standard deviation. Returns 0 for fewer than two values. */
+inline double
+stddev(const std::vector<double> &values)
+{
+    if (values.size() < 2)
+        return 0.0;
+    double m = mean(values);
+    double acc = 0.0;
+    for (double v : values)
+        acc += (v - m) * (v - m);
+    return std::sqrt(acc / static_cast<double>(values.size()));
+}
+
+/**
+ * Value at fraction @p q (in [0, 1]) of the sorted input (nearest-rank).
+ * Used for the per-workload s-curve figures.
+ */
+inline double
+percentile(std::vector<double> values, double q)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    double pos = q * static_cast<double>(values.size() - 1);
+    auto idx = static_cast<size_t>(pos + 0.5);
+    if (idx >= values.size())
+        idx = values.size() - 1;
+    return values[idx];
+}
+
+} // namespace eip
+
+#endif // EIP_UTIL_STATS_MATH_HH

@@ -1,0 +1,84 @@
+#include "util/table_printer.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+namespace eip {
+
+void
+TablePrinter::newRow()
+{
+    rows.emplace_back();
+}
+
+void
+TablePrinter::cell(const std::string &text)
+{
+    if (rows.empty())
+        newRow();
+    rows.back().push_back(text);
+}
+
+void
+TablePrinter::cell(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    cell(std::string(buf));
+}
+
+void
+TablePrinter::cell(uint64_t value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+    cell(std::string(buf));
+}
+
+void
+TablePrinter::cell(int value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%d", value);
+    cell(std::string(buf));
+}
+
+std::string
+TablePrinter::toString() const
+{
+    // Compute per-column widths.
+    std::vector<size_t> widths;
+    for (const auto &row : rows) {
+        if (widths.size() < row.size())
+            widths.resize(row.size(), 0);
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    std::ostringstream out;
+    for (size_t r = 0; r < rows.size(); ++r) {
+        for (size_t c = 0; c < rows[r].size(); ++c) {
+            const std::string &text = rows[r][c];
+            out << text;
+            if (c + 1 < rows[r].size())
+                out << std::string(widths[c] - text.size() + 2, ' ');
+        }
+        out << '\n';
+        if (r == 0) {
+            size_t total = 0;
+            for (size_t c = 0; c < widths.size(); ++c)
+                total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+            out << std::string(total, '-') << '\n';
+        }
+    }
+    return out.str();
+}
+
+void
+TablePrinter::print() const
+{
+    std::fputs(toString().c_str(), stdout);
+}
+
+} // namespace eip

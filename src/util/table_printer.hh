@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fixed-width text table printer. The benchmark harnesses use it to emit the
+ * rows/series of each paper figure and table in a readable form.
+ */
+
+#ifndef EIP_UTIL_TABLE_PRINTER_HH
+#define EIP_UTIL_TABLE_PRINTER_HH
+
+#include <string>
+#include <vector>
+
+namespace eip {
+
+/**
+ * Accumulates rows of string cells and prints them column-aligned. Numeric
+ * convenience overloads format with a fixed precision.
+ */
+class TablePrinter
+{
+  public:
+    /** Start a new row; subsequent cell() calls append to it. */
+    void newRow();
+
+    /** Append a string cell to the current row. */
+    void cell(const std::string &text);
+
+    /** Append a formatted double cell (fixed @p precision digits). */
+    void cell(double value, int precision = 3);
+
+    /** Append an integer cell. */
+    void cell(uint64_t value);
+    void cell(int value);
+
+    /** Render the table to stdout; first row is underlined as a header. */
+    void print() const;
+
+    /** Render to a string (used by tests). */
+    std::string toString() const;
+
+    void clear() { rows.clear(); }
+
+  private:
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace eip
+
+#endif // EIP_UTIL_TABLE_PRINTER_HH

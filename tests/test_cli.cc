@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for the eipsim command-line interface: argument parsing, error
+ * handling, JSON serialization, and end-to-end runCli() actions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "harness/cli.hh"
+
+namespace eip::harness {
+namespace {
+
+CliOptions
+parse(std::initializer_list<const char *> args)
+{
+    std::vector<std::string> v;
+    for (const char *a : args)
+        v.emplace_back(a);
+    return parseCli(v);
+}
+
+TEST(Cli, DefaultsAreSane)
+{
+    CliOptions opt = parse({});
+    EXPECT_TRUE(opt.error.empty());
+    EXPECT_EQ(opt.action, CliOptions::Action::Run);
+    EXPECT_EQ(opt.workload, "srv-1");
+    EXPECT_EQ(opt.prefetcher, "entangling-4k");
+    EXPECT_EQ(opt.instructions, 600000u);
+    EXPECT_FALSE(opt.json);
+}
+
+TEST(Cli, ParsesEveryOption)
+{
+    CliOptions opt = parse({"--workload", "fp-2", "--prefetcher", "rdip",
+                            "--instructions", "12345", "--warmup", "678",
+                            "--physical", "--wrong-path", "--json"});
+    EXPECT_TRUE(opt.error.empty());
+    EXPECT_EQ(opt.workload, "fp-2");
+    EXPECT_EQ(opt.prefetcher, "rdip");
+    EXPECT_EQ(opt.instructions, 12345u);
+    EXPECT_EQ(opt.warmup, 678u);
+    EXPECT_TRUE(opt.physical);
+    EXPECT_TRUE(opt.wrongPath);
+    EXPECT_TRUE(opt.json);
+}
+
+TEST(Cli, ActionsParse)
+{
+    EXPECT_EQ(parse({"--help"}).action, CliOptions::Action::Help);
+    EXPECT_EQ(parse({"--list-workloads"}).action,
+              CliOptions::Action::ListWorkloads);
+    EXPECT_EQ(parse({"--list-prefetchers"}).action,
+              CliOptions::Action::ListPrefetchers);
+    EXPECT_EQ(parse({"--config"}).action, CliOptions::Action::ShowConfig);
+}
+
+TEST(Cli, ErrorsAreReportedNotFatal)
+{
+    EXPECT_FALSE(parse({"--bogus"}).error.empty());
+    EXPECT_FALSE(parse({"--workload"}).error.empty()); // missing value
+    EXPECT_FALSE(parse({"--instructions", "abc"}).error.empty());
+    EXPECT_FALSE(parse({"--instructions", "0"}).error.empty());
+}
+
+TEST(Cli, TraceOptionParses)
+{
+    CliOptions opt = parse({"--trace", "/tmp/foo.trc"});
+    EXPECT_EQ(opt.tracePath, "/tmp/foo.trc");
+}
+
+TEST(Cli, UsageMentionsAllFlags)
+{
+    std::string usage = cliUsage();
+    for (const char *flag :
+         {"--workload", "--trace", "--prefetcher", "--instructions",
+          "--warmup", "--physical", "--wrong-path", "--json",
+          "--list-workloads", "--list-prefetchers", "--config"}) {
+        EXPECT_NE(usage.find(flag), std::string::npos) << flag;
+    }
+}
+
+TEST(Cli, JsonSerializationWellFormed)
+{
+    RunResult r;
+    r.workload = "w";
+    r.configName = "c";
+    r.storageKB = 1.5;
+    r.stats.instructions = 100;
+    r.stats.cycles = 50;
+    std::string json = resultToJson(r);
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+    EXPECT_NE(json.find("\"ipc\":2"), std::string::npos);
+    EXPECT_NE(json.find("\"workload\":\"w\""), std::string::npos);
+    // Balanced quotes.
+    EXPECT_EQ(std::count(json.begin(), json.end(), '"') % 2, 0);
+}
+
+TEST(Cli, RunCliRejectsBadInput)
+{
+    EXPECT_EQ(runCli(parse({"--bogus"})), 2);
+    EXPECT_EQ(runCli(parse({"--workload", "no-such-workload",
+                            "--instructions", "1000"})),
+              2);
+}
+
+TEST(Cli, RunCliInformationalActionsSucceed)
+{
+    EXPECT_EQ(runCli(parse({"--help"})), 0);
+    EXPECT_EQ(runCli(parse({"--config"})), 0);
+    EXPECT_EQ(runCli(parse({"--list-prefetchers"})), 0);
+}
+
+TEST(Cli, RunCliEndToEnd)
+{
+    EXPECT_EQ(runCli(parse({"--workload", "tiny", "--prefetcher",
+                            "nextline", "--instructions", "50000",
+                            "--warmup", "10000", "--json"})),
+              0);
+}
+
+} // namespace
+} // namespace eip::harness

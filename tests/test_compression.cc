@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Tests for the destination-compression scheme (paper Tables I and II) and
+ * the DestinationArray state machine, including parameterized property
+ * sweeps over both schemes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/dest_compression.hh"
+#include "util/bitops.hh"
+#include "util/rng.hh"
+
+namespace eip::core {
+namespace {
+
+TEST(CompressionScheme, TableIVirtualModes)
+{
+    CompressionScheme v = CompressionScheme::virtualScheme();
+    EXPECT_EQ(v.payloadBits, 60u);
+    EXPECT_EQ(v.modeBits, 3u);
+    EXPECT_EQ(v.totalBits(), 63u);
+    // The paper's Table I: address bits per destination for modes 1..6.
+    EXPECT_EQ(v.addrBits(1), 58u);
+    EXPECT_EQ(v.addrBits(2), 28u);
+    EXPECT_EQ(v.addrBits(3), 18u);
+    EXPECT_EQ(v.addrBits(4), 13u);
+    EXPECT_EQ(v.addrBits(5), 10u);
+    EXPECT_EQ(v.addrBits(6), 8u);
+}
+
+TEST(CompressionScheme, TableIIPhysicalModes)
+{
+    CompressionScheme p = CompressionScheme::physicalScheme();
+    EXPECT_EQ(p.payloadBits, 44u);
+    EXPECT_EQ(p.modeBits, 2u);
+    EXPECT_EQ(p.totalBits(), 46u);
+    // The paper's Table II: modes 1..4.
+    EXPECT_EQ(p.addrBits(1), 42u);
+    EXPECT_EQ(p.addrBits(2), 20u);
+    EXPECT_EQ(p.addrBits(3), 12u);
+    EXPECT_EQ(p.addrBits(4), 9u);
+}
+
+TEST(CompressionScheme, MaxModeFor)
+{
+    CompressionScheme v = CompressionScheme::virtualScheme();
+    EXPECT_EQ(v.maxModeFor(1), 6u);
+    EXPECT_EQ(v.maxModeFor(8), 6u);
+    EXPECT_EQ(v.maxModeFor(9), 5u);
+    EXPECT_EQ(v.maxModeFor(10), 5u);
+    EXPECT_EQ(v.maxModeFor(13), 4u);
+    EXPECT_EQ(v.maxModeFor(18), 3u);
+    EXPECT_EQ(v.maxModeFor(28), 2u);
+    EXPECT_EQ(v.maxModeFor(58), 1u);
+    EXPECT_EQ(v.maxModeFor(59), 0u); // not encodable
+}
+
+TEST(DestinationArray, NearbyDestinationsFillAllSlots)
+{
+    DestinationArray arr(CompressionScheme::virtualScheme());
+    sim::Addr src = 0x10000;
+    for (sim::Addr d = 1; d <= 6; ++d)
+        EXPECT_TRUE(arr.insert(src, src + d, false));
+    EXPECT_EQ(arr.size(), 6u);
+    EXPECT_EQ(arr.mode(), 6u);
+    EXPECT_EQ(arr.bitsPerDest(), 8u);
+    // The seventh is rejected without eviction permission.
+    EXPECT_FALSE(arr.insert(src, src + 7, false));
+}
+
+TEST(DestinationArray, FarDestinationForcesRestrictiveMode)
+{
+    DestinationArray arr(CompressionScheme::virtualScheme());
+    sim::Addr src = 0x10000;
+    // Needs 30 significant bits -> only mode 1 fits.
+    sim::Addr far = src ^ (sim::Addr{1} << 29);
+    EXPECT_TRUE(arr.insert(src, far, false));
+    EXPECT_EQ(arr.mode(), 1u);
+    // Full already: a second destination cannot be added without eviction.
+    EXPECT_FALSE(arr.insert(src, src + 1, false));
+    EXPECT_TRUE(arr.insert(src, src + 1, true)); // evicts the far one
+    EXPECT_EQ(arr.size(), 1u);
+    EXPECT_NE(arr.find(src + 1), nullptr);
+}
+
+TEST(DestinationArray, ReinsertRefreshesConfidence)
+{
+    DestinationArray arr(CompressionScheme::virtualScheme());
+    sim::Addr src = 0x500;
+    ASSERT_TRUE(arr.insert(src, src + 2, false));
+    Destination *d = arr.find(src + 2);
+    ASSERT_NE(d, nullptr);
+    d->confidence.decrement();
+    d->confidence.decrement();
+    EXPECT_EQ(d->confidence.value(), 1u);
+    ASSERT_TRUE(arr.insert(src, src + 2, false));
+    EXPECT_EQ(arr.find(src + 2)->confidence.value(), 3u);
+    EXPECT_EQ(arr.size(), 1u);
+}
+
+TEST(DestinationArray, EvictionPicksLowestConfidence)
+{
+    DestinationArray arr(CompressionScheme::virtualScheme());
+    sim::Addr src = 0x800;
+    for (sim::Addr d = 1; d <= 6; ++d)
+        ASSERT_TRUE(arr.insert(src, src + d, false));
+    arr.find(src + 3)->confidence.set(0);
+    ASSERT_TRUE(arr.insert(src, src + 10, true));
+    EXPECT_EQ(arr.find(src + 3), nullptr);
+    EXPECT_NE(arr.find(src + 10), nullptr);
+    EXPECT_EQ(arr.size(), 6u);
+}
+
+TEST(DestinationArray, ModeRecomputedOnRemoval)
+{
+    DestinationArray arr(CompressionScheme::virtualScheme());
+    sim::Addr src = 0x4000;
+    // One far destination (mode 2 range: needs <=28 bits) + one near.
+    sim::Addr medium = src ^ (sim::Addr{1} << 20); // needs 21 bits -> mode 2
+    ASSERT_TRUE(arr.insert(src, medium, false));
+    ASSERT_TRUE(arr.insert(src, src + 1, false));
+    EXPECT_EQ(arr.mode(), 2u);
+    // Kill the medium one; after cleanup the mode relaxes to 6.
+    arr.find(medium)->confidence.set(0);
+    arr.dropDeadDestinations();
+    EXPECT_EQ(arr.size(), 1u);
+    EXPECT_EQ(arr.mode(), 6u);
+}
+
+TEST(DestinationArray, ClearEmptiesState)
+{
+    DestinationArray arr(CompressionScheme::physicalScheme());
+    arr.insert(0x100, 0x101, false);
+    arr.clear();
+    EXPECT_TRUE(arr.empty());
+    EXPECT_EQ(arr.mode(), 0u);
+}
+
+TEST(DestinationArray, PhysicalSchemeCapsAtFour)
+{
+    DestinationArray arr(CompressionScheme::physicalScheme());
+    sim::Addr src = 0x2000;
+    for (sim::Addr d = 1; d <= 4; ++d)
+        EXPECT_TRUE(arr.insert(src, src + d, false));
+    EXPECT_FALSE(arr.insert(src, src + 5, false));
+    EXPECT_EQ(arr.mode(), 4u);
+    EXPECT_EQ(arr.bitsPerDest(), 9u);
+}
+
+/** Property sweep over both schemes. */
+class DestArrayProperty
+    : public ::testing::TestWithParam<std::pair<const char *, bool>>
+{
+  protected:
+    CompressionScheme
+    scheme() const
+    {
+        return GetParam().second ? CompressionScheme::physicalScheme()
+                                 : CompressionScheme::virtualScheme();
+    }
+};
+
+TEST_P(DestArrayProperty, InvariantsUnderRandomOperations)
+{
+    CompressionScheme sch = scheme();
+    DestinationArray arr(sch);
+    sim::Addr src = 0x123456;
+    Rng rng(99);
+
+    for (int op = 0; op < 5000; ++op) {
+        double u = rng.uniform();
+        if (u < 0.6) {
+            // Insert a destination at a random distance.
+            unsigned shift = static_cast<unsigned>(rng.below(40));
+            sim::Addr dst = src ^ (rng.below(1u << 10) + 1);
+            dst ^= (rng.chance(0.2) ? (sim::Addr{1} << shift) : 0);
+            arr.insert(src, dst, rng.chance(0.5));
+        } else if (u < 0.8 && !arr.empty()) {
+            // Randomly age a destination.
+            size_t idx = rng.below(arr.size());
+            auto &d = const_cast<Destination &>(arr.all()[idx]);
+            d.confidence.decrement();
+        } else {
+            arr.dropDeadDestinations();
+        }
+
+        // Invariants: count within mode capacity; every destination
+        // encodable in the current mode; mode within scheme bounds.
+        if (!arr.empty()) {
+            EXPECT_LE(arr.size(), arr.mode());
+            EXPECT_LE(arr.mode(), sch.maxDests);
+            for (const auto &d : arr.all()) {
+                EXPECT_LE(d.bitsNeeded, arr.bitsPerDest());
+                EXPECT_EQ(d.bitsNeeded,
+                          std::max(1u, significantBits(src, d.line)));
+            }
+        } else {
+            EXPECT_EQ(arr.mode(), 0u);
+        }
+    }
+}
+
+TEST_P(DestArrayProperty, ReconstructionRoundTrips)
+{
+    // The stored low bits plus the source's high bits reconstruct the
+    // destination exactly — the core guarantee of the compression.
+    CompressionScheme sch = scheme();
+    DestinationArray arr(sch);
+    sim::Addr src = 0xabcdef;
+    Rng rng(7);
+    for (int i = 0; i < 2000; ++i) {
+        sim::Addr dst = src ^ rng.below(1u << 16);
+        if (dst == src)
+            continue;
+        arr.clear();
+        ASSERT_TRUE(arr.insert(src, dst, true));
+        unsigned bits = arr.bitsPerDest();
+        sim::Addr stored_low = dst & mask(bits);
+        sim::Addr reconstructed = (src & ~mask(bits)) | stored_low;
+        EXPECT_EQ(reconstructed, dst);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, DestArrayProperty,
+    ::testing::Values(std::make_pair("virtual", false),
+                      std::make_pair("physical", true)),
+    [](const auto &info) { return info.param.first; });
+
+} // namespace
+} // namespace eip::core

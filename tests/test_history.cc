@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for the Entangling History buffer: slot-stable references,
+ * generations, backward walks and wrapped-timestamp age computation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/history_buffer.hh"
+
+namespace eip::core {
+namespace {
+
+TEST(HistoryBuffer, PushReturnsSlotAndStoresEntry)
+{
+    HistoryBuffer hist(16, 20);
+    size_t slot = hist.push(0x100, 1234);
+    const HistoryEntry &e = hist.at(slot);
+    EXPECT_TRUE(e.valid);
+    EXPECT_EQ(e.line, 0x100u);
+    EXPECT_EQ(e.timestamp, 1234u);
+    EXPECT_EQ(e.bbSize, 0u);
+    EXPECT_EQ(hist.newest(), slot);
+}
+
+TEST(HistoryBuffer, SlotsWrapAndGenerationsAdvance)
+{
+    HistoryBuffer hist(4, 20);
+    size_t first = hist.push(1, 10);
+    uint64_t gen = hist.at(first).generation;
+    hist.push(2, 20);
+    hist.push(3, 30);
+    hist.push(4, 40);
+    size_t reused = hist.push(5, 50); // recycles the first slot
+    EXPECT_EQ(reused, first);
+    EXPECT_GT(hist.at(reused).generation, gen);
+    EXPECT_EQ(hist.at(reused).line, 5u);
+}
+
+TEST(HistoryBuffer, WalkBackwardsVisitsOlderEntries)
+{
+    HistoryBuffer hist(8, 20);
+    for (uint64_t i = 1; i <= 5; ++i)
+        hist.push(i, i * 100);
+    // Walk from the newest: should see 4, 3, 2, 1 in that order.
+    std::vector<uint64_t> seen;
+    hist.walkBackwards(hist.newest(), 8, [&](HistoryEntry &e) {
+        seen.push_back(e.line);
+        return false;
+    });
+    ASSERT_EQ(seen.size(), 4u);
+    EXPECT_EQ(seen[0], 4u);
+    EXPECT_EQ(seen[3], 1u);
+}
+
+TEST(HistoryBuffer, WalkStopsOnAccept)
+{
+    HistoryBuffer hist(8, 20);
+    for (uint64_t i = 1; i <= 6; ++i)
+        hist.push(i, i);
+    HistoryEntry *found = hist.walkBackwards(
+        hist.newest(), 8, [](HistoryEntry &e) { return e.line == 3; });
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->line, 3u);
+}
+
+TEST(HistoryBuffer, WalkReturnsNullWhenNothingAccepts)
+{
+    HistoryBuffer hist(8, 20);
+    hist.push(1, 1);
+    hist.push(2, 2);
+    HistoryEntry *found = hist.walkBackwards(
+        hist.newest(), 8, [](HistoryEntry &) { return false; });
+    EXPECT_EQ(found, nullptr);
+}
+
+TEST(HistoryBuffer, AgeUsesWrappedClock)
+{
+    HistoryBuffer hist(16, 12); // 12-bit timestamps: wrap at 4096
+    size_t slot = hist.push(0x10, 4090);
+    // 16 cycles later the absolute clock is 4106 -> wrapped 10.
+    EXPECT_EQ(hist.age(hist.at(slot).timestamp, 4106), 16u);
+}
+
+TEST(HistoryBuffer, TimestampsMaskedToWidth)
+{
+    HistoryBuffer hist(16, 12);
+    size_t slot = hist.push(0x10, 0x12345);
+    EXPECT_LE(hist.at(slot).timestamp, 0xfffu);
+}
+
+TEST(HistoryBuffer, StorageMatchesPaper)
+{
+    // Paper §III-C3: 16 entries x (58-bit tag + 20-bit timestamp + 6-bit
+    // size) + 4-bit head pointer = 1348 bits (~167-168 bytes).
+    HistoryBuffer hist(16, 20);
+    EXPECT_EQ(hist.storageBits(58), 16u * 84 + 5);
+    EXPECT_NEAR(hist.storageBits(58) / 8.0, 168.0, 1.0);
+}
+
+TEST(HistoryBuffer, BbSizeUpdatableThroughSlot)
+{
+    HistoryBuffer hist(16, 20);
+    size_t slot = hist.push(0x40, 7);
+    hist.at(slot).bbSize = 12;
+    EXPECT_EQ(hist.at(slot).bbSize, 12u);
+}
+
+} // namespace
+} // namespace eip::core

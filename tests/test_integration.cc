@@ -1,0 +1,150 @@
+/**
+ * @file
+ * End-to-end integration tests: the paper's qualitative claims reproduced
+ * at test scale — the Entangling prefetcher reduces the L1I miss rate and
+ * improves IPC over no prefetching, achieves high coverage, stays between
+ * the baseline and the ideal cache, and its ablation variants order as in
+ * Fig. 11.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hh"
+#include "trace/workloads.hh"
+
+namespace eip::harness {
+namespace {
+
+/** One mid-size int-category workload exercised by most tests here. */
+trace::Workload
+workload()
+{
+    trace::Workload w = trace::tinyWorkload(5);
+    w.program.numFunctions = 400;
+    return w;
+}
+
+RunSpec
+spec(const std::string &id)
+{
+    RunSpec s;
+    s.configId = id;
+    s.instructions = 200000;
+    s.warmup = 120000;
+    return s;
+}
+
+TEST(Integration, BaselineHasInstructionMisses)
+{
+    RunResult base = runOne(workload(), spec("none"));
+    EXPECT_GT(base.stats.l1iMpki(), 1.0);
+}
+
+TEST(Integration, EntanglingReducesMissesAndImprovesIpc)
+{
+    RunResult base = runOne(workload(), spec("none"));
+    RunResult ent = runOne(workload(), spec("entangling-4k"));
+    EXPECT_LT(ent.stats.l1i.demandMisses, base.stats.l1i.demandMisses / 2);
+    EXPECT_GT(ent.stats.ipc(), base.stats.ipc());
+}
+
+TEST(Integration, EntanglingBoundedByIdeal)
+{
+    RunResult ent = runOne(workload(), spec("entangling-4k"));
+    RunResult ideal = runOne(workload(), spec("ideal"));
+    EXPECT_LE(ent.stats.ipc(), ideal.stats.ipc() * 1.02);
+}
+
+TEST(Integration, EntanglingCoverageAndAccuracyAreHigh)
+{
+    RunResult ent = runOne(workload(), spec("entangling-4k"));
+    EXPECT_GT(ent.stats.l1i.coverage(), 0.5);
+    EXPECT_GT(ent.stats.l1i.accuracy(), 0.4);
+}
+
+TEST(Integration, EntanglingBeatsNextLineOnMissRate)
+{
+    RunResult nl = runOne(workload(), spec("nextline"));
+    RunResult ent = runOne(workload(), spec("entangling-4k"));
+    EXPECT_LT(ent.stats.l1i.missRatio(), nl.stats.l1i.missRatio());
+    EXPECT_GT(ent.stats.l1i.accuracy(), nl.stats.l1i.accuracy());
+}
+
+TEST(Integration, AblationOrderingMatchesFigure11)
+{
+    // BB <= BBEnt <= full proposal in coverage; entangling variants add
+    // coverage over plain basic-block prefetching.
+    RunResult bb = runOne(workload(), spec("bb-4k"));
+    RunResult bbent = runOne(workload(), spec("bbent-4k"));
+    RunResult full = runOne(workload(), spec("entangling-4k"));
+    EXPECT_GE(bbent.stats.l1i.coverage(), bb.stats.l1i.coverage());
+    EXPECT_GE(full.stats.l1i.coverage() + 0.02,
+              bbent.stats.l1i.coverage());
+    EXPECT_GE(full.stats.ipc(), bb.stats.ipc() * 0.98);
+}
+
+TEST(Integration, EntanglingNeverDegradesNoticeably)
+{
+    // Paper: "the Entangling prefetcher never gets performance
+    // degradation with respect to not using any prefetcher."
+    for (uint64_t seed : {1u, 2u, 3u}) {
+        trace::Workload w = trace::tinyWorkload(seed);
+        RunResult base = runOne(w, spec("none"));
+        RunResult ent = runOne(w, spec("entangling-4k"));
+        EXPECT_GE(ent.stats.ipc(), base.stats.ipc() * 0.99) << seed;
+    }
+}
+
+TEST(Integration, PhysicalTrainingSlightlyBelowVirtual)
+{
+    RunResult virt = runOne(workload(), spec("entangling-4k"));
+    RunSpec phys_spec = spec("entangling-4k-phys");
+    phys_spec.physicalL1i = true;
+    RunResult phys = runOne(workload(), phys_spec);
+    // Physical training still works (within a sane band of virtual).
+    EXPECT_GT(phys.stats.ipc(), virt.stats.ipc() * 0.85);
+    EXPECT_GT(phys.stats.l1i.coverage(), 0.3);
+}
+
+TEST(Integration, EntanglingAnalysisMatchesPaperRanges)
+{
+    RunResult ent = runOne(workload(), spec("entangling-4k"));
+    ASSERT_TRUE(ent.hasEntanglingAnalysis);
+    // Fig. 13: average destinations per hit around 2.2-2.5 in the paper;
+    // accept a broad sanity band.
+    EXPECT_GT(ent.avgDestsPerHit, 0.2);
+    EXPECT_LT(ent.avgDestsPerHit, 6.0);
+    // Fig. 14/15: basic blocks exist and are small-ish.
+    EXPECT_GT(ent.avgCurrentBbSize, 0.1);
+    EXPECT_LT(ent.avgCurrentBbSize, 63.0);
+    // Fig. 12: compressed destinations dominate.
+    double compressed = 0.0;
+    for (size_t bits = 0; bits <= 28 && bits < ent.destBitsFractions.size();
+         ++bits) {
+        compressed += ent.destBitsFractions[bits];
+    }
+    EXPECT_GT(compressed, 0.9);
+}
+
+TEST(Integration, SuiteCategoriesShowExpectedPressure)
+{
+    // srv-like workloads suffer far more L1I misses than crypto-like ones
+    // (the premise of the paper's workload selection).
+    auto suite = trace::cvpSuite(1);
+    double srv_mpki = 0.0, crypto_mpki = 0.0;
+    for (const auto &w : suite) {
+        RunSpec s = spec("none");
+        s.instructions = 150000;
+        s.warmup = 100000;
+        RunResult r = runOne(w, s);
+        if (w.category == "srv")
+            srv_mpki = r.stats.l1iMpki();
+        if (w.category == "crypto")
+            crypto_mpki = r.stats.l1iMpki();
+    }
+    EXPECT_GT(srv_mpki, crypto_mpki);
+    EXPECT_GT(srv_mpki, 10.0);
+}
+
+} // namespace
+} // namespace eip::harness

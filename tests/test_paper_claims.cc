@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Paper-claims regression suite: the qualitative results recorded in
+ * EXPERIMENTS.md, encoded as tests at reduced scale so a regression in any
+ * reproduced *shape* fails CI. These complement test_integration.cc by
+ * covering the suite-level (multi-workload) claims.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "energy/energy_model.hh"
+#include "harness/runner.hh"
+#include "trace/workloads.hh"
+#include "util/stats_math.hh"
+
+namespace eip::harness {
+namespace {
+
+/** Reduced-scale suite shared by all claims (built once: ~20 runs). */
+class PaperClaims : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        workloads_ = new std::vector<trace::Workload>(trace::cvpSuite(1));
+        results_ = new std::map<std::string, std::vector<RunResult>>();
+        for (const char *id :
+             {"none", "nextline", "sn4l", "mana-4k", "rdip",
+              "entangling-2k", "entangling-4k", "ideal"}) {
+            RunSpec spec;
+            spec.configId = id;
+            spec.instructions = 400000;
+            spec.warmup = 300000;
+            (*results_)[id] = runSuite(*workloads_, spec);
+        }
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete workloads_;
+        delete results_;
+        workloads_ = nullptr;
+        results_ = nullptr;
+    }
+
+    static const std::vector<RunResult> &
+    of(const std::string &id)
+    {
+        return (*results_)[id];
+    }
+
+    static double
+    speedup(const std::string &id)
+    {
+        return geomeanSpeedup(of(id), of("none"));
+    }
+
+    static double
+    meanMetric(const std::string &id, double (*metric)(const RunResult &))
+    {
+        std::vector<double> values;
+        for (const auto &r : of(id))
+            values.push_back(metric(r));
+        return mean(values);
+    }
+
+    static std::vector<trace::Workload> *workloads_;
+    static std::map<std::string, std::vector<RunResult>> *results_;
+};
+
+std::vector<trace::Workload> *PaperClaims::workloads_ = nullptr;
+std::map<std::string, std::vector<RunResult>> *PaperClaims::results_ =
+    nullptr;
+
+TEST_F(PaperClaims, EntanglingBeatsEverySub64KbCompetitor)
+{
+    // Fig. 6: Entangling-4K offers the best speedup among the evaluated
+    // sub-64KB prefetchers.
+    double ent = speedup("entangling-4k");
+    for (const char *rival : {"sn4l", "mana-4k", "rdip"})
+        EXPECT_GT(ent, speedup(rival)) << rival;
+    EXPECT_GT(ent, 1.0);
+}
+
+TEST_F(PaperClaims, EntanglingOrderingAcrossSizes)
+{
+    // Fig. 6: 2K <= 4K (within noise), both well above baseline.
+    EXPECT_GE(speedup("entangling-4k") + 0.005, speedup("entangling-2k"));
+    EXPECT_GT(speedup("entangling-2k"), 1.02);
+}
+
+TEST_F(PaperClaims, IdealIsTheCeiling)
+{
+    double ideal = speedup("ideal");
+    for (const char *id :
+         {"nextline", "sn4l", "mana-4k", "rdip", "entangling-4k"})
+        EXPECT_LT(speedup(id), ideal) << id;
+}
+
+TEST_F(PaperClaims, EntanglingNeverDegradesAnyWorkload)
+{
+    // Fig. 7: minimum normalized IPC >= 1.
+    const auto &base = of("none");
+    const auto &ent = of("entangling-4k");
+    for (size_t i = 0; i < ent.size(); ++i) {
+        EXPECT_GE(ent[i].stats.ipc(), base[i].stats.ipc() * 0.995)
+            << ent[i].workload;
+    }
+}
+
+TEST_F(PaperClaims, EntanglingHasHighestCoverage)
+{
+    // Fig. 9.
+    auto coverage = [](const RunResult &r) {
+        return r.stats.l1i.coverage();
+    };
+    double ent = meanMetric("entangling-4k", coverage);
+    for (const char *rival : {"nextline", "sn4l", "mana-4k", "rdip"})
+        EXPECT_GT(ent, meanMetric(rival, coverage)) << rival;
+}
+
+TEST_F(PaperClaims, EntanglingAccuracyAboveNextLine)
+{
+    // Fig. 10: NextLine is the least accurate; Entangling far above it.
+    auto accuracy = [](const RunResult &r) {
+        return r.stats.l1i.accuracy();
+    };
+    EXPECT_GT(meanMetric("entangling-4k", accuracy),
+              meanMetric("nextline", accuracy) + 0.1);
+}
+
+TEST_F(PaperClaims, EntanglingWorstCaseMissRatioIsLowest)
+{
+    // Fig. 8: the worst-case miss ratio under Entangling stays below
+    // every competitor's worst case.
+    auto worst = [&](const std::string &id) {
+        double w = 0.0;
+        for (const auto &r : of(id))
+            w = std::max(w, r.stats.l1i.missRatio());
+        return w;
+    };
+    double ent = worst("entangling-4k");
+    for (const char *rival : {"none", "nextline", "sn4l", "rdip"})
+        EXPECT_LT(ent, worst(rival)) << rival;
+}
+
+TEST_F(PaperClaims, EnergyOrderingMatchesTableIV)
+{
+    // Table IV (relative ordering): RDIP cheapest overhead; Entangling
+    // cheaper than SN4L; prefetching always costs L1I energy.
+    energy::EnergyModel model;
+    auto normTotal = [&](const std::string &id) {
+        std::vector<double> ratios;
+        for (size_t i = 0; i < of(id).size(); ++i) {
+            ratios.push_back(model.evaluate(of(id)[i].stats).total() /
+                             model.evaluate(of("none")[i].stats).total());
+        }
+        return geomean(ratios);
+    };
+    double rdip = normTotal("rdip");
+    double ent = normTotal("entangling-4k");
+    double sn4l = normTotal("sn4l");
+    EXPECT_LT(rdip, ent);
+    EXPECT_LT(ent, sn4l);
+    // Prefetching raises L1I energy.
+    auto l1i_energy = [&](const std::string &id) {
+        double sum = 0.0;
+        for (const auto &r : of(id))
+            sum += model.evaluate(r.stats).l1i;
+        return sum;
+    };
+    EXPECT_GT(l1i_energy("entangling-4k"), l1i_energy("none"));
+}
+
+TEST_F(PaperClaims, SrvIsTheHardestCategory)
+{
+    // The workload premise: srv has the highest baseline MPKI.
+    double srv = 0.0, best_other = 0.0;
+    for (const auto &r : of("none")) {
+        if (r.category == "srv")
+            srv = std::max(srv, r.stats.l1iMpki());
+        else
+            best_other = std::max(best_other, r.stats.l1iMpki());
+    }
+    EXPECT_GT(srv, best_other);
+}
+
+} // namespace
+} // namespace eip::harness

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for the report printers (sorted series, per-category tables) via
+ * stdout capture, plus RunResult bookkeeping details.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/report.hh"
+
+namespace eip::harness {
+namespace {
+
+RunResult
+makeResult(const std::string &workload, const std::string &category,
+           double ipc_times_100)
+{
+    RunResult r;
+    r.workload = workload;
+    r.category = category;
+    r.stats.instructions = static_cast<uint64_t>(ipc_times_100);
+    r.stats.cycles = 100;
+    return r;
+}
+
+TEST(Report, SortedSeriesPrintsConfigsAndPercentiles)
+{
+    std::vector<std::string> names{"alpha", "beta"};
+    std::vector<std::vector<double>> series{
+        {1.0, 3.0, 2.0},
+        {5.0, 4.0, 6.0},
+    };
+    ::testing::internal::CaptureStdout();
+    printSortedSeries("demo title", names, series);
+    std::string out = ::testing::internal::GetCapturedStdout();
+
+    EXPECT_NE(out.find("demo title"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("beta"), std::string::npos);
+    // Percentile headers and min/max of each series.
+    for (const char *col : {"min", "p50", "max"})
+        EXPECT_NE(out.find(col), std::string::npos) << col;
+    EXPECT_NE(out.find("1.000"), std::string::npos);
+    EXPECT_NE(out.find("6.000"), std::string::npos);
+}
+
+TEST(Report, PerCategoryAveragesWithinCategories)
+{
+    std::vector<std::string> names{"cfg"};
+    std::vector<std::vector<RunResult>> results{{
+        makeResult("a-1", "aa", 100), // ipc 1.0
+        makeResult("a-2", "aa", 300), // ipc 3.0
+        makeResult("b-1", "bb", 500), // ipc 5.0
+    }};
+    ::testing::internal::CaptureStdout();
+    printPerCategory("per-cat", names, results, [](const RunResult &r) {
+        return r.stats.ipc();
+    });
+    std::string out = ::testing::internal::GetCapturedStdout();
+
+    EXPECT_NE(out.find("aa"), std::string::npos);
+    EXPECT_NE(out.find("bb"), std::string::npos);
+    EXPECT_NE(out.find("2.000"), std::string::npos); // mean of aa
+    EXPECT_NE(out.find("5.000"), std::string::npos); // mean of bb
+}
+
+TEST(Report, CategoriesKeepFirstSeenOrder)
+{
+    std::vector<std::string> names{"cfg"};
+    std::vector<std::vector<RunResult>> results{{
+        makeResult("z", "zz", 100),
+        makeResult("a", "aa", 100),
+    }};
+    ::testing::internal::CaptureStdout();
+    printPerCategory("t", names, results, [](const RunResult &r) {
+        return r.stats.ipc();
+    });
+    std::string out = ::testing::internal::GetCapturedStdout();
+    EXPECT_LT(out.find("zz"), out.find("aa"));
+}
+
+TEST(Report, CollectPreservesOrder)
+{
+    std::vector<RunResult> results{makeResult("a", "x", 100),
+                                   makeResult("b", "x", 200),
+                                   makeResult("c", "x", 300)};
+    auto values = collect(results, [](const RunResult &r) {
+        return r.stats.ipc();
+    });
+    ASSERT_EQ(values.size(), 3u);
+    EXPECT_DOUBLE_EQ(values[0], 1.0);
+    EXPECT_DOUBLE_EQ(values[2], 3.0);
+}
+
+} // namespace
+} // namespace eip::harness

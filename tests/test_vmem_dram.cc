@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests for the virtual-memory mapping and the DRAM model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/dram.hh"
+#include "sim/vmem.hh"
+
+namespace eip::sim {
+namespace {
+
+TEST(VirtualMemory, StableMapping)
+{
+    VirtualMemory vmem(1);
+    Addr pa1 = vmem.translate(0x400123);
+    Addr pa2 = vmem.translate(0x400123);
+    EXPECT_EQ(pa1, pa2);
+}
+
+TEST(VirtualMemory, PreservesPageOffset)
+{
+    VirtualMemory vmem(1);
+    Addr va = 0x400abc;
+    Addr pa = vmem.translate(va);
+    EXPECT_EQ(pa & (kPageSize - 1), va & (kPageSize - 1));
+}
+
+TEST(VirtualMemory, SamePageSameFrame)
+{
+    VirtualMemory vmem(1);
+    Addr pa1 = vmem.translate(0x400000);
+    Addr pa2 = vmem.translate(0x400fff);
+    EXPECT_EQ(pageAddr(pa1), pageAddr(pa2));
+}
+
+TEST(VirtualMemory, ConsecutivePagesScattered)
+{
+    // The point of §IV-E: consecutive virtual pages are generally not
+    // physically consecutive.
+    VirtualMemory vmem(7);
+    int consecutive = 0;
+    Addr prev = vmem.translate(0x400000);
+    for (int p = 1; p < 64; ++p) {
+        Addr pa = vmem.translate(0x400000 + p * kPageSize);
+        if (pageAddr(pa) == pageAddr(prev) + 1)
+            ++consecutive;
+        prev = pa;
+    }
+    EXPECT_LT(consecutive, 8);
+}
+
+TEST(VirtualMemory, FramesUnique)
+{
+    VirtualMemory vmem(3);
+    std::set<Addr> frames;
+    for (int p = 0; p < 4096; ++p)
+        frames.insert(pageAddr(vmem.translate(p * kPageSize)));
+    EXPECT_EQ(frames.size(), 4096u);
+    EXPECT_EQ(vmem.mappedPages(), 4096u);
+}
+
+TEST(VirtualMemory, DeterministicAcrossInstances)
+{
+    VirtualMemory a(9), b(9);
+    for (int p = 0; p < 128; ++p)
+        EXPECT_EQ(a.translate(p * kPageSize), b.translate(p * kPageSize));
+}
+
+TEST(Dram, FixedLatencyWithoutJitter)
+{
+    Dram dram(200, 0);
+    EXPECT_EQ(dram.access(1000), 1200u);
+    EXPECT_EQ(dram.access(5), 205u);
+    EXPECT_EQ(dram.accesses(), 2u);
+}
+
+TEST(Dram, JitterBoundedAndPresent)
+{
+    Dram dram(200, 80, 42);
+    bool jittered = false;
+    for (int i = 0; i < 200; ++i) {
+        Cycle ready = dram.access(0);
+        EXPECT_GE(ready, 200u);
+        EXPECT_LT(ready, 280u);
+        jittered |= ready != 200;
+    }
+    EXPECT_TRUE(jittered);
+}
+
+TEST(Dram, DeterministicSequence)
+{
+    Dram a(100, 50, 5), b(100, 50, 5);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.access(i), b.access(i));
+}
+
+} // namespace
+} // namespace eip::sim
