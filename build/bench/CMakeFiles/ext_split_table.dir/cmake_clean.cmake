@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_split_table.dir/ext_split_table.cc.o"
+  "CMakeFiles/ext_split_table.dir/ext_split_table.cc.o.d"
+  "ext_split_table"
+  "ext_split_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_split_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

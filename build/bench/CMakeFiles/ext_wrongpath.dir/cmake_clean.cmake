@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_wrongpath.dir/ext_wrongpath.cc.o"
+  "CMakeFiles/ext_wrongpath.dir/ext_wrongpath.cc.o.d"
+  "ext_wrongpath"
+  "ext_wrongpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_wrongpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

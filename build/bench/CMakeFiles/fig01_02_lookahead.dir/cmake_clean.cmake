@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_02_lookahead.dir/fig01_02_lookahead.cc.o"
+  "CMakeFiles/fig01_02_lookahead.dir/fig01_02_lookahead.cc.o.d"
+  "fig01_02_lookahead"
+  "fig01_02_lookahead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_02_lookahead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_ipc_vs_storage.dir/fig06_ipc_vs_storage.cc.o"
+  "CMakeFiles/fig06_ipc_vs_storage.dir/fig06_ipc_vs_storage.cc.o.d"
+  "fig06_ipc_vs_storage"
+  "fig06_ipc_vs_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_ipc_vs_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_ipc_vs_storage.
+# This may be replaced when dependencies are built.

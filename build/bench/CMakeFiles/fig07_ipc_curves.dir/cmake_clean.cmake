@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_ipc_curves.dir/fig07_ipc_curves.cc.o"
+  "CMakeFiles/fig07_ipc_curves.dir/fig07_ipc_curves.cc.o.d"
+  "fig07_ipc_curves"
+  "fig07_ipc_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_ipc_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

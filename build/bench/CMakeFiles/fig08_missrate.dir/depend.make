@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_missrate.
+# This may be replaced when dependencies are built.

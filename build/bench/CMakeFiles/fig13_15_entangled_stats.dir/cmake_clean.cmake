@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_15_entangled_stats.dir/fig13_15_entangled_stats.cc.o"
+  "CMakeFiles/fig13_15_entangled_stats.dir/fig13_15_entangled_stats.cc.o.d"
+  "fig13_15_entangled_stats"
+  "fig13_15_entangled_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_15_entangled_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_cloudsuite.dir/fig16_cloudsuite.cc.o"
+  "CMakeFiles/fig16_cloudsuite.dir/fig16_cloudsuite.cc.o.d"
+  "fig16_cloudsuite"
+  "fig16_cloudsuite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_cloudsuite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

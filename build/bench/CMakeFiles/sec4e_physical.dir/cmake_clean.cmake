@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec4e_physical.dir/sec4e_physical.cc.o"
+  "CMakeFiles/sec4e_physical.dir/sec4e_physical.cc.o.d"
+  "sec4e_physical"
+  "sec4e_physical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec4e_physical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab04_energy.dir/tab04_energy.cc.o"
+  "CMakeFiles/tab04_energy.dir/tab04_energy.cc.o.d"
+  "tab04_energy"
+  "tab04_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

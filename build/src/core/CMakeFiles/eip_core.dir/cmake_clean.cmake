@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eip_core.dir/dest_compression.cc.o"
+  "CMakeFiles/eip_core.dir/dest_compression.cc.o.d"
+  "CMakeFiles/eip_core.dir/entangled_table.cc.o"
+  "CMakeFiles/eip_core.dir/entangled_table.cc.o.d"
+  "CMakeFiles/eip_core.dir/entangling.cc.o"
+  "CMakeFiles/eip_core.dir/entangling.cc.o.d"
+  "libeip_core.a"
+  "libeip_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eip_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

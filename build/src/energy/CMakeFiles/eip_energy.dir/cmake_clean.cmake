@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eip_energy.dir/energy_model.cc.o"
+  "CMakeFiles/eip_energy.dir/energy_model.cc.o.d"
+  "libeip_energy.a"
+  "libeip_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eip_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeip_energy.a"
+)

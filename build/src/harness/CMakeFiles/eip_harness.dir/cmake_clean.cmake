@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eip_harness.dir/cli.cc.o"
+  "CMakeFiles/eip_harness.dir/cli.cc.o.d"
+  "CMakeFiles/eip_harness.dir/report.cc.o"
+  "CMakeFiles/eip_harness.dir/report.cc.o.d"
+  "CMakeFiles/eip_harness.dir/runner.cc.o"
+  "CMakeFiles/eip_harness.dir/runner.cc.o.d"
+  "libeip_harness.a"
+  "libeip_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eip_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

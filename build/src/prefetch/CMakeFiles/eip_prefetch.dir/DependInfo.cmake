@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prefetch/djolt.cc" "src/prefetch/CMakeFiles/eip_prefetch.dir/djolt.cc.o" "gcc" "src/prefetch/CMakeFiles/eip_prefetch.dir/djolt.cc.o.d"
+  "/root/repo/src/prefetch/factory.cc" "src/prefetch/CMakeFiles/eip_prefetch.dir/factory.cc.o" "gcc" "src/prefetch/CMakeFiles/eip_prefetch.dir/factory.cc.o.d"
+  "/root/repo/src/prefetch/fnl_mma.cc" "src/prefetch/CMakeFiles/eip_prefetch.dir/fnl_mma.cc.o" "gcc" "src/prefetch/CMakeFiles/eip_prefetch.dir/fnl_mma.cc.o.d"
+  "/root/repo/src/prefetch/mana.cc" "src/prefetch/CMakeFiles/eip_prefetch.dir/mana.cc.o" "gcc" "src/prefetch/CMakeFiles/eip_prefetch.dir/mana.cc.o.d"
+  "/root/repo/src/prefetch/pif.cc" "src/prefetch/CMakeFiles/eip_prefetch.dir/pif.cc.o" "gcc" "src/prefetch/CMakeFiles/eip_prefetch.dir/pif.cc.o.d"
+  "/root/repo/src/prefetch/rdip.cc" "src/prefetch/CMakeFiles/eip_prefetch.dir/rdip.cc.o" "gcc" "src/prefetch/CMakeFiles/eip_prefetch.dir/rdip.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/eip_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/eip_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/eip_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eip_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

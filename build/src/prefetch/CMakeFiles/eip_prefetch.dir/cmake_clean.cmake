@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eip_prefetch.dir/djolt.cc.o"
+  "CMakeFiles/eip_prefetch.dir/djolt.cc.o.d"
+  "CMakeFiles/eip_prefetch.dir/factory.cc.o"
+  "CMakeFiles/eip_prefetch.dir/factory.cc.o.d"
+  "CMakeFiles/eip_prefetch.dir/fnl_mma.cc.o"
+  "CMakeFiles/eip_prefetch.dir/fnl_mma.cc.o.d"
+  "CMakeFiles/eip_prefetch.dir/mana.cc.o"
+  "CMakeFiles/eip_prefetch.dir/mana.cc.o.d"
+  "CMakeFiles/eip_prefetch.dir/pif.cc.o"
+  "CMakeFiles/eip_prefetch.dir/pif.cc.o.d"
+  "CMakeFiles/eip_prefetch.dir/rdip.cc.o"
+  "CMakeFiles/eip_prefetch.dir/rdip.cc.o.d"
+  "libeip_prefetch.a"
+  "libeip_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eip_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

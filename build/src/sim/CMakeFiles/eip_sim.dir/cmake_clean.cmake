@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eip_sim.dir/branch.cc.o"
+  "CMakeFiles/eip_sim.dir/branch.cc.o.d"
+  "CMakeFiles/eip_sim.dir/cache.cc.o"
+  "CMakeFiles/eip_sim.dir/cache.cc.o.d"
+  "CMakeFiles/eip_sim.dir/config.cc.o"
+  "CMakeFiles/eip_sim.dir/config.cc.o.d"
+  "CMakeFiles/eip_sim.dir/cpu.cc.o"
+  "CMakeFiles/eip_sim.dir/cpu.cc.o.d"
+  "libeip_sim.a"
+  "libeip_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eip_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

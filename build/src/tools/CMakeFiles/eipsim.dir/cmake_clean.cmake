@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eipsim.dir/eipsim.cc.o"
+  "CMakeFiles/eipsim.dir/eipsim.cc.o.d"
+  "eipsim"
+  "eipsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eipsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

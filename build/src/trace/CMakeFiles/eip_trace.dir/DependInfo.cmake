@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/executor.cc" "src/trace/CMakeFiles/eip_trace.dir/executor.cc.o" "gcc" "src/trace/CMakeFiles/eip_trace.dir/executor.cc.o.d"
+  "/root/repo/src/trace/program_builder.cc" "src/trace/CMakeFiles/eip_trace.dir/program_builder.cc.o" "gcc" "src/trace/CMakeFiles/eip_trace.dir/program_builder.cc.o.d"
+  "/root/repo/src/trace/trace_file.cc" "src/trace/CMakeFiles/eip_trace.dir/trace_file.cc.o" "gcc" "src/trace/CMakeFiles/eip_trace.dir/trace_file.cc.o.d"
+  "/root/repo/src/trace/workloads.cc" "src/trace/CMakeFiles/eip_trace.dir/workloads.cc.o" "gcc" "src/trace/CMakeFiles/eip_trace.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/eip_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

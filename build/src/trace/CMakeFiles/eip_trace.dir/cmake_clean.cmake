@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eip_trace.dir/executor.cc.o"
+  "CMakeFiles/eip_trace.dir/executor.cc.o.d"
+  "CMakeFiles/eip_trace.dir/program_builder.cc.o"
+  "CMakeFiles/eip_trace.dir/program_builder.cc.o.d"
+  "CMakeFiles/eip_trace.dir/trace_file.cc.o"
+  "CMakeFiles/eip_trace.dir/trace_file.cc.o.d"
+  "CMakeFiles/eip_trace.dir/workloads.cc.o"
+  "CMakeFiles/eip_trace.dir/workloads.cc.o.d"
+  "libeip_trace.a"
+  "libeip_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eip_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eip_util.dir/table_printer.cc.o"
+  "CMakeFiles/eip_util.dir/table_printer.cc.o.d"
+  "libeip_util.a"
+  "libeip_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eip_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_entangled_table.dir/test_entangled_table.cc.o"
+  "CMakeFiles/test_entangled_table.dir/test_entangled_table.cc.o.d"
+  "test_entangled_table"
+  "test_entangled_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_entangled_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_entangling.dir/test_entangling.cc.o"
+  "CMakeFiles/test_entangling.dir/test_entangling.cc.o.d"
+  "test_entangling"
+  "test_entangling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_entangling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

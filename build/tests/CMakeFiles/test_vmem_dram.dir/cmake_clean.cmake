@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vmem_dram.dir/test_vmem_dram.cc.o"
+  "CMakeFiles/test_vmem_dram.dir/test_vmem_dram.cc.o.d"
+  "test_vmem_dram"
+  "test_vmem_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vmem_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

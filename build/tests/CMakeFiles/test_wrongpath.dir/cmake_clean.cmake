@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wrongpath.dir/test_wrongpath.cc.o"
+  "CMakeFiles/test_wrongpath.dir/test_wrongpath.cc.o.d"
+  "test_wrongpath"
+  "test_wrongpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wrongpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
