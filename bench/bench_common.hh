@@ -12,10 +12,14 @@
 #ifndef EIP_BENCH_COMMON_HH
 #define EIP_BENCH_COMMON_HH
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "exec/jobs.hh"
+#include "exec/program_cache.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
 #include "prefetch/factory.hh"
@@ -25,14 +29,61 @@
 
 namespace eip::bench {
 
-/** Print the standard bench banner. */
+namespace detail {
+
+inline std::chrono::steady_clock::time_point &
+benchStart()
+{
+    static std::chrono::steady_clock::time_point start =
+        std::chrono::steady_clock::now();
+    return start;
+}
+
+/** Job count resolved once by banner(); the exit-time report must not
+ *  re-parse EIP_JOBS (a malformed value is fatal, and a fatal inside an
+ *  atexit handler would re-enter exit). */
+inline unsigned &
+benchJobs()
+{
+    static unsigned jobs = 1;
+    return jobs;
+}
+
+/** atexit hook installed by banner(): every bench reports its total
+ *  wall-clock and the worker count without any per-bench code. The
+ *  result tables themselves are invariant under the job count. */
+inline void
+printWallClock()
+{
+    double seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - benchStart())
+                         .count();
+    const exec::ProgramCache &cache = exec::ProgramCache::global();
+    std::printf("\n[wall-clock %.2fs, jobs=%u, program cache: %llu "
+                "builds, %llu hits]\n",
+                seconds, benchJobs(),
+                static_cast<unsigned long long>(cache.builds()),
+                static_cast<unsigned long long>(cache.hits()));
+}
+
+} // namespace detail
+
+/** Print the standard bench banner (and arm the exit-time wall-clock +
+ *  jobs report). */
 inline void
 banner(const char *figure, const char *what)
 {
+    // Resolve the knob before arming the atexit report: a malformed
+    // EIP_JOBS dies here, cleanly, with no handler installed yet.
+    detail::benchJobs() = exec::defaultJobs();
+    detail::benchStart() = std::chrono::steady_clock::now();
+    std::atexit(detail::printWallClock);
     std::printf("=====================================================\n");
     std::printf("%s — %s\n", figure, what);
     std::printf("(shape reproduction; see EXPERIMENTS.md for the "
-                "paper-vs-measured record)\n");
+                "paper-vs-measured record; jobs=%u, set EIP_JOBS to "
+                "override)\n",
+                detail::benchJobs());
     std::printf("=====================================================\n");
 }
 

@@ -1,0 +1,42 @@
+#include "exec/jobs.hh"
+
+#include <thread>
+
+#include "util/env.hh"
+#include "util/panic.hh"
+
+namespace eip::exec {
+
+namespace {
+
+unsigned
+hardwareJobs()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+} // namespace
+
+unsigned
+defaultJobs()
+{
+    if (auto jobs = util::envU64("EIP_JOBS")) {
+        // Cap far above any real machine; mostly guards against typos
+        // like EIP_JOBS=44444 oversubscribing the host into the ground.
+        if (*jobs > 4096)
+            EIP_FATAL("EIP_JOBS: value out of range (max 4096)");
+        if (*jobs == 0)
+            return hardwareJobs();
+        return static_cast<unsigned>(*jobs);
+    }
+    return hardwareJobs();
+}
+
+unsigned
+resolveJobs(unsigned requested)
+{
+    return requested > 0 ? requested : defaultJobs();
+}
+
+} // namespace eip::exec

@@ -1,0 +1,82 @@
+#include "exec/program_cache.hh"
+
+#include <sstream>
+
+namespace eip::exec {
+
+namespace {
+
+/**
+ * Serialize every generation knob into the cache key. Two configs with
+ * equal keys yield bit-identical programs (buildProgram is deterministic),
+ * so this is the exact memoization key — keep it in sync with
+ * trace::ProgramConfig when adding fields there.
+ */
+std::string
+cacheKey(const trace::ProgramConfig &c)
+{
+    std::ostringstream key;
+    key << c.seed << '|' << c.numFunctions << '|' << c.minBlocksPerFunction
+        << '|' << c.maxBlocksPerFunction << '|' << c.minBlockInsts << '|'
+        << c.maxBlockInsts << '|' << c.loadFraction << '|' << c.storeFraction
+        << '|' << c.fpFraction << '|' << c.condBlockFraction << '|'
+        << c.callBlockFraction << '|' << c.jumpBlockFraction << '|'
+        << c.indirectFraction << '|' << c.loopFraction << '|' << c.minLoopTrips
+        << '|' << c.maxLoopTrips << '|' << c.condTakenBias << '|'
+        << c.callLocality << '|' << c.maxCalleeCost << '|'
+        << c.biasedBranchFraction << '|' << c.dispatcherFanout << '|'
+        << c.dispatcherEvery << '|' << c.dispatcherLoopTrips << '|'
+        << c.codeBase << '|' << c.functionAlign << '|' << c.interFunctionPad
+        << '|' << c.moduleCount << '|' << c.moduleStride;
+    return key.str();
+}
+
+} // namespace
+
+std::shared_ptr<const trace::Program>
+ProgramCache::get(const trace::ProgramConfig &cfg)
+{
+    const std::string key = cacheKey(cfg);
+
+    std::shared_ptr<Slot> slot;
+    {
+        std::shared_lock<std::shared_mutex> readLock(mutex);
+        auto it = slots.find(key);
+        if (it != slots.end())
+            slot = it->second;
+    }
+    if (slot == nullptr) {
+        std::unique_lock<std::shared_mutex> writeLock(mutex);
+        auto [it, inserted] = slots.try_emplace(key, nullptr);
+        if (inserted)
+            it->second = std::make_shared<Slot>();
+        slot = it->second;
+    }
+
+    bool builtNow = false;
+    std::call_once(slot->once, [&]() {
+        slot->program =
+            std::make_shared<const trace::Program>(trace::buildProgram(cfg));
+        buildCount.fetch_add(1);
+        builtNow = true;
+    });
+    if (!builtNow)
+        hitCount.fetch_add(1);
+    return slot->program;
+}
+
+void
+ProgramCache::clear()
+{
+    std::unique_lock<std::shared_mutex> writeLock(mutex);
+    slots.clear();
+}
+
+ProgramCache &
+ProgramCache::global()
+{
+    static ProgramCache cache;
+    return cache;
+}
+
+} // namespace eip::exec

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Deterministic batch scheduler: fan a vector of jobs across a thread
+ * pool and return the results in submission order.
+ *
+ * Determinism contract: the job function must keep all mutable state
+ * job-local (every harness run constructs its own Cpu, Executor and RNG
+ * from the job description), so a job's result is a pure function of the
+ * job. Under that contract the output vector is bit-identical to the
+ * serial loop for any worker count and any completion interleaving —
+ * results are placed by submission index, never by completion time.
+ *
+ * Error contract: if a job throws, runBatch rethrows the exception of the
+ * lowest-indexed failing job after the pool has drained (remaining queued
+ * jobs still run to completion; their results are discarded).
+ */
+
+#ifndef EIP_EXEC_RUN_BATCH_HH
+#define EIP_EXEC_RUN_BATCH_HH
+
+#include <future>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "exec/thread_pool.hh"
+
+namespace eip::exec {
+
+/**
+ * Run @p fn over every element of @p jobs using @p workers threads and
+ * return fn's results in submission order. workers <= 1 is the legacy
+ * serial path: jobs run inline on the calling thread with no pool.
+ *
+ * The harness instantiates this with Job = {Workload, RunSpec} pairs;
+ * anything copyable-or-referencable works.
+ */
+template <typename Job, typename Fn>
+auto
+runBatch(const std::vector<Job> &jobs, unsigned workers, Fn &&fn)
+    -> std::vector<std::invoke_result_t<Fn &, const Job &>>
+{
+    using Result = std::invoke_result_t<Fn &, const Job &>;
+    std::vector<Result> results;
+    results.reserve(jobs.size());
+    if (jobs.empty())
+        return results;
+
+    if (workers <= 1) {
+        for (const Job &job : jobs)
+            results.push_back(fn(job));
+        return results;
+    }
+
+    // Never spawn more workers than jobs; the extra threads would only
+    // idle on the queue lock.
+    unsigned poolSize = workers;
+    if (jobs.size() < poolSize)
+        poolSize = static_cast<unsigned>(jobs.size());
+    ThreadPool pool(poolSize);
+
+    std::vector<std::future<Result>> futures;
+    futures.reserve(jobs.size());
+    for (const Job &job : jobs)
+        futures.push_back(pool.submit([&fn, &job]() { return fn(job); }));
+
+    // Collecting in submission order is what makes the parallel path
+    // indistinguishable from the serial one; get() also rethrows the
+    // first (by index) job failure.
+    for (std::future<Result> &future : futures)
+        results.push_back(future.get());
+    return results;
+}
+
+} // namespace eip::exec
+
+#endif // EIP_EXEC_RUN_BATCH_HH

@@ -1,0 +1,67 @@
+#include "exec/thread_pool.hh"
+
+#include "util/panic.hh"
+
+namespace eip::exec {
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = 1;
+    workers.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers.emplace_back([this]() { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    shutdown();
+}
+
+void
+ThreadPool::enqueue(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        EIP_ASSERT(!stopping, "ThreadPool::submit after shutdown");
+        queue.push_back(std::move(task));
+    }
+    workAvailable.notify_one();
+}
+
+void
+ThreadPool::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        stopping = true;
+    }
+    workAvailable.notify_all();
+    for (std::thread &worker : workers) {
+        if (worker.joinable())
+            worker.join();
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            workAvailable.wait(
+                lock, [this]() { return stopping || !queue.empty(); });
+            // Drain before exiting so shutdown never abandons queued work.
+            if (queue.empty())
+                return;
+            task = std::move(queue.front());
+            queue.pop_front();
+        }
+        // Any exception is captured by the packaged_task wrapper inside
+        // the callable and surfaces through the submitter's future.
+        task();
+    }
+}
+
+} // namespace eip::exec

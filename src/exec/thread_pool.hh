@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Fixed-size worker-thread pool with a FIFO work queue. Tasks are submitted
+ * as callables and observed through std::future, so a task's return value
+ * — or the exception it threw — always reaches exactly the code that
+ * submitted it; nothing is swallowed on a worker thread.
+ *
+ * Shutdown is graceful: the destructor (or an explicit shutdown()) stops
+ * accepting new work, lets the workers drain everything already queued,
+ * and joins. Work submitted before shutdown therefore always runs.
+ */
+
+#ifndef EIP_EXEC_THREAD_POOL_HH
+#define EIP_EXEC_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace eip::exec {
+
+class ThreadPool
+{
+  public:
+    /** Spawn @p threads workers (at least one). */
+    explicit ThreadPool(unsigned threads);
+
+    /** Graceful: drains the queue, then joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    unsigned threadCount() const { return static_cast<unsigned>(workers.size()); }
+
+    /**
+     * Queue @p fn for execution. The returned future yields fn's result,
+     * or rethrows the exception fn terminated with. Submitting after
+     * shutdown() is a programming error (asserts).
+     */
+    template <typename F>
+    auto
+    submit(F &&fn) -> std::future<std::invoke_result_t<std::decay_t<F>>>
+    {
+        using Result = std::invoke_result_t<std::decay_t<F>>;
+        // packaged_task is move-only but std::function wants copyable
+        // callables; the shared_ptr wrapper bridges the two.
+        auto task = std::make_shared<std::packaged_task<Result()>>(
+            std::forward<F>(fn));
+        std::future<Result> future = task->get_future();
+        enqueue([task]() { (*task)(); });
+        return future;
+    }
+
+    /**
+     * Stop accepting work, finish everything already queued, join the
+     * workers. Idempotent; implied by the destructor.
+     */
+    void shutdown();
+
+  private:
+    void enqueue(std::function<void()> task);
+    void workerLoop();
+
+    std::vector<std::thread> workers;
+    std::deque<std::function<void()>> queue;
+    std::mutex mutex;
+    std::condition_variable workAvailable;
+    bool stopping = false;
+};
+
+} // namespace eip::exec
+
+#endif // EIP_EXEC_THREAD_POOL_HH

@@ -1,8 +1,10 @@
 #include "harness/cli.hh"
 
+#include <chrono>
 #include <cstdio>
 #include <sstream>
 
+#include "exec/jobs.hh"
 #include "prefetch/factory.hh"
 #include "sim/config.hh"
 #include "sim/cpu.hh"
@@ -43,7 +45,8 @@ cliUsage()
         "eipsim — Entangling instruction-prefetcher simulator\n"
         "\n"
         "usage: eipsim [options]\n"
-        "  --workload NAME       catalogue workload (default srv-1)\n"
+        "  --workload NAME       catalogue workload (default srv-1), or\n"
+        "                        'all' to run the whole catalogue\n"
         "  --trace FILE          replay a captured .trc file instead\n"
         "  --prefetcher ID       none|ideal|l1i-64kb|l1i-96kb|nextline|\n"
         "                        sn4l|mana-{2k,4k,8k}|rdip|djolt|fnl+mma|\n"
@@ -52,6 +55,9 @@ cliUsage()
         "  --data-prefetcher ID  L1D prefetcher: none|stride\n"
         "  --instructions N      measured instructions (default 600000)\n"
         "  --warmup N            warm-up instructions (default 300000)\n"
+        "  --jobs N              worker threads for --workload all\n"
+        "                        (default: EIP_JOBS env or all cores;\n"
+        "                        1 = serial)\n"
         "  --physical            train the L1I with physical addresses\n"
         "  --wrong-path          model wrong-path execution\n"
         "  --json                machine-readable output\n"
@@ -103,6 +109,13 @@ parseCli(const std::vector<std::string> &args)
             auto v = value("--warmup");
             if (v && !parseU64(*v, opt.warmup))
                 opt.error = "--warmup needs a number";
+        } else if (arg == "--jobs") {
+            auto v = value("--jobs");
+            uint64_t jobs = 0;
+            if (v && (!parseU64(*v, jobs) || jobs > 4096))
+                opt.error = "--jobs needs a number (0 = auto, max 4096)";
+            else
+                opt.jobs = static_cast<unsigned>(jobs);
         } else if (arg == "--physical") {
             opt.physical = true;
         } else if (arg == "--wrong-path") {
@@ -179,6 +192,50 @@ runCli(const CliOptions &opt)
       }
       case CliOptions::Action::Run:
         break;
+    }
+
+    if (opt.tracePath.empty() && opt.workload == "all") {
+        // Batch mode: the whole catalogue under one config, fanned out
+        // across the exec thread pool.
+        if (opt.wrongPath) {
+            std::fprintf(stderr, "error: --wrong-path is not supported "
+                                 "with --workload all\n");
+            return 2;
+        }
+        RunSpec spec;
+        spec.configId = opt.prefetcher;
+        spec.dataPrefetcher = opt.dataPrefetcher;
+        spec.instructions = opt.instructions;
+        spec.warmup = opt.warmup;
+        spec.physicalL1i = opt.physical;
+
+        unsigned jobs = exec::resolveJobs(opt.jobs);
+        auto started = std::chrono::steady_clock::now();
+        std::vector<RunResult> results = runSuite(catalogue(), spec, jobs);
+        double seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          started)
+                .count();
+
+        if (opt.json) {
+            for (const RunResult &r : results)
+                std::printf("%s\n", resultToJson(r).c_str());
+            return 0;
+        }
+        std::printf("%-12s %-7s %8s %10s %9s %9s\n", "workload", "categ",
+                    "IPC", "L1I-MPKI", "coverage", "accuracy");
+        for (const RunResult &r : results) {
+            std::printf("%-12s %-7s %8.4f %10.2f %9.4f %9.4f\n",
+                        r.workload.c_str(), r.category.c_str(),
+                        r.stats.ipc(), r.stats.l1iMpki(),
+                        r.stats.l1i.coverage(), r.stats.l1i.accuracy());
+        }
+        std::printf("\n%zu workloads under %s in %.2fs (jobs=%u)\n",
+                    results.size(),
+                    results.empty() ? opt.prefetcher.c_str()
+                                    : results.front().configName.c_str(),
+                    seconds, jobs);
+        return 0;
     }
 
     RunResult result;

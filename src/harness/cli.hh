@@ -30,12 +30,16 @@ struct CliOptions
     };
 
     Action action = Action::Run;
-    std::string workload = "srv-1";  ///< catalogue name
+    std::string workload = "srv-1";  ///< catalogue name, or "all"
     std::string tracePath;           ///< when set, replay this trace file
     std::string prefetcher = "entangling-4k";
     std::string dataPrefetcher = "none";
     uint64_t instructions = 600000;
     uint64_t warmup = 300000;
+    /** Worker threads for batch runs (--workload all). 0 = auto: the
+     *  EIP_JOBS environment variable, else hardware_concurrency();
+     *  1 = legacy serial path. */
+    unsigned jobs = 0;
     bool physical = false;
     bool wrongPath = false;
     bool json = false;

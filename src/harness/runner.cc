@@ -1,10 +1,12 @@
 #include "harness/runner.hh"
 
-#include <cstdlib>
-
 #include "core/entangling.hh"
+#include "exec/jobs.hh"
+#include "exec/program_cache.hh"
+#include "exec/run_batch.hh"
 #include "prefetch/factory.hh"
 #include "sim/cpu.hh"
+#include "util/env.hh"
 #include "util/panic.hh"
 #include "util/stats_math.hh"
 
@@ -14,23 +16,31 @@ RunSpec
 RunSpec::defaultSpec()
 {
     RunSpec spec;
-    if (const char *scale_env = std::getenv("EIP_SIM_SCALE")) {
-        double scale = std::atof(scale_env);
-        if (scale > 0.0) {
-            spec.instructions =
-                static_cast<uint64_t>(spec.instructions * scale);
-            // The warm-up must cover at least one recurrence cycle of the
-            // synthetic workloads or no history-based prefetcher can
-            // train; scaling only ever lengthens it.
-            if (scale > 1.0)
-                spec.warmup = static_cast<uint64_t>(spec.warmup * scale);
-        }
+    if (auto scale = util::envDouble("EIP_SIM_SCALE")) {
+        if (*scale <= 0.0)
+            EIP_FATAL("EIP_SIM_SCALE: must be a positive scale factor");
+        spec.instructions =
+            static_cast<uint64_t>(spec.instructions * *scale);
+        // The warm-up must cover at least one recurrence cycle of the
+        // synthetic workloads or no history-based prefetcher can
+        // train; scaling only ever lengthens it.
+        if (*scale > 1.0)
+            spec.warmup = static_cast<uint64_t>(spec.warmup * *scale);
     }
     return spec;
 }
 
 RunResult
 runOne(const trace::Workload &workload, const RunSpec &spec)
+{
+    std::shared_ptr<const trace::Program> program =
+        exec::ProgramCache::global().get(workload.program);
+    return runOne(workload, spec, *program);
+}
+
+RunResult
+runOne(const trace::Workload &workload, const RunSpec &spec,
+       const trace::Program &program)
 {
     sim::SimConfig cfg;
     cfg.physicalL1I = spec.physicalL1i;
@@ -56,7 +66,6 @@ runOne(const trace::Workload &workload, const RunSpec &spec)
     if (data_prefetcher != nullptr)
         cpu.l1d().attachPrefetcher(data_prefetcher.get());
 
-    trace::Program program = trace::buildProgram(workload.program);
     trace::Executor exec(program, workload.exec);
 
     RunResult result;
@@ -87,13 +96,36 @@ runOne(const trace::Workload &workload, const RunSpec &spec)
 }
 
 std::vector<RunResult>
+runBatch(const std::vector<RunJob> &batch, unsigned jobs)
+{
+    exec::ProgramCache &cache = exec::ProgramCache::global();
+    return exec::runBatch(
+        batch, exec::resolveJobs(jobs), [&cache](const RunJob &job) {
+            // The shared program is immutable; all run state (Cpu,
+            // Executor, RNG) is constructed inside runOne, so each job
+            // is a pure function of its (workload, spec) pair and the
+            // batch result is independent of scheduling.
+            std::shared_ptr<const trace::Program> program =
+                cache.get(job.workload.program);
+            return runOne(job.workload, job.spec, *program);
+        });
+}
+
+std::vector<RunResult>
 runSuite(const std::vector<trace::Workload> &suite, const RunSpec &spec)
 {
-    std::vector<RunResult> results;
-    results.reserve(suite.size());
+    return runSuite(suite, spec, 0);
+}
+
+std::vector<RunResult>
+runSuite(const std::vector<trace::Workload> &suite, const RunSpec &spec,
+         unsigned jobs)
+{
+    std::vector<RunJob> batch;
+    batch.reserve(suite.size());
     for (const auto &w : suite)
-        results.push_back(runOne(w, spec));
-    return results;
+        batch.push_back(RunJob{w, spec});
+    return runBatch(batch, jobs);
 }
 
 double

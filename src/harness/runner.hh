@@ -3,6 +3,13 @@
  * Experiment runner: builds a workload, attaches a prefetcher (or a cache
  * configuration such as Ideal / larger L1I), simulates, and returns the
  * statistics. All benches and the examples go through this entry point.
+ *
+ * Batch entry points (runSuite, runBatch) execute through the src/exec
+ * engine: jobs fan out across a thread pool (EIP_JOBS / --jobs wide,
+ * default hardware_concurrency, 1 = legacy serial loop) and synthetic
+ * programs are shared through exec::ProgramCache. Every job constructs
+ * its own Cpu/Executor/RNG, so results are bit-identical to the serial
+ * path for any job count.
  */
 
 #ifndef EIP_HARNESS_RUNNER_HH
@@ -18,6 +25,10 @@
 
 namespace eip::core {
 struct EntanglingStats;
+}
+
+namespace eip::trace {
+struct Program;
 }
 
 namespace eip::harness {
@@ -36,7 +47,9 @@ struct RunSpec
 
     /** Global scaling knob honoured by all benches: the environment
      *  variable EIP_SIM_SCALE (e.g. "0.2" or "3") multiplies instruction
-     *  budgets. Applied by defaultSpec(). */
+     *  budgets. Applied by defaultSpec(). Malformed or non-positive
+     *  values are fatal errors (a silently ignored knob would corrupt a
+     *  whole evaluation). */
     static RunSpec defaultSpec();
 };
 
@@ -59,12 +72,40 @@ struct RunResult
     std::vector<double> destBitsFractions;
 };
 
-/** Run @p workload under @p spec. */
+/** Run @p workload under @p spec. The synthetic program comes from the
+ *  shared exec::ProgramCache, so repeated runs of one workload (across
+ *  configs, or concurrently) build it once. */
 RunResult runOne(const trace::Workload &workload, const RunSpec &spec);
 
-/** Run a whole suite under one config; one result per workload. */
+/** As above with an already-built @p program (must match
+ *  workload.program). The program is only read, never mutated, so one
+ *  instance may serve many concurrent runs. */
+RunResult runOne(const trace::Workload &workload, const RunSpec &spec,
+                 const trace::Program &program);
+
+/** One cell of an experiment matrix: a workload under a spec. */
+struct RunJob
+{
+    trace::Workload workload;
+    RunSpec spec;
+};
+
+/**
+ * Run an arbitrary workload×config batch on @p jobs worker threads
+ * (0 = EIP_JOBS / hardware default, 1 = serial). Results come back in
+ * submission order, bit-identical to the serial loop for any job count.
+ */
+std::vector<RunResult> runBatch(const std::vector<RunJob> &batch,
+                                unsigned jobs = 0);
+
+/** Run a whole suite under one config; one result per workload. Fans out
+ *  through runBatch with the default job count. */
 std::vector<RunResult> runSuite(const std::vector<trace::Workload> &suite,
                                 const RunSpec &spec);
+
+/** As above with an explicit worker count (1 = legacy serial path). */
+std::vector<RunResult> runSuite(const std::vector<trace::Workload> &suite,
+                                const RunSpec &spec, unsigned jobs);
 
 /** Geometric mean of IPC normalized against a baseline result set (the
  *  baseline must cover the same workloads in the same order). */

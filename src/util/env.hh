@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Strict environment-variable parsing. The simulation knobs (EIP_SIM_SCALE,
+ * EIP_JOBS) silently misconfiguring a multi-hour evaluation is far worse
+ * than refusing to start, so malformed values are fatal user errors rather
+ * than being ignored.
+ */
+
+#ifndef EIP_UTIL_ENV_HH
+#define EIP_UTIL_ENV_HH
+
+#include <cerrno>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include "util/panic.hh"
+
+namespace eip::util {
+
+/**
+ * Read @p name as a finite double. Returns nullopt when unset or empty;
+ * exits with a diagnostic naming the variable on garbage, trailing junk,
+ * NaN, infinity, or out-of-range values.
+ */
+inline std::optional<double>
+envDouble(const char *name)
+{
+    const char *text = std::getenv(name);
+    if (text == nullptr || *text == '\0')
+        return std::nullopt;
+    errno = 0;
+    char *end = nullptr;
+    double value = std::strtod(text, &end);
+    if (end == text || *end != '\0' || errno == ERANGE ||
+        !std::isfinite(value)) {
+        std::string msg = std::string(name) + ": invalid value '" + text +
+                          "' (expected a finite number)";
+        EIP_FATAL(msg.c_str());
+    }
+    return value;
+}
+
+/**
+ * Read @p name as an unsigned integer. Returns nullopt when unset or
+ * empty; exits with a diagnostic on anything that is not a plain
+ * non-negative decimal integer.
+ */
+inline std::optional<uint64_t>
+envU64(const char *name)
+{
+    const char *text = std::getenv(name);
+    if (text == nullptr || *text == '\0')
+        return std::nullopt;
+    errno = 0;
+    char *end = nullptr;
+    // strtoull accepts a leading minus sign (wrapping the result); reject
+    // it up front so "-2" is an error, not 2^64-2.
+    bool negative = text[0] == '-';
+    uint64_t value = std::strtoull(text, &end, 10);
+    if (negative || end == text || *end != '\0' || errno == ERANGE) {
+        std::string msg = std::string(name) + ": invalid value '" + text +
+                          "' (expected a non-negative integer)";
+        EIP_FATAL(msg.c_str());
+    }
+    return value;
+}
+
+} // namespace eip::util
+
+#endif // EIP_UTIL_ENV_HH

@@ -64,6 +64,15 @@ TEST(Cli, ErrorsAreReportedNotFatal)
     EXPECT_FALSE(parse({"--workload"}).error.empty()); // missing value
     EXPECT_FALSE(parse({"--instructions", "abc"}).error.empty());
     EXPECT_FALSE(parse({"--instructions", "0"}).error.empty());
+    EXPECT_FALSE(parse({"--jobs", "many"}).error.empty());
+    EXPECT_FALSE(parse({"--jobs", "9999"}).error.empty()); // > 4096
+}
+
+TEST(Cli, JobsFlagParses)
+{
+    EXPECT_EQ(parse({}).jobs, 0u); // 0 = auto (EIP_JOBS or all cores)
+    EXPECT_EQ(parse({"--jobs", "4"}).jobs, 4u);
+    EXPECT_EQ(parse({"--jobs", "1"}).jobs, 1u);
 }
 
 TEST(Cli, TraceOptionParses)
@@ -77,7 +86,7 @@ TEST(Cli, UsageMentionsAllFlags)
     std::string usage = cliUsage();
     for (const char *flag :
          {"--workload", "--trace", "--prefetcher", "--instructions",
-          "--warmup", "--physical", "--wrong-path", "--json",
+          "--warmup", "--jobs", "--physical", "--wrong-path", "--json",
           "--list-workloads", "--list-prefetchers", "--config"}) {
         EXPECT_NE(usage.find(flag), std::string::npos) << flag;
     }
@@ -121,6 +130,18 @@ TEST(Cli, RunCliEndToEnd)
                             "nextline", "--instructions", "50000",
                             "--warmup", "10000", "--json"})),
               0);
+}
+
+TEST(Cli, RunCliBatchModeRunsWholeCatalogue)
+{
+    EXPECT_EQ(runCli(parse({"--workload", "all", "--prefetcher", "none",
+                            "--instructions", "20000", "--warmup", "5000",
+                            "--jobs", "4", "--json"})),
+              0);
+    // Wrong-path modelling is a single-run feature.
+    EXPECT_EQ(runCli(parse({"--workload", "all", "--wrong-path",
+                            "--instructions", "1000"})),
+              2);
 }
 
 } // namespace

@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Tests for the parallel experiment-execution subsystem: thread-pool
+ * lifecycle and exception capture, ordered deterministic batching, the
+ * shared program cache, the EIP_JOBS knob, and the bit-identical
+ * serial-vs-parallel guarantee of runSuite.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+
+#include "exec/jobs.hh"
+#include "exec/program_cache.hh"
+#include "exec/run_batch.hh"
+#include "exec/thread_pool.hh"
+#include "harness/runner.hh"
+#include "trace/workloads.hh"
+
+namespace eip {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ---------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPool, RunsSubmittedTasks)
+{
+    exec::ThreadPool pool(4);
+    EXPECT_EQ(pool.threadCount(), 4u);
+    auto fut = pool.submit([]() { return 6 * 7; });
+    EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPool, ShutdownCompletesAllPendingWork)
+{
+    std::atomic<int> done{0};
+    std::vector<std::future<void>> futures;
+    {
+        exec::ThreadPool pool(2);
+        for (int i = 0; i < 32; ++i) {
+            futures.push_back(pool.submit([&done]() {
+                std::this_thread::sleep_for(1ms);
+                done.fetch_add(1);
+            }));
+        }
+        pool.shutdown(); // must drain the 30 tasks still queued
+        EXPECT_EQ(done.load(), 32);
+        pool.shutdown(); // idempotent
+    } // destructor after explicit shutdown is a no-op
+    for (auto &f : futures)
+        EXPECT_NO_THROW(f.get());
+    EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue)
+{
+    std::atomic<int> done{0};
+    {
+        exec::ThreadPool pool(1);
+        for (int i = 0; i < 16; ++i)
+            pool.submit([&done]() { done.fetch_add(1); });
+    }
+    EXPECT_EQ(done.load(), 16);
+}
+
+TEST(ThreadPool, ExceptionIsCapturedPerTask)
+{
+    exec::ThreadPool pool(2);
+    auto bad = pool.submit([]() -> int {
+        throw std::runtime_error("task exploded");
+    });
+    auto good = pool.submit([]() { return 7; });
+    EXPECT_EQ(good.get(), 7); // a throwing task never poisons its neighbours
+    EXPECT_THROW(bad.get(), std::runtime_error);
+}
+
+// ------------------------------------------------------------------ runBatch
+
+TEST(RunBatch, PreservesSubmissionOrder)
+{
+    std::vector<int> jobs;
+    for (int i = 0; i < 64; ++i)
+        jobs.push_back(i);
+    // Delay early jobs the most so completion order inverts submission
+    // order; the result vector must be index-ordered anyway.
+    auto fn = [](const int &i) {
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            100 * (64 - i)));
+        return i * i;
+    };
+    auto parallel = exec::runBatch(jobs, 8, fn);
+    auto serial = exec::runBatch(jobs, 1, fn);
+    ASSERT_EQ(parallel.size(), jobs.size());
+    EXPECT_EQ(parallel, serial);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(parallel[i], i * i);
+}
+
+TEST(RunBatch, EmptyBatchIsFine)
+{
+    std::vector<int> none;
+    auto out = exec::runBatch(none, 4, [](const int &i) { return i; });
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(RunBatch, PropagatesJobException)
+{
+    std::vector<int> jobs{0, 1, 2, 3, 4, 5, 6, 7};
+    auto fn = [](const int &i) -> int {
+        if (i == 3)
+            throw std::runtime_error("job 3 failed");
+        return i;
+    };
+    EXPECT_THROW(exec::runBatch(jobs, 4, fn), std::runtime_error);
+    EXPECT_THROW(exec::runBatch(jobs, 1, fn), std::runtime_error);
+}
+
+// -------------------------------------------------------------- ProgramCache
+
+TEST(ProgramCache, BuildsOncePerConfigUnderConcurrentAccess)
+{
+    exec::ProgramCache cache;
+    trace::Workload w = trace::tinyWorkload();
+
+    std::vector<std::shared_ptr<const trace::Program>> seen(16);
+    {
+        exec::ThreadPool pool(8);
+        std::vector<std::future<void>> futures;
+        for (size_t i = 0; i < seen.size(); ++i) {
+            futures.push_back(pool.submit([&cache, &w, &seen, i]() {
+                seen[i] = cache.get(w.program);
+            }));
+        }
+        for (auto &f : futures)
+            f.get();
+    }
+    EXPECT_EQ(cache.builds(), 1u);
+    EXPECT_EQ(cache.hits(), seen.size() - 1);
+    for (const auto &p : seen) {
+        ASSERT_NE(p, nullptr);
+        EXPECT_EQ(p, seen.front()); // one shared instance, not copies
+    }
+}
+
+TEST(ProgramCache, DistinctSeedsBuildDistinctPrograms)
+{
+    exec::ProgramCache cache;
+    auto a = cache.get(trace::tinyWorkload(1).program);
+    auto b = cache.get(trace::tinyWorkload(2).program);
+    auto a2 = cache.get(trace::tinyWorkload(1).program);
+    EXPECT_EQ(cache.builds(), 2u);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(a, a2);
+}
+
+TEST(ProgramCache, ClearKeepsOutstandingProgramsAlive)
+{
+    exec::ProgramCache cache;
+    auto a = cache.get(trace::tinyWorkload(1).program);
+    uint64_t footprint = a->footprintBytes();
+    cache.clear();
+    EXPECT_EQ(a->footprintBytes(), footprint); // shared_ptr keeps it valid
+    auto b = cache.get(trace::tinyWorkload(1).program);
+    EXPECT_EQ(cache.builds(), 2u); // rebuilt after clear
+    EXPECT_EQ(b->footprintBytes(), footprint);
+}
+
+// ------------------------------------------------------------ EIP_JOBS knob
+
+TEST(Jobs, EnvOverrideAndAutoFallback)
+{
+    unsetenv("EIP_JOBS");
+    EXPECT_GE(exec::defaultJobs(), 1u);
+
+    setenv("EIP_JOBS", "3", 1);
+    EXPECT_EQ(exec::defaultJobs(), 3u);
+    EXPECT_EQ(exec::resolveJobs(0), 3u);
+    EXPECT_EQ(exec::resolveJobs(7), 7u); // explicit request wins
+
+    setenv("EIP_JOBS", "0", 1); // 0 = auto
+    EXPECT_GE(exec::defaultJobs(), 1u);
+    unsetenv("EIP_JOBS");
+}
+
+TEST(JobsDeathTest, GarbageEnvValuesAreFatal)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    setenv("EIP_JOBS", "fast", 1);
+    EXPECT_EXIT(exec::defaultJobs(), ::testing::ExitedWithCode(1),
+                "EIP_JOBS");
+    setenv("EIP_JOBS", "-2", 1);
+    EXPECT_EXIT(exec::defaultJobs(), ::testing::ExitedWithCode(1),
+                "EIP_JOBS");
+    setenv("EIP_JOBS", "8x", 1);
+    EXPECT_EXIT(exec::defaultJobs(), ::testing::ExitedWithCode(1),
+                "EIP_JOBS");
+    unsetenv("EIP_JOBS");
+}
+
+TEST(SimScaleDeathTest, GarbageScaleIsFatalNotIgnored)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    setenv("EIP_SIM_SCALE", "garbage", 1);
+    EXPECT_EXIT(harness::RunSpec::defaultSpec(),
+                ::testing::ExitedWithCode(1), "EIP_SIM_SCALE");
+    setenv("EIP_SIM_SCALE", "nan", 1);
+    EXPECT_EXIT(harness::RunSpec::defaultSpec(),
+                ::testing::ExitedWithCode(1), "EIP_SIM_SCALE");
+    setenv("EIP_SIM_SCALE", "-1", 1);
+    EXPECT_EXIT(harness::RunSpec::defaultSpec(),
+                ::testing::ExitedWithCode(1), "EIP_SIM_SCALE");
+    unsetenv("EIP_SIM_SCALE");
+}
+
+TEST(SimScale, ValidScaleStillApplies)
+{
+    unsetenv("EIP_SIM_SCALE");
+    harness::RunSpec base = harness::RunSpec::defaultSpec();
+    setenv("EIP_SIM_SCALE", "2", 1);
+    harness::RunSpec scaled = harness::RunSpec::defaultSpec();
+    unsetenv("EIP_SIM_SCALE");
+    EXPECT_EQ(scaled.instructions, base.instructions * 2);
+    EXPECT_EQ(scaled.warmup, base.warmup * 2);
+}
+
+// ----------------------------------------------- serial/parallel determinism
+
+TEST(RunSuiteDeterminism, ParallelIsBitIdenticalToSerial)
+{
+    std::vector<trace::Workload> suite{
+        trace::tinyWorkload(1), trace::tinyWorkload(2),
+        trace::tinyWorkload(3), trace::tinyWorkload(4),
+        trace::tinyWorkload(5), trace::tinyWorkload(6)};
+    harness::RunSpec spec;
+    spec.configId = "entangling-2k";
+    spec.instructions = 50000;
+    spec.warmup = 20000;
+
+    auto serial = harness::runSuite(suite, spec, 1);
+    auto parallel = harness::runSuite(suite, spec, 4);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+        const auto &a = serial[i];
+        const auto &b = parallel[i];
+        EXPECT_EQ(a.workload, b.workload);
+        EXPECT_EQ(a.stats.instructions, b.stats.instructions);
+        EXPECT_EQ(a.stats.cycles, b.stats.cycles);
+        EXPECT_EQ(a.stats.l1i.demandMisses, b.stats.l1i.demandMisses);
+        EXPECT_EQ(a.stats.l1i.prefetchIssued, b.stats.l1i.prefetchIssued);
+        EXPECT_EQ(a.stats.l1i.usefulPrefetches,
+                  b.stats.l1i.usefulPrefetches);
+        EXPECT_EQ(a.stats.l1i.latePrefetches, b.stats.l1i.latePrefetches);
+        EXPECT_EQ(a.stats.branchMispredicts, b.stats.branchMispredicts);
+        // Doubles compared exactly on purpose: bit-identical is the bar.
+        EXPECT_EQ(a.stats.ipc(), b.stats.ipc());
+        EXPECT_EQ(a.avgDestsPerHit, b.avgDestsPerHit);
+        EXPECT_EQ(a.destBitsFractions, b.destBitsFractions);
+    }
+}
+
+TEST(RunBatchHarness, MixedConfigMatrixKeepsOrder)
+{
+    std::vector<harness::RunJob> batch;
+    for (uint64_t seed = 1; seed <= 2; ++seed) {
+        for (const char *id : {"none", "nextline"}) {
+            harness::RunJob job;
+            job.workload = trace::tinyWorkload(seed);
+            job.spec.configId = id;
+            job.spec.instructions = 30000;
+            job.spec.warmup = 10000;
+            batch.push_back(job);
+        }
+    }
+    auto serial = harness::runBatch(batch, 1);
+    auto parallel = harness::runBatch(batch, 4);
+    ASSERT_EQ(serial.size(), 4u);
+    ASSERT_EQ(parallel.size(), 4u);
+    for (size_t i = 0; i < batch.size(); ++i) {
+        EXPECT_EQ(serial[i].configName, parallel[i].configName);
+        EXPECT_EQ(serial[i].stats.cycles, parallel[i].stats.cycles);
+    }
+    EXPECT_EQ(serial[0].configName, "no");
+    EXPECT_EQ(serial[1].configName, "NextLine");
+}
+
+} // namespace
+} // namespace eip
