@@ -20,10 +20,14 @@
 
 #include "exec/jobs.hh"
 #include "exec/program_cache.hh"
+#include "harness/artifacts.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
+#include "obs/json.hh"
+#include "obs/manifest.hh"
 #include "prefetch/factory.hh"
 #include "trace/workloads.hh"
+#include "util/env.hh"
 #include "util/stats_math.hh"
 #include "util/table_printer.hh"
 
@@ -39,6 +43,14 @@ benchStart()
     return start;
 }
 
+/** Bench name as given to banner() (for the exit-time artifact). */
+inline std::string &
+benchName()
+{
+    static std::string name;
+    return name;
+}
+
 /** Job count resolved once by banner(); the exit-time report must not
  *  re-parse EIP_JOBS (a malformed value is fatal, and a fatal inside an
  *  atexit handler would re-enter exit). */
@@ -49,9 +61,29 @@ benchJobs()
     return jobs;
 }
 
+/** BENCH_<name>.json in the current directory (or EIP_BENCH_ARTIFACT_DIR):
+ *  non-alphanumeric characters of the bench name become '_'. */
+inline std::string
+benchArtifactPath()
+{
+    std::string file = "BENCH_";
+    for (char c : benchName()) {
+        bool word = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9');
+        file += word ? c : '_';
+    }
+    file += ".json";
+    const char *dir = std::getenv("EIP_BENCH_ARTIFACT_DIR");
+    if (dir != nullptr && *dir != '\0')
+        return std::string(dir) + "/" + file;
+    return file;
+}
+
 /** atexit hook installed by banner(): every bench reports its total
- *  wall-clock and the worker count without any per-bench code. The
- *  result tables themselves are invariant under the job count. */
+ *  wall-clock and the worker count without any per-bench code, and
+ *  writes its printed tables (the report log) as a machine-readable
+ *  eip-bench/v1 artifact. The result tables themselves are invariant
+ *  under the job count. */
 inline void
 printWallClock()
 {
@@ -64,6 +96,40 @@ printWallClock()
                 seconds, benchJobs(),
                 static_cast<unsigned long long>(cache.builds()),
                 static_cast<unsigned long long>(cache.hits()));
+
+    obs::JsonWriter json;
+    json.beginObject();
+    json.kv("schema", obs::kBenchSchema);
+    json.kv("bench", benchName());
+    json.kv("git_describe", obs::buildGitDescribe());
+    json.kv("sim_scale", util::envDouble("EIP_SIM_SCALE").value_or(1.0));
+    json.key("tables").beginArray();
+    for (const harness::ReportRecord &record : harness::reportLog()) {
+        json.beginObject();
+        json.kv("title", record.title);
+        json.key("columns").beginArray();
+        for (const std::string &col : record.columns)
+            json.value(col);
+        json.endArray();
+        json.key("rows").beginArray();
+        for (size_t c = 0; c < record.configs.size(); ++c) {
+            json.beginObject();
+            json.kv("config", record.configs[c]);
+            json.key("values").beginArray();
+            for (double v : record.cells[c])
+                json.value(v);
+            json.endArray();
+            json.endObject();
+        }
+        json.endArray();
+        json.endObject();
+    }
+    json.endArray();
+    // Environment-dependent timing last (mirrors the run manifest).
+    json.kv("wall_clock_seconds", seconds);
+    json.kv("jobs", benchJobs());
+    json.endObject();
+    harness::writeTextFile(benchArtifactPath(), json.str() + "\n");
 }
 
 } // namespace detail
@@ -77,6 +143,7 @@ banner(const char *figure, const char *what)
     // EIP_JOBS dies here, cleanly, with no handler installed yet.
     detail::benchJobs() = exec::defaultJobs();
     detail::benchStart() = std::chrono::steady_clock::now();
+    detail::benchName() = figure;
     std::atexit(detail::printWallClock);
     std::printf("=====================================================\n");
     std::printf("%s — %s\n", figure, what);

@@ -1,0 +1,203 @@
+#!/usr/bin/env python3
+"""Validate eipsim machine-readable artifacts (stdlib only).
+
+Checks the three schemas produced by the observability layer:
+
+  eip-run/v1    one simulation run (eipsim --stats-json, per-job files)
+  eip-suite/v1  suite roll-up (eipsim --workload all --stats-json)
+  eip-bench/v1  bench table dump (BENCH_<name>.json)
+
+Usage: scripts/validate_stats_json.py FILE [FILE...]
+Exits non-zero and prints every violation if any file is invalid.
+"""
+
+import json
+import sys
+
+
+class Checker:
+    def __init__(self, path):
+        self.path = path
+        self.errors = []
+
+    def error(self, where, message):
+        self.errors.append(f"{self.path}: {where}: {message}")
+
+    def require(self, obj, where, key, kinds):
+        value = obj.get(key)
+        if value is None and type(None) not in kinds:
+            self.error(where, f"missing key '{key}'")
+            return None
+        if value is not None and not isinstance(value, kinds):
+            names = "/".join(k.__name__ for k in kinds)
+            self.error(where, f"'{key}' must be {names}, "
+                              f"got {type(value).__name__}")
+            return None
+        return value
+
+    # -- eip-run/v1 ----------------------------------------------------
+
+    MANIFEST_STR = ("tool", "workload", "category", "config_id",
+                    "config_name", "data_prefetcher", "git_describe")
+    MANIFEST_INT = ("storage_bits", "program_seed", "exec_seed",
+                    "instructions", "warmup", "sample_interval")
+
+    def check_manifest(self, manifest, where, timing_allowed):
+        for key in self.MANIFEST_STR:
+            self.require(manifest, where, key, (str,))
+        for key in self.MANIFEST_INT:
+            self.require(manifest, where, key, (int,))
+        self.require(manifest, where, "sim_scale", (int, float))
+        if not timing_allowed:
+            for key in ("wall_clock_seconds", "jobs"):
+                if key in manifest:
+                    self.error(where, f"timing key '{key}' breaks the "
+                                      "jobs-independence byte contract")
+
+    def check_histogram(self, hist, where):
+        self.require(hist, where, "total", (int,))
+        self.require(hist, where, "overflow", (int,))
+        self.require(hist, where, "mean", (int, float))
+        buckets = self.require(hist, where, "buckets", (list,))
+        for pair in buckets or []:
+            if (not isinstance(pair, list) or len(pair) != 2
+                    or not all(isinstance(x, int) for x in pair)):
+                self.error(where, f"bucket entry {pair!r} is not an "
+                                  "[index, count] integer pair")
+
+    def check_samples(self, samples, where):
+        self.require(samples, where, "interval", (int,))
+        columns = self.require(samples, where, "columns", (list,)) or []
+        rows = self.require(samples, where, "rows", (list,)) or []
+        previous = None
+        for i, row in enumerate(rows):
+            rw = f"{where}.rows[{i}]"
+            if not isinstance(row, dict):
+                self.error(rw, "row is not an object")
+                continue
+            self.require(row, rw, "instructions", (int,))
+            self.require(row, rw, "cycles", (int,))
+            values = self.require(row, rw, "values", (list,)) or []
+            deltas = self.require(row, rw, "deltas", (list,)) or []
+            if len(values) != len(columns):
+                self.error(rw, f"{len(values)} values for "
+                               f"{len(columns)} columns")
+            if len(deltas) != len(values):
+                self.error(rw, f"{len(deltas)} deltas for "
+                               f"{len(values)} values")
+            for c, (value, delta) in enumerate(zip(values, deltas)):
+                prev = previous[c] if previous else 0
+                if value - prev != delta:
+                    self.error(rw, f"delta mismatch in column {c}: "
+                                   f"{value} - {prev} != {delta}")
+            previous = values
+        return rows
+
+    def check_run(self, doc, where="run", timing_allowed=True):
+        schema = doc.get("schema")
+        if schema != "eip-run/v1":
+            self.error(where, f"schema is {schema!r}, expected eip-run/v1")
+        manifest = self.require(doc, where, "manifest", (dict,))
+        if manifest is not None:
+            self.check_manifest(manifest, where + ".manifest",
+                                timing_allowed)
+        counters = self.require(doc, where, "counters", (dict,))
+        for name, value in (counters or {}).items():
+            if not isinstance(value, int) or value < 0:
+                self.error(where, f"counter '{name}' is not a "
+                                  "non-negative integer")
+        gauges = self.require(doc, where, "gauges", (dict,))
+        for name, value in (gauges or {}).items():
+            if not isinstance(value, (int, float, type(None))):
+                self.error(where, f"gauge '{name}' is not numeric/null")
+        histograms = self.require(doc, where, "histograms", (dict,))
+        for name, hist in (histograms or {}).items():
+            if isinstance(hist, dict):
+                self.check_histogram(hist, f"{where}.histograms.{name}")
+            else:
+                self.error(where, f"histogram '{name}' is not an object")
+        samples = self.require(doc, where, "samples", (dict,))
+        if samples is not None:
+            self.check_samples(samples, where + ".samples")
+
+    # -- eip-suite/v1 --------------------------------------------------
+
+    def check_suite(self, doc):
+        self.require(doc, "suite", "tool", (str,))
+        self.require(doc, "suite", "git_describe", (str,))
+        count = self.require(doc, "suite", "run_count", (int,))
+        runs = self.require(doc, "suite", "runs", (list,)) or []
+        if count is not None and count != len(runs):
+            self.error("suite", f"run_count {count} != {len(runs)} runs")
+        for i, run in enumerate(runs):
+            if isinstance(run, dict):
+                self.check_run(run, f"runs[{i}]", timing_allowed=False)
+            else:
+                self.error(f"runs[{i}]", "run is not an object")
+
+    # -- eip-bench/v1 --------------------------------------------------
+
+    def check_bench(self, doc):
+        self.require(doc, "bench", "bench", (str,))
+        self.require(doc, "bench", "git_describe", (str,))
+        self.require(doc, "bench", "sim_scale", (int, float))
+        self.require(doc, "bench", "wall_clock_seconds", (int, float))
+        self.require(doc, "bench", "jobs", (int,))
+        tables = self.require(doc, "bench", "tables", (list,)) or []
+        for i, table in enumerate(tables):
+            tw = f"tables[{i}]"
+            if not isinstance(table, dict):
+                self.error(tw, "table is not an object")
+                continue
+            self.require(table, tw, "title", (str,))
+            columns = self.require(table, tw, "columns", (list,)) or []
+            rows = self.require(table, tw, "rows", (list,)) or []
+            for j, row in enumerate(rows):
+                rw = f"{tw}.rows[{j}]"
+                if not isinstance(row, dict):
+                    self.error(rw, "row is not an object")
+                    continue
+                self.require(row, rw, "config", (str,))
+                values = self.require(row, rw, "values", (list,)) or []
+                if len(values) != len(columns):
+                    self.error(rw, f"{len(values)} values for "
+                                   f"{len(columns)} columns")
+
+    def check(self, doc):
+        schema = doc.get("schema")
+        if schema == "eip-run/v1":
+            self.check_run(doc)
+        elif schema == "eip-suite/v1":
+            self.check_suite(doc)
+        elif schema == "eip-bench/v1":
+            self.check_bench(doc)
+        else:
+            self.error("document", f"unknown schema {schema!r}")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        checker = Checker(path)
+        try:
+            with open(path, "rb") as f:
+                doc = json.load(f)
+        except (OSError, ValueError) as err:
+            print(f"{path}: unreadable: {err}", file=sys.stderr)
+            failed = True
+            continue
+        checker.check(doc)
+        if checker.errors:
+            failed = True
+            for line in checker.errors:
+                print(line, file=sys.stderr)
+        else:
+            print(f"{path}: OK ({doc['schema']})")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

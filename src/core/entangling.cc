@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/registry.hh"
 #include "sim/cache.hh"
 #include "util/bitops.hh"
 #include "util/panic.hh"
@@ -165,6 +166,37 @@ EntanglingPrefetcher::storageBits() const
         cfg.splitBbEntries != 0 ? bbTable.storageBits() : 0;
     return table_.storageBits() + bb_bits +
            history.storageBits(tag_bits) + extensions;
+}
+
+void
+EntanglingPrefetcher::registerStats(obs::CounterRegistry &reg)
+{
+    // Trigger-side traffic and the pair lifecycle (cumulative over the
+    // whole run including warm-up: table contents persist across the
+    // measurement boundary, so resetting these would desynchronise them
+    // from the state they describe).
+    reg.counter("entangling.table_hits", &stats_.tableHits);
+    reg.counter("entangling.table_misses", &stats_.tableMisses);
+    reg.counter("entangling.pairs_created", &stats_.pairsCreated);
+    reg.counter("entangling.merges", &stats_.merges);
+    reg.counter("entangling.timely_updates", &stats_.timelyUpdates);
+    reg.counter("entangling.late_updates", &stats_.lateUpdates);
+    reg.counter("entangling.wrong_updates", &stats_.wrongUpdates);
+    reg.counter("entangling.second_source_uses", &stats_.secondSourceUses);
+    reg.counter("entangling.extra_searches", &stats_.extraSearches);
+
+    const EntangledTableStats *t = &table_.stats();
+    reg.counter("entangling.table.inserts", &t->inserts);
+    reg.counter("entangling.table.evictions", &t->evictions);
+    reg.counter("entangling.table.relocations", &t->relocations);
+    reg.counter("entangling.table.pairs_added", &t->pairsAdded);
+    reg.counter("entangling.table.pairs_rejected", &t->pairsRejected);
+
+    // Compression-format usage (Table II) and basic-block geometry.
+    reg.histogram("entangling.dest_bits", &stats_.destBits);
+    reg.histogram("entangling.dests_per_hit", &stats_.destsPerHit);
+    reg.histogram("entangling.current_bb_size", &stats_.currentBbSize);
+    reg.histogram("entangling.dst_bb_size", &stats_.dstBbSize);
 }
 
 void

@@ -113,6 +113,10 @@ class EntanglingPrefetcher : public sim::Prefetcher
     std::string name() const override;
     uint64_t storageBits() const override;
 
+    /** Exports "entangling.*" counters (table traffic, pair lifecycle,
+     *  compression-format and basic-block histograms). */
+    void registerStats(obs::CounterRegistry &reg) override;
+
     void onCacheOperate(const sim::CacheOperateInfo &info) override;
     void onCacheFill(const sim::CacheFillInfo &info) override;
     void onPrefetchIssued(sim::Addr line, sim::Cycle cycle) override;

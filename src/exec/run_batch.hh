@@ -28,27 +28,26 @@
 namespace eip::exec {
 
 /**
- * Run @p fn over every element of @p jobs using @p workers threads and
- * return fn's results in submission order. workers <= 1 is the legacy
- * serial path: jobs run inline on the calling thread with no pool.
- *
- * The harness instantiates this with Job = {Workload, RunSpec} pairs;
- * anything copyable-or-referencable works.
+ * As runBatch below, but @p fn also receives the job's submission index.
+ * The index is the job's stable identity across worker counts (results
+ * are placed by it), which lets callers produce deterministic per-job
+ * side artifacts — e.g. `out.json.r004` — no matter which worker ran
+ * the job or when it finished.
  */
 template <typename Job, typename Fn>
 auto
-runBatch(const std::vector<Job> &jobs, unsigned workers, Fn &&fn)
-    -> std::vector<std::invoke_result_t<Fn &, const Job &>>
+runBatchIndexed(const std::vector<Job> &jobs, unsigned workers, Fn &&fn)
+    -> std::vector<std::invoke_result_t<Fn &, const Job &, size_t>>
 {
-    using Result = std::invoke_result_t<Fn &, const Job &>;
+    using Result = std::invoke_result_t<Fn &, const Job &, size_t>;
     std::vector<Result> results;
     results.reserve(jobs.size());
     if (jobs.empty())
         return results;
 
     if (workers <= 1) {
-        for (const Job &job : jobs)
-            results.push_back(fn(job));
+        for (size_t i = 0; i < jobs.size(); ++i)
+            results.push_back(fn(jobs[i], i));
         return results;
     }
 
@@ -61,8 +60,11 @@ runBatch(const std::vector<Job> &jobs, unsigned workers, Fn &&fn)
 
     std::vector<std::future<Result>> futures;
     futures.reserve(jobs.size());
-    for (const Job &job : jobs)
-        futures.push_back(pool.submit([&fn, &job]() { return fn(job); }));
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        const Job &job = jobs[i];
+        futures.push_back(
+            pool.submit([&fn, &job, i]() { return fn(job, i); }));
+    }
 
     // Collecting in submission order is what makes the parallel path
     // indistinguishable from the serial one; get() also rethrows the
@@ -70,6 +72,24 @@ runBatch(const std::vector<Job> &jobs, unsigned workers, Fn &&fn)
     for (std::future<Result> &future : futures)
         results.push_back(future.get());
     return results;
+}
+
+/**
+ * Run @p fn over every element of @p jobs using @p workers threads and
+ * return fn's results in submission order. workers <= 1 is the legacy
+ * serial path: jobs run inline on the calling thread with no pool.
+ *
+ * The harness instantiates this with Job = {Workload, RunSpec} pairs;
+ * anything copyable-or-referencable works.
+ */
+template <typename Job, typename Fn>
+auto
+runBatch(const std::vector<Job> &jobs, unsigned workers, Fn &&fn)
+    -> std::vector<std::invoke_result_t<Fn &, const Job &>>
+{
+    return runBatchIndexed(
+        jobs, workers,
+        [&fn](const Job &job, size_t) { return fn(job); });
 }
 
 } // namespace eip::exec

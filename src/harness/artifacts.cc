@@ -1,0 +1,205 @@
+#include "harness/artifacts.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "exec/jobs.hh"
+#include "exec/program_cache.hh"
+#include "exec/run_batch.hh"
+#include "obs/json.hh"
+#include "util/env.hh"
+#include "util/panic.hh"
+
+namespace eip::harness {
+
+namespace {
+
+/** Histogram as a sparse [bucket, count] pair list plus summary — full
+ *  bucket arrays would bloat artifacts with zeros (miss-latency alone
+ *  has 256 buckets) without adding information. */
+void
+writeHistogram(obs::JsonWriter &json, const obs::HistogramDump &h)
+{
+    json.beginObject();
+    json.kv("total", h.total);
+    json.kv("overflow", h.overflow);
+    json.kv("mean", h.mean);
+    json.key("buckets").beginArray();
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+        if (h.buckets[b] == 0)
+            continue;
+        json.beginArray();
+        json.value(static_cast<uint64_t>(b));
+        json.value(h.buckets[b]);
+        json.endArray();
+    }
+    json.endArray();
+    json.endObject();
+}
+
+/** The eip-run/v1 object body (shared by single-run artifacts and the
+ *  per-run members of a suite roll-up). */
+void
+writeRunObject(obs::JsonWriter &json, const obs::RunManifest &manifest,
+               const RunResult &result, bool include_timing)
+{
+    json.beginObject();
+    json.kv("schema", obs::kRunSchema);
+    obs::writeManifest(json, manifest, include_timing);
+
+    json.key("counters").beginObject();
+    for (const auto &[name, value] : result.counters.counters)
+        json.kv(name, value);
+    json.endObject();
+
+    json.key("gauges").beginObject();
+    for (const auto &[name, value] : result.counters.gauges)
+        json.kv(name, value);
+    json.endObject();
+
+    json.key("histograms").beginObject();
+    for (const auto &[name, dump] : result.counters.histograms) {
+        json.key(name);
+        writeHistogram(json, dump);
+    }
+    json.endObject();
+
+    const obs::SampleSeries &series = result.samples;
+    json.key("samples").beginObject();
+    json.kv("interval", series.interval);
+    json.key("columns").beginArray();
+    for (const std::string &name : series.names)
+        json.value(name);
+    json.endArray();
+    json.key("rows").beginArray();
+    for (size_t i = 0; i < series.rows.size(); ++i) {
+        const obs::Sample &row = series.rows[i];
+        json.beginObject();
+        json.kv("instructions", row.instructions);
+        json.kv("cycles", row.cycles);
+        json.key("values").beginArray();
+        for (uint64_t v : row.values)
+            json.value(v);
+        json.endArray();
+        // Per-interval deltas against the previous snapshot (the first
+        // row's delta is its cumulative value: warm boundary to sample).
+        json.key("deltas").beginArray();
+        for (size_t c = 0; c < row.values.size(); ++c) {
+            uint64_t prev = i == 0 ? 0 : series.rows[i - 1].values[c];
+            json.value(row.values[c] - prev);
+        }
+        json.endArray();
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+
+    json.endObject();
+}
+
+} // namespace
+
+obs::RunManifest
+makeManifest(const trace::Workload &workload, const RunSpec &spec,
+             const RunResult &result)
+{
+    obs::RunManifest m;
+    m.workload = workload.name;
+    m.category = workload.category;
+    m.configId = spec.configId;
+    m.configName = result.configName;
+    m.dataPrefetcher = spec.dataPrefetcher;
+    m.storageBits =
+        static_cast<uint64_t>(std::llround(result.storageKB * 1024.0 * 8.0));
+    m.programSeed = workload.program.seed;
+    m.execSeed = workload.exec.seed;
+    m.instructions = spec.instructions;
+    m.warmup = spec.warmup;
+    m.sampleInterval = spec.sampleInterval;
+    m.simScale = util::envDouble("EIP_SIM_SCALE").value_or(1.0);
+    return m;
+}
+
+std::string
+runArtifactJson(const obs::RunManifest &manifest, const RunResult &result,
+                bool include_timing)
+{
+    obs::JsonWriter json;
+    writeRunObject(json, manifest, result, include_timing);
+    return json.str() + "\n";
+}
+
+std::string
+suiteArtifactJson(const std::vector<RunJob> &batch,
+                  const std::vector<RunResult> &results)
+{
+    EIP_ASSERT(batch.size() == results.size(),
+               "suite roll-up needs one result per job");
+    obs::JsonWriter json;
+    json.beginObject();
+    json.kv("schema", obs::kSuiteSchema);
+    json.kv("tool", "eipsim");
+    json.kv("git_describe", obs::buildGitDescribe());
+    json.kv("run_count", static_cast<uint64_t>(results.size()));
+    json.key("runs").beginArray();
+    for (size_t i = 0; i < results.size(); ++i) {
+        obs::RunManifest m =
+            makeManifest(batch[i].workload, batch[i].spec, results[i]);
+        writeRunObject(json, m, results[i], /*include_timing=*/false);
+    }
+    json.endArray();
+    json.endObject();
+    return json.str() + "\n";
+}
+
+std::string
+perJobArtifactPath(const std::string &path, size_t index)
+{
+    char suffix[32];
+    std::snprintf(suffix, sizeof suffix, ".r%03zu.json", index);
+    return path + suffix;
+}
+
+void
+writeTextFile(const std::string &path, const std::string &text)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr)
+        EIP_FATAL(("cannot open artifact file: " + path).c_str());
+    size_t written = std::fwrite(text.data(), 1, text.size(), f);
+    bool ok = written == text.size() && std::fclose(f) == 0;
+    if (!ok)
+        EIP_FATAL(("cannot write artifact file: " + path).c_str());
+}
+
+std::vector<RunResult>
+runBatchWithArtifacts(const std::vector<RunJob> &batch, unsigned jobs,
+                      const std::string &path)
+{
+    // Counter collection must be on for the artifacts to have content.
+    std::vector<RunJob> collected = batch;
+    for (RunJob &job : collected)
+        job.spec.collectCounters = true;
+
+    exec::ProgramCache &cache = exec::ProgramCache::global();
+    std::vector<RunResult> results = exec::runBatchIndexed(
+        collected, exec::resolveJobs(jobs),
+        [&cache, &path](const RunJob &job, size_t index) {
+            std::shared_ptr<const trace::Program> program =
+                cache.get(job.workload.program);
+            RunResult result = runOne(job.workload, job.spec, *program);
+            // The per-job file is written by whichever worker ran the
+            // job, but its name and bytes depend only on the submission
+            // index — concurrent writers never collide or race.
+            obs::RunManifest m = makeManifest(job.workload, job.spec, result);
+            writeTextFile(perJobArtifactPath(path, index),
+                          runArtifactJson(m, result,
+                                          /*include_timing=*/false));
+            return result;
+        });
+
+    writeTextFile(path, suiteArtifactJson(collected, results));
+    return results;
+}
+
+} // namespace eip::harness

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Machine-readable run artifacts: JSON documents describing one run
+ * (manifest + final counters + interval time-series, schema eip-run/v1)
+ * or a whole suite (one roll-up with per-run documents in submission
+ * order, schema eip-suite/v1).
+ *
+ * Determinism contract: a suite roll-up is byte-identical for any
+ * worker count. Per-job artifacts are written concurrently but named
+ * by submission index (`<path>.r<NNN>.json`), and the roll-up is
+ * merged in index order on the coordinating thread; environment
+ * timing (wall clock, jobs) is confined to single-run artifacts.
+ */
+
+#ifndef EIP_HARNESS_ARTIFACTS_HH
+#define EIP_HARNESS_ARTIFACTS_HH
+
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+#include "obs/manifest.hh"
+
+namespace eip::harness {
+
+/** Describe the (workload, spec) pair behind @p result. Timing fields
+ *  are left at their defaults; fill them in when known. */
+obs::RunManifest makeManifest(const trace::Workload &workload,
+                              const RunSpec &spec, const RunResult &result);
+
+/**
+ * One run as a complete JSON document (schema eip-run/v1): manifest,
+ * final counters/gauges/histograms, and the interval time-series when
+ * one was collected. @p include_timing gates the environment-dependent
+ * manifest fields (single-run artifacts: yes; roll-up members: no).
+ */
+std::string runArtifactJson(const obs::RunManifest &manifest,
+                            const RunResult &result, bool include_timing);
+
+/**
+ * A whole batch as one roll-up document (schema eip-suite/v1): shared
+ * provenance plus every run in submission order, each without timing
+ * fields — the bytes are independent of the worker count.
+ */
+std::string suiteArtifactJson(const std::vector<RunJob> &batch,
+                              const std::vector<RunResult> &results);
+
+/** Per-job artifact path: `<path>.r<NNN>.json` (NNN = submission
+ *  index, zero-padded to three digits). */
+std::string perJobArtifactPath(const std::string &path, size_t index);
+
+/** Write @p text to @p path (fatal on I/O failure: losing an artifact
+ *  silently would invalidate a whole evaluation). */
+void writeTextFile(const std::string &path, const std::string &text);
+
+/**
+ * Run @p batch with counter collection forced on, writing one
+ * eip-run/v1 document per job (perJobArtifactPath, written by the
+ * worker that ran the job) and the eip-suite/v1 roll-up at @p path
+ * once the batch drains. Results return in submission order as usual.
+ */
+std::vector<RunResult> runBatchWithArtifacts(const std::vector<RunJob> &batch,
+                                             unsigned jobs,
+                                             const std::string &path);
+
+} // namespace eip::harness
+
+#endif // EIP_HARNESS_ARTIFACTS_HH

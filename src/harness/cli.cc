@@ -2,9 +2,13 @@
 
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <sstream>
 
 #include "exec/jobs.hh"
+#include "harness/artifacts.hh"
+#include "obs/registry.hh"
+#include "obs/sampler.hh"
 #include "prefetch/factory.hh"
 #include "sim/config.hh"
 #include "sim/cpu.hh"
@@ -36,6 +40,39 @@ parseU64(const std::string &text, uint64_t &out)
     return end != nullptr && *end == '\0';
 }
 
+/** Observability for the manually-driven run paths (trace replay,
+ *  wrong-path) that bypass runOne: a registry plus optional sampler
+ *  bound to one Cpu for the duration of the run. */
+struct ObsCollector
+{
+    obs::CounterRegistry registry;
+    std::unique_ptr<obs::IntervalSampler> sampler;
+    bool active = false;
+
+    void
+    arm(sim::Cpu &cpu, const CliOptions &opt)
+    {
+        if (opt.statsJsonPath.empty())
+            return;
+        active = true;
+        cpu.registerCounters(registry);
+        if (opt.sampleInterval > 0) {
+            sampler = std::make_unique<obs::IntervalSampler>(
+                registry, opt.sampleInterval);
+        }
+    }
+
+    void
+    harvest(RunResult &result)
+    {
+        if (!active)
+            return;
+        result.counters = registry.dump();
+        if (sampler != nullptr)
+            result.samples = sampler->series();
+    }
+};
+
 } // namespace
 
 std::string
@@ -61,6 +98,13 @@ cliUsage()
         "  --physical            train the L1I with physical addresses\n"
         "  --wrong-path          model wrong-path execution\n"
         "  --json                machine-readable output\n"
+        "  --stats-json FILE     write a self-describing JSON artifact:\n"
+        "                        eip-run/v1 per run, eip-suite/v1 roll-up\n"
+        "                        (plus FILE.rNNN.json per job) for\n"
+        "                        --workload all\n"
+        "  --sample-interval N   counter time-series interval in measured\n"
+        "                        instructions (default 100000; 0 = off;\n"
+        "                        needs --stats-json)\n"
         "  --list-workloads      print the workload catalogue\n"
         "  --list-prefetchers    print the known prefetcher ids\n"
         "  --config              print the simulated system (Table III)\n"
@@ -116,6 +160,17 @@ parseCli(const std::vector<std::string> &args)
                 opt.error = "--jobs needs a number (0 = auto, max 4096)";
             else
                 opt.jobs = static_cast<unsigned>(jobs);
+        } else if (arg == "--stats-json") {
+            if (auto v = value("--stats-json")) {
+                opt.statsJsonPath = *v;
+                if (opt.statsJsonPath.empty())
+                    opt.error = "--stats-json needs a file path";
+            }
+        } else if (arg == "--sample-interval") {
+            auto v = value("--sample-interval");
+            if (v && !parseU64(*v, opt.sampleInterval))
+                opt.error = "--sample-interval needs a number "
+                            "(instructions; 0 = off)";
         } else if (arg == "--physical") {
             opt.physical = true;
         } else if (arg == "--wrong-path") {
@@ -208,10 +263,20 @@ runCli(const CliOptions &opt)
         spec.instructions = opt.instructions;
         spec.warmup = opt.warmup;
         spec.physicalL1i = opt.physical;
+        if (!opt.statsJsonPath.empty())
+            spec.sampleInterval = opt.sampleInterval;
 
         unsigned jobs = exec::resolveJobs(opt.jobs);
         auto started = std::chrono::steady_clock::now();
-        std::vector<RunResult> results = runSuite(catalogue(), spec, jobs);
+        std::vector<RunResult> results;
+        if (!opt.statsJsonPath.empty()) {
+            std::vector<RunJob> batch;
+            for (const auto &w : catalogue())
+                batch.push_back(RunJob{w, spec});
+            results = runBatchWithArtifacts(batch, jobs, opt.statsJsonPath);
+        } else {
+            results = runSuite(catalogue(), spec, jobs);
+        }
         double seconds =
             std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                           started)
@@ -239,6 +304,8 @@ runCli(const CliOptions &opt)
     }
 
     RunResult result;
+    obs::RunManifest manifest;
+    auto run_started = std::chrono::steady_clock::now();
     if (!opt.tracePath.empty()) {
         // Replay path: drive the CPU from the trace file directly.
         sim::SimConfig cfg;
@@ -258,7 +325,19 @@ runCli(const CliOptions &opt)
         result.configName = pf != nullptr ? pf->name() : opt.prefetcher;
         result.storageKB =
             pf != nullptr ? pf->storageBits() / 8.0 / 1024.0 : 0.0;
-        result.stats = cpu.run(replay, opt.instructions, opt.warmup);
+        ObsCollector collector;
+        collector.arm(cpu, opt);
+        result.stats = cpu.run(replay, opt.instructions, opt.warmup,
+                               collector.sampler.get());
+        collector.harvest(result);
+        manifest.workload = opt.tracePath;
+        manifest.category = "trace";
+        manifest.configId = opt.prefetcher;
+        manifest.configName = result.configName;
+        manifest.dataPrefetcher = opt.dataPrefetcher;
+        manifest.storageBits = pf != nullptr ? pf->storageBits() : 0;
+        manifest.instructions = opt.instructions;
+        manifest.warmup = opt.warmup;
     } else {
         std::optional<trace::Workload> chosen;
         for (const auto &w : catalogue()) {
@@ -278,6 +357,10 @@ runCli(const CliOptions &opt)
         spec.instructions = opt.instructions;
         spec.warmup = opt.warmup;
         spec.physicalL1i = opt.physical;
+        if (!opt.statsJsonPath.empty()) {
+            spec.collectCounters = true;
+            spec.sampleInterval = opt.sampleInterval;
+        }
         // Wrong-path needs the config flag: route through runOne only for
         // the common case; otherwise run manually.
         if (!opt.wrongPath) {
@@ -302,8 +385,25 @@ runCli(const CliOptions &opt)
                 pf != nullptr ? pf->name() : std::string("no");
             result.storageKB =
                 pf != nullptr ? pf->storageBits() / 8.0 / 1024.0 : 0.0;
-            result.stats = cpu.run(exec, opt.instructions, opt.warmup);
+            ObsCollector collector;
+            collector.arm(cpu, opt);
+            result.stats = cpu.run(exec, opt.instructions, opt.warmup,
+                                   collector.sampler.get());
+            collector.harvest(result);
         }
+        manifest = makeManifest(*chosen, spec, result);
+    }
+
+    if (!opt.statsJsonPath.empty()) {
+        manifest.sampleInterval = opt.sampleInterval;
+        manifest.wallClockSeconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          run_started)
+                .count();
+        manifest.jobs = 1;
+        writeTextFile(opt.statsJsonPath,
+                      runArtifactJson(manifest, result,
+                                      /*include_timing=*/true));
     }
 
     if (opt.json) {

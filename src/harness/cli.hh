@@ -43,6 +43,14 @@ struct CliOptions
     bool physical = false;
     bool wrongPath = false;
     bool json = false;
+    /** When non-empty, write a machine-readable artifact here: one
+     *  eip-run/v1 document for single runs, an eip-suite/v1 roll-up
+     *  (plus per-job .rNNN.json files) for --workload all. */
+    std::string statsJsonPath;
+    /** Interval (measured instructions) of the counter time-series
+     *  embedded in the artifact; 0 disables sampling. Only consulted
+     *  when --stats-json is given. */
+    uint64_t sampleInterval = 100000;
     std::string error; ///< non-empty when parsing failed
 };
 

@@ -8,6 +8,22 @@
 
 namespace eip::harness {
 
+namespace {
+std::vector<ReportRecord> report_log;
+} // namespace
+
+const std::vector<ReportRecord> &
+reportLog()
+{
+    return report_log;
+}
+
+void
+clearReportLog()
+{
+    report_log.clear();
+}
+
 std::vector<double>
 collect(const std::vector<RunResult> &results, const Metric &metric)
 {
@@ -29,22 +45,31 @@ printSortedSeries(const std::string &title,
         {"p75", 0.75}, {"p90", 0.90}, {"max", 1.0},
     };
 
+    ReportRecord record;
+    record.title = title;
+    record.configs = config_names;
+
     TablePrinter table;
     table.newRow();
     table.cell(std::string("config"));
     for (const auto &[label, q] : kPoints) {
         (void)q;
         table.cell(std::string(label));
+        record.columns.push_back(label);
     }
     for (size_t c = 0; c < config_names.size(); ++c) {
         table.newRow();
         table.cell(config_names[c]);
+        record.cells.emplace_back();
         for (const auto &[label, q] : kPoints) {
             (void)label;
-            table.cell(percentile(series[c], q), 3);
+            double value = percentile(series[c], q);
+            table.cell(value, 3);
+            record.cells.back().push_back(value);
         }
     }
     table.print();
+    report_log.push_back(std::move(record));
 }
 
 void
@@ -64,6 +89,11 @@ printPerCategory(const std::string &title,
         }
     }
 
+    ReportRecord record;
+    record.title = title;
+    record.configs = config_names;
+    record.columns = categories;
+
     TablePrinter table;
     table.newRow();
     table.cell(std::string("config"));
@@ -72,16 +102,20 @@ printPerCategory(const std::string &title,
     for (size_t c = 0; c < config_names.size(); ++c) {
         table.newRow();
         table.cell(config_names[c]);
+        record.cells.emplace_back();
         for (const auto &cat : categories) {
             std::vector<double> values;
             for (const auto &r : results[c]) {
                 if (r.category == cat)
                     values.push_back(metric(r));
             }
-            table.cell(mean(values), 3);
+            double value = mean(values);
+            table.cell(value, 3);
+            record.cells.back().push_back(value);
         }
     }
     table.print();
+    report_log.push_back(std::move(record));
 }
 
 } // namespace eip::harness

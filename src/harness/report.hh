@@ -19,6 +19,22 @@ namespace eip::harness {
 /** Extracts the plotted metric from one run. */
 using Metric = std::function<double(const RunResult &)>;
 
+/** Structured copy of one printed report table: the title, one row per
+ *  config, one column per percentile point or category. Kept in an
+ *  in-process log (reportLog) so tests and artifact writers can read
+ *  exactly what a bench printed without parsing stdout. */
+struct ReportRecord
+{
+    std::string title;
+    std::vector<std::string> configs;
+    std::vector<std::string> columns;
+    std::vector<std::vector<double>> cells; ///< [config][column]
+};
+
+/** Every table printed since start-up (or the last clearReportLog). */
+const std::vector<ReportRecord> &reportLog();
+void clearReportLog();
+
 /**
  * Print one series per config, each individually sorted ascending — the
  * layout of the paper's Figures 7-10. Rows are percentiles of the sorted

@@ -1,5 +1,7 @@
 #include "harness/runner.hh"
 
+#include <memory>
+
 #include "core/entangling.hh"
 #include "exec/jobs.hh"
 #include "exec/program_cache.hh"
@@ -68,10 +70,28 @@ runOne(const trace::Workload &workload, const RunSpec &spec,
 
     trace::Executor exec(program, workload.exec);
 
+    // Observability: the registry and sampler live on this stack frame,
+    // watching the Cpu's live counters for exactly the run's duration.
+    bool collect = spec.collectCounters || spec.sampleInterval > 0;
+    obs::CounterRegistry registry;
+    std::unique_ptr<obs::IntervalSampler> sampler;
+    if (collect) {
+        cpu.registerCounters(registry);
+        if (spec.sampleInterval > 0) {
+            sampler = std::make_unique<obs::IntervalSampler>(
+                registry, spec.sampleInterval);
+        }
+    }
+
     RunResult result;
     result.workload = workload.name;
     result.category = workload.category;
-    result.stats = cpu.run(exec, spec.instructions, spec.warmup);
+    result.stats =
+        cpu.run(exec, spec.instructions, spec.warmup, sampler.get());
+    if (collect)
+        result.counters = registry.dump();
+    if (sampler != nullptr)
+        result.samples = sampler->series();
 
     if (prefetcher != nullptr) {
         result.configName = prefetcher->name();

@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/registry.hh"
+#include "obs/sampler.hh"
 #include "sim/config.hh"
 #include "sim/stats.hh"
 #include "trace/workloads.hh"
@@ -45,6 +47,13 @@ struct RunSpec
     /** Optional L1D prefetcher id ("none" or "stride"). */
     std::string dataPrefetcher = "none";
 
+    /** Snapshot all registered counters every N measured instructions
+     *  (0 = no interval time-series). Implies collectCounters. */
+    uint64_t sampleInterval = 0;
+    /** Dump the full counter registry (including prefetcher-internal
+     *  counters) into RunResult::counters at end of run. */
+    bool collectCounters = false;
+
     /** Global scaling knob honoured by all benches: the environment
      *  variable EIP_SIM_SCALE (e.g. "0.2" or "3") multiplies instruction
      *  budgets. Applied by defaultSpec(). Malformed or non-positive
@@ -61,6 +70,11 @@ struct RunResult
     std::string configName;  ///< pretty prefetcher/config name
     double storageKB = 0.0;  ///< prefetcher storage (0 for cache configs)
     sim::SimStats stats;
+
+    /** End-of-run registry snapshot (when RunSpec::collectCounters). */
+    obs::CounterDump counters;
+    /** Interval time-series (when RunSpec::sampleInterval > 0). */
+    obs::SampleSeries samples;
 
     // Entangling-internal analysis (only for entangling configs).
     bool hasEntanglingAnalysis = false;

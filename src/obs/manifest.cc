@@ -1,0 +1,46 @@
+#include "obs/manifest.hh"
+
+#include "obs/json.hh"
+
+#ifndef EIP_GIT_DESCRIBE
+#define EIP_GIT_DESCRIBE "unknown"
+#endif
+
+namespace eip::obs {
+
+RunManifest::RunManifest()
+    : gitDescribe(buildGitDescribe())
+{}
+
+std::string
+buildGitDescribe()
+{
+    return EIP_GIT_DESCRIBE;
+}
+
+void
+writeManifest(JsonWriter &json, const RunManifest &m, bool include_timing)
+{
+    json.key("manifest").beginObject();
+    json.kv("tool", m.tool);
+    json.kv("workload", m.workload);
+    json.kv("category", m.category);
+    json.kv("config_id", m.configId);
+    json.kv("config_name", m.configName);
+    json.kv("data_prefetcher", m.dataPrefetcher);
+    json.kv("storage_bits", m.storageBits);
+    json.kv("program_seed", m.programSeed);
+    json.kv("exec_seed", m.execSeed);
+    json.kv("instructions", m.instructions);
+    json.kv("warmup", m.warmup);
+    json.kv("sample_interval", m.sampleInterval);
+    json.kv("sim_scale", m.simScale);
+    json.kv("git_describe", m.gitDescribe);
+    if (include_timing) {
+        json.kv("wall_clock_seconds", m.wallClockSeconds);
+        json.kv("jobs", m.jobs);
+    }
+    json.endObject();
+}
+
+} // namespace eip::obs

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Run manifest: the self-describing header of every machine-readable
+ * artifact — what was simulated (workload, seeds, config), under which
+ * prefetcher (name, storage), by which build (git describe), and how
+ * (instruction budgets, sample interval, scale knob).
+ *
+ * Timing fields (wall-clock, jobs) describe the execution environment,
+ * not the experiment; they are emitted in single-run artifacts but
+ * omitted from suite roll-ups so a roll-up is byte-identical for any
+ * worker count (the determinism contract of exec::runBatch extends to
+ * the artifacts).
+ */
+
+#ifndef EIP_OBS_MANIFEST_HH
+#define EIP_OBS_MANIFEST_HH
+
+#include <cstdint>
+#include <string>
+
+namespace eip::obs {
+
+class JsonWriter;
+
+/** Schema identifiers stamped into every artifact. */
+inline constexpr const char *kRunSchema = "eip-run/v1";
+inline constexpr const char *kSuiteSchema = "eip-suite/v1";
+inline constexpr const char *kBenchSchema = "eip-bench/v1";
+
+struct RunManifest
+{
+    std::string tool = "eipsim";
+    std::string workload;
+    std::string category;
+    std::string configId;      ///< requested prefetcher/config id
+    std::string configName;    ///< pretty name (Prefetcher::name())
+    std::string dataPrefetcher = "none";
+    uint64_t storageBits = 0;  ///< prefetcher hardware cost
+    uint64_t programSeed = 0;  ///< synthetic-program generator seed
+    uint64_t execSeed = 0;     ///< executor (CFG walker) seed
+    uint64_t instructions = 0; ///< measured instruction budget
+    uint64_t warmup = 0;
+    uint64_t sampleInterval = 0; ///< 0 = interval sampling off
+    double simScale = 1.0;       ///< EIP_SIM_SCALE at run time
+    std::string gitDescribe;     ///< build provenance (set by default)
+
+    // Environment-dependent timing (see file comment).
+    double wallClockSeconds = 0.0;
+    unsigned jobs = 0;
+
+    RunManifest();
+};
+
+/** `git describe --always --dirty` of the source tree this binary was
+ *  built from ("unknown" outside a git checkout). */
+std::string buildGitDescribe();
+
+/** Emit @p m as the value of a "manifest" key (object, fixed key
+ *  order). @p include_timing gates the environment-dependent fields. */
+void writeManifest(JsonWriter &json, const RunManifest &m,
+                   bool include_timing);
+
+} // namespace eip::obs
+
+#endif // EIP_OBS_MANIFEST_HH

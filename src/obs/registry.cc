@@ -1,0 +1,101 @@
+#include "obs/registry.hh"
+
+#include "util/panic.hh"
+
+namespace eip::obs {
+
+std::optional<uint64_t>
+CounterDump::counter(const std::string &name) const
+{
+    for (const auto &[n, v] : counters) {
+        if (n == name)
+            return v;
+    }
+    return std::nullopt;
+}
+
+std::optional<double>
+CounterDump::gauge(const std::string &name) const
+{
+    for (const auto &[n, v] : gauges) {
+        if (n == name)
+            return v;
+    }
+    return std::nullopt;
+}
+
+void
+CounterRegistry::claimName(const std::string &name)
+{
+    EIP_ASSERT(!name.empty(), "statistic needs a name");
+    EIP_ASSERT(used_.insert(name).second,
+               "statistic name registered twice");
+}
+
+void
+CounterRegistry::counter(const std::string &name, IntFn fn)
+{
+    claimName(name);
+    EIP_ASSERT(fn != nullptr, "counter needs a read function");
+    counters_.emplace_back(name, std::move(fn));
+    names_.push_back(name);
+}
+
+void
+CounterRegistry::counter(const std::string &name, const uint64_t *value)
+{
+    EIP_ASSERT(value != nullptr, "counter needs live storage");
+    counter(name, [value]() { return *value; });
+}
+
+void
+CounterRegistry::gauge(const std::string &name, RealFn fn)
+{
+    claimName(name);
+    EIP_ASSERT(fn != nullptr, "gauge needs a read function");
+    gauges_.emplace_back(name, std::move(fn));
+}
+
+void
+CounterRegistry::histogram(const std::string &name, const Histogram *h)
+{
+    claimName(name);
+    EIP_ASSERT(h != nullptr, "histogram registration needs live storage");
+    histograms_.emplace_back(name, h);
+}
+
+std::vector<uint64_t>
+CounterRegistry::sampleCounters() const
+{
+    std::vector<uint64_t> values;
+    values.reserve(counters_.size());
+    for (const auto &[name, fn] : counters_)
+        values.push_back(fn());
+    return values;
+}
+
+CounterDump
+CounterRegistry::dump() const
+{
+    CounterDump out;
+    out.counters.reserve(counters_.size());
+    for (const auto &[name, fn] : counters_)
+        out.counters.emplace_back(name, fn());
+    out.gauges.reserve(gauges_.size());
+    for (const auto &[name, fn] : gauges_)
+        out.gauges.emplace_back(name, fn());
+    out.histograms.reserve(histograms_.size());
+    for (const auto &[name, h] : histograms_) {
+        HistogramDump d;
+        d.buckets.reserve(h->buckets());
+        for (size_t b = 0; b < h->buckets(); ++b)
+            d.buckets.push_back(h->count(b));
+        d.overflow = h->overflow();
+        d.total = h->total();
+        d.mean = h->average();
+        out.histograms.emplace_back(name, std::move(d));
+    }
+    return out;
+}
+
+} // namespace eip::obs

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Counter registry — the core of the observability layer. Components
+ * (Cpu, Cache, every Prefetcher) register their live event counters,
+ * derived gauges and histograms under hierarchical dotted names
+ * ("l1i.demand_misses", "entangling.pairs_created"); the registry can
+ * then be sampled repeatedly (interval time-series) or dumped once
+ * (run artifact) without the components knowing who is watching.
+ *
+ * Registrations are non-owning views: a registered closure reads the
+ * component's live storage on every sample, so the registry must not
+ * outlive the components it watches (in practice both live on the
+ * runner's stack for the duration of one run).
+ */
+
+#ifndef EIP_OBS_REGISTRY_HH
+#define EIP_OBS_REGISTRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "util/histogram.hh"
+
+namespace eip::obs {
+
+/** Value snapshot of one histogram (used by the JSON artifact). */
+struct HistogramDump
+{
+    std::vector<uint64_t> buckets;
+    uint64_t overflow = 0;
+    uint64_t total = 0;
+    double mean = 0.0;
+};
+
+/** Full value snapshot of a registry, detached from the live sources. */
+struct CounterDump
+{
+    std::vector<std::pair<std::string, uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<std::pair<std::string, HistogramDump>> histograms;
+
+    /** Counter value by name (tests, report code). */
+    std::optional<uint64_t> counter(const std::string &name) const;
+    /** Gauge value by name. */
+    std::optional<double> gauge(const std::string &name) const;
+};
+
+/**
+ * Registry of named live statistics. Names must be unique across all
+ * three kinds; registration order is preserved (it defines the column
+ * order of interval samples and the key order of the JSON artifact, so
+ * artifacts are byte-stable run to run).
+ */
+class CounterRegistry
+{
+  public:
+    using IntFn = std::function<uint64_t()>;
+    using RealFn = std::function<double()>;
+
+    /** Register an integer event counter read through @p fn. */
+    void counter(const std::string &name, IntFn fn);
+    /** Convenience: register a counter backed by live storage at @p value. */
+    void counter(const std::string &name, const uint64_t *value);
+    /** Register a derived metric (ratio, rate) read through @p fn. */
+    void gauge(const std::string &name, RealFn fn);
+    /** Register a histogram backed by live storage at @p h. */
+    void histogram(const std::string &name, const Histogram *h);
+
+    size_t counterCount() const { return counters_.size(); }
+    const std::vector<std::string> &counterNames() const { return names_; }
+
+    /** Read every integer counter, in registration order. */
+    std::vector<uint64_t> sampleCounters() const;
+
+    /** Read everything into a detached snapshot. */
+    CounterDump dump() const;
+
+  private:
+    void claimName(const std::string &name);
+
+    std::vector<std::pair<std::string, IntFn>> counters_;
+    std::vector<std::string> names_; ///< counter names, registration order
+    std::vector<std::pair<std::string, RealFn>> gauges_;
+    std::vector<std::pair<std::string, const Histogram *>> histograms_;
+    std::unordered_set<std::string> used_;
+};
+
+} // namespace eip::obs
+
+#endif // EIP_OBS_REGISTRY_HH

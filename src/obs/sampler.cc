@@ -1,0 +1,52 @@
+#include "obs/sampler.hh"
+
+#include "util/panic.hh"
+
+namespace eip::obs {
+
+IntervalSampler::IntervalSampler(const CounterRegistry &registry,
+                                 uint64_t interval)
+    : registry(registry), interval_(interval), next_(interval)
+{
+    EIP_ASSERT(interval > 0, "sample interval must be positive");
+}
+
+void
+IntervalSampler::take(uint64_t instructions, uint64_t cycles)
+{
+    Sample s;
+    s.instructions = instructions;
+    s.cycles = cycles;
+    s.values = registry.sampleCounters();
+    rows.push_back(std::move(s));
+    // Advance past the current count: a cycle that retires several
+    // instructions may step over a boundary, and a boundary is sampled
+    // at most once.
+    while (next_ <= instructions)
+        next_ += interval_;
+}
+
+std::vector<uint64_t>
+IntervalSampler::deltas(size_t i) const
+{
+    EIP_ASSERT(i < rows.size(), "sample index out of range");
+    std::vector<uint64_t> out = rows[i].values;
+    if (i == 0)
+        return out;
+    const std::vector<uint64_t> &prev = rows[i - 1].values;
+    for (size_t k = 0; k < out.size(); ++k)
+        out[k] -= prev[k];
+    return out;
+}
+
+SampleSeries
+IntervalSampler::series() const
+{
+    SampleSeries out;
+    out.interval = interval_;
+    out.names = registry.counterNames();
+    out.rows = rows;
+    return out;
+}
+
+} // namespace eip::obs

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Interval sampler: snapshots every registered counter each time the
+ * measured-instruction count crosses a sample boundary (default every
+ * 100k instructions, `--sample-interval`), producing a per-run
+ * time-series. Cumulative values are stored; per-interval deltas are
+ * derived on demand, so both phase behaviour (warm-up tail, steady
+ * state) and end-of-run totals are visible from one series.
+ *
+ * Sampling is read-only — it never perturbs simulation state — so runs
+ * with and without a sampler attached retire the identical instruction
+ * stream and produce identical statistics.
+ */
+
+#ifndef EIP_OBS_SAMPLER_HH
+#define EIP_OBS_SAMPLER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/registry.hh"
+
+namespace eip::obs {
+
+/** Default sampling interval in retired instructions. */
+inline constexpr uint64_t kDefaultSampleInterval = 100000;
+
+/** One snapshot of all registered counters. */
+struct Sample
+{
+    uint64_t instructions = 0; ///< measured instructions at snapshot time
+    uint64_t cycles = 0;       ///< measured cycles at snapshot time
+    std::vector<uint64_t> values; ///< registry counter order
+};
+
+/** A detached, copyable time-series (what RunResult carries around). */
+struct SampleSeries
+{
+    uint64_t interval = 0;
+    std::vector<std::string> names; ///< column names (registry order)
+    std::vector<Sample> rows;
+};
+
+class IntervalSampler
+{
+  public:
+    /** @p registry must outlive the sampler. @p interval is in retired
+     *  instructions and must be positive. */
+    IntervalSampler(const CounterRegistry &registry, uint64_t interval);
+
+    /**
+     * Called by the simulator once per cycle during the measured phase
+     * with the current measured instruction/cycle counts; takes a
+     * snapshot whenever @p instructions has crossed the next boundary.
+     */
+    void
+    tick(uint64_t instructions, uint64_t cycles)
+    {
+        if (instructions >= next_)
+            take(instructions, cycles);
+    }
+
+    uint64_t interval() const { return interval_; }
+    const std::vector<Sample> &samples() const { return rows; }
+
+    /** Counter deltas of sample @p i against sample i-1 (or zero). */
+    std::vector<uint64_t> deltas(size_t i) const;
+
+    /** Detach the collected series (column names included). */
+    SampleSeries series() const;
+
+  private:
+    void take(uint64_t instructions, uint64_t cycles);
+
+    const CounterRegistry &registry;
+    uint64_t interval_;
+    uint64_t next_;
+    std::vector<Sample> rows;
+};
+
+} // namespace eip::obs
+
+#endif // EIP_OBS_SAMPLER_HH

@@ -1,5 +1,6 @@
 #include "prefetch/mana.hh"
 
+#include "obs/registry.hh"
 #include "util/panic.hh"
 
 namespace eip::prefetch {
@@ -24,6 +25,18 @@ ManaPrefetcher::storageBits() const
     uint64_t ptr_bits = floorLog2(cfg.entries) + 1;
     uint64_t per_entry = 16 + cfg.footprintLines + ptr_bits + 2;
     return static_cast<uint64_t>(cfg.entries) * per_entry + 58 + 8;
+}
+
+void
+ManaPrefetcher::registerStats(obs::CounterRegistry &reg)
+{
+    reg.counter("mana.table_hits", &stats_.tableHits);
+    reg.counter("mana.table_misses", &stats_.tableMisses);
+    reg.counter("mana.inserts", &stats_.inserts);
+    reg.counter("mana.evictions", &stats_.evictions);
+    reg.counter("mana.regions_committed", &stats_.regionsCommitted);
+    reg.counter("mana.chain_steps", &stats_.chainSteps);
+    reg.counter("mana.chain_breaks", &stats_.chainBreaks);
 }
 
 uint32_t
@@ -63,6 +76,9 @@ ManaPrefetcher::findOrInsert(sim::Addr line)
         if (e.lastUse < victim->lastUse)
             victim = &e;
     }
+    ++stats_.inserts;
+    if (victim->valid)
+        ++stats_.evictions;
     *victim = Entry{};
     victim->valid = true;
     victim->line = line;
@@ -93,6 +109,7 @@ ManaPrefetcher::onCacheOperate(const sim::CacheOperateInfo &info)
     } else if (!hasTrigger || line != triggerLine) {
         // New trigger: commit the footprint and chain the successor.
         if (hasTrigger) {
+            ++stats_.regionsCommitted;
             Entry *prev = findOrInsert(triggerLine);
             prev->footprint |= triggerFootprint;
             Entry *next = findOrInsert(line);
@@ -111,14 +128,21 @@ ManaPrefetcher::onCacheOperate(const sim::CacheOperateInfo &info)
 
     // --- Prediction: walk the chain `lookahead` regions ahead. ---
     Entry *e = find(line);
+    if (e != nullptr)
+        ++stats_.tableHits;
+    else
+        ++stats_.tableMisses;
     uint32_t steps = 0;
     while (e != nullptr && e->successorValid && steps < cfg.lookahead) {
         Entry &succ = table[e->successor];
-        if (!succ.valid)
+        if (!succ.valid) {
+            ++stats_.chainBreaks;
             break;
+        }
         prefetchRegion(succ);
         e = &succ;
         ++steps;
+        ++stats_.chainSteps;
     }
 }
 

@@ -30,6 +30,18 @@ struct ManaConfig
     uint32_t lookahead = 3;      ///< chain steps walked per trigger
 };
 
+/** Internal event counters exported through registerStats(). */
+struct ManaStats
+{
+    uint64_t tableHits = 0;        ///< prediction lookup found the trigger
+    uint64_t tableMisses = 0;
+    uint64_t inserts = 0;          ///< new trigger entries allocated
+    uint64_t evictions = 0;        ///< valid entries displaced by inserts
+    uint64_t regionsCommitted = 0; ///< spatial regions closed by training
+    uint64_t chainSteps = 0;       ///< successor links walked per lookahead
+    uint64_t chainBreaks = 0;      ///< walks cut short by a stale link
+};
+
 class ManaPrefetcher : public sim::Prefetcher
 {
   public:
@@ -38,7 +50,12 @@ class ManaPrefetcher : public sim::Prefetcher
     std::string name() const override;
     uint64_t storageBits() const override;
 
+    /** Exports "mana.*" counters (cumulative over the whole run). */
+    void registerStats(obs::CounterRegistry &reg) override;
+
     void onCacheOperate(const sim::CacheOperateInfo &info) override;
+
+    const ManaStats &analysis() const { return stats_; }
 
   private:
     struct Entry
@@ -60,6 +77,7 @@ class ManaPrefetcher : public sim::Prefetcher
     uint32_t numSets;
     std::vector<Entry> table;
     uint64_t clock = 0;
+    ManaStats stats_;
 
     // Training state: the current spatial region being recorded.
     bool hasTrigger = false;

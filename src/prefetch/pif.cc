@@ -1,5 +1,6 @@
 #include "prefetch/pif.hh"
 
+#include "obs/registry.hh"
 #include "util/bitops.hh"
 #include "util/panic.hh"
 
@@ -24,6 +25,16 @@ PifPrefetcher::storageBits() const
 }
 
 void
+PifPrefetcher::registerStats(obs::CounterRegistry &reg)
+{
+    reg.counter("pif.index_hits", &stats_.indexHits);
+    reg.counter("pif.index_misses", &stats_.indexMisses);
+    reg.counter("pif.records_logged", &stats_.recordsLogged);
+    reg.counter("pif.index_flushes", &stats_.indexFlushes);
+    reg.counter("pif.records_replayed", &stats_.recordsReplayed);
+}
+
+void
 PifPrefetcher::commitRegion()
 {
     if (!hasTrigger)
@@ -40,10 +51,13 @@ PifPrefetcher::commitRegion()
     r.valid = true;
     r.trigger = triggerLine;
     r.footprint = triggerFootprint;
+    ++stats_.recordsLogged;
     // Bound the model's index like the hardware table (drop-all is crude
     // but only ever forgets streams, never corrupts them).
-    if (index.size() >= cfg.indexEntries)
+    if (index.size() >= cfg.indexEntries) {
         index.clear();
+        ++stats_.indexFlushes;
+    }
     index[triggerLine] = head;
 }
 
@@ -54,6 +68,7 @@ PifPrefetcher::replayFrom(size_t position)
         const Record &r = history[(position + step) % history.size()];
         if (!r.valid)
             return;
+        ++stats_.recordsReplayed;
         owner->enqueuePrefetch(r.trigger);
         for (uint32_t i = 0; i < cfg.footprintLines; ++i) {
             if (r.footprint & (1u << i))
@@ -81,8 +96,12 @@ PifPrefetcher::onCacheOperate(const sim::CacheOperateInfo &info)
 
     // --- Replay the temporal stream on an index hit. ---
     auto it = index.find(line);
-    if (it != index.end())
+    if (it != index.end()) {
+        ++stats_.indexHits;
         replayFrom(it->second);
+    } else {
+        ++stats_.indexMisses;
+    }
 }
 
 } // namespace eip::prefetch

@@ -36,6 +36,16 @@ struct PifConfig
     uint32_t streamDepth = 5; ///< records replayed per index hit
 };
 
+/** Internal event counters exported through registerStats(). */
+struct PifStats
+{
+    uint64_t indexHits = 0;      ///< demand line found in the index
+    uint64_t indexMisses = 0;
+    uint64_t recordsLogged = 0;  ///< spatial records written to history
+    uint64_t indexFlushes = 0;   ///< capacity drops of the whole index
+    uint64_t recordsReplayed = 0;///< history records replayed as prefetches
+};
+
 class PifPrefetcher : public sim::Prefetcher
 {
   public:
@@ -44,7 +54,12 @@ class PifPrefetcher : public sim::Prefetcher
     std::string name() const override { return "PIF"; }
     uint64_t storageBits() const override;
 
+    /** Exports "pif.*" counters (cumulative over the whole run). */
+    void registerStats(obs::CounterRegistry &reg) override;
+
     void onCacheOperate(const sim::CacheOperateInfo &info) override;
+
+    const PifStats &analysis() const { return stats_; }
 
   private:
     struct Record
@@ -60,6 +75,7 @@ class PifPrefetcher : public sim::Prefetcher
     PifConfig cfg;
     std::vector<Record> history; ///< circular log of spatial records
     size_t head = 0;
+    PifStats stats_;
     /** trigger line -> most recent history position. */
     std::unordered_map<sim::Addr, size_t> index;
 

@@ -9,18 +9,14 @@ namespace eip::sim {
 
 namespace {
 
-/** Classify a demand miss by the latency the consumer will observe. */
+/** Record a demand miss's consumer-observed latency (full distribution;
+ *  the short/medium/long classes are derived views, see CacheStats). */
 void
 classifyMiss(CacheStats &stats, Cycle ready, Cycle now)
 {
     uint64_t wait = ready > now ? ready - now : 0;
     stats.missLatencySum += wait;
-    if (wait <= 20)
-        ++stats.missesShort;
-    else if (wait <= 60)
-        ++stats.missesMedium;
-    else
-        ++stats.missesLong;
+    stats.missLatency.record(wait);
 }
 
 } // namespace

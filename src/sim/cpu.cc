@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/registry.hh"
+#include "obs/sampler.hh"
 #include "util/panic.hh"
 
 namespace eip::sim {
@@ -281,14 +283,14 @@ Cpu::retireStage()
 
 SimStats
 Cpu::run(trace::InstructionSource &trace, uint64_t instructions,
-         uint64_t warmup_instructions)
+         uint64_t warmup_instructions, obs::IntervalSampler *sampler)
 {
     EIP_ASSERT(instructions > 0, "instruction budget must be positive");
 
-    bool warm = warmup_instructions == 0;
-    uint64_t measure_start_retired = 0;
-    Cycle measure_start_cycle = 0;
-    uint64_t dram_start = 0;
+    measuring_ = warmup_instructions == 0;
+    measureStartRetired_ = retired;
+    measureStartCycle_ = now;
+    dramStart_ = dram_->accesses();
 
     const uint64_t total_budget = warmup_instructions + instructions;
     // Generous watchdog: the core cannot be slower than 1 instruction per
@@ -307,11 +309,11 @@ Cpu::run(trace::InstructionSource &trace, uint64_t instructions,
         l2_->tick(now);
         llc_->tick(now);
 
-        if (!warm && retired >= warmup_instructions) {
-            warm = true;
-            measure_start_retired = retired;
-            measure_start_cycle = now;
-            dram_start = dram_->accesses();
+        if (!measuring_ && retired >= warmup_instructions) {
+            measuring_ = true;
+            measureStartRetired_ = retired;
+            measureStartCycle_ = now;
+            dramStart_ = dram_->accesses();
             l1i_->stats() = CacheStats{};
             l1d_->stats() = CacheStats{};
             l2_->stats() = CacheStats{};
@@ -323,14 +325,17 @@ Cpu::run(trace::InstructionSource &trace, uint64_t instructions,
             fetchStallFtqEmpty = 0;
             fetchStallRobFull = 0;
         }
-        if (warm && retired >= measure_start_retired + instructions)
+        if (measuring_ && sampler != nullptr)
+            sampler->tick(retired - measureStartRetired_,
+                          now - measureStartCycle_);
+        if (measuring_ && retired >= measureStartRetired_ + instructions)
             break;
         EIP_ASSERT(now < watchdog, "pipeline deadlock (watchdog expired)");
     }
 
     SimStats stats;
-    stats.instructions = retired - measure_start_retired;
-    stats.cycles = now - measure_start_cycle;
+    stats.instructions = retired - measureStartRetired_;
+    stats.cycles = now - measureStartCycle_;
     stats.branches = branches;
     stats.branchMispredicts = branchMispredicts;
     stats.btbMisses = btbMisses;
@@ -341,8 +346,52 @@ Cpu::run(trace::InstructionSource &trace, uint64_t instructions,
     stats.l1d = l1d_->stats();
     stats.l2 = l2_->stats();
     stats.llc = llc_->stats();
-    stats.dramAccesses = dram_->accesses() - dram_start;
+    stats.dramAccesses = dram_->accesses() - dramStart_;
     return stats;
+}
+
+void
+Cpu::registerCounters(obs::CounterRegistry &reg)
+{
+    // Measured-phase deltas for the counters the warm boundary resets by
+    // recording a start value (rather than zeroing the counter itself).
+    reg.counter("cpu.instructions",
+                [this]() { return retired - measureStartRetired_; });
+    reg.counter("cpu.cycles", [this]() {
+        return static_cast<uint64_t>(now - measureStartCycle_);
+    });
+    reg.counter("cpu.branches", &branches);
+    reg.counter("cpu.branch_mispredicts", &branchMispredicts);
+    reg.counter("cpu.btb_misses", &btbMisses);
+    reg.counter("cpu.fetch_stall_line_miss", &fetchStallLineMiss);
+    reg.counter("cpu.fetch_stall_ftq_empty", &fetchStallFtqEmpty);
+    reg.counter("cpu.fetch_stall_rob_full", &fetchStallRobFull);
+    reg.counter("dram.accesses",
+                [this]() { return dram_->accesses() - dramStart_; });
+
+    reg.gauge("cpu.ipc", [this]() {
+        uint64_t cycles = now - measureStartCycle_;
+        uint64_t insts = retired - measureStartRetired_;
+        return cycles == 0 ? 0.0
+                           : static_cast<double>(insts) /
+                                 static_cast<double>(cycles);
+    });
+    reg.gauge("l1i.mpki", [this]() {
+        uint64_t insts = retired - measureStartRetired_;
+        return insts == 0 ? 0.0
+                          : 1000.0 *
+                                static_cast<double>(
+                                    l1i_->stats().demandMisses) /
+                                static_cast<double>(insts);
+    });
+
+    registerCacheStats(reg, "l1i", l1i_->stats());
+    registerCacheStats(reg, "l1d", l1d_->stats());
+    registerCacheStats(reg, "l2", l2_->stats());
+    registerCacheStats(reg, "llc", llc_->stats());
+
+    if (l1iPrefetcher != nullptr)
+        l1iPrefetcher->registerStats(reg);
 }
 
 } // namespace eip::sim

@@ -23,6 +23,11 @@
 #include "trace/executor.hh"
 #include "trace/instruction.hh"
 
+namespace eip::obs {
+class CounterRegistry;
+class IntervalSampler;
+}
+
 namespace eip::sim {
 
 /**
@@ -45,10 +50,23 @@ class Cpu
     /**
      * Simulate until @p instructions have retired after a warm-up of
      * @p warmup_instructions (during which all structures train but
-     * statistics are discarded).
+     * statistics are discarded). An optional @p sampler snapshots the
+     * registered counters at instruction-interval boundaries of the
+     * measured phase; sampling is read-only and never changes results.
      */
     SimStats run(trace::InstructionSource &trace, uint64_t instructions,
-                 uint64_t warmup_instructions = 0);
+                 uint64_t warmup_instructions = 0,
+                 obs::IntervalSampler *sampler = nullptr);
+
+    /**
+     * Register every live counter of this CPU — core counters, the four
+     * cache levels, DRAM, and (when attached) the L1I prefetcher's
+     * custom statistics — with @p reg. Counters report the measured
+     * phase (they reset at the warm-up boundary exactly like the
+     * returned SimStats); prefetcher-internal statistics cover the
+     * whole run including warm-up. @p reg must not outlive the Cpu.
+     */
+    void registerCounters(obs::CounterRegistry &reg);
 
     Cache &l1i() { return *l1i_; }
     Cache &l1d() { return *l1d_; }
@@ -114,6 +132,13 @@ class Cpu
     Addr lastPredictedPc = 0; ///< where the front-end believed it was going
     std::deque<RobEntry> rob;
     uint64_t retired = 0;
+
+    // Measurement-phase bookkeeping. Members (not run() locals) so that
+    // registered counter closures can report measured-phase deltas live.
+    bool measuring_ = false;
+    uint64_t measureStartRetired_ = 0;
+    Cycle measureStartCycle_ = 0;
+    uint64_t dramStart_ = 0;
 
     // Raw counters (copied into SimStats).
     uint64_t branches = 0;

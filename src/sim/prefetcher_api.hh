@@ -15,6 +15,10 @@
 #include "sim/types.hh"
 #include "trace/instruction.hh"
 
+namespace eip::obs {
+class CounterRegistry;
+}
+
 namespace eip::sim {
 
 class Cache;
@@ -62,6 +66,15 @@ class Prefetcher
 
     /** Storage cost of the hardware structures, in bits. */
     virtual uint64_t storageBits() const = 0;
+
+    /**
+     * Export prefetcher-internal statistics (table hits, pairs created,
+     * format histograms, ...) to the observability layer under
+     * hierarchical names. Registered closures read the prefetcher's
+     * live counters, so the registry must not outlive the prefetcher.
+     * The default exports nothing.
+     */
+    virtual void registerStats(obs::CounterRegistry &) {}
 
     /** Called once when the prefetcher is attached to its cache. */
     virtual void attach(Cache &cache) { owner = &cache; }

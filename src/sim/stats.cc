@@ -1,0 +1,66 @@
+#include "sim/stats.hh"
+
+#include "obs/registry.hh"
+
+namespace eip::sim {
+
+void
+registerCacheStats(obs::CounterRegistry &reg, const std::string &prefix,
+                   const CacheStats &stats)
+{
+    const CacheStats *s = &stats;
+    auto name = [&prefix](const char *field) { return prefix + "." + field; };
+
+    reg.counter(name("demand_accesses"), &s->demandAccesses);
+    reg.counter(name("demand_hits"), &s->demandHits);
+    reg.counter(name("demand_misses"), &s->demandMisses);
+    reg.counter(name("mshr_merges"), &s->mshrMerges);
+    reg.counter(name("prefetch_requested"), &s->prefetchRequested);
+    reg.counter(name("prefetch_dropped_full"), &s->prefetchDroppedFull);
+    reg.counter(name("prefetch_filtered"), &s->prefetchFiltered);
+    reg.counter(name("prefetch_issued"), &s->prefetchIssued);
+    reg.counter(name("useful_prefetches"), &s->usefulPrefetches);
+    reg.counter(name("late_prefetches"), &s->latePrefetches);
+    reg.counter(name("wrong_prefetches"), &s->wrongPrefetches);
+    reg.counter(name("fills"), &s->fills);
+    reg.counter(name("evictions"), &s->evictions);
+    reg.counter(name("write_accesses"), &s->writeAccesses);
+    reg.counter(name("wrong_path_accesses"), &s->wrongPathAccesses);
+    reg.counter(name("wrong_path_misses"), &s->wrongPathMisses);
+    reg.counter(name("miss_latency_sum"), &s->missLatencySum);
+    reg.counter(name("misses_short"), [s]() { return s->missesShort(); });
+    reg.counter(name("misses_medium"), [s]() { return s->missesMedium(); });
+    reg.counter(name("misses_long"), [s]() { return s->missesLong(); });
+
+    reg.gauge(name("miss_ratio"), [s]() { return s->missRatio(); });
+    reg.gauge(name("coverage"), [s]() { return s->coverage(); });
+    reg.gauge(name("accuracy"), [s]() { return s->accuracy(); });
+
+    reg.histogram(name("miss_latency"), &s->missLatency);
+}
+
+void
+registerSimStats(obs::CounterRegistry &reg, const SimStats &stats)
+{
+    const SimStats *s = &stats;
+
+    reg.counter("cpu.instructions", &s->instructions);
+    reg.counter("cpu.cycles", &s->cycles);
+    reg.counter("cpu.branches", &s->branches);
+    reg.counter("cpu.branch_mispredicts", &s->branchMispredicts);
+    reg.counter("cpu.btb_misses", &s->btbMisses);
+    reg.counter("cpu.fetch_stall_line_miss", &s->fetchStallLineMiss);
+    reg.counter("cpu.fetch_stall_ftq_empty", &s->fetchStallFtqEmpty);
+    reg.counter("cpu.fetch_stall_rob_full", &s->fetchStallRobFull);
+    reg.counter("dram.accesses", &s->dramAccesses);
+
+    reg.gauge("cpu.ipc", [s]() { return s->ipc(); });
+    reg.gauge("l1i.mpki", [s]() { return s->l1iMpki(); });
+
+    registerCacheStats(reg, "l1i", s->l1i);
+    registerCacheStats(reg, "l1d", s->l1d);
+    registerCacheStats(reg, "l2", s->l2);
+    registerCacheStats(reg, "llc", s->llc);
+}
+
+} // namespace eip::sim

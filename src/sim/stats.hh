@@ -1,15 +1,34 @@
 /**
  * @file
  * Per-run simulation statistics: raw event counters plus the derived metrics
- * the paper reports (IPC, MPKI, miss ratio, coverage, accuracy).
+ * the paper reports (IPC, MPKI, miss ratio, coverage, accuracy). Every field
+ * here is also exported by name through the observability layer (see
+ * registerCacheStats / registerSimStats and src/obs).
  */
 
 #ifndef EIP_SIM_STATS_HH
 #define EIP_SIM_STATS_HH
 
 #include <cstdint>
+#include <string>
+
+#include "util/histogram.hh"
+
+namespace eip::obs {
+class CounterRegistry;
+}
 
 namespace eip::sim {
+
+/** Demand-miss latency histogram resolution: one bucket per cycle of
+ *  observed fill latency, with everything beyond in the overflow bucket
+ *  (DRAM plus jitter tops out well below this). */
+inline constexpr size_t kMissLatencyBuckets = 256;
+
+/** Upper bounds (inclusive, cycles) of the legacy three-way miss cost
+ *  classification derived from the histogram. */
+inline constexpr uint64_t kMissShortMax = 20;  ///< next-level-hit class
+inline constexpr uint64_t kMissMediumMax = 60; ///< LLC class
 
 /** Event counters of one cache level. */
 struct CacheStats
@@ -35,11 +54,35 @@ struct CacheStats
     uint64_t wrongPathAccesses = 0;
     uint64_t wrongPathMisses = 0;
 
-    // Demand-miss cost classification (by observed fill latency).
-    uint64_t missesShort = 0;   ///< <= 20 cycles (next level hit)
-    uint64_t missesMedium = 0;  ///< <= 60 cycles (LLC-class)
-    uint64_t missesLong = 0;    ///< beyond (DRAM-class)
+    /** Full demand-miss cost distribution (observed fill latency, one
+     *  bucket per cycle; >= kMissLatencyBuckets in the overflow). */
+    Histogram missLatency{kMissLatencyBuckets};
     uint64_t missLatencySum = 0;
+
+    /** Demand misses the consumer waited <= kMissShortMax cycles for
+     *  (next-level-hit class) — derived from the latency histogram; the
+     *  three buckets reproduce the pre-histogram classification for the
+     *  existing tables. */
+    uint64_t
+    missesShort() const
+    {
+        return latencyRangeCount(0, kMissShortMax);
+    }
+
+    /** Misses in (kMissShortMax, kMissMediumMax] cycles (LLC class). */
+    uint64_t
+    missesMedium() const
+    {
+        return latencyRangeCount(kMissShortMax + 1, kMissMediumMax);
+    }
+
+    /** Misses beyond kMissMediumMax cycles (DRAM class). */
+    uint64_t
+    missesLong() const
+    {
+        return latencyRangeCount(kMissMediumMax + 1, kMissLatencyBuckets - 1) +
+               missLatency.overflow();
+    }
 
     double
     missRatio() const
@@ -50,11 +93,35 @@ struct CacheStats
                   static_cast<double>(demandAccesses);
     }
 
-    /** Fraction of would-be misses eliminated by prefetching. */
+    /** Demand misses the prefetcher had not even started to service
+     *  when the demand arrived (the truly unhidden ones). */
+    uint64_t
+    uncoveredMisses() const
+    {
+        return demandMisses - latePrefetches;
+    }
+
+    /**
+     * Fraction of would-be misses eliminated by prefetching.
+     *
+     * The would-be-miss population splits three ways: timely covered
+     * (counted in usefulPrefetches — the prefetched line was resident
+     * before the demand), covered-in-flight (latePrefetches — the
+     * demand merged into a prefetch the prefetcher already had in
+     * flight, hiding part of the latency), and uncovered
+     * (demandMisses - latePrefetches). A late prefetch is recorded
+     * inside demandMisses AND stands for a prefetch outcome, so the
+     * naive denominator usefulPrefetches + demandMisses counts that
+     * event both as a prefetcher result and as a full would-be miss —
+     * double-penalizing lateness that the accuracy/late counters
+     * already attribute. Coverage therefore excludes in-flight-covered
+     * misses from the denominator: useful / (useful + uncovered).
+     * Regression-tested in tests/test_obs.cc (CoverageSemantics).
+     */
     double
     coverage() const
     {
-        uint64_t would_be = usefulPrefetches + demandMisses;
+        uint64_t would_be = usefulPrefetches + uncoveredMisses();
         return would_be == 0
             ? 0.0
             : static_cast<double>(usefulPrefetches) /
@@ -69,6 +136,16 @@ struct CacheStats
             ? 0.0
             : static_cast<double>(usefulPrefetches) /
                   static_cast<double>(prefetchIssued);
+    }
+
+  private:
+    uint64_t
+    latencyRangeCount(uint64_t lo, uint64_t hi) const
+    {
+        uint64_t sum = 0;
+        for (uint64_t b = lo; b <= hi; ++b)
+            sum += missLatency.count(b);
+        return sum;
     }
 };
 
@@ -112,6 +189,18 @@ struct SimStats
                   static_cast<double>(instructions);
     }
 };
+
+/**
+ * Register every counter, derived metric and histogram of @p stats under
+ * "<prefix>." names (e.g. "l1i.demand_misses", "l1i.coverage",
+ * "l1i.miss_latency"). The registry reads @p stats live: it must not
+ * outlive the object.
+ */
+void registerCacheStats(obs::CounterRegistry &reg, const std::string &prefix,
+                        const CacheStats &stats);
+
+/** As above for a whole SimStats ("cpu.", "dram.", per-level caches). */
+void registerSimStats(obs::CounterRegistry &reg, const SimStats &stats);
 
 } // namespace eip::sim
 

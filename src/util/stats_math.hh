@@ -54,8 +54,12 @@ stddev(const std::vector<double> &values)
 }
 
 /**
- * Value at fraction @p q (in [0, 1]) of the sorted input (nearest-rank).
- * Used for the per-workload s-curve figures.
+ * Value at fraction @p q (in [0, 1]) of the sorted input, linearly
+ * interpolated between the two straddling order statistics (the
+ * "linear" / type-7 estimator): p50 of {1, 2} is 1.5, not one of the
+ * inputs. Used for the per-workload s-curve figures, where short
+ * series (a handful of workloads per category) would otherwise make
+ * p10/p90 collapse onto min/max.
  */
 inline double
 percentile(std::vector<double> values, double q)
@@ -64,10 +68,13 @@ percentile(std::vector<double> values, double q)
         return 0.0;
     std::sort(values.begin(), values.end());
     double pos = q * static_cast<double>(values.size() - 1);
-    auto idx = static_cast<size_t>(pos + 0.5);
-    if (idx >= values.size())
-        idx = values.size() - 1;
-    return values[idx];
+    if (pos <= 0.0)
+        return values.front();
+    auto lo = static_cast<size_t>(pos);
+    if (lo >= values.size() - 1)
+        return values.back();
+    double frac = pos - static_cast<double>(lo);
+    return values[lo] + frac * (values[lo + 1] - values[lo]);
 }
 
 } // namespace eip

@@ -302,10 +302,32 @@ TEST(Cache, StatsDerivedMetrics)
     EXPECT_DOUBLE_EQ(s.missRatio(), 0.2);
     EXPECT_DOUBLE_EQ(s.coverage(), 0.6);
     EXPECT_DOUBLE_EQ(s.accuracy(), 0.5);
+
+    // A late prefetch is recorded inside demandMisses but the demand
+    // merged into an in-flight prefetch: it leaves the would-be-miss
+    // denominator (30 / (30 + 20 - 5)), it does not shrink the numerator.
+    s.latePrefetches = 5;
+    EXPECT_EQ(s.uncoveredMisses(), 15u);
+    EXPECT_DOUBLE_EQ(s.coverage(), 30.0 / 45.0);
+
     CacheStats zero;
     EXPECT_DOUBLE_EQ(zero.missRatio(), 0.0);
     EXPECT_DOUBLE_EQ(zero.coverage(), 0.0);
     EXPECT_DOUBLE_EQ(zero.accuracy(), 0.0);
+}
+
+TEST(Cache, MissLatencyHistogramDerivedBuckets)
+{
+    CacheStats s;
+    s.missLatency.record(0);                 // short
+    s.missLatency.record(kMissShortMax);     // short (inclusive bound)
+    s.missLatency.record(kMissShortMax + 1); // medium
+    s.missLatency.record(kMissMediumMax);    // medium (inclusive bound)
+    s.missLatency.record(kMissMediumMax + 1);// long
+    s.missLatency.record(kMissLatencyBuckets + 50); // long (overflow)
+    EXPECT_EQ(s.missesShort(), 2u);
+    EXPECT_EQ(s.missesMedium(), 2u);
+    EXPECT_EQ(s.missesLong(), 2u);
 }
 
 TEST(Cache, FillHookReportsEvictionInfo)
