@@ -6,6 +6,7 @@ Checks the three schemas produced by the observability layer:
   eip-run/v1    one simulation run (eipsim --stats-json, per-job files)
   eip-suite/v1  suite roll-up (eipsim --workload all --stats-json)
   eip-bench/v1  bench table dump (BENCH_<name>.json)
+  eip-trace/v1  event trace (eipsim --trace-out, Perfetto-loadable)
 
 Usage: scripts/validate_stats_json.py FILE [FILE...]
 Exits non-zero and prints every violation if any file is invalid.
@@ -163,6 +164,81 @@ class Checker:
                     self.error(rw, f"{len(values)} values for "
                                    f"{len(columns)} columns")
 
+    # -- eip-trace/v1 --------------------------------------------------
+
+    LIFECYCLE_KEYS = ("requested", "queued", "drop_queue_full",
+                      "drop_dup_queued", "drop_dup_cached",
+                      "drop_dup_inflight", "drop_cross_page",
+                      "mshr_deferrals", "issued", "filled",
+                      "filled_after_demand", "first_use", "late_use",
+                      "evicted_unused")
+    STALL_KEYS = ("line_miss", "ftq_empty_mispredict",
+                  "ftq_empty_starved", "backend_full")
+
+    def check_trace(self, doc):
+        meta = self.require(doc, "trace", "meta", (dict,)) or {}
+        limit = self.require(meta, "trace.meta", "limit", (int,))
+        recorded = self.require(meta, "trace.meta", "recorded", (int,))
+        retained = self.require(meta, "trace.meta", "retained", (int,))
+        wrapped = self.require(meta, "trace.meta", "wrapped", (bool,))
+
+        life = self.require(doc, "trace", "lifecycle", (dict,)) or {}
+        for key in self.LIFECYCLE_KEYS:
+            value = self.require(life, "trace.lifecycle", key, (int,))
+            if value is not None and value < 0:
+                self.error("trace.lifecycle", f"'{key}' is negative")
+        # The only funnel equality that holds in ANY measurement window
+        # (each enqueue resolves atomically; cross-stage inequalities
+        # break when in-flight prefetches straddle the warm-up reset).
+        if all(isinstance(life.get(k), int) for k in
+               ("requested", "queued", "drop_queue_full",
+                "drop_dup_queued")):
+            expect = (life["queued"] + life["drop_queue_full"]
+                      + life["drop_dup_queued"])
+            if life["requested"] != expect:
+                self.error("trace.lifecycle",
+                           f"requested {life['requested']} != queued + "
+                           f"queue-stage drops {expect}")
+
+        stalls = self.require(doc, "trace", "stalls", (dict,)) or {}
+        idle = self.require(stalls, "trace.stalls", "idle_cycles", (int,))
+        total = 0
+        for key in self.STALL_KEYS:
+            value = self.require(stalls, "trace.stalls", key, (int,))
+            total += value or 0
+        if idle is not None and total != idle:
+            self.error("trace.stalls", f"buckets sum to {total}, must "
+                                       f"partition idle_cycles {idle}")
+
+        events = self.require(doc, "trace", "traceEvents", (list,)) or []
+        real_events = 0
+        for i, event in enumerate(events):
+            ew = f"traceEvents[{i}]"
+            if not isinstance(event, dict):
+                self.error(ew, "event is not an object")
+                continue
+            self.require(event, ew, "name", (str,))
+            ph = self.require(event, ew, "ph", (str,))
+            if ph not in ("i", "X", "M"):
+                self.error(ew, f"unexpected phase {ph!r}")
+            if ph == "M":
+                continue
+            real_events += 1
+            self.require(event, ew, "ts", (int,))
+            if ph == "X":
+                self.require(event, ew, "dur", (int,))
+        if retained is not None and real_events != retained:
+            self.error("trace", f"{real_events} events in the document "
+                                f"but meta.retained says {retained}")
+        if None not in (retained, limit) and retained > limit:
+            self.error("trace.meta", f"retained {retained} exceeds "
+                                     f"ring limit {limit}")
+        if None not in (recorded, retained, wrapped):
+            if wrapped != (recorded > retained):
+                self.error("trace.meta",
+                           f"wrapped={wrapped} inconsistent with "
+                           f"recorded {recorded} / retained {retained}")
+
     def check(self, doc):
         schema = doc.get("schema")
         if schema == "eip-run/v1":
@@ -171,6 +247,8 @@ class Checker:
             self.check_suite(doc)
         elif schema == "eip-bench/v1":
             self.check_bench(doc)
+        elif schema == "eip-trace/v1":
+            self.check_trace(doc)
         else:
             self.error("document", f"unknown schema {schema!r}")
 

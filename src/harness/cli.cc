@@ -9,6 +9,7 @@
 #include "harness/artifacts.hh"
 #include "obs/registry.hh"
 #include "obs/sampler.hh"
+#include "obs/trace.hh"
 #include "prefetch/factory.hh"
 #include "sim/config.hh"
 #include "sim/cpu.hh"
@@ -105,6 +106,15 @@ cliUsage()
         "  --sample-interval N   counter time-series interval in measured\n"
         "                        instructions (default 100000; 0 = off;\n"
         "                        needs --stats-json)\n"
+        "  --trace-out FILE      record an event trace (prefetch\n"
+        "                        lifecycle, fetch stalls, L1I misses) as\n"
+        "                        Chrome/Perfetto trace_event JSON\n"
+        "                        (eip-trace/v1; single runs only)\n"
+        "  --trace-events LIST   comma list of event families kept in\n"
+        "                        the trace ring: pf,stall,cache\n"
+        "                        (default all)\n"
+        "  --trace-limit N       trace ring capacity in events (default\n"
+        "                        1048576; oldest overwritten beyond it)\n"
         "  --list-workloads      print the workload catalogue\n"
         "  --list-prefetchers    print the known prefetcher ids\n"
         "  --config              print the simulated system (Table III)\n"
@@ -171,6 +181,27 @@ parseCli(const std::vector<std::string> &args)
             if (v && !parseU64(*v, opt.sampleInterval))
                 opt.error = "--sample-interval needs a number "
                             "(instructions; 0 = off)";
+        } else if (arg == "--trace-out") {
+            if (auto v = value("--trace-out")) {
+                opt.traceOutPath = *v;
+                if (opt.traceOutPath.empty())
+                    opt.error = "--trace-out needs a file path";
+            }
+        } else if (arg == "--trace-events") {
+            if (auto v = value("--trace-events")) {
+                opt.traceEvents = *v;
+                if (!obs::parseTraceFamilies(*v)) {
+                    opt.error = "--trace-events needs a comma-separated "
+                                "subset of pf,stall,cache";
+                }
+            }
+        } else if (arg == "--trace-limit") {
+            auto v = value("--trace-limit");
+            uint64_t limit = 0;
+            if (v && (!parseU64(*v, limit) || limit == 0))
+                opt.error = "--trace-limit needs a positive event count";
+            else if (v)
+                opt.traceLimit = limit;
         } else if (arg == "--physical") {
             opt.physical = true;
         } else if (arg == "--wrong-path") {
@@ -257,6 +288,12 @@ runCli(const CliOptions &opt)
                                  "with --workload all\n");
             return 2;
         }
+        if (!opt.traceOutPath.empty()) {
+            std::fprintf(stderr, "error: --trace-out is not supported "
+                                 "with --workload all (tracing is a "
+                                 "single-run facility)\n");
+            return 2;
+        }
         RunSpec spec;
         spec.configId = opt.prefetcher;
         spec.dataPrefetcher = opt.dataPrefetcher;
@@ -305,6 +342,15 @@ runCli(const CliOptions &opt)
 
     RunResult result;
     obs::RunManifest manifest;
+    std::unique_ptr<obs::EventTracer> tracer;
+    if (!opt.traceOutPath.empty()) {
+        obs::TraceConfig tcfg;
+        tcfg.limit = static_cast<size_t>(opt.traceLimit);
+        // Validated by parseCli; fall back to everything defensively.
+        tcfg.families = obs::parseTraceFamilies(opt.traceEvents)
+                            .value_or(obs::kTraceAll);
+        tracer = std::make_unique<obs::EventTracer>(tcfg);
+    }
     auto run_started = std::chrono::steady_clock::now();
     if (!opt.tracePath.empty()) {
         // Replay path: drive the CPU from the trace file directly.
@@ -320,6 +366,8 @@ runCli(const CliOptions &opt)
         sim::Cpu cpu(cfg);
         if (pf != nullptr)
             cpu.attachL1iPrefetcher(pf.get());
+        if (tracer != nullptr)
+            cpu.attachTracer(tracer.get());
         trace::TraceReplayer replay(opt.tracePath);
         result.workload = opt.tracePath;
         result.configName = pf != nullptr ? pf->name() : opt.prefetcher;
@@ -345,6 +393,16 @@ runCli(const CliOptions &opt)
                 chosen = w;
         }
         if (!chosen) {
+            // A bare category name ("crypto") selects its first seed
+            // ("crypto-1") so category-level runs don't need to know the
+            // catalogue's seed-suffix convention.
+            const std::string fallback = opt.workload + "-1";
+            for (const auto &w : catalogue()) {
+                if (w.name == fallback)
+                    chosen = w;
+            }
+        }
+        if (!chosen) {
             std::fprintf(stderr,
                          "error: unknown workload '%s' "
                          "(try --list-workloads)\n",
@@ -361,6 +419,7 @@ runCli(const CliOptions &opt)
             spec.collectCounters = true;
             spec.sampleInterval = opt.sampleInterval;
         }
+        spec.tracer = tracer.get();
         // Wrong-path needs the config flag: route through runOne only for
         // the common case; otherwise run manually.
         if (!opt.wrongPath) {
@@ -378,6 +437,8 @@ runCli(const CliOptions &opt)
             sim::Cpu cpu(cfg);
             if (pf != nullptr)
                 cpu.attachL1iPrefetcher(pf.get());
+            if (tracer != nullptr)
+                cpu.attachTracer(tracer.get());
             trace::Program prog = trace::buildProgram(chosen->program);
             trace::Executor exec(prog, chosen->exec);
             result.workload = chosen->name;
@@ -392,6 +453,17 @@ runCli(const CliOptions &opt)
             collector.harvest(result);
         }
         manifest = makeManifest(*chosen, spec, result);
+    }
+
+    if (tracer != nullptr) {
+        tracer->finish();
+        std::vector<std::pair<std::string, std::string>> trace_meta = {
+            {"tool", "eipsim"},
+            {"workload", result.workload},
+            {"config", result.configName},
+            {"git_describe", obs::buildGitDescribe()},
+        };
+        writeTextFile(opt.traceOutPath, tracer->toJson(trace_meta));
     }
 
     if (!opt.statsJsonPath.empty()) {

@@ -51,6 +51,16 @@ struct CliOptions
      *  embedded in the artifact; 0 disables sampling. Only consulted
      *  when --stats-json is given. */
     uint64_t sampleInterval = 100000;
+    /** When non-empty, record an event trace of the run and write it
+     *  here as Chrome/Perfetto trace_event JSON (schema eip-trace/v1).
+     *  Single-run facility: rejected with --workload all. */
+    std::string traceOutPath;
+    /** Comma-separated event families kept in the trace ring
+     *  ("pf,stall,cache"). Roll-up counts always cover every family. */
+    std::string traceEvents = "pf,stall,cache";
+    /** Trace ring capacity in events; beyond it the oldest events are
+     *  overwritten (counts stay exact). */
+    uint64_t traceLimit = 1u << 20;
     std::string error; ///< non-empty when parsing failed
 };
 

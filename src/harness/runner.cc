@@ -67,6 +67,8 @@ runOne(const trace::Workload &workload, const RunSpec &spec,
         cpu.attachL1iPrefetcher(prefetcher.get());
     if (data_prefetcher != nullptr)
         cpu.l1d().attachPrefetcher(data_prefetcher.get());
+    if (spec.tracer != nullptr)
+        cpu.attachTracer(spec.tracer);
 
     trace::Executor exec(program, workload.exec);
 

@@ -29,6 +29,10 @@ namespace eip::core {
 struct EntanglingStats;
 }
 
+namespace eip::obs {
+class EventTracer;
+}
+
 namespace eip::trace {
 struct Program;
 }
@@ -53,6 +57,12 @@ struct RunSpec
     /** Dump the full counter registry (including prefetcher-internal
      *  counters) into RunResult::counters at end of run. */
     bool collectCounters = false;
+
+    /** Optional event tracer attached to the Cpu for the run (see
+     *  src/obs/trace.hh). Caller-owned, pure observer: results are
+     *  identical with and without it. Not copied into batch artifacts —
+     *  tracing is a single-run facility. */
+    obs::EventTracer *tracer = nullptr;
 
     /** Global scaling knob honoured by all benches: the environment
      *  variable EIP_SIM_SCALE (e.g. "0.2" or "3") multiplies instruction

@@ -1,0 +1,309 @@
+#include "obs/trace_reader.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+
+namespace eip::obs {
+
+namespace {
+
+bool
+readU64(const JsonValue &obj, const char *key, uint64_t *out,
+        std::string *error)
+{
+    const JsonValue *v = obj.find(key);
+    if (v == nullptr || !v->isNumber()) {
+        if (error)
+            *error = std::string("missing or non-numeric key '") + key + "'";
+        return false;
+    }
+    *out = v->asU64();
+    return true;
+}
+
+std::string
+line(const char *label, uint64_t value)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "  %-26s %12" PRIu64 "\n", label, value);
+    return buf;
+}
+
+std::string
+lineSigned(const char *label, int64_t value)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "  %-26s %12" PRId64 "\n", label, value);
+    return buf;
+}
+
+std::string
+lineShare(const char *label, uint64_t value, uint64_t total)
+{
+    char buf[96];
+    const double share = total ? 100.0 * static_cast<double>(value) /
+                                     static_cast<double>(total)
+                               : 0.0;
+    std::snprintf(buf, sizeof(buf), "  %-26s %12" PRIu64 "  %6.2f%%\n",
+                  label, value, share);
+    return buf;
+}
+
+} // namespace
+
+std::optional<TraceDoc>
+parseTrace(const std::string &text, std::string *error)
+{
+    std::optional<JsonValue> root = parseJson(text, error);
+    if (!root)
+        return std::nullopt;
+    const JsonValue *schema = root->find("schema");
+    if (schema == nullptr || schema->string != kTraceSchema) {
+        if (error)
+            *error = std::string("schema is not ") + kTraceSchema;
+        return std::nullopt;
+    }
+
+    TraceDoc doc;
+    const JsonValue *meta = root->find("meta");
+    if (meta == nullptr || meta->type != JsonValue::Type::Object) {
+        if (error)
+            *error = "missing 'meta' object";
+        return std::nullopt;
+    }
+    if (!readU64(*meta, "limit", &doc.limit, error) ||
+        !readU64(*meta, "recorded", &doc.recorded, error) ||
+        !readU64(*meta, "retained", &doc.retained, error))
+        return std::nullopt;
+    const JsonValue *wrapped = meta->find("wrapped");
+    doc.wrapped = wrapped != nullptr && wrapped->boolean;
+    for (const auto &[key, value] : meta->object) {
+        if (value.type == JsonValue::Type::String)
+            doc.meta.emplace_back(key, value.string);
+    }
+
+    const JsonValue *life = root->find("lifecycle");
+    if (life == nullptr || life->type != JsonValue::Type::Object) {
+        if (error)
+            *error = "missing 'lifecycle' object";
+        return std::nullopt;
+    }
+    LifecycleCounts &l = doc.lifecycle;
+    const struct {
+        const char *key;
+        uint64_t *slot;
+    } lifeKeys[] = {
+        {"requested", &l.requested},
+        {"queued", &l.queued},
+        {"drop_queue_full", &l.dropQueueFull},
+        {"drop_dup_queued", &l.dropDupQueued},
+        {"drop_dup_cached", &l.dropDupCached},
+        {"drop_dup_inflight", &l.dropDupInflight},
+        {"drop_cross_page", &l.dropCrossPage},
+        {"mshr_deferrals", &l.mshrDeferrals},
+        {"issued", &l.issued},
+        {"filled", &l.filled},
+        {"filled_after_demand", &l.filledAfterDemand},
+        {"first_use", &l.firstUse},
+        {"late_use", &l.lateUse},
+        {"evicted_unused", &l.evictedUnused},
+    };
+    for (const auto &entry : lifeKeys) {
+        if (!readU64(*life, entry.key, entry.slot, error))
+            return std::nullopt;
+    }
+
+    const JsonValue *stalls = root->find("stalls");
+    if (stalls == nullptr || stalls->type != JsonValue::Type::Object) {
+        if (error)
+            *error = "missing 'stalls' object";
+        return std::nullopt;
+    }
+    for (size_t i = 0; i < kStallReasons; ++i) {
+        const char *key = stallReasonName(static_cast<StallReason>(i));
+        if (!readU64(*stalls, key, &doc.stalls[i], error))
+            return std::nullopt;
+    }
+    if (!readU64(*stalls, "idle_cycles", &doc.idleCycles, error))
+        return std::nullopt;
+
+    const JsonValue *events = root->find("traceEvents");
+    if (events == nullptr || events->type != JsonValue::Type::Array) {
+        if (error)
+            *error = "missing 'traceEvents' array";
+        return std::nullopt;
+    }
+    doc.events = *events;
+    return doc;
+}
+
+std::string
+funnelReport(const TraceDoc &doc)
+{
+    const LifecycleCounts &l = doc.lifecycle;
+    std::string out = "prefetch lifecycle funnel\n";
+    out += line("requested", l.requested);
+    out += line("  queued", l.queued);
+    out += line("  dropped at request", l.dropQueueFull + l.dropDupQueued);
+    out += line("issued", l.issued);
+    out += line("  dropped at issue", l.dropDupCached + l.dropDupInflight);
+    out += lineSigned("  in queue (residual)", l.inQueue());
+    out += line("filled", l.filled);
+    out += lineSigned("  in flight (residual)", l.inFlight());
+    out += "terminal states\n";
+    out += line("  first use (timely)", l.firstUse);
+    out += line("  late use (in flight)", l.lateUse);
+    out += line("  filled after demand", l.filledAfterDemand);
+    out += line("  evicted unused", l.evictedUnused);
+    out += lineSigned("  resident unused (resid)", l.residentUnused());
+    out += "not part of the funnel\n";
+    out += line("  mshr deferrals (retried)", l.mshrDeferrals);
+    out += line("  cross-page candidates", l.dropCrossPage);
+    if (l.inQueue() < 0 || l.inFlight() < 0 || l.residentUnused() < 0)
+        out += "  note: negative residuals are prefetches that crossed "
+               "the warm-up boundary\n";
+    return out;
+}
+
+std::string
+dropReport(const TraceDoc &doc)
+{
+    const LifecycleCounts &l = doc.lifecycle;
+    std::string out = "drop reasons (share of requests)\n";
+    const uint64_t total = l.requested ? l.requested : 1;
+    out += lineShare("queue_full", l.dropQueueFull, total);
+    out += lineShare("dup_queued", l.dropDupQueued, total);
+    out += lineShare("dup_cached", l.dropDupCached, total);
+    out += lineShare("dup_inflight", l.dropDupInflight, total);
+    out += lineShare("cross_page", l.dropCrossPage, total);
+    return out;
+}
+
+std::string
+stallReport(const TraceDoc &doc)
+{
+    std::string out = "fetch stall attribution (zero-fetch cycles)\n";
+    for (size_t i = 0; i < kStallReasons; ++i) {
+        out += lineShare(stallReasonName(static_cast<StallReason>(i)),
+                         doc.stalls[i], doc.idleCycles);
+    }
+    out += line("idle cycles total", doc.idleCycles);
+    uint64_t sum = 0;
+    for (uint64_t s : doc.stalls)
+        sum += s;
+    if (sum != doc.idleCycles)
+        out += "  WARNING: buckets do not partition idle cycles\n";
+    return out;
+}
+
+std::string
+latenessReport(const TraceDoc &doc, uint64_t interval)
+{
+    if (interval == 0)
+        interval = 1;
+    struct Bucket
+    {
+        uint64_t count = 0;
+        uint64_t waitSum = 0;
+        uint64_t waitMax = 0;
+    };
+    std::map<uint64_t, Bucket> buckets;
+    for (const JsonValue &ev : doc.events.array) {
+        const JsonValue *name = ev.find("name");
+        if (name == nullptr || name->string != "pf_late_use")
+            continue;
+        const JsonValue *ts = ev.find("ts");
+        const JsonValue *args = ev.find("args");
+        const JsonValue *wait =
+            args != nullptr ? args->find("wait") : nullptr;
+        if (ts == nullptr || wait == nullptr)
+            continue;
+        Bucket &b = buckets[ts->asU64() / interval];
+        ++b.count;
+        b.waitSum += wait->asU64();
+        b.waitMax = std::max(b.waitMax, wait->asU64());
+    }
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "late prefetches per %" PRIu64 "-cycle interval\n",
+                  interval);
+    std::string out = buf;
+    if (buckets.empty()) {
+        out += "  (no pf_late_use events retained)\n";
+        return out;
+    }
+    out += "  cycle-start         count    mean-wait     max-wait\n";
+    for (const auto &[idx, b] : buckets) {
+        std::snprintf(buf, sizeof(buf),
+                      "  %-15" PRIu64 " %9" PRIu64 " %12.1f %12" PRIu64 "\n",
+                      idx * interval, b.count,
+                      static_cast<double>(b.waitSum) /
+                          static_cast<double>(b.count),
+                      b.waitMax);
+        out += buf;
+    }
+    if (doc.wrapped)
+        out += "  note: ring wrapped; early intervals are incomplete\n";
+    return out;
+}
+
+std::vector<std::string>
+reconcileWithRun(const TraceDoc &trace, const JsonValue &run)
+{
+    std::vector<std::string> mismatches;
+    const JsonValue *counters = run.find("counters");
+    if (counters == nullptr ||
+        counters->type != JsonValue::Type::Object) {
+        mismatches.push_back("run document has no 'counters' object");
+        return mismatches;
+    }
+
+    const LifecycleCounts &l = trace.lifecycle;
+    const struct {
+        const char *counter;
+        uint64_t traceValue;
+    } pairs[] = {
+        {"l1i.prefetch_requested", l.requested},
+        {"l1i.prefetch_issued", l.issued},
+        {"l1i.prefetch_dropped_full", l.dropQueueFull},
+        {"l1i.prefetch_filtered",
+         l.dropDupQueued + l.dropDupCached + l.dropDupInflight},
+        {"l1i.prefetch_drop_dup_queued", l.dropDupQueued},
+        {"l1i.prefetch_drop_dup_cached", l.dropDupCached},
+        {"l1i.prefetch_drop_dup_inflight", l.dropDupInflight},
+        {"l1i.prefetch_mshr_deferrals", l.mshrDeferrals},
+        {"l1i.useful_prefetches", l.firstUse},
+        {"l1i.late_prefetches", l.lateUse},
+        {"l1i.wrong_prefetches", l.evictedUnused},
+        {"cpu.fetch_stall_line_miss",
+         trace.stalls[static_cast<size_t>(StallReason::LineMiss)]},
+        {"cpu.fetch_stall_ftq_empty_mispredict",
+         trace.stalls[static_cast<size_t>(
+             StallReason::FtqEmptyMispredict)]},
+        {"cpu.fetch_stall_ftq_empty_starved",
+         trace.stalls[static_cast<size_t>(StallReason::FtqEmptyStarved)]},
+        {"cpu.fetch_stall_rob_full",
+         trace.stalls[static_cast<size_t>(StallReason::BackendFull)]},
+        {"cpu.fetch_idle_cycles", trace.idleCycles},
+    };
+    for (const auto &pair : pairs) {
+        const JsonValue *counter = counters->find(pair.counter);
+        if (counter == nullptr || !counter->isNumber()) {
+            mismatches.push_back(std::string("counter '") + pair.counter +
+                                 "' missing from run document");
+            continue;
+        }
+        if (counter->asU64() != pair.traceValue) {
+            char buf[160];
+            std::snprintf(buf, sizeof(buf),
+                          "%s: run=%" PRIu64 " trace=%" PRIu64,
+                          pair.counter, counter->asU64(), pair.traceValue);
+            mismatches.push_back(buf);
+        }
+    }
+    return mismatches;
+}
+
+} // namespace eip::obs

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Reader side of the tracing subsystem: parse an `eip-trace/v1`
+ * document back into roll-up counts plus the raw event array, render
+ * the human-readable analyses (lifecycle funnel, drop-reason table,
+ * stall table, per-interval lateness), and reconcile the lifecycle
+ * terminals against the counters of the matching `eip-run/v1`
+ * artifact. Library code so the tests can drive it directly; the
+ * `eiptrace` tool is a thin main over these functions.
+ */
+
+#ifndef EIP_OBS_TRACE_READER_HH
+#define EIP_OBS_TRACE_READER_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/json.hh"
+#include "obs/trace.hh"
+
+namespace eip::obs {
+
+/** Parsed trace artifact. */
+struct TraceDoc
+{
+    LifecycleCounts lifecycle;
+    std::array<uint64_t, kStallReasons> stalls{};
+    uint64_t idleCycles = 0;
+    uint64_t limit = 0;
+    uint64_t recorded = 0;
+    uint64_t retained = 0;
+    bool wrapped = false;
+    /** Extra meta strings (workload, prefetcher, ...). */
+    std::vector<std::pair<std::string, std::string>> meta;
+    /** The raw traceEvents array (metadata events included). */
+    JsonValue events;
+};
+
+/** Parse @p text as an eip-trace/v1 document. Returns nullopt on
+ *  malformed JSON or schema violations (description in @p error). */
+std::optional<TraceDoc> parseTrace(const std::string &text,
+                                   std::string *error = nullptr);
+
+/** Lifecycle funnel: stage counts with window-relative residuals. */
+std::string funnelReport(const TraceDoc &doc);
+
+/** Drop-reason table (reason, count, share of requests). */
+std::string dropReport(const TraceDoc &doc);
+
+/** Stall attribution table (reason, cycles, share of idle cycles). */
+std::string stallReport(const TraceDoc &doc);
+
+/** Per-interval lateness: bucket pf_late_use events by ts/@p interval
+ *  and report count plus mean/max demand wait per bucket. Events that
+ *  wrapped out of the ring are absent (note emitted when wrapped). */
+std::string latenessReport(const TraceDoc &doc, uint64_t interval);
+
+/**
+ * Cross-check the trace roll-ups against the counters of the run's
+ * eip-run/v1 document: lifecycle terminals vs the coverage/accuracy
+ * counters (useful/late/wrong prefetches), the drop counters, and the
+ * stall taxonomy. Returns one message per mismatch; empty means the
+ * two artifacts describe the same run.
+ */
+std::vector<std::string> reconcileWithRun(const TraceDoc &trace,
+                                          const JsonValue &run);
+
+} // namespace eip::obs
+
+#endif // EIP_OBS_TRACE_READER_HH

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hh"
 #include "util/bitops.hh"
 #include "util/panic.hh"
 
@@ -157,6 +158,8 @@ Cache::installLine(const Mshr &entry)
         if (victim->prefetched && !victim->used) {
             ++stats_.wrongPrefetches;
             info.evictedUnusedPrefetch = true;
+            if (tracer_ != nullptr)
+                tracer_->pfEvictedUnused(victim->line, entry.ready);
         }
     }
 
@@ -167,6 +170,8 @@ Cache::installLine(const Mshr &entry)
     victim->prefetched = entry.isPrefetch;
     victim->used = entry.demandTouched;
     ++stats_.fills;
+    if (tracer_ != nullptr && entry.isPrefetch)
+        tracer_->pfFilled(entry.line, entry.ready, entry.demandTouched);
 
     if (prefetcher != nullptr)
         prefetcher->onCacheFill(info);
@@ -195,6 +200,7 @@ Cache::drainFills(Cycle now)
 bool
 Cache::probe(Addr line, Cycle now)
 {
+    now_ = now;
     drainFills(now);
     return findLine(line) != nullptr;
 }
@@ -202,6 +208,7 @@ Cache::probe(Addr line, Cycle now)
 Cache::Access
 Cache::demandAccess(Addr line, Addr pc, Cycle now)
 {
+    now_ = now;
     drainFills(now);
 
     Access result;
@@ -217,6 +224,8 @@ Cache::demandAccess(Addr line, Addr pc, Cycle now)
         if (hit->prefetched && !hit->used) {
             ++stats_.usefulPrefetches;
             op.hitWasPrefetch = true;
+            if (tracer_ != nullptr)
+                tracer_->pfFirstUse(line, now);
         }
         hit->used = true;
         result.hit = true;
@@ -253,12 +262,23 @@ Cache::demandAccess(Addr line, Addr pc, Cycle now)
             // bit unset in the MSHR entry allocated by a prefetch.
             ++stats_.latePrefetches;
             op.missLatePrefetch = true;
+            if (tracer_ != nullptr) {
+                tracer_->pfLateUse(line, now,
+                                   inflight->ready > now
+                                       ? inflight->ready - now
+                                       : 0);
+            }
         } else {
             ++stats_.mshrMerges;
         }
         inflight->demandTouched = true;
         result.ready = std::max(inflight->ready, now + cfg.hitLatency);
         classifyMiss(stats_, result.ready, now);
+        if (tracer_ != nullptr) {
+            tracer_->demandMiss(line, now,
+                                result.ready > now ? result.ready - now
+                                                   : 0);
+        }
         if (prefetcher != nullptr)
             prefetcher->onCacheOperate(op);
         return result;
@@ -280,6 +300,10 @@ Cache::demandAccess(Addr line, Addr pc, Cycle now)
     slot->ready = fetchFromBelow(line, pc, now);
     result.ready = slot->ready;
     classifyMiss(stats_, result.ready, now);
+    if (tracer_ != nullptr) {
+        tracer_->demandMiss(line, now,
+                            result.ready > now ? result.ready - now : 0);
+    }
     if (prefetcher != nullptr)
         prefetcher->onCacheOperate(op);
     return result;
@@ -288,6 +312,7 @@ Cache::demandAccess(Addr line, Addr pc, Cycle now)
 void
 Cache::speculativeAccess(Addr line, Addr pc, Cycle now)
 {
+    now_ = now;
     drainFills(now);
     ++stats_.wrongPathAccesses;
 
@@ -325,22 +350,35 @@ bool
 Cache::enqueuePrefetch(Addr line)
 {
     ++stats_.prefetchRequested;
+    if (tracer_ != nullptr)
+        tracer_->pfRequested(line, now_);
     if (cfg.pqEntries == 0) {
         ++stats_.prefetchDroppedFull;
+        if (tracer_ != nullptr)
+            tracer_->pfDropped(line, now_, obs::PfDropReason::QueueFull);
         return false;
     }
     // Duplicate suppression inside the queue (small, linear scan is fine).
     for (const auto &e : pq) {
         if (e.line == line) {
             ++stats_.prefetchFiltered;
+            ++stats_.prefetchDropDupQueued;
+            if (tracer_ != nullptr) {
+                tracer_->pfDropped(line, now_,
+                                   obs::PfDropReason::DupQueued);
+            }
             return false;
         }
     }
     if (pq.size() >= cfg.pqEntries) {
         ++stats_.prefetchDroppedFull;
+        if (tracer_ != nullptr)
+            tracer_->pfDropped(line, now_, obs::PfDropReason::QueueFull);
         return false;
     }
     pq.push_back(PqEntry{line});
+    if (tracer_ != nullptr)
+        tracer_->pfQueued(line, now_);
     return true;
 }
 
@@ -350,13 +388,32 @@ Cache::issuePrefetches(Cycle now)
     uint32_t budget = cfg.pqIssuePerCycle;
     while (budget > 0 && !pq.empty()) {
         Addr line = pq.front().line;
-        if (findLine(line) != nullptr || findMshr(line) != nullptr) {
+        if (findLine(line) != nullptr) {
             ++stats_.prefetchFiltered;
+            ++stats_.prefetchDropDupCached;
+            if (tracer_ != nullptr)
+                tracer_->pfDropped(line, now, obs::PfDropReason::DupCached);
             pq.pop_front();
             continue;
         }
-        if (freeMshrs() <= cfg.pfMshrReserve)
-            return; // keep demand-reserved MSHRs free; retry next cycle
+        if (findMshr(line) != nullptr) {
+            ++stats_.prefetchFiltered;
+            ++stats_.prefetchDropDupInflight;
+            if (tracer_ != nullptr) {
+                tracer_->pfDropped(line, now,
+                                   obs::PfDropReason::DupInflight);
+            }
+            pq.pop_front();
+            continue;
+        }
+        if (freeMshrs() <= cfg.pfMshrReserve) {
+            // Keep demand-reserved MSHRs free; the request stays queued
+            // and retries next cycle — a deferral, not a drop.
+            ++stats_.prefetchMshrDeferrals;
+            if (tracer_ != nullptr)
+                tracer_->pfMshrDefer(line, now);
+            return;
+        }
         Mshr *slot = allocMshr();
         if (slot == nullptr)
             return;
@@ -366,6 +423,8 @@ Cache::issuePrefetches(Cycle now)
         slot->demandTouched = false;
         slot->ready = fetchFromBelow(line, /*pc=*/0, now);
         ++stats_.prefetchIssued;
+        if (tracer_ != nullptr)
+            tracer_->pfIssued(line, now);
         if (prefetcher != nullptr)
             prefetcher->onPrefetchIssued(line, now);
         pq.pop_front();
@@ -376,10 +435,17 @@ Cache::issuePrefetches(Cycle now)
 void
 Cache::tick(Cycle now)
 {
+    now_ = now;
     drainFills(now);
     issuePrefetches(now);
     if (prefetcher != nullptr)
         prefetcher->onCycle(now);
+}
+
+obs::EventTracer *
+Prefetcher::tracer() const
+{
+    return owner != nullptr ? owner->tracer() : nullptr;
 }
 
 } // namespace eip::sim

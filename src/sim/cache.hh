@@ -18,6 +18,10 @@
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
+namespace eip::obs {
+class EventTracer;
+}
+
 namespace eip::sim {
 
 /**
@@ -82,6 +86,11 @@ class Cache
     CacheStats &stats() { return stats_; }
     const CacheConfig &config() const { return cfg; }
 
+    /** Attach an event tracer (nullable; pure observer, see src/obs).
+     *  With no tracer every hook site is one pointer test. */
+    void setTracer(obs::EventTracer *tracer) { tracer_ = tracer; }
+    obs::EventTracer *tracer() const { return tracer_; }
+
     /** Number of free MSHR entries (for tests). */
     uint32_t freeMshrs() const;
     /** Prefetch-queue occupancy (for tests). */
@@ -138,6 +147,10 @@ class Cache
     Cache *nextLevel = nullptr;
     Dram *dram_ = nullptr;
     Prefetcher *prefetcher = nullptr;
+    obs::EventTracer *tracer_ = nullptr;
+    /** Current cycle as of the last public entry point; gives
+     *  enqueuePrefetch (which has no cycle parameter) a timestamp. */
+    Cycle now_ = 0;
 
     CacheStats stats_;
 };

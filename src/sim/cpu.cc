@@ -4,6 +4,7 @@
 
 #include "obs/registry.hh"
 #include "obs/sampler.hh"
+#include "obs/trace.hh"
 #include "util/panic.hh"
 
 namespace eip::sim {
@@ -42,6 +43,15 @@ Cpu::attachL1iPrefetcher(Prefetcher *pf)
 {
     l1iPrefetcher = pf;
     l1i_->attachPrefetcher(pf);
+}
+
+void
+Cpu::attachTracer(obs::EventTracer *tracer)
+{
+    tracer_ = tracer;
+    // Both traced event families are L1I-centric (prefetch lifecycle,
+    // instruction-fetch stalls); the data side is not traced.
+    l1i_->setTracer(tracer);
 }
 
 Addr
@@ -233,20 +243,18 @@ void
 Cpu::fetchStage()
 {
     uint32_t budget = cfg.fetchWidth;
-    if (ftq.empty())
-        ++fetchStallFtqEmpty;
+    bool lineBlocked = false;
+    bool robBlocked = false;
     while (budget > 0 && !ftq.empty()) {
         FtqGroup &group = ftq.front();
         if (group.accessPending || group.ready > now) {
-            if (budget == cfg.fetchWidth)
-                ++fetchStallLineMiss;
-            return; // instruction line not arrived yet
+            lineBlocked = true; // instruction line not arrived yet
+            break;
         }
         while (budget > 0 && group.consumed < group.insts.size()) {
             if (rob.size() >= cfg.robEntries) {
-                if (budget == cfg.fetchWidth)
-                    ++fetchStallRobFull;
-                return;
+                robBlocked = true;
+                break;
             }
             const trace::Instruction &inst = group.insts[group.consumed];
             uint8_t mispredict = group.mispredict[group.consumed];
@@ -265,9 +273,45 @@ Cpu::fetchStage()
             --budget;
             --ftqInsts;
         }
+        if (robBlocked)
+            break;
         if (group.consumed == group.insts.size())
             ftq.pop_front();
     }
+
+    if (budget != cfg.fetchWidth) {
+        // At least one instruction fetched this cycle.
+        if (tracer_ != nullptr)
+            tracer_->fetchActive();
+        return;
+    }
+
+    // Zero-fetch cycle: charge exactly one taxonomy bucket. Block
+    // conditions take priority over emptiness (a blocked head FTQ entry
+    // is the proximate cause even if the predictor is also stalled);
+    // FTQ emptiness splits by whether the front end is waiting on a
+    // mispredicted branch (redirect recovery) or simply under-supplied.
+    ++fetchIdleCycles;
+    obs::StallReason reason;
+    if (lineBlocked) {
+        ++fetchStallLineMiss;
+        reason = obs::StallReason::LineMiss;
+    } else if (robBlocked) {
+        ++fetchStallRobFull;
+        reason = obs::StallReason::BackendFull;
+    } else if (predictBlockedOnBranch || now < predictStallUntil) {
+        ++fetchStallFtqEmptyMispredict;
+        reason = obs::StallReason::FtqEmptyMispredict;
+    } else {
+        ++fetchStallFtqEmptyStarved;
+        reason = obs::StallReason::FtqEmptyStarved;
+    }
+    if (tracer_ != nullptr)
+        tracer_->stallCycle(reason, now);
+    EIP_DASSERT(fetchStallLineMiss + fetchStallFtqEmptyMispredict +
+                        fetchStallFtqEmptyStarved + fetchStallRobFull ==
+                    fetchIdleCycles,
+                "fetch stall buckets must partition zero-fetch cycles");
 }
 
 void
@@ -322,8 +366,14 @@ Cpu::run(trace::InstructionSource &trace, uint64_t instructions,
             branchMispredicts = 0;
             btbMisses = 0;
             fetchStallLineMiss = 0;
-            fetchStallFtqEmpty = 0;
+            fetchStallFtqEmptyMispredict = 0;
+            fetchStallFtqEmptyStarved = 0;
             fetchStallRobFull = 0;
+            fetchIdleCycles = 0;
+            // The tracer's roll-ups must cover exactly the same window
+            // as the stats they reconcile against.
+            if (tracer_ != nullptr)
+                tracer_->measurementBoundary(now);
         }
         if (measuring_ && sampler != nullptr)
             sampler->tick(retired - measureStartRetired_,
@@ -340,8 +390,10 @@ Cpu::run(trace::InstructionSource &trace, uint64_t instructions,
     stats.branchMispredicts = branchMispredicts;
     stats.btbMisses = btbMisses;
     stats.fetchStallLineMiss = fetchStallLineMiss;
-    stats.fetchStallFtqEmpty = fetchStallFtqEmpty;
+    stats.fetchStallFtqEmptyMispredict = fetchStallFtqEmptyMispredict;
+    stats.fetchStallFtqEmptyStarved = fetchStallFtqEmptyStarved;
     stats.fetchStallRobFull = fetchStallRobFull;
+    stats.fetchIdleCycles = fetchIdleCycles;
     stats.l1i = l1i_->stats();
     stats.l1d = l1d_->stats();
     stats.l2 = l2_->stats();
@@ -364,8 +416,15 @@ Cpu::registerCounters(obs::CounterRegistry &reg)
     reg.counter("cpu.branch_mispredicts", &branchMispredicts);
     reg.counter("cpu.btb_misses", &btbMisses);
     reg.counter("cpu.fetch_stall_line_miss", &fetchStallLineMiss);
-    reg.counter("cpu.fetch_stall_ftq_empty", &fetchStallFtqEmpty);
+    reg.counter("cpu.fetch_stall_ftq_empty", [this]() {
+        return fetchStallFtqEmptyMispredict + fetchStallFtqEmptyStarved;
+    });
+    reg.counter("cpu.fetch_stall_ftq_empty_mispredict",
+                &fetchStallFtqEmptyMispredict);
+    reg.counter("cpu.fetch_stall_ftq_empty_starved",
+                &fetchStallFtqEmptyStarved);
     reg.counter("cpu.fetch_stall_rob_full", &fetchStallRobFull);
+    reg.counter("cpu.fetch_idle_cycles", &fetchIdleCycles);
     reg.counter("dram.accesses",
                 [this]() { return dram_->accesses() - dramStart_; });
 

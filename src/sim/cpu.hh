@@ -25,6 +25,7 @@
 
 namespace eip::obs {
 class CounterRegistry;
+class EventTracer;
 class IntervalSampler;
 }
 
@@ -46,6 +47,14 @@ class Cpu
     /** Attach the L1I prefetcher (may be null for the no-prefetch baseline).
      *  The prefetcher is owned by the caller and must outlive the Cpu. */
     void attachL1iPrefetcher(Prefetcher *pf);
+
+    /**
+     * Attach an event tracer (see src/obs/trace.hh) to the front end and
+     * the L1I. Nullable; the tracer is a pure observer (never feeds back
+     * into timing), so results are identical with and without one. Owned
+     * by the caller and must outlive the Cpu's last run().
+     */
+    void attachTracer(obs::EventTracer *tracer);
 
     /**
      * Simulate until @p instructions have retired after a warm-up of
@@ -145,8 +154,12 @@ class Cpu
     uint64_t branchMispredicts = 0;
     uint64_t btbMisses = 0;
     uint64_t fetchStallLineMiss = 0;
-    uint64_t fetchStallFtqEmpty = 0;
+    uint64_t fetchStallFtqEmptyMispredict = 0;
+    uint64_t fetchStallFtqEmptyStarved = 0;
     uint64_t fetchStallRobFull = 0;
+    uint64_t fetchIdleCycles = 0;
+
+    obs::EventTracer *tracer_ = nullptr;
 };
 
 } // namespace eip::sim

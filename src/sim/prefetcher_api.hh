@@ -17,6 +17,7 @@
 
 namespace eip::obs {
 class CounterRegistry;
+class EventTracer;
 }
 
 namespace eip::sim {
@@ -112,6 +113,16 @@ class Prefetcher
     virtual void onCycle(Cycle now) { (void)now; }
 
   protected:
+    /**
+     * Event tracer of the owning cache; nullptr when tracing is off or
+     * the prefetcher is unattached. Prefetchers use it to trace
+     * candidates they discard *before* Cache::enqueuePrefetch ever sees
+     * them (e.g. pfDropped with PfDropReason::CrossPage), which is the
+     * only way such drops become visible. Pure observer: never branch
+     * simulation behavior on it. Defined in cache.cc (needs Cache).
+     */
+    obs::EventTracer *tracer() const;
+
     Cache *owner = nullptr;
 };
 

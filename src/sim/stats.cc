@@ -18,6 +18,14 @@ registerCacheStats(obs::CounterRegistry &reg, const std::string &prefix,
     reg.counter(name("prefetch_requested"), &s->prefetchRequested);
     reg.counter(name("prefetch_dropped_full"), &s->prefetchDroppedFull);
     reg.counter(name("prefetch_filtered"), &s->prefetchFiltered);
+    reg.counter(name("prefetch_drop_dup_queued"),
+                &s->prefetchDropDupQueued);
+    reg.counter(name("prefetch_drop_dup_cached"),
+                &s->prefetchDropDupCached);
+    reg.counter(name("prefetch_drop_dup_inflight"),
+                &s->prefetchDropDupInflight);
+    reg.counter(name("prefetch_mshr_deferrals"),
+                &s->prefetchMshrDeferrals);
     reg.counter(name("prefetch_issued"), &s->prefetchIssued);
     reg.counter(name("useful_prefetches"), &s->usefulPrefetches);
     reg.counter(name("late_prefetches"), &s->latePrefetches);
@@ -50,8 +58,14 @@ registerSimStats(obs::CounterRegistry &reg, const SimStats &stats)
     reg.counter("cpu.branch_mispredicts", &s->branchMispredicts);
     reg.counter("cpu.btb_misses", &s->btbMisses);
     reg.counter("cpu.fetch_stall_line_miss", &s->fetchStallLineMiss);
-    reg.counter("cpu.fetch_stall_ftq_empty", &s->fetchStallFtqEmpty);
+    reg.counter("cpu.fetch_stall_ftq_empty",
+                [s]() { return s->fetchStallFtqEmpty(); });
+    reg.counter("cpu.fetch_stall_ftq_empty_mispredict",
+                &s->fetchStallFtqEmptyMispredict);
+    reg.counter("cpu.fetch_stall_ftq_empty_starved",
+                &s->fetchStallFtqEmptyStarved);
     reg.counter("cpu.fetch_stall_rob_full", &s->fetchStallRobFull);
+    reg.counter("cpu.fetch_idle_cycles", &s->fetchIdleCycles);
     reg.counter("dram.accesses", &s->dramAccesses);
 
     reg.gauge("cpu.ipc", [s]() { return s->ipc(); });

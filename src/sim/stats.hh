@@ -40,7 +40,15 @@ struct CacheStats
 
     uint64_t prefetchRequested = 0;  ///< handed to the PQ by the prefetcher
     uint64_t prefetchDroppedFull = 0;///< PQ overflow
-    uint64_t prefetchFiltered = 0;   ///< already cached / in flight
+    uint64_t prefetchFiltered = 0;   ///< already cached / in flight /
+                                     ///< queued (= sum of the three
+                                     ///< drop-reason counters below)
+    uint64_t prefetchDropDupQueued = 0;  ///< duplicate of a queued request
+    uint64_t prefetchDropDupCached = 0;  ///< line already resident at issue
+    uint64_t prefetchDropDupInflight = 0;///< line already in flight (MSHR)
+    uint64_t prefetchMshrDeferrals = 0;  ///< issue attempts blocked on the
+                                         ///< MSHR reserve; the request
+                                         ///< stays queued and retries
     uint64_t prefetchIssued = 0;     ///< sent to the next level
     uint64_t usefulPrefetches = 0;   ///< prefetched line hit before eviction
     uint64_t latePrefetches = 0;     ///< demand merged into in-flight prefetch
@@ -159,10 +167,25 @@ struct SimStats
     uint64_t branchMispredicts = 0;  ///< direction/indirect-target errors
     uint64_t btbMisses = 0;          ///< taken branch with unknown target
 
-    // Front-end stall attribution (cycles with zero instructions fetched).
+    // Front-end stall attribution. Exactly one bucket is charged per
+    // zero-fetch cycle; the four buckets partition fetchIdleCycles
+    // (debug-asserted every cycle, regression-tested in test_cpu.cc).
     uint64_t fetchStallLineMiss = 0; ///< head FTQ line not yet arrived
-    uint64_t fetchStallFtqEmpty = 0; ///< FTQ drained (mispredict recovery)
-    uint64_t fetchStallRobFull = 0;
+    uint64_t fetchStallFtqEmptyMispredict = 0; ///< FTQ drained while a
+                                               ///< redirect/flush resolves
+    uint64_t fetchStallFtqEmptyStarved = 0;    ///< FTQ drained with the
+                                               ///< front end unblocked:
+                                               ///< prediction under-supply
+    uint64_t fetchStallRobFull = 0;  ///< back end full (decode starvation
+                                     ///< downstream of a stuffed ROB)
+    uint64_t fetchIdleCycles = 0;    ///< cycles with zero fetched insts
+
+    /** Legacy two-bucket view: FTQ-empty cycles regardless of cause. */
+    uint64_t
+    fetchStallFtqEmpty() const
+    {
+        return fetchStallFtqEmptyMispredict + fetchStallFtqEmptyStarved;
+    }
 
     CacheStats l1i;
     CacheStats l1d;

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * eiptrace — analyse an eip-trace/v1 artifact produced by
+ * `eipsim --trace-out`: print the prefetch-lifecycle funnel, the
+ * drop-reason and stall-attribution tables and the per-interval
+ * lateness profile, and (with --stats) reconcile the trace roll-ups
+ * against the counters of the matching eip-run/v1 artifact. Exits
+ * non-zero on unreadable input or any reconciliation mismatch, so CI
+ * can gate on it.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/trace_reader.hh"
+
+namespace {
+
+const char kUsage[] =
+    "eiptrace — analyse an eip-trace/v1 event trace\n"
+    "\n"
+    "usage: eiptrace TRACE.json [options]\n"
+    "  --stats FILE    reconcile the trace's lifecycle and stall\n"
+    "                  roll-ups against the counters of the run's\n"
+    "                  eip-run/v1 artifact (exit 1 on any mismatch)\n"
+    "  --interval N    lateness bucket width in cycles (default 100000)\n"
+    "  --help          this text\n";
+
+bool
+readFile(const std::string &path, std::string *out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    *out = buf.str();
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    std::string trace_path;
+    std::string stats_path;
+    uint64_t interval = 100000;
+    for (size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--help" || args[i] == "-h") {
+            std::fputs(kUsage, stdout);
+            return 0;
+        }
+        if (args[i] == "--stats") {
+            if (i + 1 >= args.size()) {
+                std::fprintf(stderr, "error: --stats needs a file\n");
+                return 2;
+            }
+            stats_path = args[++i];
+        } else if (args[i] == "--interval") {
+            if (i + 1 >= args.size()) {
+                std::fprintf(stderr, "error: --interval needs a number\n");
+                return 2;
+            }
+            interval = std::strtoull(args[++i].c_str(), nullptr, 10);
+            if (interval == 0) {
+                std::fprintf(stderr,
+                             "error: --interval must be positive\n");
+                return 2;
+            }
+        } else if (!args[i].empty() && args[i][0] == '-') {
+            std::fprintf(stderr, "error: unknown option %s\n%s",
+                         args[i].c_str(), kUsage);
+            return 2;
+        } else if (trace_path.empty()) {
+            trace_path = args[i];
+        } else {
+            std::fprintf(stderr, "error: more than one trace file\n");
+            return 2;
+        }
+    }
+    if (trace_path.empty()) {
+        std::fputs(kUsage, stderr);
+        return 2;
+    }
+
+    std::string text;
+    if (!readFile(trace_path, &text)) {
+        std::fprintf(stderr, "error: cannot read %s\n",
+                     trace_path.c_str());
+        return 1;
+    }
+    std::string parse_error;
+    auto doc = eip::obs::parseTrace(text, &parse_error);
+    if (!doc) {
+        std::fprintf(stderr, "error: %s: %s\n", trace_path.c_str(),
+                     parse_error.c_str());
+        return 1;
+    }
+
+    for (const auto &[key, value] : doc->meta)
+        std::printf("%-12s %s\n", key.c_str(), value.c_str());
+    std::printf("events       %llu recorded, %llu retained%s\n\n",
+                static_cast<unsigned long long>(doc->recorded),
+                static_cast<unsigned long long>(doc->retained),
+                doc->wrapped ? " (ring wrapped)" : "");
+    std::fputs(eip::obs::funnelReport(*doc).c_str(), stdout);
+    std::fputs("\n", stdout);
+    std::fputs(eip::obs::dropReport(*doc).c_str(), stdout);
+    std::fputs("\n", stdout);
+    std::fputs(eip::obs::stallReport(*doc).c_str(), stdout);
+    std::fputs("\n", stdout);
+    std::fputs(eip::obs::latenessReport(*doc, interval).c_str(), stdout);
+
+    if (stats_path.empty())
+        return 0;
+
+    std::string run_text;
+    if (!readFile(stats_path, &run_text)) {
+        std::fprintf(stderr, "error: cannot read %s\n",
+                     stats_path.c_str());
+        return 1;
+    }
+    auto run = eip::obs::parseJson(run_text, &parse_error);
+    if (!run) {
+        std::fprintf(stderr, "error: %s: %s\n", stats_path.c_str(),
+                     parse_error.c_str());
+        return 1;
+    }
+    auto mismatches = eip::obs::reconcileWithRun(*doc, *run);
+    if (mismatches.empty()) {
+        std::printf("\nreconciliation against %s: OK\n",
+                    stats_path.c_str());
+        return 0;
+    }
+    std::fprintf(stderr, "\nreconciliation against %s FAILED:\n",
+                 stats_path.c_str());
+    for (const auto &m : mismatches)
+        std::fprintf(stderr, "  %s\n", m.c_str());
+    return 1;
+}

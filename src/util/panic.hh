@@ -43,4 +43,12 @@ fatalImpl(const char *file, int line, const char *msg)
             EIP_PANIC(msg);                                                 \
     } while (0)
 
+/** Invariant check on hot paths: active in debug builds, compiled out
+ *  under NDEBUG (Release). */
+#ifdef NDEBUG
+#define EIP_DASSERT(cond, msg) ((void)0)
+#else
+#define EIP_DASSERT(cond, msg) EIP_ASSERT(cond, msg)
+#endif
+
 #endif // EIP_UTIL_PANIC_HH

@@ -7,8 +7,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 
 #include "harness/cli.hh"
+#include "obs/trace.hh"
+#include "obs/trace_reader.hh"
 
 namespace eip::harness {
 namespace {
@@ -81,12 +86,37 @@ TEST(Cli, TraceOptionParses)
     EXPECT_EQ(opt.tracePath, "/tmp/foo.trc");
 }
 
+TEST(Cli, TraceOutFlagsParse)
+{
+    CliOptions opt = parse({});
+    EXPECT_TRUE(opt.traceOutPath.empty());
+    EXPECT_EQ(opt.traceEvents, "pf,stall,cache");
+    EXPECT_EQ(opt.traceLimit, 1u << 20);
+
+    opt = parse({"--trace-out", "/tmp/t.json", "--trace-events",
+                 "pf,stall", "--trace-limit", "4096"});
+    EXPECT_TRUE(opt.error.empty()) << opt.error;
+    EXPECT_EQ(opt.traceOutPath, "/tmp/t.json");
+    EXPECT_EQ(opt.traceEvents, "pf,stall");
+    EXPECT_EQ(opt.traceLimit, 4096u);
+}
+
+TEST(Cli, TraceOutFlagErrors)
+{
+    EXPECT_FALSE(parse({"--trace-out"}).error.empty()); // missing value
+    EXPECT_FALSE(parse({"--trace-events", "bogus"}).error.empty());
+    EXPECT_FALSE(parse({"--trace-events", ""}).error.empty());
+    EXPECT_FALSE(parse({"--trace-limit", "0"}).error.empty());
+    EXPECT_FALSE(parse({"--trace-limit", "abc"}).error.empty());
+}
+
 TEST(Cli, UsageMentionsAllFlags)
 {
     std::string usage = cliUsage();
     for (const char *flag :
          {"--workload", "--trace", "--prefetcher", "--instructions",
           "--warmup", "--jobs", "--physical", "--wrong-path", "--json",
+          "--trace-out", "--trace-events", "--trace-limit",
           "--list-workloads", "--list-prefetchers", "--config"}) {
         EXPECT_NE(usage.find(flag), std::string::npos) << flag;
     }
@@ -132,6 +162,32 @@ TEST(Cli, RunCliEndToEnd)
               0);
 }
 
+TEST(Cli, RunCliWritesAParsableTraceArtifact)
+{
+    std::string path = ::testing::TempDir() + "cli_trace.json";
+    EXPECT_EQ(runCli(parse({"--workload", "tiny", "--prefetcher",
+                            "nextline", "--instructions", "50000",
+                            "--warmup", "10000", "--trace-out",
+                            path.c_str(), "--trace-limit", "2048"})),
+              0);
+
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good()) << "trace artifact missing: " << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string error;
+    auto doc = obs::parseTrace(buf.str(), &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+    EXPECT_EQ(doc->limit, 2048u);
+    EXPECT_GT(doc->recorded, 0u);
+    // The harness stamped run provenance into the meta block.
+    bool has_workload = false;
+    for (const auto &[key, value] : doc->meta)
+        has_workload |= key == "workload" && value == "tiny";
+    EXPECT_TRUE(has_workload);
+    std::remove(path.c_str());
+}
+
 TEST(Cli, RunCliBatchModeRunsWholeCatalogue)
 {
     EXPECT_EQ(runCli(parse({"--workload", "all", "--prefetcher", "none",
@@ -141,6 +197,10 @@ TEST(Cli, RunCliBatchModeRunsWholeCatalogue)
     // Wrong-path modelling is a single-run feature.
     EXPECT_EQ(runCli(parse({"--workload", "all", "--wrong-path",
                             "--instructions", "1000"})),
+              2);
+    // So is event tracing.
+    EXPECT_EQ(runCli(parse({"--workload", "all", "--trace-out",
+                            "/tmp/batch.json", "--instructions", "1000"})),
               2);
 }
 

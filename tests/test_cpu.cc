@@ -111,10 +111,18 @@ TEST(Cpu, StallAccountingCoversCycles)
 {
     SimConfig cfg;
     SimStats stats = runTiny(cfg);
+    // The four taxonomy buckets partition zero-fetch cycles exactly: no
+    // stall cycle is unattributed and none is charged twice.
     uint64_t attributed = stats.fetchStallLineMiss +
-                          stats.fetchStallFtqEmpty + stats.fetchStallRobFull;
+                          stats.fetchStallFtqEmptyMispredict +
+                          stats.fetchStallFtqEmptyStarved +
+                          stats.fetchStallRobFull;
+    EXPECT_EQ(attributed, stats.fetchIdleCycles);
     EXPECT_GT(attributed, 0u);
-    EXPECT_LE(stats.fetchStallLineMiss, stats.cycles);
+    EXPECT_LE(stats.fetchIdleCycles, stats.cycles);
+    EXPECT_EQ(stats.fetchStallFtqEmpty(),
+              stats.fetchStallFtqEmptyMispredict +
+                  stats.fetchStallFtqEmptyStarved);
 }
 
 TEST(Cpu, PhysicalAddressingRunsAndDiffers)
