@@ -1,0 +1,236 @@
+#include "check/diff.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace eip::check {
+
+namespace {
+
+std::string
+renderValue(const obs::JsonValue &v)
+{
+    using Type = obs::JsonValue::Type;
+    switch (v.type) {
+      case Type::Null:
+        return "null";
+      case Type::Bool:
+        return v.boolean ? "true" : "false";
+      case Type::Number: {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.17g", v.number);
+        return buf;
+      }
+      case Type::String:
+        return "\"" + v.string + "\"";
+      case Type::Array:
+        return "<array[" + std::to_string(v.array.size()) + "]>";
+      case Type::Object:
+        return "<object{" + std::to_string(v.object.size()) + "}>";
+    }
+    return "<?>";
+}
+
+void
+diffInto(const obs::JsonValue &a, const obs::JsonValue &b,
+         const std::string &path, const std::vector<std::string> &allow,
+         std::vector<DiffEntry> &out, size_t &compared)
+{
+    if (pathAllowed(path, allow))
+        return;
+
+    using Type = obs::JsonValue::Type;
+    if (a.type != b.type) {
+        ++compared;
+        out.push_back(DiffEntry{path, renderValue(a), renderValue(b)});
+        return;
+    }
+
+    switch (a.type) {
+      case Type::Object: {
+        for (const auto &[key, value] : a.object) {
+            std::string sub = path.empty() ? key : path + "." + key;
+            const obs::JsonValue *other = b.find(key);
+            if (other == nullptr) {
+                if (!pathAllowed(sub, allow)) {
+                    ++compared;
+                    out.push_back(
+                        DiffEntry{sub, renderValue(value), "<absent>"});
+                }
+                continue;
+            }
+            diffInto(value, *other, sub, allow, out, compared);
+        }
+        for (const auto &[key, value] : b.object) {
+            if (a.find(key) != nullptr)
+                continue;
+            std::string sub = path.empty() ? key : path + "." + key;
+            if (!pathAllowed(sub, allow)) {
+                ++compared;
+                out.push_back(DiffEntry{sub, "<absent>", renderValue(value)});
+            }
+        }
+        return;
+      }
+      case Type::Array: {
+        size_t common = std::min(a.array.size(), b.array.size());
+        for (size_t i = 0; i < common; ++i) {
+            diffInto(a.array[i], b.array[i],
+                     path + "[" + std::to_string(i) + "]", allow, out,
+                     compared);
+        }
+        for (size_t i = common; i < a.array.size(); ++i) {
+            std::string sub = path + "[" + std::to_string(i) + "]";
+            if (!pathAllowed(sub, allow)) {
+                ++compared;
+                out.push_back(
+                    DiffEntry{sub, renderValue(a.array[i]), "<absent>"});
+            }
+        }
+        for (size_t i = common; i < b.array.size(); ++i) {
+            std::string sub = path + "[" + std::to_string(i) + "]";
+            if (!pathAllowed(sub, allow)) {
+                ++compared;
+                out.push_back(
+                    DiffEntry{sub, "<absent>", renderValue(b.array[i])});
+            }
+        }
+        return;
+      }
+      case Type::Null:
+        ++compared;
+        return;
+      case Type::Bool:
+        ++compared;
+        if (a.boolean != b.boolean)
+            out.push_back(DiffEntry{path, renderValue(a), renderValue(b)});
+        return;
+      case Type::Number:
+        ++compared;
+        // Exact: both sides come from the same deterministic writer.
+        if (a.number != b.number)
+            out.push_back(DiffEntry{path, renderValue(a), renderValue(b)});
+        return;
+      case Type::String:
+        ++compared;
+        if (a.string != b.string)
+            out.push_back(DiffEntry{path, renderValue(a), renderValue(b)});
+        return;
+    }
+}
+
+} // namespace
+
+bool
+pathAllowed(const std::string &path, const std::vector<std::string> &allow)
+{
+    for (const std::string &entry : allow) {
+        if (path == entry)
+            return true;
+        if (path.size() > entry.size() &&
+            path.compare(0, entry.size(), entry) == 0 &&
+            (path[entry.size()] == '.' || path[entry.size()] == '['))
+            return true;
+    }
+    return false;
+}
+
+std::vector<DiffEntry>
+diffJson(const obs::JsonValue &a, const obs::JsonValue &b,
+         const std::vector<std::string> &allow, size_t *fields_compared)
+{
+    std::vector<DiffEntry> out;
+    size_t compared = 0;
+    diffInto(a, b, "", allow, out, compared);
+    if (fields_compared != nullptr)
+        *fields_compared = compared;
+    return out;
+}
+
+bool
+DiffRunner::compare(const std::string &label, const std::string &lhs_text,
+                    const std::string &rhs_text,
+                    const std::vector<std::string> &allow)
+{
+    Comparison cmp;
+    cmp.label = label;
+    std::string error;
+    std::optional<obs::JsonValue> lhs = obs::parseJson(lhs_text, &error);
+    if (!lhs.has_value())
+        cmp.error = "lhs unparseable: " + error;
+    std::optional<obs::JsonValue> rhs = obs::parseJson(rhs_text, &error);
+    if (!rhs.has_value() && cmp.error.empty())
+        cmp.error = "rhs unparseable: " + error;
+    if (cmp.error.empty())
+        cmp.divergences =
+            diffJson(*lhs, *rhs, allow, &cmp.fieldsCompared);
+    bool clean = cmp.clean();
+    comparisons_.push_back(std::move(cmp));
+    return clean;
+}
+
+bool
+DiffRunner::compareFiles(const std::string &label,
+                         const std::string &lhs_path,
+                         const std::string &rhs_path,
+                         const std::vector<std::string> &allow)
+{
+    auto read = [](const std::string &path, std::string *error) {
+        std::ifstream in(path, std::ios::binary);
+        if (!in) {
+            *error = "cannot open " + path;
+            return std::string();
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+        return text.str();
+    };
+    Comparison cmp;
+    cmp.label = label;
+    std::string lhs = read(lhs_path, &cmp.error);
+    if (!cmp.error.empty()) {
+        comparisons_.push_back(std::move(cmp));
+        return false;
+    }
+    std::string rhs = read(rhs_path, &cmp.error);
+    if (!cmp.error.empty()) {
+        comparisons_.push_back(std::move(cmp));
+        return false;
+    }
+    return compare(label, lhs, rhs, allow);
+}
+
+bool
+DiffRunner::allClean() const
+{
+    for (const Comparison &cmp : comparisons_) {
+        if (!cmp.clean())
+            return false;
+    }
+    return true;
+}
+
+std::string
+DiffRunner::report() const
+{
+    std::ostringstream out;
+    for (const Comparison &cmp : comparisons_) {
+        out << (cmp.clean() ? "PASS" : "FAIL") << "  " << cmp.label;
+        if (!cmp.error.empty()) {
+            out << "  (" << cmp.error << ")\n";
+            continue;
+        }
+        out << "  (" << cmp.fieldsCompared << " fields";
+        if (!cmp.divergences.empty())
+            out << ", " << cmp.divergences.size() << " divergent";
+        out << ")\n";
+        for (const DiffEntry &d : cmp.divergences) {
+            out << "      " << d.path << ": " << d.lhs << " != " << d.rhs
+                << "\n";
+        }
+    }
+    return out.str();
+}
+
+} // namespace eip::check

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Artifact differential gate: a structural field-by-field diff of two
+ * eip-run/v1 / eip-suite/v1 JSON documents with an explicit allow-list
+ * for fields that may legitimately differ (environment timing such as
+ * manifest.wall_clock_seconds, or fields a configuration knob is
+ * expected to change such as samples). Everything not allow-listed must
+ * match exactly — an unexplained divergence means a configuration knob
+ * that is documented as inert (worker count, sampling, tracing) leaked
+ * into results.
+ *
+ * DiffRunner accumulates labelled comparisons for the eipdiff tool: it
+ * reports every divergence with its JSON path and both values, and
+ * allClean() gates the process exit code.
+ */
+
+#ifndef EIP_CHECK_DIFF_HH
+#define EIP_CHECK_DIFF_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "obs/json.hh"
+
+namespace eip::check {
+
+/** One observed difference between two JSON documents. */
+struct DiffEntry
+{
+    std::string path; ///< dotted path, array elements as [i]
+    std::string lhs;  ///< rendered value, or "<absent>"
+    std::string rhs;
+};
+
+/**
+ * Does @p path fall under any allow-list entry? An entry matches itself
+ * and everything nested below it (@p path continues with '.' or '[').
+ */
+bool pathAllowed(const std::string &path,
+                 const std::vector<std::string> &allow);
+
+/**
+ * Structural diff of two parsed JSON documents. Object members are
+ * compared by key (order-insensitive; the writers emit a fixed order
+ * anyway), arrays element-wise, numbers exactly (both sides come from
+ * the same %.17g serialisation rules). Paths matching @p allow are
+ * skipped wholesale. @p fields_compared counts the leaf comparisons
+ * actually performed, so a report can show coverage.
+ */
+std::vector<DiffEntry> diffJson(const obs::JsonValue &a,
+                                const obs::JsonValue &b,
+                                const std::vector<std::string> &allow,
+                                size_t *fields_compared = nullptr);
+
+/** A sequence of labelled document comparisons with a final verdict. */
+class DiffRunner
+{
+  public:
+    struct Comparison
+    {
+        std::string label;
+        size_t fieldsCompared = 0;
+        std::vector<DiffEntry> divergences;
+        std::string error; ///< non-empty when a side failed to parse
+
+        bool
+        clean() const
+        {
+            return error.empty() && divergences.empty();
+        }
+    };
+
+    /** Parse both texts and diff them. @return comparison was clean. */
+    bool compare(const std::string &label, const std::string &lhs_text,
+                 const std::string &rhs_text,
+                 const std::vector<std::string> &allow);
+
+    /** As above reading both documents from files. */
+    bool compareFiles(const std::string &label, const std::string &lhs_path,
+                      const std::string &rhs_path,
+                      const std::vector<std::string> &allow);
+
+    bool allClean() const;
+    const std::vector<Comparison> &comparisons() const
+    {
+        return comparisons_;
+    }
+
+    /** Human-readable verdict: one line per comparison plus every
+     *  divergence (path, both values). */
+    std::string report() const;
+
+  private:
+    std::vector<Comparison> comparisons_;
+};
+
+} // namespace eip::check
+
+#endif // EIP_CHECK_DIFF_HH

@@ -1,0 +1,103 @@
+#include "check/invariants.hh"
+
+#include <atomic>
+#include <cstdio>
+
+#include "util/env.hh"
+#include "util/panic.hh"
+
+namespace eip::check {
+
+namespace {
+
+/** -1 = not yet resolved, 0 = off, 1 = on. */
+std::atomic<int> g_checksEnabled{-1};
+
+int
+resolveFromEnv()
+{
+    std::optional<uint64_t> value = util::envU64("EIP_CHECK");
+    if (!value.has_value())
+        return 0;
+    if (*value > 1)
+        EIP_FATAL("EIP_CHECK: invalid value (expected 0 or 1)");
+    return static_cast<int>(*value);
+}
+
+} // namespace
+
+bool
+checksEnabled()
+{
+    int state = g_checksEnabled.load(std::memory_order_acquire);
+    if (state < 0) {
+        state = resolveFromEnv();
+        // A concurrent first call resolves to the same value; either
+        // store wins harmlessly.
+        g_checksEnabled.store(state, std::memory_order_release);
+    }
+    return state != 0;
+}
+
+void
+setChecksEnabled(bool on)
+{
+    g_checksEnabled.store(on ? 1 : 0, std::memory_order_release);
+}
+
+void
+Invariants::add(std::string name, Fn fn, uint64_t stride)
+{
+    EIP_ASSERT(stride > 0, "invariant stride must be positive");
+    checks_.push_back(Check{std::move(name), std::move(fn), stride});
+}
+
+void
+Invariants::fail(const Check &check, const std::string &detail,
+                 uint64_t cycle) const
+{
+    std::string msg = "invariant '" + check.name + "' violated at cycle " +
+                      std::to_string(cycle);
+    if (!detail.empty())
+        msg += ": " + detail;
+    EIP_PANIC(msg.c_str());
+}
+
+void
+Invariants::run(uint64_t cycle)
+{
+    ++calls_;
+    for (const Check &check : checks_) {
+        if (calls_ % check.stride != 0)
+            continue;
+        std::string detail;
+        ++executed_;
+        if (!check.fn(detail))
+            fail(check, detail, cycle);
+    }
+}
+
+void
+Invariants::runAll(uint64_t cycle)
+{
+    for (const Check &check : checks_) {
+        std::string detail;
+        ++executed_;
+        if (!check.fn(detail))
+            fail(check, detail, cycle);
+    }
+}
+
+std::optional<std::string>
+Invariants::firstFailure()
+{
+    for (const Check &check : checks_) {
+        std::string detail;
+        ++executed_;
+        if (!check.fn(detail))
+            return check.name + ": " + detail;
+    }
+    return std::nullopt;
+}
+
+} // namespace eip::check

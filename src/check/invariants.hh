@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Simulator-wide invariant auditor. Components register named consistency
+ * checks (cache MSHR accounting, front-end occupancy bounds, entangling
+ * table/history integrity, stats identities) with an Invariants registry;
+ * the Cpu runs every due check once per simulated cycle when checking is
+ * enabled (--check / EIP_CHECK=1). A violated check is a simulator bug:
+ * it panics with the check name, cycle, and the detail string the check
+ * built, so the failure dumps its own context.
+ *
+ * Cost when off: checking is always compiled, but the whole registry is
+ * skipped behind a single null-pointer test in the run loop (the Cpu only
+ * constructs the registry when checking is enabled), so results and speed
+ * of unchecked runs are unaffected.
+ */
+
+#ifndef EIP_CHECK_INVARIANTS_HH
+#define EIP_CHECK_INVARIANTS_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace eip::check {
+
+/**
+ * Is invariant checking enabled for this process? First call reads the
+ * EIP_CHECK environment variable (strict: only "0"/"1" accepted); the
+ * --check flag overrides it through setChecksEnabled(). Thread-safe:
+ * batch workers may consult it while constructing their Cpus.
+ */
+bool checksEnabled();
+
+/** Force checking on/off (the --check flag; call before spawning runs). */
+void setChecksEnabled(bool on);
+
+/**
+ * A registry of named consistency checks. A check is a closure returning
+ * true when the invariant holds; on failure it describes the observed
+ * state in @p detail (key=value pairs) so the panic message is a
+ * self-contained bug report.
+ *
+ * Checks with a stride > 1 only run on every stride-th run() call — used
+ * for full-structure audits (e.g. recounting an 8K-entry table) that
+ * would dominate runtime at once-per-cycle granularity. Rotating-cursor
+ * checks (audit one set per call) keep stride 1 and amortise internally.
+ */
+class Invariants
+{
+  public:
+    using Fn = std::function<bool(std::string &detail)>;
+
+    /** Register @p fn under @p name (dotted, e.g. "l1i.mshr_accounting"). */
+    void add(std::string name, Fn fn, uint64_t stride = 1);
+
+    /** Run every check due at this call; panic on the first violation. */
+    void run(uint64_t cycle);
+
+    /** Run every check regardless of stride (end-of-run sweep). */
+    void runAll(uint64_t cycle);
+
+    /**
+     * Evaluate every check without panicking; returns "name: detail" of
+     * the first violated one, or nullopt when all hold. Test-facing: the
+     * fatal path is exercised with death tests, everything else with
+     * this probe.
+     */
+    std::optional<std::string> firstFailure();
+
+    size_t size() const { return checks_.size(); }
+    /** Total number of individual check evaluations so far. */
+    uint64_t executed() const { return executed_; }
+
+  private:
+    struct Check
+    {
+        std::string name;
+        Fn fn;
+        uint64_t stride;
+    };
+
+    [[noreturn]] void fail(const Check &check, const std::string &detail,
+                           uint64_t cycle) const;
+
+    std::vector<Check> checks_;
+    uint64_t calls_ = 0;
+    uint64_t executed_ = 0;
+};
+
+} // namespace eip::check
+
+#endif // EIP_CHECK_INVARIANTS_HH

@@ -1,5 +1,6 @@
 #include "core/entangled_table.hh"
 
+#include "check/invariants.hh"
 #include "util/bitops.hh"
 #include "util/panic.hh"
 
@@ -31,7 +32,15 @@ EntangledTable::indexOf(sim::Addr line) const
 uint16_t
 EntangledTable::tagOf(sim::Addr line) const
 {
-    return static_cast<uint16_t>(xorFold(line >> setBits, kTagBits));
+    // Partial tag: the kTagBits address bits directly above the set
+    // index, truncated — not folded. Since find() matches tag-only
+    // (the hardware stores nothing else), a folded tag would alias
+    // pairs of lines anywhere in the code footprint (~N²/2^18 pairs);
+    // truncation confines false positives to lines at least
+    // 2^(setBits+kTagBits) lines apart — 16 MB of code for the 4K
+    // configuration, beyond any realistic instruction footprint. See
+    // DESIGN.md (tag aliasing) for the decision record.
+    return static_cast<uint16_t>((line >> setBits) & mask(kTagBits));
 }
 
 EntangledEntry *
@@ -41,7 +50,12 @@ EntangledTable::find(sim::Addr line)
     uint16_t tag = tagOf(line);
     for (uint32_t w = 0; w < numWays; ++w) {
         EntangledEntry &e = table[base + w];
-        if (e.valid && e.tag == tag && e.line == line)
+        // Tag-only match: the hardware stores just the 10-bit partial tag
+        // (storageBits() charges exactly that), so lines aliasing to the
+        // same (set, tag) share one entry and this can be a false
+        // positive — intended, see tagOf(). Insertion always goes
+        // through find() first, so (set, tag) stays unique.
+        if (e.valid && e.tag == tag)
             return &e;
     }
     return nullptr;
@@ -75,17 +89,28 @@ EntangledTable::insert(sim::Addr line)
         if (table[base + w].fifoOrder < victim->fifoOrder)
             victim = &table[base + w];
     }
+    bool relocated = false;
     if (!victim->dests.empty()) {
         for (uint32_t w = 0; w < numWays; ++w) {
             EntangledEntry &spare = table[base + w];
             if (&spare != victim && spare.dests.empty()) {
-                spare = *victim; // keeps the victim's fifoOrder
+                // Every way is valid here (the invalid-way loop above
+                // would have won otherwise), so the pair-less spare holds
+                // live information the relocation discards: account for
+                // it, and re-stamp the relocated entry as the set's
+                // newest — a relocation is a re-insertion, not a
+                // continuation of the victim's residency.
+                spare = *victim;
+                spare.fifoOrder = ++fifoClock;
                 ++stats_.relocations;
+                ++stats_.relocationEvictions;
+                relocated = true;
                 break;
             }
         }
     }
-    ++stats_.evictions;
+    if (!relocated)
+        ++stats_.evictions;
     victim->valid = true;
     victim->tag = tagOf(line);
     victim->line = line;
@@ -143,6 +168,102 @@ EntangledEntry &
 EntangledTable::entryAt(uint32_t set, uint32_t way)
 {
     return table[static_cast<size_t>(set) * numWays + way];
+}
+
+void
+EntangledTable::registerInvariants(check::Invariants &inv,
+                                   const std::string &prefix)
+{
+    // Per-set audit, rotating one set per call: tags derive from the
+    // stored line, entries sit in the set their line maps to, each
+    // (set, tag) appears at most once (find() matches tag-only, so a
+    // duplicate would make lookups nondeterministic), and the FIFO
+    // stamps are unique and no newer than the clock.
+    inv.add(prefix + ".set_audit", [this](std::string &detail) {
+        uint32_t set = auditSet_;
+        auditSet_ = (auditSet_ + 1) % numSets;
+        size_t base = static_cast<size_t>(set) * numWays;
+        for (uint32_t w = 0; w < numWays; ++w) {
+            const EntangledEntry &e = table[base + w];
+            if (!e.valid)
+                continue;
+            if (e.tag != tagOf(e.line)) {
+                detail = "set " + std::to_string(set) + " way " +
+                         std::to_string(w) + ": tag " +
+                         std::to_string(e.tag) + " != tagOf(line)=" +
+                         std::to_string(tagOf(e.line));
+                return false;
+            }
+            if (indexOf(e.line) != set) {
+                detail = "line " + std::to_string(e.line) +
+                         " stored in set " + std::to_string(set) +
+                         " but maps to set " +
+                         std::to_string(indexOf(e.line));
+                return false;
+            }
+            if (e.fifoOrder > fifoClock) {
+                detail = "set " + std::to_string(set) + " way " +
+                         std::to_string(w) + ": fifoOrder " +
+                         std::to_string(e.fifoOrder) + " > clock " +
+                         std::to_string(fifoClock);
+                return false;
+            }
+            for (uint32_t v = w + 1; v < numWays; ++v) {
+                const EntangledEntry &other = table[base + v];
+                if (!other.valid)
+                    continue;
+                if (other.tag == e.tag) {
+                    detail = "set " + std::to_string(set) +
+                             ": duplicate tag " + std::to_string(e.tag) +
+                             " in ways " + std::to_string(w) + "/" +
+                             std::to_string(v);
+                    return false;
+                }
+                if (other.fifoOrder == e.fifoOrder) {
+                    detail = "set " + std::to_string(set) +
+                             ": duplicate fifoOrder " +
+                             std::to_string(e.fifoOrder) + " in ways " +
+                             std::to_string(w) + "/" + std::to_string(v);
+                    return false;
+                }
+            }
+        }
+        return true;
+    });
+
+    // Every relocation clobbers exactly one valid pair-less spare way:
+    // the two counters advance in lock-step. Reverting the relocation
+    // accounting fix (or relocating into an invalid way) breaks this.
+    inv.add(prefix + ".relocation_accounting", [this](std::string &detail) {
+        if (stats_.relocations == stats_.relocationEvictions)
+            return true;
+        detail = "relocations=" + std::to_string(stats_.relocations) +
+                 " relocation_evictions=" +
+                 std::to_string(stats_.relocationEvictions);
+        return false;
+    });
+
+    // Full occupancy recount (strided: the table can hold 8K+ entries):
+    // inserts create valid entries, and the only ways one disappears are
+    // a counted eviction or a counted relocation eviction.
+    inv.add(
+        prefix + ".occupancy_accounting",
+        [this](std::string &detail) {
+            uint64_t valid = 0;
+            for (const EntangledEntry &e : table)
+                valid += e.valid ? 1 : 0;
+            uint64_t expected = stats_.inserts - stats_.evictions -
+                                stats_.relocationEvictions;
+            if (valid == expected)
+                return true;
+            detail = "valid=" + std::to_string(valid) +
+                     " inserts=" + std::to_string(stats_.inserts) +
+                     " evictions=" + std::to_string(stats_.evictions) +
+                     " relocation_evictions=" +
+                     std::to_string(stats_.relocationEvictions);
+            return false;
+        },
+        /*stride=*/256);
 }
 
 uint64_t

@@ -1,7 +1,7 @@
 /**
  * @file
  * The Entangled table (paper §III): a 16-way set-associative structure
- * whose entries hold a source basic-block head (10-bit XOR-folded tag), the
+ * whose entries hold a source basic-block head (10-bit partial tag), the
  * maximum observed size of its basic block, and a compressed array of
  * entangled destinations. Uses the paper's enhanced-FIFO replacement: the
  * information of the FIFO victim is relocated into a pair-less way of the
@@ -12,10 +12,15 @@
 #define EIP_CORE_ENTANGLED_TABLE_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/dest_compression.hh"
 #include "sim/types.hh"
+
+namespace eip::check {
+class Invariants;
+}
 
 namespace eip::core {
 
@@ -23,7 +28,7 @@ namespace eip::core {
 struct EntangledEntry
 {
     bool valid = false;
-    uint16_t tag = 0;      ///< 10-bit XOR-folded line tag
+    uint16_t tag = 0;      ///< 10-bit partial (truncated) line tag
     sim::Addr line = 0;    ///< full line address (model-level convenience;
                            ///< the hardware reconstructs it from context)
     uint8_t bbSize = 0;    ///< following consecutive lines (max observed)
@@ -39,16 +44,29 @@ struct EntangledEntry
 struct EntangledTableStats
 {
     uint64_t inserts = 0;
+    /** Replacements that discarded the FIFO victim's information (the
+     *  victim was pair-less, or no pair-less spare way existed). */
     uint64_t evictions = 0;
     uint64_t relocations = 0; ///< enhanced-FIFO victim rescues
+    /** Replacements where the relocation rescued the victim but
+     *  discarded the valid pair-less spare way it moved into — every
+     *  relocation clobbers exactly one such entry, so this always
+     *  equals relocations (a registered invariant). Kept distinct so
+     *  evictions + relocationEvictions counts every entry whose
+     *  information the table dropped. */
+    uint64_t relocationEvictions = 0;
     uint64_t pairsAdded = 0;
     uint64_t pairsRejected = 0; ///< destination not representable
 };
 
 /**
- * The table proper. Entries are addressed by full line address; tags are
- * folded to 10 bits, so (rare, intended) aliasing can occur exactly as in
- * the hardware proposal.
+ * The table proper. Lookups match on the set index plus the 10-bit partial
+ * tag only — exactly the state the costed hardware holds — so two lines
+ * mapping to the same (set, tag) alias onto one entry and a lookup can
+ * return a false-positive match, as the hardware proposal accepts
+ * (storageBits() charges the 10-bit tag accordingly). The full line
+ * address kept per entry is model-level diagnostics for the invariant
+ * auditor, never consulted by find().
  */
 class EntangledTable
 {
@@ -56,7 +74,9 @@ class EntangledTable
     EntangledTable(uint32_t entries, uint32_t ways,
                    const CompressionScheme &scheme);
 
-    /** Find the entry for @p line, or nullptr. */
+    /** Find the entry whose (set, partial tag) matches @p line, or
+     *  nullptr. May be a false positive under tag aliasing (see class
+     *  comment); at most one entry per (set, tag) can exist. */
     EntangledEntry *find(sim::Addr line);
     const EntangledEntry *
     find(sim::Addr line) const
@@ -96,6 +116,17 @@ class EntangledTable
      *  and mode, plus per-set FIFO counters. */
     uint64_t storageBits() const;
 
+    /**
+     * Register this table's consistency checks with @p inv under
+     * "<prefix>." names (see src/check): per-set tag/index/FIFO audit
+     * (rotating one set per cycle) and the replacement accounting
+     * identities (relocations == relocation evictions; valid entries ==
+     * inserts - evictions - relocation evictions). @p inv must not
+     * outlive the table.
+     */
+    void registerInvariants(check::Invariants &inv,
+                            const std::string &prefix);
+
     /** Iterate all valid entries (benches/tests). */
     template <typename Fn>
     void
@@ -119,6 +150,7 @@ class EntangledTable
     CompressionScheme scheme_;
     std::vector<EntangledEntry> table; ///< set-major
     uint64_t fifoClock = 0;
+    uint32_t auditSet_ = 0; ///< rotating cursor of the set audit
     EntangledTableStats stats_;
 };
 

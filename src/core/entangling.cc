@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/invariants.hh"
 #include "obs/registry.hh"
 #include "sim/cache.hh"
 #include "util/bitops.hh"
@@ -189,6 +190,8 @@ EntanglingPrefetcher::registerStats(obs::CounterRegistry &reg)
     reg.counter("entangling.table.inserts", &t->inserts);
     reg.counter("entangling.table.evictions", &t->evictions);
     reg.counter("entangling.table.relocations", &t->relocations);
+    reg.counter("entangling.table.relocation_evictions",
+                &t->relocationEvictions);
     reg.counter("entangling.table.pairs_added", &t->pairsAdded);
     reg.counter("entangling.table.pairs_rejected", &t->pairsRejected);
 
@@ -200,13 +203,72 @@ EntanglingPrefetcher::registerStats(obs::CounterRegistry &reg)
 }
 
 void
-EntanglingPrefetcher::issue(sim::Addr line, const EntangledEntry *src)
+EntanglingPrefetcher::registerInvariants(check::Invariants &inv)
+{
+    table_.registerInvariants(inv, "entangling.table");
+    history.registerInvariants(inv, "entangling.history");
+
+    // The basic-block accumulator registers stay mutually consistent:
+    // a block tracked in the history points at a live slot that still
+    // holds the block's head (no stale-slot dereference possible), and
+    // the accumulated size respects the 6-bit field.
+    inv.add("entangling.bb_register", [this](std::string &detail) {
+        if (!bbValid)
+            return true;
+        if (bbSize > cfg.maxBasicBlockSize) {
+            detail = "bb_size " + std::to_string(bbSize) + " > max " +
+                     std::to_string(cfg.maxBasicBlockSize);
+            return false;
+        }
+        if (bbInHistory && bbHistorySlot >= history.capacity()) {
+            detail = "history slot " + std::to_string(bbHistorySlot) +
+                     " >= capacity " + std::to_string(history.capacity());
+            return false;
+        }
+        if (bbInHistory &&
+            history.isCurrent(bbHistorySlot, bbHistoryGeneration) &&
+            history.at(bbHistorySlot).line != bbHead) {
+            detail = "slot " + std::to_string(bbHistorySlot) +
+                     " holds line " +
+                     std::to_string(history.at(bbHistorySlot).line) +
+                     " but the tracked head is " + std::to_string(bbHead);
+            return false;
+        }
+        return true;
+    });
+
+    // The shadow maps stand in for fixed-size hardware fields (PQ, MSHR,
+    // L1I extensions); their pruning bound must hold or the model is
+    // leaking state the hardware could not keep.
+    inv.add("entangling.shadow_bounds", [this](std::string &detail) {
+        if (pendingMisses.size() > 100000) {
+            detail = "pending_misses=" +
+                     std::to_string(pendingMisses.size());
+            return false;
+        }
+        if (prefetchIssueTime.size() > 100000) {
+            detail = "prefetch_issue_time=" +
+                     std::to_string(prefetchIssueTime.size());
+            return false;
+        }
+        if (attribution.size() > 100000) {
+            detail = "attribution=" + std::to_string(attribution.size());
+            return false;
+        }
+        return true;
+    });
+}
+
+void
+EntanglingPrefetcher::issue(sim::Addr line, const EntangledEntry *src,
+                            sim::Addr dst_head)
 {
     EIP_ASSERT(owner != nullptr, "prefetcher not attached to a cache");
     bool accepted = owner->enqueuePrefetch(line);
     if (accepted && src != nullptr) {
         auto [set, way] = table_.coordsOf(*src);
-        attribution[line] = SrcAttribution{set, way, src->tag};
+        attribution[line] = SrcAttribution{
+            set, way, src->tag, dst_head != 0 ? dst_head : line};
         // Shadow-state bound (hardware stores this in PQ/L1I fields).
         if (attribution.size() > 100000)
             attribution.clear();
@@ -221,11 +283,25 @@ EntanglingPrefetcher::updateConfidence(sim::Addr line, bool good)
         return;
     EntangledEntry &entry = table_.entryAt(it->second.set, it->second.way);
     if (entry.valid && entry.tag == it->second.srcTag) {
-        if (Destination *dst = entry.dests.find(line)) {
-            if (good)
+        if (Destination *dst = entry.dests.find(it->second.dstLine)) {
+            bool is_head = line == it->second.dstLine;
+            if (good) {
                 dst->confidence.increment();
-            else
+            } else if (is_head || dst->confidence.value() > 1) {
+                // Body-line feedback demotes the pair towards probation
+                // but cannot kill it: only the entangled head itself
+                // going wrong or late invalidates the entangling.
+                // Without the floor a useful head is lost because its
+                // *block* was noisy; with it, a demoted pair dies on
+                // the first wrong/late head instead.
                 dst->confidence.decrement();
+                // Paper: "upon the eviction of a dst-entangled we
+                // re-compute the mode" — a dead destination frees its
+                // slot (and possibly widens the mode) immediately
+                // instead of squatting until the entry is replaced.
+                if (dst->confidence.zero())
+                    entry.dests.dropDeadDestinations();
+            }
         }
     }
     attribution.erase(it);
@@ -238,7 +314,13 @@ EntanglingPrefetcher::finishBasicBlock()
         return;
     uint32_t size = std::min(bbSize, cfg.maxBasicBlockSize);
 
-    if (merges() && bbInHistory) {
+    // Revalidate the held slot index before dereferencing: the slot may
+    // have been recycled by newer pushes (or merge-invalidated) since
+    // this block started.
+    bool in_history = bbInHistory &&
+        history.isCurrent(bbHistorySlot, bbHistoryGeneration);
+
+    if (merges() && in_history) {
         // Spatio-temporal merge (§III-B2): if a quasi-recent basic block
         // overlaps or is contiguous with this one, extend it instead of
         // recording a new block.
@@ -267,7 +349,7 @@ EntanglingPrefetcher::finishBasicBlock()
         }
     }
 
-    if (bbInHistory)
+    if (in_history)
         history.at(bbHistorySlot).bbSize = static_cast<uint8_t>(size);
     recordBlock(bbHead, size);
     bbValid = false;
@@ -284,6 +366,7 @@ EntanglingPrefetcher::trackBasicBlock(sim::Addr line, sim::Cycle now,
         bbSize = 0;
         bbValid = true;
         bbHistorySlot = history.push(line, now);
+        bbHistoryGeneration = history.generationOf(bbHistorySlot);
         bbInHistory = true;
         return;
     }
@@ -304,6 +387,7 @@ EntanglingPrefetcher::trackBasicBlock(sim::Addr line, sim::Cycle now,
     bbHead = line;
     bbSize = 0;
     bbHistorySlot = history.push(line, now);
+    bbHistoryGeneration = history.generationOf(bbHistorySlot);
     bbInHistory = true;
 }
 
@@ -348,8 +432,12 @@ EntanglingPrefetcher::triggerPrefetches(sim::Addr line, sim::Cycle now)
         if (prefetchesDstBlock()) {
             ++stats_.extraSearches;
             uint32_t dst_bb = bbSizeOf(dst_line);
+            // Body lines carry the pair's attribution: a wrong body
+            // prefetch demotes the pair towards probation (see
+            // updateConfidence) — without this the destination-block
+            // spray has no feedback loop at all.
             for (uint32_t i = 1; i <= dst_bb; ++i)
-                issue(dst_line + i, nullptr);
+                issue(dst_line + i, entry, dst_line);
             stats_.dstBbSize.record(dst_bb);
         }
     }
@@ -388,7 +476,8 @@ EntanglingPrefetcher::onCacheOperate(const sim::CacheOperateInfo &info)
             if (it != prefetchIssueTime.end())
                 pm.startCycle = it->second; // the PQ timestamp (§III-A2)
         }
-        if (line == bbHead && bbInHistory) {
+        if (line == bbHead && bbInHistory &&
+            history.isCurrent(bbHistorySlot, bbHistoryGeneration)) {
             pm.isHead = true;
             // Snapshot the candidate sources: every head older than this
             // miss, newest first (the hardware's History pointer walk).
@@ -396,7 +485,7 @@ EntanglingPrefetcher::onCacheOperate(const sim::CacheOperateInfo &info)
             history.walkBackwards(
                 bbHistorySlot, history.capacity(),
                 [&](HistoryEntry &e) {
-                    pm.sources.emplace_back(e.line, e.timestamp);
+                    pm.sources.emplace_back(e.line, e.recordedAt);
                     return false; // keep walking: collect them all
                 });
         }
@@ -451,7 +540,8 @@ EntanglingPrefetcher::onCacheFill(const sim::CacheFillInfo &info)
     // head remembered.
     size_t first_idx = pm.sources.size() - 1;
     for (size_t i = 0; i < pm.sources.size(); ++i) {
-        if (history.age(pm.sources[i].second, pm.demandCycle) >= latency) {
+        if (history.checkedAge(pm.sources[i].second, pm.demandCycle) >=
+            latency) {
             first_idx = i;
             break;
         }

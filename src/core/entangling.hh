@@ -117,6 +117,10 @@ class EntanglingPrefetcher : public sim::Prefetcher
      *  compression-format and basic-block histograms). */
     void registerStats(obs::CounterRegistry &reg) override;
 
+    /** Registers the Entangled-table and History-buffer audits plus the
+     *  basic-block-register and shadow-state checks (see src/check). */
+    void registerInvariants(check::Invariants &inv) override;
+
     void onCacheOperate(const sim::CacheOperateInfo &info) override;
     void onCacheFill(const sim::CacheFillInfo &info) override;
     void onPrefetchIssued(sim::Addr line, sim::Cycle cycle) override;
@@ -139,17 +143,24 @@ class EntanglingPrefetcher : public sim::Prefetcher
         sim::Cycle demandCycle = 0;
         sim::Cycle startCycle = 0;   ///< prefetch issue time for late pf
         bool isHead = false;         ///< miss is on a basic-block head
-        /** (line, wrapped timestamp) of older heads, newest first. */
-        std::vector<std::pair<sim::Addr, uint64_t>> sources;
+        /** (line, unwrapped record cycle) of older heads, newest first.
+         *  The record cycle feeds HistoryBuffer::checkedAge(), which
+         *  saturates instead of aliasing when a source is more than a
+         *  full wrapped-clock period older than the miss. */
+        std::vector<std::pair<sim::Addr, sim::Cycle>> sources;
     };
 
     /** Shadow of the PQ/L1I src-entangled extension: which pair caused a
-     *  prefetched line (for confidence updates). */
+     *  prefetched line (for confidence updates). dstLine is the pair's
+     *  destination head — lines of the destination's basic block carry
+     *  the head's attribution so a wrong body prefetch still demotes the
+     *  pair that triggered it. */
     struct SrcAttribution
     {
         uint32_t set = 0;
         uint32_t way = 0;
         uint16_t srcTag = 0;
+        sim::Addr dstLine = 0;
     };
 
     bool tracksBasicBlocks() const;
@@ -164,7 +175,11 @@ class EntanglingPrefetcher : public sim::Prefetcher
     /** Look up @p line and trigger the prefetches on a hit. */
     void triggerPrefetches(sim::Addr line, sim::Cycle now);
     /** Issue one prefetch and remember its source attribution. */
-    void issue(sim::Addr line, const EntangledEntry *src);
+    /** Request a prefetch of @p line. When @p src is set the prefetch is
+     *  charged to the pair (src, dst_head) for confidence feedback;
+     *  dst_head defaults to the line itself (the destination head). */
+    void issue(sim::Addr line, const EntangledEntry *src,
+               sim::Addr dst_head = 0);
     /** Adjust the confidence of the pair that prefetched @p line. */
     void updateConfidence(sim::Addr line, bool good);
 
@@ -185,6 +200,10 @@ class EntanglingPrefetcher : public sim::Prefetcher
     sim::Addr bbHead = 0;
     uint32_t bbSize = 0;
     size_t bbHistorySlot = 0;
+    /** Generation of bbHistorySlot at push time; the slot is only
+     *  dereferenced after HistoryBuffer::isCurrent() revalidates it
+     *  (slots recycle once capacity pushes happen). */
+    uint64_t bbHistoryGeneration = 0;
     bool bbInHistory = false;
 
     // Shadow hardware extensions (bounded by MSHR/PQ/L1I sizes in HW;

@@ -5,6 +5,7 @@
 #include <memory>
 #include <sstream>
 
+#include "check/invariants.hh"
 #include "exec/jobs.hh"
 #include "harness/artifacts.hh"
 #include "obs/registry.hh"
@@ -98,6 +99,9 @@ cliUsage()
         "                        1 = serial)\n"
         "  --physical            train the L1I with physical addresses\n"
         "  --wrong-path          model wrong-path execution\n"
+        "  --check               run the cycle-level invariant auditor\n"
+        "                        (src/check; also EIP_CHECK=1); fatal on\n"
+        "                        the first violated invariant\n"
         "  --json                machine-readable output\n"
         "  --stats-json FILE     write a self-describing JSON artifact:\n"
         "                        eip-run/v1 per run, eip-suite/v1 roll-up\n"
@@ -206,6 +210,8 @@ parseCli(const std::vector<std::string> &args)
             opt.physical = true;
         } else if (arg == "--wrong-path") {
             opt.wrongPath = true;
+        } else if (arg == "--check") {
+            opt.check = true;
         } else if (arg == "--json") {
             opt.json = true;
         } else {
@@ -253,6 +259,10 @@ runCli(const CliOptions &opt)
                      cliUsage().c_str());
         return 2;
     }
+    // Must happen before any Cpu is constructed (including batch
+    // workers): the auditor registry is created in the Cpu constructor.
+    if (opt.check)
+        check::setChecksEnabled(true);
     switch (opt.action) {
       case CliOptions::Action::Help:
         std::fputs(cliUsage().c_str(), stdout);

@@ -42,6 +42,10 @@ struct CliOptions
     unsigned jobs = 0;
     bool physical = false;
     bool wrongPath = false;
+    /** Enable the cycle-level invariant auditor (src/check) for every
+     *  Cpu this invocation constructs; equivalent to EIP_CHECK=1. A
+     *  violated invariant is fatal with a dumped context. */
+    bool check = false;
     bool json = false;
     /** When non-empty, write a machine-readable artifact here: one
      *  eip-run/v1 document for single runs, an eip-suite/v1 roll-up

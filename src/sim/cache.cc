@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/invariants.hh"
 #include "obs/trace.hh"
 #include "util/bitops.hh"
 #include "util/panic.hh"
@@ -194,6 +195,7 @@ Cache::drainFills(Cycle now)
             return;
         installLine(*earliest);
         earliest->valid = false;
+        --inflightFills_;
     }
 }
 
@@ -294,6 +296,7 @@ Cache::demandAccess(Addr line, Addr pc, Cycle now)
     ++stats_.demandAccesses;
     ++stats_.demandMisses;
     slot->valid = true;
+    ++inflightFills_;
     slot->line = line;
     slot->isPrefetch = false;
     slot->demandTouched = true;
@@ -336,6 +339,7 @@ Cache::speculativeAccess(Addr line, Addr pc, Cycle now)
     if (findMshr(line) == nullptr && !cfg.idealHit) {
         if (Mshr *slot = allocMshr()) {
             slot->valid = true;
+            ++inflightFills_;
             slot->line = line;
             slot->isPrefetch = false;
             slot->demandTouched = true; // wrong-path fills look demanded
@@ -418,6 +422,7 @@ Cache::issuePrefetches(Cycle now)
         if (slot == nullptr)
             return;
         slot->valid = true;
+        ++inflightFills_;
         slot->line = line;
         slot->isPrefetch = true;
         slot->demandTouched = false;
@@ -440,6 +445,151 @@ Cache::tick(Cycle now)
     issuePrefetches(now);
     if (prefetcher != nullptr)
         prefetcher->onCycle(now);
+}
+
+void
+Cache::registerInvariants(check::Invariants &inv, const std::string &prefix)
+{
+    // MSHR occupancy == in-flight fills: every allocation site increments
+    // inflightFills_ and every drained fill decrements it, so a leaked or
+    // double-freed MSHR shows up as a recount mismatch.
+    inv.add(prefix + ".mshr_accounting", [this](std::string &detail) {
+        uint64_t valid = 0;
+        for (const auto &m : mshrs)
+            valid += m.valid ? 1 : 0;
+        if (valid == inflightFills_)
+            return true;
+        detail = "valid_mshrs=" + std::to_string(valid) +
+                 " inflight_fills=" + std::to_string(inflightFills_);
+        return false;
+    });
+
+    // No duplicate lines among in-flight fills, and no line both resident
+    // in the array and in flight (a fill for a resident line would install
+    // a duplicate copy). The prefetch queue is deliberately NOT part of
+    // this disjointness: queued requests are filtered against the array
+    // and the MSHRs at issue time, so transient overlap there is legal.
+    inv.add(prefix + ".mshr_array_disjoint", [this](std::string &detail) {
+        std::vector<Addr> inflight;
+        for (const auto &m : mshrs) {
+            if (m.valid)
+                inflight.push_back(m.line);
+        }
+        std::sort(inflight.begin(), inflight.end());
+        for (size_t i = 1; i < inflight.size(); ++i) {
+            if (inflight[i] == inflight[i - 1]) {
+                detail = "duplicate in-flight line " +
+                         std::to_string(inflight[i]);
+                return false;
+            }
+        }
+        for (Addr line : inflight) {
+            if (findLine(line) != nullptr) {
+                detail = "line " + std::to_string(line) +
+                         " both resident and in flight";
+                return false;
+            }
+        }
+        return true;
+    });
+
+    // Prefetch-queue bounds and intra-queue duplicate suppression
+    // (enqueuePrefetch drops duplicates before they enter).
+    inv.add(prefix + ".pq_consistency", [this](std::string &detail) {
+        if (cfg.pqEntries == 0 && !pq.empty()) {
+            detail = "disabled queue holds " + std::to_string(pq.size()) +
+                     " entries";
+            return false;
+        }
+        if (cfg.pqEntries != 0 && pq.size() > cfg.pqEntries) {
+            detail = "occupancy " + std::to_string(pq.size()) + " > " +
+                     std::to_string(cfg.pqEntries);
+            return false;
+        }
+        for (size_t i = 0; i < pq.size(); ++i) {
+            for (size_t j = i + 1; j < pq.size(); ++j) {
+                if (pq[i].line == pq[j].line) {
+                    detail = "duplicate queued line " +
+                             std::to_string(pq[i].line);
+                    return false;
+                }
+            }
+        }
+        return true;
+    });
+
+    // Set-array audit, one set per call (rotating cursor): valid lines
+    // map to the set they sit in, and no set holds the same line twice.
+    inv.add(prefix + ".array_set_audit", [this](std::string &detail) {
+        uint32_t set = auditSet_;
+        auditSet_ = (auditSet_ + 1) % numSets;
+        size_t base = static_cast<size_t>(set) * cfg.ways;
+        for (uint32_t w = 0; w < cfg.ways; ++w) {
+            const Line &entry = lines[base + w];
+            if (!entry.valid)
+                continue;
+            if (setIndex(entry.line) != set) {
+                detail = "line " + std::to_string(entry.line) +
+                         " stored in set " + std::to_string(set) +
+                         " but maps to set " +
+                         std::to_string(setIndex(entry.line));
+                return false;
+            }
+            for (uint32_t v = w + 1; v < cfg.ways; ++v) {
+                const Line &other = lines[base + v];
+                if (other.valid && other.line == entry.line) {
+                    detail = "line " + std::to_string(entry.line) +
+                             " duplicated in set " + std::to_string(set);
+                    return false;
+                }
+            }
+        }
+        return true;
+    });
+
+    // Stats identities: the inputs of missRatio()/coverage()/accuracy()
+    // must stay mutually consistent (they all reset together at the
+    // warm-up boundary, so the identities hold at every cycle).
+    inv.add(prefix + ".stats_identities", [this](std::string &detail) {
+        const CacheStats &s = stats_;
+        if (s.demandAccesses != s.demandHits + s.demandMisses) {
+            detail = "accesses=" + std::to_string(s.demandAccesses) +
+                     " != hits=" + std::to_string(s.demandHits) +
+                     " + misses=" + std::to_string(s.demandMisses);
+            return false;
+        }
+        if (s.prefetchFiltered != s.prefetchDropDupQueued +
+                                      s.prefetchDropDupCached +
+                                      s.prefetchDropDupInflight) {
+            detail = "filtered=" + std::to_string(s.prefetchFiltered) +
+                     " != dup_queued=" +
+                     std::to_string(s.prefetchDropDupQueued) +
+                     " + dup_cached=" +
+                     std::to_string(s.prefetchDropDupCached) +
+                     " + dup_inflight=" +
+                     std::to_string(s.prefetchDropDupInflight);
+            return false;
+        }
+        if (s.latePrefetches > s.demandMisses) {
+            // coverage()'s uncoveredMisses() would underflow.
+            detail = "late=" + std::to_string(s.latePrefetches) +
+                     " > misses=" + std::to_string(s.demandMisses);
+            return false;
+        }
+        if (s.missLatency.total() != s.demandMisses) {
+            detail = "latency_histogram_total=" +
+                     std::to_string(s.missLatency.total()) +
+                     " != misses=" + std::to_string(s.demandMisses);
+            return false;
+        }
+        if (s.wrongPathMisses > s.wrongPathAccesses) {
+            detail = "wrong_path_misses=" +
+                     std::to_string(s.wrongPathMisses) + " > accesses=" +
+                     std::to_string(s.wrongPathAccesses);
+            return false;
+        }
+        return true;
+    });
 }
 
 obs::EventTracer *

@@ -10,6 +10,7 @@
 #define EIP_SIM_CACHE_HH
 
 #include <deque>
+#include <string>
 #include <vector>
 
 #include "sim/config.hh"
@@ -20,6 +21,10 @@
 
 namespace eip::obs {
 class EventTracer;
+}
+
+namespace eip::check {
+class Invariants;
 }
 
 namespace eip::sim {
@@ -96,6 +101,17 @@ class Cache
     /** Prefetch-queue occupancy (for tests). */
     size_t pqOccupancy() const { return pq.size(); }
 
+    /**
+     * Register this level's consistency checks with @p inv under
+     * "<prefix>." names (see src/check): MSHR occupancy equals in-flight
+     * fills, MSHR/array duplicate-freedom and disjointness, prefetch-queue
+     * bounds, and the stats identities behind missRatio()/coverage().
+     * The set-array audit rotates one set per cycle so even the LLC stays
+     * cheap to check. @p inv must not outlive the cache.
+     */
+    void registerInvariants(check::Invariants &inv,
+                            const std::string &prefix);
+
   private:
     struct Line
     {
@@ -141,6 +157,12 @@ class Cache
     std::vector<Line> lines;  ///< numSets * ways, set-major
     std::vector<Mshr> mshrs;
     std::deque<PqEntry> pq;
+    /** Fills currently in flight; every MSHR allocation increments it and
+     *  every drained fill decrements it, so any path that frees or
+     *  allocates an MSHR without going through the proper sites breaks
+     *  the mshr_accounting invariant. */
+    uint64_t inflightFills_ = 0;
+    uint32_t auditSet_ = 0; ///< rotating cursor of the set-array audit
     uint64_t lruClock = 0;
     uint64_t victimSeed = 0x9E3779B97F4A7C15ULL; ///< Random-policy state
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/invariants.hh"
 #include "obs/registry.hh"
 #include "obs/sampler.hh"
 #include "obs/trace.hh"
@@ -34,6 +35,11 @@ Cpu::Cpu(const SimConfig &config)
     l1d_->setNextLevel(l2_.get());
     l2_->setNextLevel(llc_.get());
     llc_->setDram(dram_.get());
+
+    if (check::checksEnabled()) {
+        checks_ = std::make_unique<check::Invariants>();
+        registerInvariants();
+    }
 }
 
 Cpu::~Cpu() = default;
@@ -43,6 +49,57 @@ Cpu::attachL1iPrefetcher(Prefetcher *pf)
 {
     l1iPrefetcher = pf;
     l1i_->attachPrefetcher(pf);
+    if (checks_ != nullptr && pf != nullptr)
+        pf->registerInvariants(*checks_);
+}
+
+void
+Cpu::registerInvariants()
+{
+    // The four stall buckets must partition the zero-fetch cycles —
+    // promoted from the former EIP_DASSERT in fetchStage() so Release
+    // builds audit it too when checking is on.
+    checks_->add("cpu.fetch_stall_partition", [this](std::string &detail) {
+        uint64_t sum = fetchStallLineMiss + fetchStallFtqEmptyMispredict +
+                       fetchStallFtqEmptyStarved + fetchStallRobFull;
+        if (sum == fetchIdleCycles)
+            return true;
+        detail = "bucket_sum=" + std::to_string(sum) +
+                 " fetch_idle_cycles=" + std::to_string(fetchIdleCycles);
+        return false;
+    });
+
+    // FTQ occupancy: the cached instruction count matches the per-group
+    // remainders and respects the configured capacity.
+    checks_->add("cpu.ftq_occupancy", [this](std::string &detail) {
+        size_t remaining = 0;
+        for (const FtqGroup &group : ftq)
+            remaining += group.insts.size() - group.consumed;
+        if (remaining != ftqInsts) {
+            detail = "group_sum=" + std::to_string(remaining) +
+                     " ftq_insts=" + std::to_string(ftqInsts);
+            return false;
+        }
+        if (ftqInsts > cfg.ftqEntries) {
+            detail = "occupancy " + std::to_string(ftqInsts) + " > " +
+                     std::to_string(cfg.ftqEntries);
+            return false;
+        }
+        return true;
+    });
+
+    checks_->add("cpu.rob_occupancy", [this](std::string &detail) {
+        if (rob.size() <= cfg.robEntries)
+            return true;
+        detail = "occupancy " + std::to_string(rob.size()) + " > " +
+                 std::to_string(cfg.robEntries);
+        return false;
+    });
+
+    l1i_->registerInvariants(*checks_, "l1i");
+    l1d_->registerInvariants(*checks_, "l1d");
+    l2_->registerInvariants(*checks_, "l2");
+    llc_->registerInvariants(*checks_, "llc");
 }
 
 void
@@ -308,10 +365,9 @@ Cpu::fetchStage()
     }
     if (tracer_ != nullptr)
         tracer_->stallCycle(reason, now);
-    EIP_DASSERT(fetchStallLineMiss + fetchStallFtqEmptyMispredict +
-                        fetchStallFtqEmptyStarved + fetchStallRobFull ==
-                    fetchIdleCycles,
-                "fetch stall buckets must partition zero-fetch cycles");
+    // The partition identity (bucket sum == fetchIdleCycles) is audited
+    // by the registered cpu.fetch_stall_partition invariant (src/check),
+    // which also covers Release builds when --check is on.
 }
 
 void
@@ -353,6 +409,9 @@ Cpu::run(trace::InstructionSource &trace, uint64_t instructions,
         l2_->tick(now);
         llc_->tick(now);
 
+        if (checks_ != nullptr)
+            checks_->run(now);
+
         if (!measuring_ && retired >= warmup_instructions) {
             measuring_ = true;
             measureStartRetired_ = retired;
@@ -382,6 +441,11 @@ Cpu::run(trace::InstructionSource &trace, uint64_t instructions,
             break;
         EIP_ASSERT(now < watchdog, "pipeline deadlock (watchdog expired)");
     }
+
+    // End-of-run sweep: strided audits run once more regardless of where
+    // their stride counter ended up.
+    if (checks_ != nullptr)
+        checks_->runAll(now);
 
     SimStats stats;
     stats.instructions = retired - measureStartRetired_;

@@ -29,6 +29,10 @@ class EventTracer;
 class IntervalSampler;
 }
 
+namespace eip::check {
+class Invariants;
+}
+
 namespace eip::sim {
 
 /**
@@ -83,6 +87,10 @@ class Cpu
     Cache &llc() { return *llc_; }
     const SimConfig &config() const { return cfg; }
 
+    /** The invariant registry of this CPU, or nullptr when checking is
+     *  off (see check::checksEnabled()). Test-facing. */
+    const check::Invariants *invariants() const { return checks_.get(); }
+
   private:
     /** One fetch group: consecutive instructions within one cache line. */
     struct FtqGroup
@@ -102,6 +110,9 @@ class Cpu
         uint8_t mispredict = 0;
     };
 
+    /** Register the front-end and cache-hierarchy invariants (only
+     *  called when checking is enabled; see src/check). */
+    void registerInvariants();
     void predictStage(trace::InstructionSource &trace);
     /** Fetch down the mispredicted path while the branch resolves. */
     void wrongPathStage();
@@ -160,6 +171,9 @@ class Cpu
     uint64_t fetchIdleCycles = 0;
 
     obs::EventTracer *tracer_ = nullptr;
+    /** Cycle-level consistency checks; only allocated when checking is
+     *  enabled, so unchecked runs pay one null-pointer test per cycle. */
+    std::unique_ptr<check::Invariants> checks_;
 };
 
 } // namespace eip::sim

@@ -20,6 +20,10 @@ class CounterRegistry;
 class EventTracer;
 }
 
+namespace eip::check {
+class Invariants;
+}
+
 namespace eip::sim {
 
 class Cache;
@@ -76,6 +80,14 @@ class Prefetcher
      * The default exports nothing.
      */
     virtual void registerStats(obs::CounterRegistry &) {}
+
+    /**
+     * Register prefetcher-internal consistency checks (see src/check)
+     * under the prefetcher's own names. Called by the Cpu when invariant
+     * checking is enabled; the registry runs the checks once per cycle
+     * and must not outlive the prefetcher. The default registers none.
+     */
+    virtual void registerInvariants(check::Invariants &) {}
 
     /** Called once when the prefetcher is attached to its cache. */
     virtual void attach(Cache &cache) { owner = &cache; }

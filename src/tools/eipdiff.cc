@@ -1,0 +1,294 @@
+/**
+ * @file
+ * eipdiff — the artifact differential gate (see src/check/diff.hh).
+ *
+ * Runs a small configuration matrix in-process and diffs the resulting
+ * eip-run/v1 / eip-suite/v1 artifacts field-by-field:
+ *
+ *   1. per EIP_SIM_SCALE point: the one-workload-per-category suite on
+ *      1 worker vs N workers — the roll-up and every per-job artifact
+ *      must match with an *empty* allow-list (the determinism contract
+ *      of src/exec extended to the artifact bytes);
+ *   2. interval sampling off vs on — only the sampling knob's own
+ *      fields (manifest.sample_interval, samples) and environment
+ *      timing may differ: the sampler is a pure observer;
+ *   3. event tracing off vs on — nothing but environment timing may
+ *      differ: the tracer is a pure observer.
+ *
+ * Exit code 0 when every comparison is clean, 1 on any unexplained
+ * divergence, 2 on usage errors. CI runs this instead of hand-rolled
+ * byte-identity checks so a knob that silently stops being inert fails
+ * the build with the exact JSON path that leaked.
+ */
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <sys/stat.h>
+
+#include "check/diff.hh"
+#include "harness/artifacts.hh"
+#include "harness/runner.hh"
+#include "obs/trace.hh"
+#include "trace/workloads.hh"
+#include "util/panic.hh"
+
+namespace {
+
+using namespace eip;
+
+const char *kUsage =
+    "usage: eipdiff [options]\n"
+    "\n"
+    "Run the determinism/inertness configuration matrix and diff the\n"
+    "artifacts field-by-field. Exits non-zero on unexplained divergence.\n"
+    "\n"
+    "  --jobs N       worker count of the parallel suite leg (default 4)\n"
+    "  --scales A,B   EIP_SIM_SCALE points for the suite legs\n"
+    "                 (default \"0.05,0.1\")\n"
+    "  --out DIR      where artifact files are written\n"
+    "                 (default \"eipdiff-artifacts\")\n"
+    "  --full         whole workload catalogue instead of one workload\n"
+    "                 per category\n"
+    "  --prefetcher P config id for every run (default entangling-4k)\n"
+    "  --help         this text\n";
+
+struct Options
+{
+    unsigned jobs = 4;
+    std::vector<std::string> scales{"0.05", "0.1"};
+    std::string outDir = "eipdiff-artifacts";
+    bool full = false;
+    std::string prefetcher = "entangling-4k";
+    bool help = false;
+    std::string error;
+};
+
+std::vector<std::string>
+splitCommas(const std::string &text)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (start <= text.size()) {
+        size_t comma = text.find(',', start);
+        if (comma == std::string::npos) {
+            out.push_back(text.substr(start));
+            break;
+        }
+        out.push_back(text.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc) {
+                opt.error = std::string(flag) + " needs a value";
+                return "";
+            }
+            return argv[++i];
+        };
+        if (arg == "--jobs") {
+            opt.jobs = static_cast<unsigned>(
+                std::strtoul(value("--jobs").c_str(), nullptr, 10));
+            if (opt.jobs < 2 && opt.error.empty())
+                opt.error = "--jobs: the parallel leg needs at least 2 "
+                            "workers to contrast with the serial leg";
+        } else if (arg == "--scales") {
+            opt.scales = splitCommas(value("--scales"));
+            for (const std::string &s : opt.scales) {
+                char *end = nullptr;
+                double parsed = std::strtod(s.c_str(), &end);
+                if (s.empty() || end == nullptr || *end != '\0' ||
+                    parsed <= 0.0) {
+                    opt.error = "--scales: '" + s +
+                                "' is not a positive scale factor";
+                    break;
+                }
+            }
+        } else if (arg == "--out") {
+            opt.outDir = value("--out");
+        } else if (arg == "--full") {
+            opt.full = true;
+        } else if (arg == "--prefetcher") {
+            opt.prefetcher = value("--prefetcher");
+        } else if (arg == "--help" || arg == "-h") {
+            opt.help = true;
+        } else {
+            opt.error = "unknown option: " + arg;
+        }
+        if (!opt.error.empty())
+            break;
+    }
+    return opt;
+}
+
+/** The full catalogue (mirrors the eipsim driver's list). */
+std::vector<trace::Workload>
+catalogue()
+{
+    auto all = trace::cvpSuite(3);
+    for (auto &w : trace::cloudSuite())
+        all.push_back(w);
+    all.push_back(trace::tinyWorkload());
+    return all;
+}
+
+/** One workload per category — enough to exercise every program
+ *  generator while keeping the CI gate fast. */
+std::vector<trace::Workload>
+onePerCategory()
+{
+    std::vector<trace::Workload> picked;
+    for (const auto &w : catalogue()) {
+        bool seen = false;
+        for (const auto &p : picked)
+            seen = seen || p.category == w.category;
+        if (!seen)
+            picked.push_back(w);
+    }
+    return picked;
+}
+
+void
+ensureDir(const std::string &dir)
+{
+    if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST)
+        EIP_FATAL(("eipdiff: cannot create output directory '" + dir +
+                   "'").c_str());
+}
+
+/** Suite leg: the same batch on 1 worker and on N workers; the roll-up
+ *  and every per-job artifact must be field-identical (no allow-list —
+ *  per-job documents are written without timing fields exactly so this
+ *  holds). */
+void
+diffSuiteLegs(check::DiffRunner &diff, const Options &opt,
+              const std::vector<trace::Workload> &suite,
+              const std::string &scale)
+{
+    ::setenv("EIP_SIM_SCALE", scale.c_str(), 1);
+    harness::RunSpec spec = harness::RunSpec::defaultSpec();
+    spec.configId = opt.prefetcher;
+
+    std::vector<harness::RunJob> batch;
+    for (const auto &w : suite)
+        batch.push_back(harness::RunJob{w, spec});
+
+    std::string serial = opt.outDir + "/suite-scale" + scale + "-j1.json";
+    std::string parallel = opt.outDir + "/suite-scale" + scale + "-j" +
+                           std::to_string(opt.jobs) + ".json";
+    harness::runBatchWithArtifacts(batch, 1, serial);
+    harness::runBatchWithArtifacts(batch, opt.jobs, parallel);
+
+    const std::vector<std::string> kNothingAllowed;
+    diff.compareFiles("suite scale=" + scale + " jobs=1 vs jobs=" +
+                          std::to_string(opt.jobs),
+                      serial, parallel, kNothingAllowed);
+    for (size_t i = 0; i < batch.size(); ++i) {
+        diff.compareFiles("per-job scale=" + scale + " " +
+                              batch[i].workload.name,
+                          harness::perJobArtifactPath(serial, i),
+                          harness::perJobArtifactPath(parallel, i),
+                          kNothingAllowed);
+    }
+}
+
+/** Single-run artifact under @p spec as the eip-run/v1 text. */
+std::string
+singleRunArtifact(const trace::Workload &workload,
+                  const harness::RunSpec &spec)
+{
+    harness::RunResult result = harness::runOne(workload, spec);
+    obs::RunManifest manifest =
+        harness::makeManifest(workload, spec, result);
+    return harness::runArtifactJson(manifest, result,
+                                    /*include_timing=*/true);
+}
+
+/** Sampling leg: interval sampling must not perturb the run — only the
+ *  knob's own fields and environment timing may differ. */
+void
+diffSamplingLeg(check::DiffRunner &diff, const Options &opt,
+                const trace::Workload &workload)
+{
+    harness::RunSpec base = harness::RunSpec::defaultSpec();
+    base.configId = opt.prefetcher;
+    base.collectCounters = true;
+
+    harness::RunSpec sampled = base;
+    sampled.sampleInterval = std::max<uint64_t>(base.instructions / 4, 1);
+
+    diff.compare("sampling off vs on (" + workload.name + ")",
+                 singleRunArtifact(workload, base),
+                 singleRunArtifact(workload, sampled),
+                 {"manifest.sample_interval", "manifest.wall_clock_seconds",
+                  "manifest.jobs", "samples"});
+}
+
+/** Tracing leg: the event tracer is a pure observer — nothing but
+ *  environment timing may differ. */
+void
+diffTracingLeg(check::DiffRunner &diff, const Options &opt,
+               const trace::Workload &workload)
+{
+    harness::RunSpec base = harness::RunSpec::defaultSpec();
+    base.configId = opt.prefetcher;
+    base.collectCounters = true;
+
+    obs::EventTracer tracer{obs::TraceConfig{}};
+    harness::RunSpec traced = base;
+    traced.tracer = &tracer;
+
+    diff.compare("tracing off vs on (" + workload.name + ")",
+                 singleRunArtifact(workload, base),
+                 singleRunArtifact(workload, traced),
+                 {"manifest.wall_clock_seconds", "manifest.jobs"});
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parseArgs(argc, argv);
+    if (opt.help) {
+        std::fputs(kUsage, stdout);
+        return 0;
+    }
+    if (!opt.error.empty()) {
+        std::fprintf(stderr, "error: %s\n%s", opt.error.c_str(), kUsage);
+        return 2;
+    }
+
+    ensureDir(opt.outDir);
+    std::vector<trace::Workload> suite =
+        opt.full ? catalogue() : onePerCategory();
+
+    check::DiffRunner diff;
+    for (const std::string &scale : opt.scales)
+        diffSuiteLegs(diff, opt, suite, scale);
+
+    // Single-run legs at the first scale point; pick a server workload
+    // (the paper's focus) when the suite has one.
+    ::setenv("EIP_SIM_SCALE", opt.scales.front().c_str(), 1);
+    trace::Workload probe = suite.front();
+    for (const auto &w : suite)
+        if (w.category == "srv")
+            probe = w;
+    diffSamplingLeg(diff, opt, probe);
+    diffTracingLeg(diff, opt, probe);
+
+    std::fputs(diff.report().c_str(), stdout);
+    return diff.allClean() ? 0 : 1;
+}

@@ -85,9 +85,17 @@ struct ProgramConfig
      * shared libraries). Cross-module entangled pairs need wide
      * destination encodings, exercising the restrictive compression modes
      * exactly as the paper's srv traces do (Fig. 12).
+     *
+     * The stride keeps modules far beyond any cache/BTB locality while
+     * the *total* code span stays inside one compact VA region, matching
+     * the premise of the paper's traces: the Entangled table's partial
+     * tag (set index + 10 tag bits, ≥ 2^16 lines ≈ 4 MB of reach for
+     * every configuration) must cover the whole footprint, or tag-only
+     * lookups alias across modules and spray wrong prefetches the
+     * paper's evaluation never sees (see DESIGN.md, tag aliasing).
      */
     uint32_t moduleCount = 1;
-    uint64_t moduleStride = 8ULL << 20;    ///< VA distance between modules
+    uint64_t moduleStride = 512ULL << 10;  ///< VA distance between modules
 };
 
 /**

@@ -53,6 +53,14 @@ TEST(Cli, ParsesEveryOption)
     EXPECT_TRUE(opt.json);
 }
 
+TEST(Cli, CheckFlagParses)
+{
+    EXPECT_FALSE(parse({}).check);
+    CliOptions opt = parse({"--check"});
+    EXPECT_TRUE(opt.error.empty());
+    EXPECT_TRUE(opt.check);
+}
+
 TEST(Cli, ActionsParse)
 {
     EXPECT_EQ(parse({"--help"}).action, CliOptions::Action::Help);

@@ -256,6 +256,47 @@ TEST_F(EntanglingTest, ConfidenceLifecycle)
     EXPECT_EQ(pf->analysis().wrongUpdates, 1u);
 }
 
+TEST_F(EntanglingTest, BodyLinesCarryPairAttributionWithFloor)
+{
+    // Destination-block body lines are charged to the (src, dst-head)
+    // pair: a wrong body prefetch demotes the pair — but only down to
+    // confidence 1. Killing (and freeing the slot via the dead-dest
+    // sweep) is reserved for the head itself going wrong.
+    attach(EntanglingConfig::preset4K());
+    EntangledTable &table = pf->mutableTable();
+    table.recordBasicBlock(10, 0);
+    table.recordBasicBlock(40, 2); // dst block: 40, 41, 42
+    ASSERT_TRUE(table.addPair(10, 40, false));
+    Destination *dst = table.find(10)->dests.find(40);
+    ASSERT_NE(dst, nullptr);
+    EXPECT_EQ(dst->confidence.value(), 3u);
+
+    // Body line 41 evicted unused: the pair is demoted, 3 -> 2.
+    access(10, 100, true);
+    evictUnused(/*filled=*/99, /*evicted=*/41, 150);
+    EXPECT_EQ(dst->confidence.value(), 2u);
+
+    // Again (re-trigger to re-arm the attribution): 2 -> 1.
+    host.tick(200);
+    access(10, 300, true);
+    evictUnused(99, 42, 350);
+    EXPECT_EQ(dst->confidence.value(), 1u);
+
+    // Floor: another wrong body line cannot take the pair to 0.
+    host.tick(400);
+    access(10, 500, true);
+    evictUnused(99, 41, 550);
+    EXPECT_EQ(dst->confidence.value(), 1u);
+    EXPECT_NE(table.find(10)->dests.find(40), nullptr);
+
+    // The head itself going wrong kills the pair, and the dead-dest
+    // sweep frees its slot immediately.
+    host.tick(600);
+    access(10, 700, true);
+    evictUnused(99, 40, 750);
+    EXPECT_EQ(table.find(10)->dests.find(40), nullptr);
+}
+
 TEST_F(EntanglingTest, LatePrefetchUsesIssueTimestampForLatency)
 {
     attach(EntanglingConfig::preset4K());

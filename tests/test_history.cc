@@ -106,5 +106,64 @@ TEST(HistoryBuffer, BbSizeUpdatableThroughSlot)
     EXPECT_EQ(hist.at(slot).bbSize, 12u);
 }
 
+TEST(HistoryBuffer, WalkStopsAtFirstInvalidEntry)
+{
+    // Pin the deliberate stop-on-invalid semantics (see walkBackwards):
+    // a hole punched by merging ends the walk — entries older than the
+    // hole are unreachable even though they are still valid.
+    HistoryBuffer hist(8, 20);
+    for (uint64_t i = 1; i <= 5; ++i)
+        hist.push(i, i * 100);
+    hist.at(3).valid = false; // hole between entries 4 and 2 (slots 1..5)
+    std::vector<uint64_t> seen;
+    hist.walkBackwards(hist.newest(), 8, [&](HistoryEntry &e) {
+        seen.push_back(e.line);
+        return false;
+    });
+    ASSERT_EQ(seen.size(), 1u); // only entry 4; the hole ends the walk
+    EXPECT_EQ(seen[0], 4u);
+}
+
+TEST(HistoryBuffer, IsCurrentDetectsSlotReuseAcrossWrap)
+{
+    // Property: hold every slot index of the first lap, then push more
+    // than capacity — every held (slot, generation) pair must read as
+    // stale, and at any moment at most `capacity` pairs are current.
+    HistoryBuffer hist(4, 20);
+    std::vector<std::pair<size_t, uint64_t>> held;
+    for (uint64_t i = 1; i <= 4; ++i) {
+        size_t slot = hist.push(i, i);
+        held.emplace_back(slot, hist.generationOf(slot));
+    }
+    for (const auto &[slot, gen] : held)
+        EXPECT_TRUE(hist.isCurrent(slot, gen));
+    for (uint64_t i = 5; i <= 13; ++i) // > 2x capacity more pushes
+        hist.push(i, i);
+    for (const auto &[slot, gen] : held)
+        EXPECT_FALSE(hist.isCurrent(slot, gen)) << "slot " << slot;
+    EXPECT_EQ(hist.generations(), 13u);
+    // Invalidation (a merge hole) also retires the generation.
+    size_t slot = hist.push(99, 99);
+    uint64_t gen = hist.generationOf(slot);
+    hist.at(slot).valid = false;
+    EXPECT_FALSE(hist.isCurrent(slot, gen));
+}
+
+TEST(HistoryBuffer, CheckedAgeSaturatesInsteadOfAliasing)
+{
+    HistoryBuffer hist(16, 12); // wrapped clock period: 4095
+    size_t slot = hist.push(0x10, 100);
+    const HistoryEntry &e = hist.at(slot);
+    // Below the period, checkedAge matches the wrapped-domain age.
+    EXPECT_EQ(hist.checkedAge(e.recordedAt, 150), 50u);
+    EXPECT_EQ(hist.checkedAge(e.recordedAt, 150),
+              hist.age(e.timestamp, 150));
+    // One full period later the wrapped age has aliased back to a small
+    // value; checkedAge reports the saturated maximum instead.
+    sim::Cycle later = 100 + 4096 + 50;
+    EXPECT_EQ(hist.age(e.timestamp, later), 50u); // the aliased lie
+    EXPECT_EQ(hist.checkedAge(e.recordedAt, later), 4095u);
+}
+
 } // namespace
 } // namespace eip::core
