@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Host simulation speed: MIPS (millions of simulated instructions per
+ * host second) per workload category, for a no-prefetch and an
+ * Entangling-4K configuration, with event-driven cycle skipping on and
+ * off. Not a paper figure — this is the measurement harness behind the
+ * simulator-performance work (DESIGN.md §3.8): run it before and after
+ * a core change and compare the BENCH_simspeed.json artifacts.
+ *
+ * Programs are pre-built through the shared cache before any timer
+ * starts, so the numbers are pure simulation speed (trace synthesis
+ * excluded — the same exclusion the run-manifest host_mips field makes).
+ * Results (IPC etc.) are identical across all four rows by construction;
+ * only host speed differs. Wall-clock noise on a busy host easily
+ * reaches tens of percent: prefer interleaved repeat runs when comparing
+ * two builds.
+ */
+
+#include <chrono>
+
+#include "bench_common.hh"
+
+using namespace eip;
+
+namespace {
+
+/** Seconds of host wall-clock to run @p workload once under @p spec. */
+double
+timeOne(const trace::Workload &workload, const harness::RunSpec &spec,
+        const trace::Program &program)
+{
+    auto start = std::chrono::steady_clock::now();
+    harness::RunResult result = harness::runOne(workload, spec, program);
+    double seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    // Keep the result observable so the run cannot be optimized away.
+    if (result.stats.instructions == 0)
+        std::printf("(empty run?)\n");
+    return seconds;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("simspeed", "host simulation speed per category");
+
+    // One workload per CVP category plus one cloud workload: enough to
+    // see the per-category spread (srv's larger footprint stresses the
+    // caches hardest) without turning a speed probe into a suite run.
+    std::vector<trace::Workload> workloads = bench::suite(1);
+    workloads.push_back(trace::cloudSuite().front());
+
+    struct Row
+    {
+        const char *name;
+        const char *configId;
+        bool eventSkip;
+    };
+    const Row rows[] = {
+        {"none", "none", true},
+        {"none-noskip", "none", false},
+        {"entangling-4k", "entangling-4k", true},
+        {"entangling-4k-noskip", "entangling-4k", false},
+    };
+
+    // Pre-build every program outside the timed region.
+    exec::ProgramCache &cache = exec::ProgramCache::global();
+    std::vector<std::shared_ptr<const trace::Program>> programs;
+    for (const auto &w : workloads)
+        programs.push_back(cache.get(w.program));
+
+    std::vector<std::string> config_names;
+    std::vector<std::string> columns;
+    for (const auto &w : workloads)
+        columns.push_back(w.name);
+    columns.emplace_back("all");
+
+    std::vector<std::vector<double>> mips_cells;
+    for (const Row &row : rows) {
+        harness::RunSpec spec = bench::spec(row.configId);
+        spec.eventSkip = row.eventSkip;
+        double insts =
+            static_cast<double>(spec.warmup + spec.instructions);
+
+        config_names.emplace_back(row.name);
+        mips_cells.emplace_back();
+        double total_seconds = 0.0;
+        for (size_t i = 0; i < workloads.size(); ++i) {
+            double seconds = timeOne(workloads[i], spec, *programs[i]);
+            total_seconds += seconds;
+            mips_cells.back().push_back(
+                seconds > 0.0 ? insts / seconds / 1e6 : 0.0);
+        }
+        double total_insts = insts * static_cast<double>(workloads.size());
+        mips_cells.back().push_back(
+            total_seconds > 0.0 ? total_insts / total_seconds / 1e6 : 0.0);
+    }
+
+    harness::printMatrix("Host simulation speed (MIPS; higher is faster)",
+                         config_names, columns, mips_cells);
+
+    std::printf(
+        "\nReading: skip rows vs their -noskip twins isolate the\n"
+        "event-driven scheduler's contribution; compare whole artifacts\n"
+        "across builds for core-change speedups (EXPERIMENTS.md records\n"
+        "the committed baseline).\n");
+    return 0;
+}

@@ -49,8 +49,16 @@ class Checker:
         for key in self.MANIFEST_INT:
             self.require(manifest, where, key, (int,))
         self.require(manifest, where, "sim_scale", (int, float))
-        if not timing_allowed:
-            for key in ("wall_clock_seconds", "jobs"):
+        timing_keys = ("wall_clock_seconds", "jobs", "host_wall_ms",
+                       "host_mips")
+        if timing_allowed:
+            # Host-speed fields are optional (older artifacts lack them)
+            # but must be numeric when present.
+            for key in ("host_wall_ms", "host_mips"):
+                if key in manifest:
+                    self.require(manifest, where, key, (int, float))
+        else:
+            for key in timing_keys:
                 if key in manifest:
                     self.error(where, f"timing key '{key}' breaks the "
                                       "jobs-independence byte contract")

@@ -98,6 +98,9 @@ cliUsage()
         "                        (default: EIP_JOBS env or all cores;\n"
         "                        1 = serial)\n"
         "  --physical            train the L1I with physical addresses\n"
+        "  --no-skip             tick every cycle instead of event-driven\n"
+        "                        cycle skipping (identical results;\n"
+        "                        for A/B host-speed timing)\n"
         "  --wrong-path          model wrong-path execution\n"
         "  --check               run the cycle-level invariant auditor\n"
         "                        (src/check; also EIP_CHECK=1); fatal on\n"
@@ -208,6 +211,8 @@ parseCli(const std::vector<std::string> &args)
                 opt.traceLimit = limit;
         } else if (arg == "--physical") {
             opt.physical = true;
+        } else if (arg == "--no-skip") {
+            opt.noSkip = true;
         } else if (arg == "--wrong-path") {
             opt.wrongPath = true;
         } else if (arg == "--check") {
@@ -310,6 +315,7 @@ runCli(const CliOptions &opt)
         spec.instructions = opt.instructions;
         spec.warmup = opt.warmup;
         spec.physicalL1i = opt.physical;
+        spec.eventSkip = !opt.noSkip;
         if (!opt.statsJsonPath.empty())
             spec.sampleInterval = opt.sampleInterval;
 
@@ -367,6 +373,7 @@ runCli(const CliOptions &opt)
         sim::SimConfig cfg;
         cfg.physicalL1I = opt.physical;
         cfg.modelWrongPath = opt.wrongPath;
+        cfg.eventSkip = !opt.noSkip;
         std::string pf_id = opt.prefetcher;
         if (pf_id == "ideal") {
             cfg.l1i.idealHit = true;
@@ -425,6 +432,7 @@ runCli(const CliOptions &opt)
         spec.instructions = opt.instructions;
         spec.warmup = opt.warmup;
         spec.physicalL1i = opt.physical;
+        spec.eventSkip = !opt.noSkip;
         if (!opt.statsJsonPath.empty()) {
             spec.collectCounters = true;
             spec.sampleInterval = opt.sampleInterval;
@@ -438,6 +446,7 @@ runCli(const CliOptions &opt)
             sim::SimConfig cfg;
             cfg.physicalL1I = opt.physical;
             cfg.modelWrongPath = true;
+            cfg.eventSkip = !opt.noSkip;
             std::string pf_id = opt.prefetcher;
             if (pf_id == "ideal") {
                 cfg.l1i.idealHit = true;
@@ -483,6 +492,14 @@ runCli(const CliOptions &opt)
                                           run_started)
                 .count();
         manifest.jobs = 1;
+        // Host simulation speed over the whole run (warm-up + measured
+        // instructions; the warm-up is simulated work all the same).
+        manifest.hostWallMs = manifest.wallClockSeconds * 1000.0;
+        double wall_us = manifest.wallClockSeconds * 1e6;
+        manifest.hostMips =
+            wall_us > 0.0
+                ? static_cast<double>(opt.warmup + opt.instructions) / wall_us
+                : 0.0;
         writeTextFile(opt.statsJsonPath,
                       runArtifactJson(manifest, result,
                                       /*include_timing=*/true));

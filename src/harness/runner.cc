@@ -46,6 +46,7 @@ runOne(const trace::Workload &workload, const RunSpec &spec,
 {
     sim::SimConfig cfg;
     cfg.physicalL1I = spec.physicalL1i;
+    cfg.eventSkip = spec.eventSkip;
 
     std::string pf_id = spec.configId;
     if (spec.configId == "ideal") {

@@ -50,6 +50,9 @@ struct RunSpec
     bool physicalL1i = false;
     /** Optional L1D prefetcher id ("none" or "stride"). */
     std::string dataPrefetcher = "none";
+    /** Event-driven cycle skipping (SimConfig::eventSkip). Results are
+     *  bit-identical either way; off only for A/B host-speed timing. */
+    bool eventSkip = true;
 
     /** Snapshot all registered counters every N measured instructions
      *  (0 = no interval time-series). Implies collectCounters. */

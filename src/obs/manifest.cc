@@ -39,6 +39,8 @@ writeManifest(JsonWriter &json, const RunManifest &m, bool include_timing)
     if (include_timing) {
         json.kv("wall_clock_seconds", m.wallClockSeconds);
         json.kv("jobs", m.jobs);
+        json.kv("host_wall_ms", m.hostWallMs);
+        json.kv("host_mips", m.hostMips);
     }
     json.endObject();
 }

@@ -47,6 +47,12 @@ struct RunManifest
     // Environment-dependent timing (see file comment).
     double wallClockSeconds = 0.0;
     unsigned jobs = 0;
+    /** Host-side simulation speed of the run: wall-clock milliseconds and
+     *  simulated (warm-up + measured) instructions per host microsecond.
+     *  Excluded together with the other timing fields, so simulation
+     *  results stay byte-comparable across hosts and skip modes. */
+    double hostWallMs = 0.0;
+    double hostMips = 0.0;
 
     RunManifest();
 };

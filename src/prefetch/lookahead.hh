@@ -109,6 +109,10 @@ class LookaheadOracle : public sim::Prefetcher
         lastCycle = now;
     }
 
+    /** The cycle clock above needs every cycle delivered: opt out of
+     *  event-driven cycle skipping (see Prefetcher::cycleInert). */
+    bool cycleInert() const override { return false; }
+
     void
     onCacheOperate(const sim::CacheOperateInfo &info) override
     {

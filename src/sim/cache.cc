@@ -24,23 +24,38 @@ classifyMiss(CacheStats &stats, Cycle ready, Cycle now)
 } // namespace
 
 Cache::Cache(const CacheConfig &config)
-    : cfg(config), numSets(config.sets())
+    : cfg(config), numSets(config.sets()),
+      pq(std::max<uint32_t>(1, config.pqEntries))
 {
     EIP_ASSERT(isPowerOf2(numSets), "cache set count must be a power of 2");
     EIP_ASSERT(cfg.ways >= 1, "cache needs at least one way");
     lines.resize(static_cast<size_t>(numSets) * cfg.ways);
+    tags_.assign(lines.size(), kNoTag);
     uint32_t mshr_count = cfg.mshrEntries == 0 ? 4096 : cfg.mshrEntries;
     mshrs.resize(mshr_count);
+    drainScratch_.reserve(mshr_count);
 }
 
 Cache::Line *
 Cache::findLine(Addr line)
 {
     size_t base = static_cast<size_t>(setIndex(line)) * cfg.ways;
+    const Addr *tags = &tags_[base];
     for (uint32_t w = 0; w < cfg.ways; ++w) {
-        Line &entry = lines[base + w];
-        if (entry.valid && entry.line == line)
-            return &entry;
+        if (tags[w] == line)
+            return &lines[base + w];
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(Addr line) const
+{
+    size_t base = static_cast<size_t>(setIndex(line)) * cfg.ways;
+    const Addr *tags = &tags_[base];
+    for (uint32_t w = 0; w < cfg.ways; ++w) {
+        if (tags[w] == line)
+            return &lines[base + w];
     }
     return nullptr;
 }
@@ -48,9 +63,19 @@ Cache::findLine(Addr line)
 Cache::Mshr *
 Cache::findMshr(Addr line)
 {
+    // Early-exit once every live entry has been seen: allocMshr hands out
+    // the lowest free slot, so live entries cluster at the low indices and
+    // the scan rarely walks the whole file (inflightFills_ is kept exact —
+    // see the mshr_accounting invariant).
+    uint64_t remaining = inflightFills_;
     for (auto &m : mshrs) {
-        if (m.valid && m.line == line)
+        if (remaining == 0)
+            break;
+        if (!m.valid)
+            continue;
+        if (m.line == line)
             return &m;
+        --remaining;
     }
     return nullptr;
 }
@@ -68,10 +93,7 @@ Cache::allocMshr()
 uint32_t
 Cache::freeMshrs() const
 {
-    uint32_t free = 0;
-    for (const auto &m : mshrs)
-        free += m.valid ? 0 : 1;
-    return free;
+    return static_cast<uint32_t>(mshrs.size() - inflightFills_);
 }
 
 Cycle
@@ -86,19 +108,23 @@ Cache::fetchFromBelow(Addr line, Addr pc, Cycle now)
 Cache::Line *
 Cache::chooseVictim(size_t set_base)
 {
-    // Invalid ways always win.
+    Line *set = &lines[set_base];
+    // Invalid ways always win (first one, as before). The tag array
+    // mirrors validity (kNoTag), so this scan reads one packed host
+    // line instead of striding through the Line structs.
+    const Addr *tags = &tags_[set_base];
     for (uint32_t w = 0; w < cfg.ways; ++w) {
-        if (!lines[set_base + w].valid)
-            return &lines[set_base + w];
+        if (tags[w] == kNoTag)
+            return &set[w];
     }
     switch (cfg.replacement) {
       case ReplacementPolicy::Lru:
       case ReplacementPolicy::Fifo: {
         // Same victim rule (smallest stamp); they differ in touchLine().
-        Line *victim = &lines[set_base];
+        Line *victim = set;
         for (uint32_t w = 1; w < cfg.ways; ++w) {
-            if (lines[set_base + w].lastUse < victim->lastUse)
-                victim = &lines[set_base + w];
+            if (set[w].lastUse < victim->lastUse)
+                victim = &set[w];
         }
         return victim;
       }
@@ -107,21 +133,25 @@ Cache::chooseVictim(size_t set_base)
         victimSeed ^= victimSeed << 13;
         victimSeed ^= victimSeed >> 7;
         victimSeed ^= victimSeed << 17;
-        return &lines[set_base + victimSeed % cfg.ways];
+        return &set[victimSeed % cfg.ways];
       }
       case ReplacementPolicy::Srrip: {
-        // Find (ageing as needed) a line with the maximum RRPV.
-        while (true) {
+        // Find (ageing as needed) a line with the maximum RRPV. RRPV is
+        // 2 bits and every resident line is <= 3, so one pass can age
+        // any way to 3; more than a handful of passes means the ageing
+        // stopped converging.
+        for (int pass = 0;; ++pass) {
+            EIP_ASSERT(pass <= 4, "SRRIP ageing loop did not converge");
             for (uint32_t w = 0; w < cfg.ways; ++w) {
-                if (lines[set_base + w].rrpv >= 3)
-                    return &lines[set_base + w];
+                if (set[w].rrpv >= 3)
+                    return &set[w];
             }
             for (uint32_t w = 0; w < cfg.ways; ++w)
-                ++lines[set_base + w].rrpv;
+                ++set[w].rrpv;
         }
       }
     }
-    return &lines[set_base];
+    return set;
 }
 
 void
@@ -170,6 +200,7 @@ Cache::installLine(const Mshr &entry)
     victim->rrpv = 2;             // SRRIP long re-reference insertion
     victim->prefetched = entry.isPrefetch;
     victim->used = entry.demandTouched;
+    tags_[static_cast<size_t>(victim - lines.data())] = entry.line;
     ++stats_.fills;
     if (tracer_ != nullptr && entry.isPrefetch)
         tracer_->pfFilled(entry.line, entry.ready, entry.demandTouched);
@@ -181,29 +212,40 @@ Cache::installLine(const Mshr &entry)
 void
 Cache::drainFills(Cycle now)
 {
-    // Process completed misses in arrival order so eviction decisions and
-    // fill hooks observe a consistent timeline.
-    while (true) {
-        Mshr *earliest = nullptr;
-        for (auto &m : mshrs) {
-            if (m.valid && m.ready <= now &&
-                (earliest == nullptr || m.ready < earliest->ready)) {
-                earliest = &m;
-            }
-        }
-        if (earliest == nullptr)
-            return;
-        installLine(*earliest);
-        earliest->valid = false;
+    // O(1) on the per-cycle fast path: nothing due until the watermark.
+    if (nextReady_ > now)
+        return;
+
+    // One scan splits the MSHRs into due fills and survivors; the due
+    // ones install in (ready, MSHR index) order — exactly the order the
+    // old repeated strictly-earliest selection produced — so eviction
+    // decisions and fill hooks observe an unchanged timeline.
+    drainScratch_.clear();
+    Cycle next = kCycleNever;
+    uint64_t remaining = inflightFills_; // early-exit as in findMshr()
+    for (uint32_t i = 0; i < mshrs.size() && remaining > 0; ++i) {
+        const Mshr &m = mshrs[i];
+        if (!m.valid)
+            continue;
+        --remaining;
+        if (m.ready <= now)
+            drainScratch_.emplace_back(m.ready, i);
+        else
+            next = std::min(next, m.ready);
+    }
+    std::sort(drainScratch_.begin(), drainScratch_.end());
+    for (const auto &[ready, index] : drainScratch_) {
+        (void)ready;
+        installLine(mshrs[index]);
+        mshrs[index].valid = false;
         --inflightFills_;
     }
+    nextReady_ = next;
 }
 
 bool
-Cache::probe(Addr line, Cycle now)
+Cache::probe(Addr line) const
 {
-    now_ = now;
-    drainFills(now);
     return findLine(line) != nullptr;
 }
 
@@ -211,7 +253,8 @@ Cache::Access
 Cache::demandAccess(Addr line, Addr pc, Cycle now)
 {
     now_ = now;
-    drainFills(now);
+    if (nextReady_ <= now)
+        drainFills(now);
 
     Access result;
     CacheOperateInfo op;
@@ -301,6 +344,7 @@ Cache::demandAccess(Addr line, Addr pc, Cycle now)
     slot->isPrefetch = false;
     slot->demandTouched = true;
     slot->ready = fetchFromBelow(line, pc, now);
+    nextReady_ = std::min(nextReady_, slot->ready);
     result.ready = slot->ready;
     classifyMiss(stats_, result.ready, now);
     if (tracer_ != nullptr) {
@@ -316,7 +360,8 @@ void
 Cache::speculativeAccess(Addr line, Addr pc, Cycle now)
 {
     now_ = now;
-    drainFills(now);
+    if (nextReady_ <= now)
+        drainFills(now);
     ++stats_.wrongPathAccesses;
 
     CacheOperateInfo op;
@@ -344,6 +389,7 @@ Cache::speculativeAccess(Addr line, Addr pc, Cycle now)
             slot->isPrefetch = false;
             slot->demandTouched = true; // wrong-path fills look demanded
             slot->ready = fetchFromBelow(line, pc, now);
+            nextReady_ = std::min(nextReady_, slot->ready);
         }
     }
     if (prefetcher != nullptr)
@@ -427,6 +473,7 @@ Cache::issuePrefetches(Cycle now)
         slot->isPrefetch = true;
         slot->demandTouched = false;
         slot->ready = fetchFromBelow(line, /*pc=*/0, now);
+        nextReady_ = std::min(nextReady_, slot->ready);
         ++stats_.prefetchIssued;
         if (tracer_ != nullptr)
             tracer_->pfIssued(line, now);
@@ -435,16 +482,6 @@ Cache::issuePrefetches(Cycle now)
         pq.pop_front();
         --budget;
     }
-}
-
-void
-Cache::tick(Cycle now)
-{
-    now_ = now;
-    drainFills(now);
-    issuePrefetches(now);
-    if (prefetcher != nullptr)
-        prefetcher->onCycle(now);
 }
 
 void
@@ -462,6 +499,28 @@ Cache::registerInvariants(check::Invariants &inv, const std::string &prefix)
         detail = "valid_mshrs=" + std::to_string(valid) +
                  " inflight_fills=" + std::to_string(inflightFills_);
         return false;
+    });
+
+    // The fill watermark is exact (allocation sites min it down,
+    // drainFills recomputes it), and no completed fill lingers past a
+    // tick/access boundary — fills drain only there, never from probes.
+    inv.add(prefix + ".no_overdue_fills", [this](std::string &detail) {
+        Cycle min_ready = kCycleNever;
+        for (const auto &m : mshrs) {
+            if (m.valid)
+                min_ready = std::min(min_ready, m.ready);
+        }
+        if (nextReady_ != min_ready) {
+            detail = "watermark=" + std::to_string(nextReady_) +
+                     " recounted_min=" + std::to_string(min_ready);
+            return false;
+        }
+        if (min_ready <= now_) {
+            detail = "fill ready at " + std::to_string(min_ready) +
+                     " still undrained at cycle " + std::to_string(now_);
+            return false;
+        }
+        return true;
     });
 
     // No duplicate lines among in-flight fills, and no line both resident
@@ -526,6 +585,16 @@ Cache::registerInvariants(check::Invariants &inv, const std::string &prefix)
         size_t base = static_cast<size_t>(set) * cfg.ways;
         for (uint32_t w = 0; w < cfg.ways; ++w) {
             const Line &entry = lines[base + w];
+            // The parallel tag array must mirror the way exactly; a
+            // desync would make findLine disagree with the line array.
+            Addr expect = entry.valid ? entry.line : kNoTag;
+            if (tags_[base + w] != expect) {
+                detail = "tag array desync in set " + std::to_string(set) +
+                         " way " + std::to_string(w) + ": tag=" +
+                         std::to_string(tags_[base + w]) + " expected " +
+                         std::to_string(expect);
+                return false;
+            }
             if (!entry.valid)
                 continue;
             if (setIndex(entry.line) != set) {

@@ -9,8 +9,8 @@
 #ifndef EIP_SIM_CACHE_HH
 #define EIP_SIM_CACHE_HH
 
-#include <deque>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/config.hh"
@@ -18,6 +18,7 @@
 #include "sim/prefetcher_api.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
+#include "util/ring.hh"
 
 namespace eip::obs {
 class EventTracer;
@@ -46,6 +47,7 @@ class Cache
     attachPrefetcher(Prefetcher *pf)
     {
         prefetcher = pf;
+        pfCycleInert_ = pf == nullptr || pf->cycleInert();
         if (pf != nullptr)
             pf->attach(*this);
     }
@@ -74,8 +76,14 @@ class Cache
      */
     void speculativeAccess(Addr line, Addr pc, Cycle now);
 
-    /** Peek: would @p line hit right now? Drains fills; no side effects. */
-    bool probe(Addr line, Cycle now);
+    /**
+     * Peek: is @p line resident right now? A pure lookup — no fill
+     * drain, no replacement-state update. Completed-but-undrained fills
+     * become visible at the next tick()/access boundary, never inside a
+     * probe (the no_overdue_fills invariant pins fills to those
+     * boundaries).
+     */
+    bool probe(Addr line) const;
 
     /**
      * Request a prefetch of @p line (prefetcher-facing). Enqueued into the
@@ -84,8 +92,26 @@ class Cache
      */
     bool enqueuePrefetch(Addr line);
 
-    /** Per-cycle maintenance: drain fills, issue queued prefetches. */
-    void tick(Cycle now);
+    /**
+     * Per-cycle maintenance: drain fills, issue queued prefetches. This
+     * runs four times per simulated cycle (once per level), so the
+     * common all-idle case — no due fill, empty queue, no cycle hook —
+     * must reduce to three inline compares.
+     */
+    void
+    tick(Cycle now)
+    {
+        now_ = now;
+        if (nextReady_ <= now)
+            drainFills(now);
+        if (!pq.empty())
+            issuePrefetches(now);
+        // Cycle-inert prefetchers (the default) never see onCycle at
+        // all: the virtual call per cycle per level would be pure
+        // overhead (see Prefetcher::cycleInert).
+        if (!pfCycleInert_)
+            prefetcher->onCycle(now);
+    }
 
     const CacheStats &stats() const { return stats_; }
     CacheStats &stats() { return stats_; }
@@ -100,6 +126,27 @@ class Cache
     uint32_t freeMshrs() const;
     /** Prefetch-queue occupancy (for tests). */
     size_t pqOccupancy() const { return pq.size(); }
+
+    /**
+     * Earliest `ready` cycle over the in-flight fills (kCycleNever when
+     * none) — the incremental watermark drainFills() early-outs on. The
+     * event-driven scheduler (Cpu::nextEventCycle) reads it as this
+     * level's next state-change event.
+     */
+    Cycle nextFillReady() const { return nextReady_; }
+
+    /**
+     * True when a tick() at a cycle with no due fills is a no-op: the
+     * prefetch queue is empty (nothing to issue) and the attached
+     * prefetcher does not keep per-cycle state (Prefetcher::cycleInert).
+     * Together with nextFillReady() this is this level's half of the
+     * skip-ahead inertness proof.
+     */
+    bool
+    tickInert() const
+    {
+        return pq.empty() && pfCycleInert_;
+    }
 
     /**
      * Register this level's consistency checks with @p inv under
@@ -139,6 +186,7 @@ class Cache
 
     uint32_t setIndex(Addr line) const { return line & (numSets - 1); }
     Line *findLine(Addr line);
+    const Line *findLine(Addr line) const;
     /** Pick the victim way in @p set_base per the configured policy. */
     Line *chooseVictim(size_t set_base);
     /** Promote @p line after a demand hit per the configured policy. */
@@ -155,13 +203,33 @@ class Cache
     CacheConfig cfg;
     uint32_t numSets;
     std::vector<Line> lines;  ///< numSets * ways, set-major
+    /**
+     * Tag of each way, parallel to `lines` (kNoTag when invalid) — the
+     * lookup-hot fields packed one cache line per set so findLine touches
+     * one host line instead of striding through the full Line structs.
+     * Maintained solely by installLine (lines are never invalidated).
+     */
+    std::vector<Addr> tags_;
+    static constexpr Addr kNoTag = ~Addr{0}; ///< no real line address
+                                             ///< (byte >> 6) reaches this
     std::vector<Mshr> mshrs;
-    std::deque<PqEntry> pq;
+    util::Ring<PqEntry> pq;
     /** Fills currently in flight; every MSHR allocation increments it and
      *  every drained fill decrements it, so any path that frees or
      *  allocates an MSHR without going through the proper sites breaks
      *  the mshr_accounting invariant. */
     uint64_t inflightFills_ = 0;
+    /**
+     * Earliest `ready` over the valid MSHRs, kCycleNever when none —
+     * kept exact: allocation sites min it down, drainFills recomputes it
+     * from the survivors (the only place entries retire). Lets drainFills
+     * early-out in O(1) on the per-cycle fast path instead of rescanning
+     * every MSHR, and doubles as the scheduler's next-fill event.
+     */
+    Cycle nextReady_ = kCycleNever;
+    /** Scratch for drainFills' (ready, index) ordering; member so the
+     *  per-drain allocation is amortised away. */
+    std::vector<std::pair<Cycle, uint32_t>> drainScratch_;
     uint32_t auditSet_ = 0; ///< rotating cursor of the set-array audit
     uint64_t lruClock = 0;
     uint64_t victimSeed = 0x9E3779B97F4A7C15ULL; ///< Random-policy state
@@ -169,6 +237,9 @@ class Cache
     Cache *nextLevel = nullptr;
     Dram *dram_ = nullptr;
     Prefetcher *prefetcher = nullptr;
+    /** Cached Prefetcher::cycleInert() of the attached prefetcher (true
+     *  when none): pulls the per-cycle virtual call out of tick(). */
+    bool pfCycleInert_ = true;
     obs::EventTracer *tracer_ = nullptr;
     /** Current cycle as of the last public entry point; gives
      *  enqueuePrefetch (which has no cycle parameter) a timestamp. */

@@ -29,7 +29,9 @@ Cpu::Cpu(const SimConfig &config)
                 new GsharePredictor(config.gshareBits))),
       btb(config.btbEntries, config.btbWays),
       ras(config.rasEntries),
-      itc(config.itcEntries)
+      itc(config.itcEntries),
+      ftq(config.ftqEntries),
+      rob(config.robEntries)
 {
     l1i_->setNextLevel(l2_.get());
     l1d_->setNextLevel(l2_.get());
@@ -83,6 +85,15 @@ Cpu::registerInvariants()
         if (ftqInsts > cfg.ftqEntries) {
             detail = "occupancy " + std::to_string(ftqInsts) + " > " +
                      std::to_string(cfg.ftqEntries);
+            return false;
+        }
+        size_t pending = 0;
+        for (const FtqGroup &group : ftq)
+            pending += group.accessPending ? 1 : 0;
+        if (pending != ftqPendingAccess_) {
+            detail = "pending_groups=" + std::to_string(pending) +
+                     " ftq_pending_access=" +
+                     std::to_string(ftqPendingAccess_);
             return false;
         }
         return true;
@@ -208,12 +219,21 @@ Cpu::predictStage(trace::InstructionSource &trace)
         bool append = !ftq.empty() && ftq.back().line == line &&
                       ftq.back().insts.size() < kMaxGroupInsts;
         if (!append) {
-            FtqGroup group;
+            // Reuse the ring slot in place: the previous occupant's
+            // vector capacities survive, so the steady state allocates
+            // nothing (see Ring::pushSlot).
+            FtqGroup &group = ftq.pushSlot();
             group.line = line;
-            ftq.push_back(std::move(group));
+            group.ready = kCycleNever;
+            group.accessPending = true;
+            group.insts.clear();
+            group.consumed = 0;
+            group.mispredict.clear();
+            ++ftqPendingAccess_;
         }
-        ftq.back().insts.push_back(inst);
-        ftq.back().mispredict.push_back(mispredict);
+        FtqGroup &tail = ftq.back();
+        tail.insts.push_back(inst);
+        tail.mispredict.push_back(mispredict);
         ++ftqInsts;
 
         if (mispredict == 1) {
@@ -261,16 +281,23 @@ Cpu::l1iAccessStage()
 {
     // Fetch-directed prefetching: initiate the L1I access for every line
     // sitting in the FTQ (these count as demand accesses, §IV-A).
+    l1iAccessBlocked_ = false;
     for (auto &group : ftq) {
         if (!group.accessPending)
             continue;
         Addr pc = group.insts.empty() ? lineToByte(group.line)
                                       : group.insts.front().pc;
         Cache::Access res = l1i_->demandAccess(group.line, pc, now);
-        if (res.mshrFull)
-            return; // retry next cycle, in order
+        if (res.mshrFull) {
+            // Retry next cycle, in order. Until an L1I fill frees an
+            // MSHR the retries are no-ops, which is what lets the
+            // scheduler skip over them (see inertWindow).
+            l1iAccessBlocked_ = true;
+            return;
+        }
         group.ready = res.ready;
         group.accessPending = false;
+        --ftqPendingAccess_;
     }
 }
 
@@ -381,6 +408,103 @@ Cpu::retireStage()
     }
 }
 
+Cycle
+Cpu::nextEventCycle(Cycle bound) const
+{
+    // Clamped to `bound` (the watchdog) so a deadlocked pipeline trips
+    // the deadlock assert at exactly the same cycle as per-cycle
+    // simulation; never before now + 1 (an already-due event means the
+    // next cycle acts).
+    Cycle t = bound;
+    auto event = [&](Cycle c) { t = std::min(t, std::max(c, now + 1)); };
+
+    event(l1i_->nextFillReady());
+    event(l1d_->nextFillReady());
+    event(l2_->nextFillReady());
+    event(llc_->nextFillReady());
+
+    // Only the ROB head gates retirement (in-order), so later entries'
+    // completion times are not events.
+    if (!rob.empty())
+        event(rob.front().done);
+
+    // The FTQ head's arrival is an event even when the ROB is full:
+    // otherwise a window could straddle the cycle the stall reason
+    // flips from line-miss to rob-full and bulk-charge the wrong bucket.
+    if (!ftq.empty()) {
+        const FtqGroup &head = ftq.front();
+        if (!head.accessPending && head.ready > now)
+            event(head.ready);
+    }
+
+    // The prediction unit wakes when its stall expires — relevant only
+    // if it is not blocked on an unresolved branch (released by fetch
+    // activity, itself an event above) and the FTQ has room.
+    if (!predictBlockedOnBranch && ftqInsts < cfg.ftqEntries)
+        event(predictStallUntil);
+
+    return t;
+}
+
+Cycle
+Cpu::inertWindow(Cycle bound) const
+{
+    // Eligibility checks ordered so the common busy-pipeline cases bail
+    // out earliest. Fetch consumes instructions next cycle:
+    if (!ftq.empty()) {
+        const FtqGroup &head = ftq.front();
+        if (!head.accessPending && head.ready <= now + 1 &&
+            rob.size() < cfg.robEntries)
+            return 0;
+    }
+    // The prediction unit runs next cycle.
+    if (!predictBlockedOnBranch && ftqInsts < cfg.ftqEntries &&
+        predictStallUntil <= now + 1)
+        return 0;
+    // A fresh FTQ group performs its L1I access next cycle. Groups stuck
+    // behind a full MSHR file only retry no-ops until a fill frees an
+    // entry — and that fill is already an event via nextFillReady().
+    if (ftqPendingAccess_ > 0 && !l1iAccessBlocked_)
+        return 0;
+    // A cache with queued prefetches, or a prefetcher keeping per-cycle
+    // state, acts on every tick.
+    if (!l1i_->tickInert() || !l1d_->tickInert() || !l2_->tickInert() ||
+        !llc_->tickInert())
+        return 0;
+    // Wrong-path fetch touches the hierarchy every cycle.
+    if (wrongPathActive)
+        return 0;
+
+    Cycle next = nextEventCycle(bound);
+    return next > now + 1 ? next - (now + 1) : 0;
+}
+
+void
+Cpu::skipIdleCycles(Cycle watchdog)
+{
+    Cycle window = inertWindow(watchdog);
+    if (window == 0)
+        return;
+    // Every skipped cycle is a zero-fetch cycle whose stall reason is
+    // static across the window (the window ends at the first event that
+    // could change it): bulk-charge the one bucket so the partition
+    // identity — audited under --check — holds exactly.
+    fetchIdleCycles += window;
+    if (!ftq.empty()) {
+        const FtqGroup &head = ftq.front();
+        if (head.accessPending || head.ready > now + 1)
+            fetchStallLineMiss += window;
+        else
+            fetchStallRobFull += window;
+    } else {
+        // An idle predictor with an empty FTQ makes the window 0, so a
+        // skipped empty-FTQ window is always redirect recovery
+        // (mispredict bucket), never starvation.
+        fetchStallFtqEmptyMispredict += window;
+    }
+    now += window;
+}
+
 SimStats
 Cpu::run(trace::InstructionSource &trace, uint64_t instructions,
          uint64_t warmup_instructions, obs::IntervalSampler *sampler)
@@ -397,12 +521,24 @@ Cpu::run(trace::InstructionSource &trace, uint64_t instructions,
     // 10k cycles unless the pipeline deadlocked (a bug).
     const Cycle watchdog = 10000 * total_budget + 10'000'000;
 
+    // Event-driven skipping stands down for observers that want every
+    // cycle: the tracer records per-cycle stall events and the invariant
+    // registry audits strided checks against the cycle counter. Both are
+    // pure observers, so results are identical either way — which the
+    // eipdiff skip axis pins down.
+    skipActive_ = cfg.eventSkip && tracer_ == nullptr && checks_ == nullptr;
+
     while (true) {
         ++now;
         retireStage();
         fetchStage();
-        l1iAccessStage();
-        wrongPathStage();
+        // Guarded stage calls: both stages are no-ops (their first check
+        // fails) in the common case, and l1iAccessStage would still walk
+        // the whole FTQ to find no pending access.
+        if (ftqPendingAccess_ > 0)
+            l1iAccessStage();
+        if (wrongPathActive)
+            wrongPathStage();
         predictStage(trace);
         l1i_->tick(now);
         l1d_->tick(now);
@@ -440,6 +576,8 @@ Cpu::run(trace::InstructionSource &trace, uint64_t instructions,
         if (measuring_ && retired >= measureStartRetired_ + instructions)
             break;
         EIP_ASSERT(now < watchdog, "pipeline deadlock (watchdog expired)");
+        if (skipActive_)
+            skipIdleCycles(watchdog);
     }
 
     // End-of-run sweep: strided audits run once more regardless of where

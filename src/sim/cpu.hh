@@ -10,7 +10,6 @@
 #ifndef EIP_SIM_CPU_HH
 #define EIP_SIM_CPU_HH
 
-#include <deque>
 #include <memory>
 #include <vector>
 
@@ -22,6 +21,7 @@
 #include "sim/vmem.hh"
 #include "trace/executor.hh"
 #include "trace/instruction.hh"
+#include "util/ring.hh"
 
 namespace eip::obs {
 class CounterRegistry;
@@ -91,7 +91,30 @@ class Cpu
      *  off (see check::checksEnabled()). Test-facing. */
     const check::Invariants *invariants() const { return checks_.get(); }
 
+    /**
+     * Earliest future cycle at which any pipeline or hierarchy state can
+     * change, clamped to @p bound (and never before now + 1): the
+     * earliest in-flight fill across the four cache levels, the ROB
+     * head's completion, the FTQ head's line arrival (included even when
+     * the ROB is full, so a skip window never straddles the
+     * line-miss -> rob-full stall transition), and the prediction unit's
+     * stall release. See DESIGN.md §3.8.
+     */
+    Cycle nextEventCycle(Cycle bound = kCycleNever) const;
+
+    /**
+     * Number of cycles starting at now + 1 that are provably inert — every
+     * stage is a no-op and no counter other than the stall taxonomy
+     * advances — or 0 when the next cycle can act (fetch/predict/L1I
+     * access eligible, wrong-path fetch live, a prefetch queued, or a
+     * cycle-sensitive prefetcher attached). Skipping this many cycles and
+     * bulk-charging the (static) stall bucket is bit-identical to
+     * simulating them one by one.
+     */
+    Cycle inertWindow(Cycle bound = kCycleNever) const;
+
   private:
+    friend class CpuTestPeer; ///< tests build pipeline states by hand
     /** One fetch group: consecutive instructions within one cache line. */
     struct FtqGroup
     {
@@ -119,6 +142,13 @@ class Cpu
     void l1iAccessStage();
     void fetchStage();
     void retireStage();
+    /**
+     * Event-driven cycle skipping: when the next inertWindow() cycles are
+     * no-ops, jump `now` past them in one step, bulk-incrementing the
+     * stall taxonomy. Only called when skipActive_ (requires
+     * cfg.eventSkip, no tracer, no invariant checking).
+     */
+    void skipIdleCycles(Cycle watchdog);
     /** Compute the completion cycle of an instruction entering the ROB. */
     Cycle backendLatency(const trace::Instruction &inst);
     /** Classify the prediction of a branch; trains all predictors and
@@ -141,17 +171,29 @@ class Cpu
     IndirectTargetCache itc;
     Prefetcher *l1iPrefetcher = nullptr;
 
-    // Pipeline state.
+    // Pipeline state. The FTQ holds at most one group per remaining
+    // instruction (a fully-consumed group is popped the same cycle), so
+    // ftqEntries bounds the group count; the ROB is pushed only below
+    // robEntries. Both are therefore fixed-capacity rings.
     Cycle now = 0;
-    std::deque<FtqGroup> ftq;
+    util::Ring<FtqGroup> ftq;
     size_t ftqInsts = 0;
+    /** FTQ groups whose L1I access has not happened yet (accessPending).
+     *  Lets the scheduler tell fresh groups (access fires next cycle)
+     *  from an MSHR-full backlog (inert until a fill) in O(1). */
+    size_t ftqPendingAccess_ = 0;
+    /** Last l1iAccessStage ended early on a full L1I MSHR file. */
+    bool l1iAccessBlocked_ = false;
     Cycle predictStallUntil = 0;
     bool predictBlockedOnBranch = false;
     bool wrongPathActive = false;
     Addr wrongPathPc = 0;
     Addr lastPredictedPc = 0; ///< where the front-end believed it was going
-    std::deque<RobEntry> rob;
+    util::Ring<RobEntry> rob;
     uint64_t retired = 0;
+    /** Cycle skipping armed for the current run() (cfg.eventSkip and no
+     *  observer that wants every cycle: tracer or invariant checks). */
+    bool skipActive_ = false;
 
     // Measurement-phase bookkeeping. Members (not run() locals) so that
     // registered counter closures can report measured-phase deltas live.

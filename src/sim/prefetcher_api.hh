@@ -121,8 +121,20 @@ class Prefetcher
         (void)target;
     }
 
-    /** Called every simulated cycle. */
+    /** Called every simulated cycle — but only when cycleInert() below
+     *  returns false; the owning cache elides the virtual call for the
+     *  (default) inert case. */
     virtual void onCycle(Cycle now) { (void)now; }
+
+    /**
+     * May the simulator skip cycles in which this prefetcher receives no
+     * other hook call? True for prefetchers whose onCycle() does nothing
+     * (the default). Any override of onCycle() that keeps real per-cycle
+     * state MUST also override this to return false, or the event-driven
+     * scheduler (DESIGN.md §3.8) will silently starve that state; the
+     * LookaheadOracle's cycle clock is the one current example.
+     */
+    virtual bool cycleInert() const { return true; }
 
   protected:
     /**

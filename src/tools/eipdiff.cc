@@ -9,11 +9,17 @@
  *      1 worker vs N workers — the roll-up and every per-job artifact
  *      must match with an *empty* allow-list (the determinism contract
  *      of src/exec extended to the artifact bytes);
- *   2. interval sampling off vs on — only the sampling knob's own
+ *   2. per EIP_SIM_SCALE point: the same serial suite with event-driven
+ *      cycle skipping disabled (--no-skip) — the skip is a pure
+ *      scheduling transform (DESIGN.md §3.8), so the roll-up and every
+ *      per-job artifact must match with an *empty* allow-list;
+ *   3. interval sampling off vs on — only the sampling knob's own
  *      fields (manifest.sample_interval, samples) and environment
  *      timing may differ: the sampler is a pure observer;
- *   3. event tracing off vs on — nothing but environment timing may
- *      differ: the tracer is a pure observer.
+ *   4. event tracing off vs on — nothing but environment timing may
+ *      differ: the tracer is a pure observer;
+ *   5. single-run skip vs no-skip with timing included — only the
+ *      host-speed fields (wall clock, host MIPS) may differ.
  *
  * Exit code 0 when every comparison is clean, 1 on any unexplained
  * divergence, 2 on usage errors. CI runs this instead of hand-rolled
@@ -202,6 +208,25 @@ diffSuiteLegs(check::DiffRunner &diff, const Options &opt,
                           harness::perJobArtifactPath(parallel, i),
                           kNothingAllowed);
     }
+
+    // Skip axis: the same serial batch with event-driven cycle skipping
+    // disabled. The scheduler transform must be invisible in the
+    // artifact bytes — empty allow-list, roll-up and per-job alike.
+    std::vector<harness::RunJob> noskip_batch = batch;
+    for (harness::RunJob &job : noskip_batch)
+        job.spec.eventSkip = false;
+    std::string noskip = opt.outDir + "/suite-scale" + scale +
+                         "-noskip.json";
+    harness::runBatchWithArtifacts(noskip_batch, 1, noskip);
+    diff.compareFiles("suite scale=" + scale + " skip vs no-skip",
+                      serial, noskip, kNothingAllowed);
+    for (size_t i = 0; i < batch.size(); ++i) {
+        diff.compareFiles("per-job scale=" + scale + " no-skip " +
+                              batch[i].workload.name,
+                          harness::perJobArtifactPath(serial, i),
+                          harness::perJobArtifactPath(noskip, i),
+                          kNothingAllowed);
+    }
 }
 
 /** Single-run artifact under @p spec as the eip-run/v1 text. */
@@ -233,6 +258,7 @@ diffSamplingLeg(check::DiffRunner &diff, const Options &opt,
                  singleRunArtifact(workload, base),
                  singleRunArtifact(workload, sampled),
                  {"manifest.sample_interval", "manifest.wall_clock_seconds",
+                  "manifest.host_wall_ms", "manifest.host_mips",
                   "manifest.jobs", "samples"});
 }
 
@@ -253,7 +279,28 @@ diffTracingLeg(check::DiffRunner &diff, const Options &opt,
     diff.compare("tracing off vs on (" + workload.name + ")",
                  singleRunArtifact(workload, base),
                  singleRunArtifact(workload, traced),
-                 {"manifest.wall_clock_seconds", "manifest.jobs"});
+                 {"manifest.wall_clock_seconds", "manifest.host_wall_ms",
+                  "manifest.host_mips", "manifest.jobs"});
+}
+
+/** Single-run skip leg: with timing included in the artifact, skip vs
+ *  no-skip may differ only in the host-speed fields. */
+void
+diffSkipSingleLeg(check::DiffRunner &diff, const Options &opt,
+                  const trace::Workload &workload)
+{
+    harness::RunSpec base = harness::RunSpec::defaultSpec();
+    base.configId = opt.prefetcher;
+    base.collectCounters = true;
+
+    harness::RunSpec noskip = base;
+    noskip.eventSkip = false;
+
+    diff.compare("skip vs no-skip (" + workload.name + ")",
+                 singleRunArtifact(workload, base),
+                 singleRunArtifact(workload, noskip),
+                 {"manifest.wall_clock_seconds", "manifest.host_wall_ms",
+                  "manifest.host_mips", "manifest.jobs"});
 }
 
 } // namespace
@@ -288,6 +335,7 @@ main(int argc, char **argv)
             probe = w;
     diffSamplingLeg(diff, opt, probe);
     diffTracingLeg(diff, opt, probe);
+    diffSkipSingleLeg(diff, opt, probe);
 
     std::fputs(diff.report().c_str(), stdout);
     return diff.allClean() ? 0 : 1;

@@ -102,16 +102,16 @@ TEST(Cache, LruEvictsLeastRecentlyUsed)
     rig.cache.demandAccess(a, 0, 0);
     rig.cache.demandAccess(b, 0, 1);
     rig.cache.tick(200); // fill both
-    EXPECT_TRUE(rig.cache.probe(a, 200));
-    EXPECT_TRUE(rig.cache.probe(b, 200));
+    EXPECT_TRUE(rig.cache.probe(a));
+    EXPECT_TRUE(rig.cache.probe(b));
 
     // Touch a so b becomes LRU, then bring in c.
     rig.cache.demandAccess(a, 0, 210);
     rig.cache.demandAccess(c, 0, 220);
     rig.cache.tick(400);
-    EXPECT_TRUE(rig.cache.probe(a, 400));
-    EXPECT_FALSE(rig.cache.probe(b, 400));
-    EXPECT_TRUE(rig.cache.probe(c, 400));
+    EXPECT_TRUE(rig.cache.probe(a));
+    EXPECT_FALSE(rig.cache.probe(b));
+    EXPECT_TRUE(rig.cache.probe(c));
     EXPECT_EQ(rig.cache.stats().evictions, 1u);
 }
 
@@ -174,7 +174,7 @@ TEST(Cache, WrongPrefetchDetectedOnEviction)
     rig.cache.enqueuePrefetch(pf);
     rig.cache.tick(1);
     rig.cache.tick(200);
-    ASSERT_TRUE(rig.cache.probe(pf, 200));
+    ASSERT_TRUE(rig.cache.probe(pf));
 
     rig.cache.demandAccess(pf + 32, 0, 201);
     rig.cache.demandAccess(pf + 64, 0, 202);
@@ -284,7 +284,7 @@ TEST(Cache, TwoLevelLatencyComposition)
     c1.demandAccess(same_set1, 0, 201);
     c1.demandAccess(same_set2, 0, 202);
     c1.tick(500);
-    ASSERT_FALSE(c1.probe(0x60, 500));
+    ASSERT_FALSE(c1.probe(0x60));
 
     // Now: L1 miss, L2 hit -> 14 cycles.
     auto warm = c1.demandAccess(0x60, 0, 600);

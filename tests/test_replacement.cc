@@ -56,8 +56,8 @@ TEST(Replacement, FifoIgnoresHits)
     fifo.warm(b, now);
     fifo.cache.demandAccess(a, 0, now); // hit; no promotion under FIFO
     fifo.warm(c, now);
-    EXPECT_FALSE(fifo.cache.probe(a, now));
-    EXPECT_TRUE(fifo.cache.probe(b, now));
+    EXPECT_FALSE(fifo.cache.probe(a));
+    EXPECT_TRUE(fifo.cache.probe(b));
 
     Cycle now2 = 0;
     Rig lru(ReplacementPolicy::Lru);
@@ -65,8 +65,8 @@ TEST(Replacement, FifoIgnoresHits)
     lru.warm(b, now2);
     lru.cache.demandAccess(a, 0, now2); // promotes A
     lru.warm(c, now2);
-    EXPECT_TRUE(lru.cache.probe(a, now2));
-    EXPECT_FALSE(lru.cache.probe(b, now2));
+    EXPECT_TRUE(lru.cache.probe(a));
+    EXPECT_FALSE(lru.cache.probe(b));
 }
 
 TEST(Replacement, SrripProtectsReusedLines)
@@ -80,8 +80,8 @@ TEST(Replacement, SrripProtectsReusedLines)
     rig.warm(b, now);
     rig.cache.demandAccess(a, 0, now); // a.rrpv -> 0
     rig.warm(c, now);                  // victim must be b (rrpv 2)
-    EXPECT_TRUE(rig.cache.probe(a, now));
-    EXPECT_FALSE(rig.cache.probe(b, now));
+    EXPECT_TRUE(rig.cache.probe(a));
+    EXPECT_FALSE(rig.cache.probe(b));
 }
 
 TEST(Replacement, RandomEvictsSomethingDeterministically)
@@ -95,7 +95,7 @@ TEST(Replacement, RandomEvictsSomethingDeterministically)
             rig.warm(1 + i * 32, now);
         std::vector<bool> present;
         for (Addr i = 0; i < 12; ++i)
-            present.push_back(rig.cache.probe(1 + i * 32, now));
+            present.push_back(rig.cache.probe(1 + i * 32));
         return present;
     };
     auto a = run();

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tests for util::Ring, the fixed-capacity FIFO behind the FTQ, ROB and
+ * prefetch queue: wrap-around indexing, full/empty edges, the
+ * overflow/underflow asserts, slot reuse through pushSlot(), and a
+ * randomized property test against std::deque as the reference model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <deque>
+#include <random>
+#include <vector>
+
+#include "util/ring.hh"
+
+namespace eip::util {
+namespace {
+
+TEST(Ring, StartsEmpty)
+{
+    Ring<int> ring(4);
+    EXPECT_TRUE(ring.empty());
+    EXPECT_FALSE(ring.full());
+    EXPECT_EQ(ring.size(), 0u);
+    EXPECT_EQ(ring.capacity(), 4u);
+    EXPECT_EQ(ring.begin(), ring.end());
+}
+
+TEST(Ring, FifoOrderAndIndexing)
+{
+    Ring<int> ring(4);
+    for (int v = 1; v <= 4; ++v)
+        ring.push_back(v);
+    EXPECT_TRUE(ring.full());
+    EXPECT_EQ(ring.front(), 1);
+    EXPECT_EQ(ring.back(), 4);
+    for (size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(ring[i], static_cast<int>(i) + 1);
+
+    ring.pop_front();
+    EXPECT_EQ(ring.front(), 2);
+    EXPECT_EQ(ring.size(), 3u);
+    EXPECT_FALSE(ring.full());
+}
+
+TEST(Ring, WrapAroundKeepsInsertionOrder)
+{
+    // Capacity 3 rounds storage up to 4; cycling pushes and pops drives
+    // head_ repeatedly across the wrap boundary.
+    Ring<int> ring(3);
+    int next = 0;
+    int expect_front = 0;
+    ring.push_back(next++);
+    ring.push_back(next++);
+    for (int step = 0; step < 50; ++step) {
+        ring.push_back(next++);
+        EXPECT_EQ(ring.size(), 3u);
+        EXPECT_EQ(ring.front(), expect_front);
+        EXPECT_EQ(ring.back(), next - 1);
+        for (size_t i = 0; i < ring.size(); ++i)
+            EXPECT_EQ(ring[i], expect_front + static_cast<int>(i));
+        ring.pop_front();
+        ++expect_front;
+    }
+}
+
+TEST(Ring, IterationMatchesIndexing)
+{
+    Ring<int> ring(5);
+    for (int v = 0; v < 5; ++v)
+        ring.push_back(v * 10);
+    ring.pop_front();
+    ring.push_back(50); // force a wrapped layout
+
+    std::vector<int> seen;
+    for (int v : ring)
+        seen.push_back(v);
+    ASSERT_EQ(seen.size(), ring.size());
+    for (size_t i = 0; i < seen.size(); ++i)
+        EXPECT_EQ(seen[i], ring[i]);
+
+    const Ring<int> &cring = ring;
+    size_t pos = 0;
+    for (const int &v : cring)
+        EXPECT_EQ(v, ring[pos++]);
+    EXPECT_EQ(pos, ring.size());
+}
+
+TEST(Ring, NonPowerOfTwoCapacityRejectsAtCapacity)
+{
+    // Storage rounds 5 up to 8, but the capacity contract stays 5.
+    Ring<int> ring(5);
+    for (int v = 0; v < 5; ++v)
+        ring.push_back(v);
+    EXPECT_TRUE(ring.full());
+    EXPECT_DEATH(ring.push_back(99), "ring overflow");
+}
+
+TEST(Ring, OverflowAndCapacityOneEdge)
+{
+    Ring<int> ring(1);
+    ring.push_back(7);
+    EXPECT_TRUE(ring.full());
+    EXPECT_EQ(ring.front(), 7);
+    EXPECT_EQ(ring.back(), 7);
+    EXPECT_DEATH(ring.push_back(8), "ring overflow");
+    ring.pop_front();
+    EXPECT_TRUE(ring.empty());
+    ring.push_back(8);
+    EXPECT_EQ(ring.front(), 8);
+}
+
+TEST(Ring, ClearResets)
+{
+    Ring<int> ring(4);
+    ring.push_back(1);
+    ring.push_back(2);
+    ring.clear();
+    EXPECT_TRUE(ring.empty());
+    ring.push_back(3);
+    EXPECT_EQ(ring.front(), 3);
+    EXPECT_EQ(ring.size(), 1u);
+}
+
+TEST(Ring, PushSlotReusesHeapCapacity)
+{
+    struct Payload
+    {
+        std::vector<int> data;
+    };
+    Ring<Payload> ring(2);
+
+    Payload &a = ring.pushSlot();
+    a.data.assign(100, 42);
+    const int *storage = a.data.data();
+    ring.pop_front();
+
+    // The slot's vector allocation must survive pop_front and be handed
+    // back (contents as-is) once the tail wraps around onto the slot.
+    Payload &b = ring.pushSlot(); // second slot
+    b.data.clear();
+    ring.pop_front();
+    Payload &c = ring.pushSlot(); // wraps: first slot again (storage 2)
+    EXPECT_EQ(c.data.data(), storage);
+    EXPECT_EQ(c.data.size(), 100u);
+    c.data.clear(); // callers must reset reused slots
+    EXPECT_EQ(c.data.capacity(), 100u);
+}
+
+/** Property test: a long random push/pop trace behaves exactly like
+ *  std::deque restricted to the same capacity bound. */
+TEST(Ring, PropertyMatchesDeque)
+{
+    std::mt19937_64 rng(0xE1Au);
+    for (size_t capacity : {1u, 2u, 3u, 7u, 16u}) {
+        Ring<uint64_t> ring(capacity);
+        std::deque<uint64_t> model;
+        for (int step = 0; step < 5000; ++step) {
+            bool can_push = model.size() < capacity;
+            bool do_push =
+                can_push && (model.empty() || (rng() & 1) != 0);
+            if (do_push) {
+                uint64_t value = rng();
+                ring.push_back(value);
+                model.push_back(value);
+            } else if (!model.empty()) {
+                EXPECT_EQ(ring.front(), model.front());
+                ring.pop_front();
+                model.pop_front();
+            }
+            ASSERT_EQ(ring.size(), model.size());
+            ASSERT_EQ(ring.empty(), model.empty());
+            ASSERT_EQ(ring.full(), model.size() == capacity);
+            if (!model.empty()) {
+                ASSERT_EQ(ring.front(), model.front());
+                ASSERT_EQ(ring.back(), model.back());
+            }
+            // Spot-check a random index each step (full scans every
+            // step would make the test quadratic for nothing).
+            if (!model.empty()) {
+                size_t i = rng() % model.size();
+                ASSERT_EQ(ring[i], model[i]);
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace eip::util

@@ -79,7 +79,7 @@ TEST(WrongPath, CacheSpeculativeAccessAccounting)
     EXPECT_EQ(cache.stats().demandAccesses, 0u);
     // The line is installed (pollution) and later hits.
     cache.tick(200);
-    EXPECT_TRUE(cache.probe(0x40, 200));
+    EXPECT_TRUE(cache.probe(0x40));
     cache.speculativeAccess(0x40, 0, 201);
     EXPECT_EQ(cache.stats().wrongPathMisses, 1u);
 }
