@@ -7,6 +7,9 @@ Checks the three schemas produced by the observability layer:
   eip-suite/v1  suite roll-up (eipsim --workload all --stats-json)
   eip-bench/v1  bench table dump (BENCH_<name>.json)
   eip-trace/v1  event trace (eipsim --trace-out, Perfetto-loadable)
+  eip-serve/v1  eipd wire documents (requests, responses, stats dumps);
+                artifacts embedded in fetch responses are themselves
+                parsed and validated as timing-free eip-run/v1
 
 Usage: scripts/validate_stats_json.py FILE [FILE...]
 Exits non-zero and prints every violation if any file is invalid.
@@ -74,6 +77,25 @@ class Checker:
                 self.error(where, f"bucket entry {pair!r} is not an "
                                   "[index, count] integer pair")
 
+    def check_counter_sections(self, doc, where):
+        """The counters/gauges/histograms triple shared by eip-run/v1
+        documents and eip-serve/v1 stats dumps."""
+        counters = self.require(doc, where, "counters", (dict,))
+        for name, value in (counters or {}).items():
+            if not isinstance(value, int) or value < 0:
+                self.error(where, f"counter '{name}' is not a "
+                                  "non-negative integer")
+        gauges = self.require(doc, where, "gauges", (dict,))
+        for name, value in (gauges or {}).items():
+            if not isinstance(value, (int, float, type(None))):
+                self.error(where, f"gauge '{name}' is not numeric/null")
+        histograms = self.require(doc, where, "histograms", (dict,))
+        for name, hist in (histograms or {}).items():
+            if isinstance(hist, dict):
+                self.check_histogram(hist, f"{where}.histograms.{name}")
+            else:
+                self.error(where, f"histogram '{name}' is not an object")
+
     def check_samples(self, samples, where):
         self.require(samples, where, "interval", (int,))
         columns = self.require(samples, where, "columns", (list,)) or []
@@ -110,21 +132,7 @@ class Checker:
         if manifest is not None:
             self.check_manifest(manifest, where + ".manifest",
                                 timing_allowed)
-        counters = self.require(doc, where, "counters", (dict,))
-        for name, value in (counters or {}).items():
-            if not isinstance(value, int) or value < 0:
-                self.error(where, f"counter '{name}' is not a "
-                                  "non-negative integer")
-        gauges = self.require(doc, where, "gauges", (dict,))
-        for name, value in (gauges or {}).items():
-            if not isinstance(value, (int, float, type(None))):
-                self.error(where, f"gauge '{name}' is not numeric/null")
-        histograms = self.require(doc, where, "histograms", (dict,))
-        for name, hist in (histograms or {}).items():
-            if isinstance(hist, dict):
-                self.check_histogram(hist, f"{where}.histograms.{name}")
-            else:
-                self.error(where, f"histogram '{name}' is not an object")
+        self.check_counter_sections(doc, where)
         samples = self.require(doc, where, "samples", (dict,))
         if samples is not None:
             self.check_samples(samples, where + ".samples")
@@ -171,6 +179,126 @@ class Checker:
                 if len(values) != len(columns):
                     self.error(rw, f"{len(values)} values for "
                                    f"{len(columns)} columns")
+
+    # -- eip-serve/v1 --------------------------------------------------
+
+    SERVE_OPS = ("submit", "status", "fetch", "stats", "shutdown")
+    SERVE_STATUSES = ("ok", "accepted", "rejected", "invalid")
+    SERVE_STATES = ("queued", "running", "done", "failed")
+
+    def check_serve_key(self, doc, where, required):
+        key = doc.get("key")
+        if key is None:
+            if required:
+                self.error(where, "missing content-address 'key'")
+            return
+        if (not isinstance(key, str) or len(key) != 16
+                or any(c not in "0123456789abcdef" for c in key)):
+            self.error(where, f"key {key!r} is not 16 lowercase hex "
+                              "digits")
+
+    def check_serve_request(self, doc, where):
+        op = self.require(doc, where, "op", (str,))
+        if op is not None and op not in self.SERVE_OPS:
+            self.error(where, f"unknown op {op!r}")
+        if op in ("status", "fetch"):
+            self.require(doc, where, "job", (int,))
+        if op == "submit":
+            run = self.require(doc, where, "run", (dict,))
+            if run is None:
+                return
+            rw = where + ".run"
+            workload = self.require(run, rw, "workload", (str,))
+            if workload == "":
+                self.error(rw, "workload must be non-empty")
+            for key in ("prefetcher", "data_prefetcher"):
+                self.require(run, rw, key, (str,))
+            for key in ("instructions", "warmup", "sample_interval"):
+                self.require(run, rw, key, (int,))
+            if isinstance(run.get("instructions"), int) \
+                    and run["instructions"] <= 0:
+                self.error(rw, "instructions must be positive")
+            for key in ("physical_l1i", "event_skip"):
+                self.require(run, rw, key, (bool,))
+
+    def check_serve_response(self, doc, where):
+        op = self.require(doc, where, "op", (str,))
+        if op is not None and op not in self.SERVE_OPS:
+            self.error(where, f"unknown op {op!r}")
+        status = self.require(doc, where, "status", (str,))
+        if status is not None and status not in self.SERVE_STATUSES:
+            self.error(where, f"unknown status {status!r}")
+        if status in ("invalid", "rejected"):
+            self.require(doc, where, "error", (str,))
+            return
+        if op == "submit" and status == "accepted":
+            self.require(doc, where, "job", (int,))
+            self.check_serve_key(doc, where, required=True)
+            served = self.require(doc, where, "served", (str,))
+            if served not in (None, "cache", "queue"):
+                self.error(where, f"served must be cache/queue, "
+                                  f"got {served!r}")
+        if op in ("status", "fetch") and status == "ok":
+            self.require(doc, where, "job", (int,))
+            state = self.require(doc, where, "state", (str,))
+            if state is not None and state not in self.SERVE_STATES:
+                self.error(where, f"unknown state {state!r}")
+            if state == "failed":
+                self.require(doc, where, "error", (str,))
+        if op == "fetch" and doc.get("state") == "done":
+            self.check_serve_key(doc, where, required=True)
+            artifact = self.require(doc, where, "artifact", (str,))
+            if artifact is not None:
+                self.check_embedded_artifact(artifact, where)
+
+    def check_embedded_artifact(self, artifact, where):
+        """A fetch response carries the exact artifact bytes as one JSON
+        string: a complete eip-run/v1 document, timing-free (the serving
+        environment must not leak into cached results)."""
+        aw = where + ".artifact"
+        if not artifact.endswith("}\n"):
+            self.error(aw, "artifact bytes must end with '}' + newline "
+                           "(the exact --stats-json file contents)")
+        try:
+            run = json.loads(artifact)
+        except ValueError as err:
+            self.error(aw, f"embedded artifact is not JSON: {err}")
+            return
+        if not isinstance(run, dict):
+            self.error(aw, "embedded artifact is not an object")
+            return
+        self.check_run(run, aw, timing_allowed=False)
+
+    def check_serve(self, doc):
+        kind = self.require(doc, "serve", "kind", (str,))
+        if kind == "request":
+            self.check_serve_request(doc, "serve.request")
+        elif kind == "response":
+            self.check_serve_response(doc, "serve.response")
+        elif kind == "stats":
+            where = "serve.stats"
+            tool = self.require(doc, where, "tool", (str,))
+            if tool not in (None, "eipd"):
+                self.error(where, f"tool is {tool!r}, expected 'eipd'")
+            self.require(doc, where, "git_describe", (str,))
+            workers = self.require(doc, where, "workers", (int,))
+            if workers is not None and workers < 1:
+                self.error(where, "workers must be >= 1")
+            for key in ("queue_capacity", "cache_capacity_bytes"):
+                value = self.require(doc, where, key, (int,))
+                if value is not None and value < 1:
+                    self.error(where, f"'{key}' must be >= 1")
+            self.check_counter_sections(doc, where)
+            counters = doc.get("counters")
+            if isinstance(counters, dict):
+                for key in ("serve.submits", "serve.served_cache",
+                            "serve.simulated", "serve.cache.hits",
+                            "serve.cache.misses"):
+                    if key not in counters:
+                        self.error(where, f"stats dump lacks counter "
+                                          f"'{key}'")
+        else:
+            self.error("serve", f"unknown kind {kind!r}")
 
     # -- eip-trace/v1 --------------------------------------------------
 
@@ -257,6 +385,8 @@ class Checker:
             self.check_bench(doc)
         elif schema == "eip-trace/v1":
             self.check_trace(doc)
+        elif schema == "eip-serve/v1":
+            self.check_serve(doc)
         else:
             self.error("document", f"unknown schema {schema!r}")
 

@@ -1,0 +1,64 @@
+#include "exec/canonical.hh"
+
+#include "obs/json.hh"
+
+namespace eip::exec {
+
+// Keep both serializers in declaration-order sync with their structs:
+// a field added there but not here silently aliases distinct configs
+// in every cache keyed on the canonical form. The golden-hash tests in
+// tests/test_serialize.cc force this file to change consciously.
+
+std::string
+canonicalProgramConfig(const trace::ProgramConfig &c)
+{
+    obs::JsonWriter json;
+    json.beginObject();
+    json.kv("seed", c.seed);
+    json.kv("num_functions", c.numFunctions);
+    json.kv("min_blocks_per_function", c.minBlocksPerFunction);
+    json.kv("max_blocks_per_function", c.maxBlocksPerFunction);
+    json.kv("min_block_insts", c.minBlockInsts);
+    json.kv("max_block_insts", c.maxBlockInsts);
+    json.kv("load_fraction", c.loadFraction);
+    json.kv("store_fraction", c.storeFraction);
+    json.kv("fp_fraction", c.fpFraction);
+    json.kv("cond_block_fraction", c.condBlockFraction);
+    json.kv("call_block_fraction", c.callBlockFraction);
+    json.kv("jump_block_fraction", c.jumpBlockFraction);
+    json.kv("indirect_fraction", c.indirectFraction);
+    json.kv("loop_fraction", c.loopFraction);
+    json.kv("min_loop_trips", c.minLoopTrips);
+    json.kv("max_loop_trips", c.maxLoopTrips);
+    json.kv("cond_taken_bias", c.condTakenBias);
+    json.kv("call_locality", c.callLocality);
+    json.kv("max_callee_cost", c.maxCalleeCost);
+    json.kv("biased_branch_fraction", c.biasedBranchFraction);
+    json.kv("dispatcher_fanout", c.dispatcherFanout);
+    json.kv("dispatcher_every", c.dispatcherEvery);
+    json.kv("dispatcher_loop_trips", c.dispatcherLoopTrips);
+    json.kv("code_base", c.codeBase);
+    json.kv("function_align", c.functionAlign);
+    json.kv("inter_function_pad", c.interFunctionPad);
+    json.kv("module_count", c.moduleCount);
+    json.kv("module_stride", c.moduleStride);
+    json.endObject();
+    return json.str();
+}
+
+std::string
+canonicalExecutorConfig(const trace::ExecutorConfig &c)
+{
+    obs::JsonWriter json;
+    json.beginObject();
+    json.kv("seed", c.seed);
+    json.kv("max_call_depth", c.maxCallDepth);
+    json.kv("stack_base", c.stackBase);
+    json.kv("frame_bytes", c.frameBytes);
+    json.kv("global_base", c.globalBase);
+    json.kv("data_footprint_bytes", c.dataFootprintBytes);
+    json.endObject();
+    return json.str();
+}
+
+} // namespace eip::exec

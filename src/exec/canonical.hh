@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Canonical, platform-stable serialization of the workload-generation
+ * configs. One fixed field order (declaration order) and %.17g doubles
+ * (obs::JsonWriter) make the string a faithful identity of the config:
+ * equal strings ⇔ bit-identical generated programs / instruction
+ * streams. ProgramCache keys on it intra-process; the serve result
+ * cache folds it into cross-process content addresses.
+ *
+ * The previous ad-hoc ProgramCache key formatted doubles at default
+ * iostream precision (6 significant digits), so two configs differing
+ * only beyond the 6th digit of a fraction knob would silently collide —
+ * the canonical form closes that hole and is pinned by golden-hash
+ * tests (tests/test_serialize.cc) so it cannot drift unnoticed.
+ */
+
+#ifndef EIP_EXEC_CANONICAL_HH
+#define EIP_EXEC_CANONICAL_HH
+
+#include <string>
+
+#include "trace/executor.hh"
+#include "trace/program_builder.hh"
+
+namespace eip::exec {
+
+/** @p cfg as one-line canonical JSON (fixed key order, %.17g doubles). */
+std::string canonicalProgramConfig(const trace::ProgramConfig &cfg);
+
+/** As above for the executor (CFG walker) runtime knobs. */
+std::string canonicalExecutorConfig(const trace::ExecutorConfig &cfg);
+
+} // namespace eip::exec
+
+#endif // EIP_EXEC_CANONICAL_HH

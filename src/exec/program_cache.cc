@@ -1,56 +1,24 @@
 #include "exec/program_cache.hh"
 
-#include <sstream>
+#include "exec/canonical.hh"
+#include "obs/registry.hh"
 
 namespace eip::exec {
-
-namespace {
-
-/**
- * Serialize every generation knob into the cache key. Two configs with
- * equal keys yield bit-identical programs (buildProgram is deterministic),
- * so this is the exact memoization key — keep it in sync with
- * trace::ProgramConfig when adding fields there.
- */
-std::string
-cacheKey(const trace::ProgramConfig &c)
-{
-    std::ostringstream key;
-    key << c.seed << '|' << c.numFunctions << '|' << c.minBlocksPerFunction
-        << '|' << c.maxBlocksPerFunction << '|' << c.minBlockInsts << '|'
-        << c.maxBlockInsts << '|' << c.loadFraction << '|' << c.storeFraction
-        << '|' << c.fpFraction << '|' << c.condBlockFraction << '|'
-        << c.callBlockFraction << '|' << c.jumpBlockFraction << '|'
-        << c.indirectFraction << '|' << c.loopFraction << '|' << c.minLoopTrips
-        << '|' << c.maxLoopTrips << '|' << c.condTakenBias << '|'
-        << c.callLocality << '|' << c.maxCalleeCost << '|'
-        << c.biasedBranchFraction << '|' << c.dispatcherFanout << '|'
-        << c.dispatcherEvery << '|' << c.dispatcherLoopTrips << '|'
-        << c.codeBase << '|' << c.functionAlign << '|' << c.interFunctionPad
-        << '|' << c.moduleCount << '|' << c.moduleStride;
-    return key.str();
-}
-
-} // namespace
 
 std::shared_ptr<const trace::Program>
 ProgramCache::get(const trace::ProgramConfig &cfg)
 {
-    const std::string key = cacheKey(cfg);
+    const std::string key = canonicalProgramConfig(cfg);
 
     std::shared_ptr<Slot> slot;
     {
-        std::shared_lock<std::shared_mutex> readLock(mutex);
-        auto it = slots.find(key);
-        if (it != slots.end())
-            slot = it->second;
-    }
-    if (slot == nullptr) {
-        std::unique_lock<std::shared_mutex> writeLock(mutex);
-        auto [it, inserted] = slots.try_emplace(key, nullptr);
-        if (inserted)
-            it->second = std::make_shared<Slot>();
-        slot = it->second;
+        std::lock_guard<std::mutex> lock(mutex);
+        if (std::shared_ptr<Slot> *found = slots.get(key)) {
+            slot = *found;
+        } else {
+            slot = std::make_shared<Slot>();
+            slots.put(key, slot);
+        }
     }
 
     bool builtNow = false;
@@ -65,10 +33,50 @@ ProgramCache::get(const trace::ProgramConfig &cfg)
     return slot->program;
 }
 
+uint64_t
+ProgramCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return slots.misses();
+}
+
+uint64_t
+ProgramCache::evictions() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return slots.evictions();
+}
+
+uint64_t
+ProgramCache::entries() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return slots.size();
+}
+
+void
+ProgramCache::setCapacity(uint64_t capacity)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    slots.setCapacity(capacity);
+}
+
+void
+ProgramCache::registerStats(obs::CounterRegistry &registry,
+                            const std::string &prefix) const
+{
+    registry.counter(prefix + ".hits", [this]() { return hits(); });
+    registry.counter(prefix + ".misses", [this]() { return misses(); });
+    registry.counter(prefix + ".evictions",
+                     [this]() { return evictions(); });
+    registry.counter(prefix + ".builds", [this]() { return builds(); });
+    registry.counter(prefix + ".entries", [this]() { return entries(); });
+}
+
 void
 ProgramCache::clear()
 {
-    std::unique_lock<std::shared_mutex> writeLock(mutex);
+    std::lock_guard<std::mutex> lock(mutex);
     slots.clear();
 }
 

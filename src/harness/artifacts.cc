@@ -14,29 +14,6 @@ namespace eip::harness {
 
 namespace {
 
-/** Histogram as a sparse [bucket, count] pair list plus summary — full
- *  bucket arrays would bloat artifacts with zeros (miss-latency alone
- *  has 256 buckets) without adding information. */
-void
-writeHistogram(obs::JsonWriter &json, const obs::HistogramDump &h)
-{
-    json.beginObject();
-    json.kv("total", h.total);
-    json.kv("overflow", h.overflow);
-    json.kv("mean", h.mean);
-    json.key("buckets").beginArray();
-    for (size_t b = 0; b < h.buckets.size(); ++b) {
-        if (h.buckets[b] == 0)
-            continue;
-        json.beginArray();
-        json.value(static_cast<uint64_t>(b));
-        json.value(h.buckets[b]);
-        json.endArray();
-    }
-    json.endArray();
-    json.endObject();
-}
-
 /** The eip-run/v1 object body (shared by single-run artifacts and the
  *  per-run members of a suite roll-up). */
 void
@@ -47,22 +24,7 @@ writeRunObject(obs::JsonWriter &json, const obs::RunManifest &manifest,
     json.kv("schema", obs::kRunSchema);
     obs::writeManifest(json, manifest, include_timing);
 
-    json.key("counters").beginObject();
-    for (const auto &[name, value] : result.counters.counters)
-        json.kv(name, value);
-    json.endObject();
-
-    json.key("gauges").beginObject();
-    for (const auto &[name, value] : result.counters.gauges)
-        json.kv(name, value);
-    json.endObject();
-
-    json.key("histograms").beginObject();
-    for (const auto &[name, dump] : result.counters.histograms) {
-        json.key(name);
-        writeHistogram(json, dump);
-    }
-    json.endObject();
+    obs::writeCounterSections(json, result.counters);
 
     const obs::SampleSeries &series = result.samples;
     json.key("samples").beginObject();
@@ -152,6 +114,29 @@ suiteArtifactJson(const std::vector<RunJob> &batch,
     return json.str() + "\n";
 }
 
+ArtifactRun
+runJobArtifact(const RunJob &job, bool use_program_cache)
+{
+    RunJob collected = job;
+    collected.spec.collectCounters = true;
+
+    ArtifactRun out;
+    if (use_program_cache) {
+        std::shared_ptr<const trace::Program> program =
+            exec::ProgramCache::global().get(collected.workload.program);
+        out.result = runOne(collected.workload, collected.spec, *program);
+    } else {
+        trace::Program program =
+            trace::buildProgram(collected.workload.program);
+        out.result = runOne(collected.workload, collected.spec, program);
+    }
+    obs::RunManifest manifest =
+        makeManifest(collected.workload, collected.spec, out.result);
+    out.json = runArtifactJson(manifest, out.result,
+                               /*include_timing=*/false);
+    return out;
+}
+
 std::string
 perJobArtifactPath(const std::string &path, size_t index)
 {
@@ -181,21 +166,15 @@ runBatchWithArtifacts(const std::vector<RunJob> &batch, unsigned jobs,
     for (RunJob &job : collected)
         job.spec.collectCounters = true;
 
-    exec::ProgramCache &cache = exec::ProgramCache::global();
     std::vector<RunResult> results = exec::runBatchIndexed(
         collected, exec::resolveJobs(jobs),
-        [&cache, &path](const RunJob &job, size_t index) {
-            std::shared_ptr<const trace::Program> program =
-                cache.get(job.workload.program);
-            RunResult result = runOne(job.workload, job.spec, *program);
+        [&path](const RunJob &job, size_t index) {
             // The per-job file is written by whichever worker ran the
             // job, but its name and bytes depend only on the submission
             // index — concurrent writers never collide or race.
-            obs::RunManifest m = makeManifest(job.workload, job.spec, result);
-            writeTextFile(perJobArtifactPath(path, index),
-                          runArtifactJson(m, result,
-                                          /*include_timing=*/false));
-            return result;
+            ArtifactRun run = runJobArtifact(job);
+            writeTextFile(perJobArtifactPath(path, index), run.json);
+            return std::move(run.result);
         });
 
     writeTextFile(path, suiteArtifactJson(collected, results));

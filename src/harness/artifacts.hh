@@ -45,6 +45,27 @@ std::string runArtifactJson(const obs::RunManifest &manifest,
 std::string suiteArtifactJson(const std::vector<RunJob> &batch,
                               const std::vector<RunResult> &results);
 
+/** One job executed to its timing-free artifact. */
+struct ArtifactRun
+{
+    RunResult result;
+    std::string json; ///< complete eip-run/v1 document (no timing fields)
+};
+
+/**
+ * Execute @p job with counter collection forced on and render its
+ * eip-run/v1 document without timing fields — the batch workers and the
+ * eipd forked workers share this one entry point, so a daemon-served
+ * artifact is byte-identical to the same job's `.rNNN.json` file.
+ *
+ * @p use_program_cache routes the program build through the process-wide
+ * exec::ProgramCache. A forked worker must pass false: fork() from a
+ * multi-threaded daemon may snapshot another thread mid-critical-section,
+ * so the child cannot touch any lock shared with parent threads — it
+ * builds the program directly instead (bit-identical either way).
+ */
+ArtifactRun runJobArtifact(const RunJob &job, bool use_program_cache = true);
+
 /** Per-job artifact path: `<path>.r<NNN>.json` (NNN = submission
  *  index, zero-padded to three digits). */
 std::string perJobArtifactPath(const std::string &path, size_t index);

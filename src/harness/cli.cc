@@ -21,17 +21,6 @@ namespace eip::harness {
 
 namespace {
 
-/** All catalogue workloads (CVP-like plus CloudSuite-like). */
-std::vector<trace::Workload>
-catalogue()
-{
-    auto all = trace::cvpSuite(3);
-    for (auto &w : trace::cloudSuite())
-        all.push_back(w);
-    all.push_back(trace::tinyWorkload());
-    return all;
-}
-
 bool
 parseU64(const std::string &text, uint64_t &out)
 {
@@ -283,7 +272,7 @@ runCli(const CliOptions &opt)
         return 0;
       }
       case CliOptions::Action::ListWorkloads: {
-        for (const auto &w : catalogue()) {
+        for (const auto &w : defaultCatalogue()) {
             trace::Program prog = trace::buildProgram(w.program);
             std::printf("%-12s %-7s %6.0f KB code\n", w.name.c_str(),
                         w.category.c_str(),
@@ -324,11 +313,11 @@ runCli(const CliOptions &opt)
         std::vector<RunResult> results;
         if (!opt.statsJsonPath.empty()) {
             std::vector<RunJob> batch;
-            for (const auto &w : catalogue())
+            for (const auto &w : defaultCatalogue())
                 batch.push_back(RunJob{w, spec});
             results = runBatchWithArtifacts(batch, jobs, opt.statsJsonPath);
         } else {
-            results = runSuite(catalogue(), spec, jobs);
+            results = runSuite(defaultCatalogue(), spec, jobs);
         }
         double seconds =
             std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -405,20 +394,9 @@ runCli(const CliOptions &opt)
         manifest.warmup = opt.warmup;
     } else {
         std::optional<trace::Workload> chosen;
-        for (const auto &w : catalogue()) {
-            if (w.name == opt.workload)
-                chosen = w;
-        }
-        if (!chosen) {
-            // A bare category name ("crypto") selects its first seed
-            // ("crypto-1") so category-level runs don't need to know the
-            // catalogue's seed-suffix convention.
-            const std::string fallback = opt.workload + "-1";
-            for (const auto &w : catalogue()) {
-                if (w.name == fallback)
-                    chosen = w;
-            }
-        }
+        trace::Workload found;
+        if (findWorkload(opt.workload, found))
+            chosen = found;
         if (!chosen) {
             std::fprintf(stderr,
                          "error: unknown workload '%s' "

@@ -32,6 +32,54 @@ RunSpec::defaultSpec()
     return spec;
 }
 
+namespace {
+
+/** The catalogue, built once per process. Construction is expensive —
+ *  cvpSuite() executes ~400k instructions per candidate seed to apply
+ *  the paper's >= 1 L1I MPKI selection filter — which a one-shot CLI
+ *  absorbs but a daemon validating every request must not repay.
+ *  Thread-safe (magic static); entries are immutable once built. */
+const std::vector<trace::Workload> &
+catalogueMemo()
+{
+    static const std::vector<trace::Workload> all = [] {
+        auto suite = trace::cvpSuite(3);
+        for (auto &w : trace::cloudSuite())
+            suite.push_back(std::move(w));
+        suite.push_back(trace::tinyWorkload());
+        return suite;
+    }();
+    return all;
+}
+
+} // namespace
+
+std::vector<trace::Workload>
+defaultCatalogue()
+{
+    return catalogueMemo();
+}
+
+bool
+findWorkload(const std::string &name, trace::Workload &out)
+{
+    const auto &all = catalogueMemo();
+    for (const auto &w : all) {
+        if (w.name == name) {
+            out = w;
+            return true;
+        }
+    }
+    const std::string fallback = name + "-1";
+    for (const auto &w : all) {
+        if (w.name == fallback) {
+            out = w;
+            return true;
+        }
+    }
+    return false;
+}
+
 RunResult
 runOne(const trace::Workload &workload, const RunSpec &spec)
 {

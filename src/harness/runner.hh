@@ -99,6 +99,18 @@ struct RunResult
     std::vector<double> destBitsFractions;
 };
 
+/** The full workload catalogue every surface serves from: the CVP-like
+ *  suite (3 seeds per category), the CloudSuite-like applications, and
+ *  the tiny smoke workload. The eipsim CLI and the eipd job server
+ *  resolve workload names against this one list. */
+std::vector<trace::Workload> defaultCatalogue();
+
+/** Catalogue workload by name. A bare category name ("crypto") falls
+ *  back to its first seed ("crypto-1") so category-level callers don't
+ *  need to know the seed-suffix convention. Returns false when the name
+ *  resolves to nothing. */
+bool findWorkload(const std::string &name, trace::Workload &out);
+
 /** Run @p workload under @p spec. The synthetic program comes from the
  *  shared exec::ProgramCache, so repeated runs of one workload (across
  *  configs, or concurrently) build it once. */

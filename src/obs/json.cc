@@ -113,6 +113,14 @@ JsonWriter::value(uint64_t v)
 }
 
 JsonWriter &
+JsonWriter::raw(const std::string &text)
+{
+    separate();
+    out += text;
+    return *this;
+}
+
+JsonWriter &
 JsonWriter::value(int v)
 {
     separate();

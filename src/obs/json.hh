@@ -43,6 +43,12 @@ class JsonWriter
     JsonWriter &value(const char *v);
     JsonWriter &value(bool v);
 
+    /** Splice @p text — a complete, pre-serialized JSON value — into
+     *  the document where a value is expected (comma handling as for
+     *  any other value). Used to embed an already-rendered eip-run/v1
+     *  artifact into an eip-serve/v1 response without re-parsing it. */
+    JsonWriter &raw(const std::string &text);
+
     /** Shorthand for key(name).value(v). */
     template <typename T>
     JsonWriter &

@@ -26,6 +26,8 @@ class JsonWriter;
 inline constexpr const char *kRunSchema = "eip-run/v1";
 inline constexpr const char *kSuiteSchema = "eip-suite/v1";
 inline constexpr const char *kBenchSchema = "eip-bench/v1";
+/** Request/response/stats documents of the eipd job server (src/serve). */
+inline constexpr const char *kServeSchema = "eip-serve/v1";
 
 struct RunManifest
 {

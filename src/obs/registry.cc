@@ -1,5 +1,6 @@
 #include "obs/registry.hh"
 
+#include "obs/json.hh"
 #include "util/panic.hh"
 
 namespace eip::obs {
@@ -96,6 +97,47 @@ CounterRegistry::dump() const
         out.histograms.emplace_back(name, std::move(d));
     }
     return out;
+}
+
+void
+writeHistogramDump(JsonWriter &json, const HistogramDump &h)
+{
+    json.beginObject();
+    json.kv("total", h.total);
+    json.kv("overflow", h.overflow);
+    json.kv("mean", h.mean);
+    json.key("buckets").beginArray();
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+        if (h.buckets[b] == 0)
+            continue;
+        json.beginArray();
+        json.value(static_cast<uint64_t>(b));
+        json.value(h.buckets[b]);
+        json.endArray();
+    }
+    json.endArray();
+    json.endObject();
+}
+
+void
+writeCounterSections(JsonWriter &json, const CounterDump &dump)
+{
+    json.key("counters").beginObject();
+    for (const auto &[name, value] : dump.counters)
+        json.kv(name, value);
+    json.endObject();
+
+    json.key("gauges").beginObject();
+    for (const auto &[name, value] : dump.gauges)
+        json.kv(name, value);
+    json.endObject();
+
+    json.key("histograms").beginObject();
+    for (const auto &[name, h] : dump.histograms) {
+        json.key(name);
+        writeHistogramDump(json, h);
+    }
+    json.endObject();
 }
 
 } // namespace eip::obs

@@ -28,6 +28,8 @@
 
 namespace eip::obs {
 
+class JsonWriter;
+
 /** Value snapshot of one histogram (used by the JSON artifact). */
 struct HistogramDump
 {
@@ -89,6 +91,19 @@ class CounterRegistry
     std::vector<std::pair<std::string, const Histogram *>> histograms_;
     std::unordered_set<std::string> used_;
 };
+
+/** Emit @p h as a JSON object: total/overflow/mean plus a sparse
+ *  [bucket, count] pair list (full bucket arrays would bloat documents
+ *  with zeros without adding information). */
+void writeHistogramDump(JsonWriter &json, const HistogramDump &h);
+
+/**
+ * Emit @p dump as three keyed sections — "counters", "gauges",
+ * "histograms" — into an open JSON object. This is the one serializer
+ * for registry snapshots: eip-run/v1 artifacts and the eip-serve/v1
+ * stats endpoint both use it, so their sections stay byte-compatible.
+ */
+void writeCounterSections(JsonWriter &json, const CounterDump &dump);
 
 } // namespace eip::obs
 

@@ -97,6 +97,27 @@ makePrefetcher(const std::string &id)
     EIP_FATAL("unknown prefetcher id");
 }
 
+bool
+knownPrefetcherId(const std::string &id)
+{
+    // Mirrors makePrefetcher's dispatch: exact ids first, then the
+    // prefix families it constructs configurations for.
+    static const char *exact[] = {"none",  "ideal", "nextline", "sn4l",
+                                  "stride", "pif",  "rdip",     "djolt",
+                                  "fnl+mma", "epi"};
+    for (const char *known : exact) {
+        if (id == known)
+            return true;
+    }
+    static const char *families[] = {"mana", "entangling", "bbentbb",
+                                     "bbent", "bb", "ent"};
+    for (const char *family : families) {
+        if (id.rfind(family, 0) == 0)
+            return true;
+    }
+    return false;
+}
+
 std::vector<std::string>
 mainLineup()
 {

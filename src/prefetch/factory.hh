@@ -26,6 +26,13 @@ namespace eip::prefetch {
  */
 std::unique_ptr<sim::Prefetcher> makePrefetcher(const std::string &id);
 
+/**
+ * Would makePrefetcher accept @p id? Lets request validators (the eipd
+ * job server) reject an unknown id with a structured error instead of
+ * the worker dying on makePrefetcher's fatal.
+ */
+bool knownPrefetcherId(const std::string &id);
+
 /** The sub-64KB line-up used by the per-workload figures (Fig. 7-10). */
 std::vector<std::string> mainLineup();
 

@@ -1,0 +1,227 @@
+#include "serve/client.hh"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
+
+#include "obs/manifest.hh"
+#include "serve/socket_io.hh"
+
+namespace eip::serve {
+
+namespace {
+
+std::string
+stringField(const obs::JsonValue &doc, const std::string &name)
+{
+    const obs::JsonValue *member = doc.find(name);
+    if (member && member->type == obs::JsonValue::Type::String)
+        return member->string;
+    return {};
+}
+
+bool
+boolField(const obs::JsonValue &doc, const std::string &name)
+{
+    const obs::JsonValue *member = doc.find(name);
+    return member && member->type == obs::JsonValue::Type::Bool &&
+           member->boolean;
+}
+
+void
+fillJobView(const obs::JsonValue &doc, JobView &out)
+{
+    out.state = stringField(doc, "state");
+    out.servedFromCache = boolField(doc, "served_from_cache");
+    out.key = stringField(doc, "key");
+    out.artifact = stringField(doc, "artifact");
+    out.error = stringField(doc, "error");
+}
+
+} // namespace
+
+Client::~Client()
+{
+    close();
+}
+
+bool
+Client::connect(const std::string &path, std::string *error)
+{
+    close();
+    fd_ = connectUnix(path, error);
+    reader_ = LineReader(fd_);
+    return fd_ >= 0;
+}
+
+void
+Client::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+bool
+Client::roundTrip(const Request &request, obs::JsonValue &response,
+                  std::string *error)
+{
+    if (fd_ < 0) {
+        if (error)
+            *error = "not connected";
+        return false;
+    }
+    if (!sendLine(fd_, requestJson(request))) {
+        if (error)
+            *error = "daemon hung up while sending";
+        return false;
+    }
+    std::string line;
+    if (!reader_.readLine(line)) {
+        if (error)
+            *error = "daemon hung up without responding";
+        return false;
+    }
+    std::string parse_error;
+    std::optional<obs::JsonValue> doc = obs::parseJson(line, &parse_error);
+    if (!doc) {
+        if (error)
+            *error = "malformed response: " + parse_error;
+        return false;
+    }
+    response = std::move(*doc);
+    return true;
+}
+
+bool
+Client::submit(const RunRequest &run, SubmitOutcome &out, std::string *error)
+{
+    Request request;
+    request.op = Request::Op::Submit;
+    request.run = run;
+    obs::JsonValue response;
+    if (!roundTrip(request, response, error))
+        return false;
+
+    const std::string status = stringField(response, "status");
+    out = SubmitOutcome{};
+    out.error = stringField(response, "error");
+    if (status == "accepted") {
+        out.accepted = true;
+        const obs::JsonValue *job = response.find("job");
+        out.job = job ? job->asU64() : 0;
+        out.key = stringField(response, "key");
+        out.served = stringField(response, "served");
+        out.state = stringField(response, "state");
+    } else if (status == "rejected") {
+        out.rejected = true;
+    }
+    return true;
+}
+
+bool
+Client::status(uint64_t job, JobView &out, std::string *error)
+{
+    Request request;
+    request.op = Request::Op::Status;
+    request.job = job;
+    obs::JsonValue response;
+    if (!roundTrip(request, response, error))
+        return false;
+    if (stringField(response, "status") != "ok") {
+        if (error)
+            *error = stringField(response, "error");
+        return false;
+    }
+    fillJobView(response, out);
+    return true;
+}
+
+bool
+Client::fetch(uint64_t job, JobView &out, std::string *error)
+{
+    Request request;
+    request.op = Request::Op::Fetch;
+    request.job = job;
+    obs::JsonValue response;
+    if (!roundTrip(request, response, error))
+        return false;
+    if (stringField(response, "status") != "ok") {
+        if (error)
+            *error = stringField(response, "error");
+        return false;
+    }
+    fillJobView(response, out);
+    return true;
+}
+
+bool
+Client::stats(std::string &stats_json, std::string *error)
+{
+    if (fd_ < 0) {
+        if (error)
+            *error = "not connected";
+        return false;
+    }
+    Request request;
+    request.op = Request::Op::Stats;
+    if (!sendLine(fd_, requestJson(request))) {
+        if (error)
+            *error = "daemon hung up while sending";
+        return false;
+    }
+    if (!reader_.readLine(stats_json)) {
+        if (error)
+            *error = "daemon hung up without responding";
+        return false;
+    }
+    std::string parse_error;
+    if (!obs::parseJson(stats_json, &parse_error)) {
+        if (error)
+            *error = "malformed stats document: " + parse_error;
+        return false;
+    }
+    return true;
+}
+
+bool
+Client::shutdown(std::string *error)
+{
+    Request request;
+    request.op = Request::Op::Shutdown;
+    obs::JsonValue response;
+    if (!roundTrip(request, response, error))
+        return false;
+    if (stringField(response, "status") != "ok") {
+        if (error)
+            *error = stringField(response, "error");
+        return false;
+    }
+    return true;
+}
+
+bool
+Client::waitTerminal(uint64_t job, JobView &out, double timeout_seconds,
+                     std::string *error)
+{
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::duration<double>(timeout_seconds);
+    for (;;) {
+        if (!status(job, out, error))
+            return false;
+        if (out.state == "done" || out.state == "failed")
+            return true;
+        if (std::chrono::steady_clock::now() >= deadline) {
+            if (error)
+                *error = "timed out waiting for job " +
+                         std::to_string(job) + " (last state: " +
+                         out.state + ")";
+            return false;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+}
+
+} // namespace eip::serve

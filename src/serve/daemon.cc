@@ -1,0 +1,465 @@
+#include "serve/daemon.hh"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <utility>
+
+#include "exec/program_cache.hh"
+#include "harness/canonical.hh"
+#include "obs/json.hh"
+#include "obs/manifest.hh"
+#include "prefetch/factory.hh"
+#include "serve/socket_io.hh"
+#include "serve/worker.hh"
+#include "sim/config.hh"
+
+namespace eip::serve {
+
+namespace {
+
+/** Cache-geometry config ids runOne accepts that are not prefetcher
+ *  ids (see RunSpec::configId). */
+bool
+isCacheConfigId(const std::string &id)
+{
+    return id == "ideal" || id == "l1i-64kb" || id == "l1i-96kb";
+}
+
+/** Open a response document with the shared envelope fields. */
+obs::JsonWriter
+responseHead(Request::Op op, const char *status)
+{
+    obs::JsonWriter json;
+    json.beginObject();
+    json.kv("schema", obs::kServeSchema);
+    json.kv("kind", "response");
+    json.kv("op", opName(op));
+    json.kv("status", status);
+    return json;
+}
+
+} // namespace
+
+Daemon::Daemon(DaemonOptions options)
+    : options_(std::move(options)), gitDescribe_(obs::buildGitDescribe()),
+      queue_(options_.queueDepth), cache_(options_.cacheBytes)
+{
+    registry_.counter("serve.requests", [this] { return requests_.load(); });
+    registry_.counter("serve.invalid", [this] { return invalid_.load(); });
+    registry_.counter("serve.submits", [this] { return submits_.load(); });
+    registry_.counter("serve.rejected_queue_full",
+                      [this] { return queue_.rejected(); });
+    registry_.counter("serve.served_cache",
+                      [this] { return servedCache_.load(); });
+    registry_.counter("serve.simulated", [this] { return simulated_.load(); });
+    registry_.counter("serve.failed", [this] { return failed_.load(); });
+    registry_.counter("serve.worker_crashes",
+                      [this] { return workerCrashes_.load(); });
+    registry_.counter("serve.queue.high_water",
+                      [this] { return queue_.highWater(); });
+    registry_.gauge("serve.queue.depth", [this] {
+        return static_cast<double>(queue_.depth());
+    });
+    cache_.registerStats(registry_, "serve.cache");
+    // The program cache only sees cold (forked) runs' parents — the
+    // children bypass it — but its eviction stats still describe this
+    // process, and the shared vocabulary keeps dashboards uniform.
+    exec::ProgramCache::global().registerStats(registry_,
+                                               "serve.program_cache");
+    registry_.histogram("serve.request_wall_ms", &requestWallMs_);
+}
+
+Daemon::~Daemon()
+{
+    stop();
+}
+
+bool
+Daemon::start(std::string *error)
+{
+    EIP_ASSERT(!started_, "daemon started twice");
+    // Warm the workload catalogue before accepting traffic: it is
+    // expensive to build (harness::findWorkload docs), every submit
+    // validates against it, and building it here means forked workers
+    // inherit it ready-made.
+    trace::Workload ignore;
+    harness::findWorkload("tiny", ignore);
+    listenFd_ = listenUnix(options_.socketPath, error);
+    if (listenFd_ < 0)
+        return false;
+    started_ = true;
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+    workerThreads_.reserve(options_.workers);
+    for (unsigned i = 0; i < options_.workers; ++i)
+        workerThreads_.emplace_back([this] { workerLoop(); });
+    return true;
+}
+
+void
+Daemon::requestStop()
+{
+    {
+        std::lock_guard<std::mutex> lock(stopMutex_);
+        stopRequested_ = true;
+    }
+    stopCv_.notify_all();
+}
+
+void
+Daemon::waitStopRequested()
+{
+    std::unique_lock<std::mutex> lock(stopMutex_);
+    stopCv_.wait(lock, [this] { return stopRequested_; });
+}
+
+void
+Daemon::stop()
+{
+    if (!started_ || stopped_)
+        return;
+    stopped_ = true;
+    requestStop();
+
+    // Retire the accept loop: shutdown() (not just close) is what
+    // reliably wakes a thread blocked in accept() on Linux.
+    ::shutdown(listenFd_, SHUT_RDWR);
+    acceptThread_.join();
+    ::close(listenFd_);
+    listenFd_ = -1;
+
+    // Hang up on live connections and collect their threads. No new
+    // threads can appear once the accept loop is gone.
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        for (int fd : connFds_)
+            ::shutdown(fd, SHUT_RDWR);
+    }
+    for (std::thread &thread : connThreads_)
+        thread.join();
+
+    // Drain the backlog through the workers, then retire them: close()
+    // makes pop() return empty only once the queue is dry, so every
+    // accepted job still completes.
+    queue_.close();
+    for (std::thread &thread : workerThreads_)
+        thread.join();
+
+    ::unlink(options_.socketPath.c_str());
+}
+
+void
+Daemon::acceptLoop()
+{
+    for (;;) {
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // listen socket shut down: we are stopping
+        }
+        std::lock_guard<std::mutex> lock(connMutex_);
+        connFds_.push_back(fd);
+        connThreads_.emplace_back([this, fd] { serveConnection(fd); });
+    }
+}
+
+void
+Daemon::serveConnection(int fd)
+{
+    LineReader reader(fd);
+    std::string line;
+    while (reader.readLine(line)) {
+        requests_.fetch_add(1);
+        Request request;
+        std::string parse_error;
+        std::string response;
+        bool is_shutdown = false;
+        if (!parseRequest(line, request, parse_error)) {
+            invalid_.fetch_add(1);
+            // The op could not be parsed; answer under the envelope's
+            // least-specific op so the client still gets a line back.
+            response = invalidResponse(Request::Op::Stats, parse_error);
+        } else {
+            is_shutdown = request.op == Request::Op::Shutdown;
+            response = dispatch(request);
+        }
+        if (!sendLine(fd, response))
+            break;
+        if (is_shutdown)
+            break;
+    }
+    ::close(fd);
+    std::lock_guard<std::mutex> lock(connMutex_);
+    for (size_t i = 0; i < connFds_.size(); ++i) {
+        if (connFds_[i] == fd) {
+            connFds_.erase(connFds_.begin() + i);
+            break;
+        }
+    }
+}
+
+void
+Daemon::workerLoop()
+{
+    while (std::optional<uint64_t> id = queue_.pop()) {
+        harness::RunJob run;
+        std::string key;
+        bool inject_crash = false;
+        {
+            std::lock_guard<std::mutex> lock(jobsMutex_);
+            auto it = jobs_.find(*id);
+            if (it == jobs_.end())
+                continue;
+            it->second.state = Job::State::Running;
+            run = it->second.run;
+            key = it->second.key;
+            inject_crash = it->second.injectCrash;
+        }
+
+        auto start = std::chrono::steady_clock::now();
+        WorkerOutcome outcome = runForkedJob(run, inject_crash);
+        double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+        {
+            std::lock_guard<std::mutex> lock(histMutex_);
+            requestWallMs_.record(static_cast<size_t>(ms));
+        }
+
+        if (outcome.ok && !inject_crash)
+            cache_.put(key, outcome.artifact);
+
+        if (outcome.ok)
+            simulated_.fetch_add(1);
+        else
+            failed_.fetch_add(1);
+        if (outcome.crashed)
+            workerCrashes_.fetch_add(1);
+
+        std::lock_guard<std::mutex> lock(jobsMutex_);
+        Job &job = jobs_[*id];
+        if (outcome.ok) {
+            job.state = Job::State::Done;
+            job.artifact = std::move(outcome.artifact);
+        } else {
+            job.state = Job::State::Failed;
+            job.error = std::move(outcome.error);
+        }
+    }
+}
+
+const char *
+Daemon::stateName(Job::State state)
+{
+    switch (state) {
+      case Job::State::Queued: return "queued";
+      case Job::State::Running: return "running";
+      case Job::State::Done: return "done";
+      case Job::State::Failed: return "failed";
+    }
+    return "unknown";
+}
+
+std::string
+Daemon::invalidResponse(Request::Op op, const std::string &error)
+{
+    obs::JsonWriter json = responseHead(op, "invalid");
+    json.kv("error", error);
+    json.endObject();
+    return json.str();
+}
+
+std::string
+Daemon::dispatch(const Request &request)
+{
+    switch (request.op) {
+      case Request::Op::Submit:
+        return handleSubmit(request.run);
+      case Request::Op::Status:
+        return handleStatus(request.job);
+      case Request::Op::Fetch:
+        return handleFetch(request.job);
+      case Request::Op::Stats:
+        return statsJson();
+      case Request::Op::Shutdown: {
+          requestStop();
+          obs::JsonWriter json = responseHead(request.op, "ok");
+          json.endObject();
+          return json.str();
+      }
+    }
+    return invalidResponse(request.op, "unhandled op");
+}
+
+std::string
+Daemon::handleSubmit(const RunRequest &run)
+{
+    submits_.fetch_add(1);
+
+    trace::Workload workload;
+    if (!harness::findWorkload(run.workload, workload)) {
+        invalid_.fetch_add(1);
+        return invalidResponse(Request::Op::Submit,
+                               "unknown workload '" + run.workload + "'");
+    }
+    if (!isCacheConfigId(run.prefetcher) &&
+        !prefetch::knownPrefetcherId(run.prefetcher)) {
+        invalid_.fetch_add(1);
+        return invalidResponse(Request::Op::Submit,
+                               "unknown prefetcher '" + run.prefetcher +
+                                   "'");
+    }
+    if (!prefetch::knownPrefetcherId(run.dataPrefetcher)) {
+        invalid_.fetch_add(1);
+        return invalidResponse(Request::Op::Submit,
+                               "unknown data prefetcher '" +
+                                   run.dataPrefetcher + "'");
+    }
+
+    harness::RunSpec spec = toRunSpec(run);
+    const std::string key = harness::resultCacheKey(
+        gitDescribe_, sim::SimConfig{}, spec, workload);
+
+    // Cache probe first: a hit answers without consuming queue space or
+    // forking a worker. Fault-injected jobs never touch the cache in
+    // either direction — their artifacts are garbage by design.
+    if (!run.injectCrash) {
+        if (std::optional<std::string> artifact = cache_.get(key)) {
+            servedCache_.fetch_add(1);
+            uint64_t id;
+            {
+                std::lock_guard<std::mutex> lock(jobsMutex_);
+                id = nextJobId_++;
+                Job &job = jobs_[id];
+                job.key = key;
+                job.state = Job::State::Done;
+                job.servedFromCache = true;
+                job.artifact = std::move(*artifact);
+            }
+            obs::JsonWriter json = responseHead(Request::Op::Submit,
+                                                "accepted");
+            json.kv("job", id);
+            json.kv("key", key);
+            json.kv("served", "cache");
+            json.kv("state", "done");
+            json.endObject();
+            return json.str();
+        }
+    }
+
+    uint64_t id;
+    {
+        std::lock_guard<std::mutex> lock(jobsMutex_);
+        id = nextJobId_++;
+        Job &job = jobs_[id];
+        job.run.workload = workload;
+        job.run.spec = spec;
+        job.key = key;
+        job.injectCrash = run.injectCrash;
+    }
+    if (!queue_.tryPush(id)) {
+        {
+            std::lock_guard<std::mutex> lock(jobsMutex_);
+            jobs_.erase(id);
+        }
+        obs::JsonWriter json = responseHead(Request::Op::Submit,
+                                            "rejected");
+        json.kv("error", "queue full");
+        json.kv("queue_capacity", static_cast<uint64_t>(
+                                      options_.queueDepth));
+        json.endObject();
+        return json.str();
+    }
+
+    obs::JsonWriter json = responseHead(Request::Op::Submit, "accepted");
+    json.kv("job", id);
+    json.kv("key", key);
+    json.kv("served", "queue");
+    json.kv("state", "queued");
+    json.endObject();
+    return json.str();
+}
+
+std::string
+Daemon::handleStatus(uint64_t id)
+{
+    std::lock_guard<std::mutex> lock(jobsMutex_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+        invalid_.fetch_add(1);
+        return invalidResponse(Request::Op::Status,
+                               "unknown job " + std::to_string(id));
+    }
+    const Job &job = it->second;
+    obs::JsonWriter json = responseHead(Request::Op::Status, "ok");
+    json.kv("job", id);
+    json.kv("state", stateName(job.state));
+    json.kv("served_from_cache", job.servedFromCache);
+    if (job.state == Job::State::Failed)
+        json.kv("error", job.error);
+    json.endObject();
+    return json.str();
+}
+
+std::string
+Daemon::handleFetch(uint64_t id)
+{
+    std::lock_guard<std::mutex> lock(jobsMutex_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+        invalid_.fetch_add(1);
+        return invalidResponse(Request::Op::Fetch,
+                               "unknown job " + std::to_string(id));
+    }
+    const Job &job = it->second;
+    obs::JsonWriter json = responseHead(Request::Op::Fetch, "ok");
+    json.kv("job", id);
+    json.kv("state", stateName(job.state));
+    json.kv("served_from_cache", job.servedFromCache);
+    switch (job.state) {
+      case Job::State::Done:
+        json.kv("key", job.key);
+        // As a JSON *string* value: escape/unescape round-trips exactly,
+        // so the client recovers the artifact byte for byte (including
+        // the trailing newline every artifact file carries).
+        json.kv("artifact", job.artifact);
+        break;
+      case Job::State::Failed:
+        json.kv("error", job.error);
+        break;
+      case Job::State::Queued:
+      case Job::State::Running:
+        break;
+    }
+    json.endObject();
+    return json.str();
+}
+
+obs::CounterDump
+Daemon::statsDump()
+{
+    std::lock_guard<std::mutex> lock(histMutex_);
+    return registry_.dump();
+}
+
+std::string
+Daemon::statsJson()
+{
+    obs::JsonWriter json;
+    json.beginObject();
+    json.kv("schema", obs::kServeSchema);
+    json.kv("kind", "stats");
+    json.kv("tool", "eipd");
+    json.kv("git_describe", gitDescribe_);
+    json.kv("workers", options_.workers);
+    json.kv("queue_capacity", static_cast<uint64_t>(options_.queueDepth));
+    json.kv("cache_capacity_bytes", options_.cacheBytes);
+    obs::writeCounterSections(json, statsDump());
+    json.endObject();
+    return json.str();
+}
+
+} // namespace eip::serve

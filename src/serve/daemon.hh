@@ -1,0 +1,158 @@
+/**
+ * @file
+ * The eipd job server: simulation as a service over a local Unix-domain
+ * socket. One accept thread spawns a thread per connection; parsed
+ * submit requests pass through a bounded admission queue (full queue =
+ * explicit "rejected" response, the client's cue to back off) to a
+ * small pool of dispatcher threads, each of which forks the actual
+ * simulation into a throwaway child process (src/serve/worker.hh) so a
+ * crashing run can never take the daemon down.
+ *
+ * Completed artifacts land in a content-addressed ResultCache keyed by
+ * harness::resultCacheKey; a resubmitted request is answered from the
+ * cache without forking, byte-identical to the cold run. Everything the
+ * daemon does is observable: cache, queue and failure counters live in
+ * an obs::CounterRegistry served by the "stats" op as one eip-serve/v1
+ * document.
+ */
+
+#ifndef EIP_SERVE_DAEMON_HH
+#define EIP_SERVE_DAEMON_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "harness/runner.hh"
+#include "obs/registry.hh"
+#include "serve/protocol.hh"
+#include "serve/queue.hh"
+#include "serve/result_cache.hh"
+#include "util/histogram.hh"
+
+namespace eip::serve {
+
+struct DaemonOptions
+{
+    std::string socketPath;
+    /** Dispatcher threads = maximum concurrently forked simulations. */
+    unsigned workers = 2;
+    /** Admission queue capacity; pushes beyond it are rejected. */
+    size_t queueDepth = 64;
+    /** Result-cache budget in artifact bytes. */
+    uint64_t cacheBytes = 64ull << 20;
+};
+
+class Daemon
+{
+  public:
+    explicit Daemon(DaemonOptions options);
+    ~Daemon();
+
+    Daemon(const Daemon &) = delete;
+    Daemon &operator=(const Daemon &) = delete;
+
+    /** Bind the socket and start the accept/worker threads. False with
+     *  a diagnostic on socket errors (path too long, bind refused). */
+    bool start(std::string *error);
+
+    /** Note a stop request (shutdown op, signal): wakes the thread in
+     *  waitStopRequested(). Safe from any thread; does not tear down. */
+    void requestStop();
+
+    /** Block until requestStop() — the owning thread's idle wait. */
+    void waitStopRequested();
+
+    /** Full teardown: retire the accept loop, hang up connections,
+     *  drain queued jobs through the workers, join everything, unlink
+     *  the socket. Idempotent. */
+    void stop();
+
+    const DaemonOptions &options() const { return options_; }
+
+    /** Snapshot of every registered counter (tests, benches). */
+    obs::CounterDump statsDump();
+
+    /** The eip-serve/v1 stats document (one line, no newline). */
+    std::string statsJson();
+
+  private:
+    /** One tracked submit and what became of it. */
+    struct Job
+    {
+        harness::RunJob run;
+        std::string key;
+        bool injectCrash = false;
+        enum class State
+        {
+            Queued,
+            Running,
+            Done,
+            Failed,
+        } state = State::Queued;
+        bool servedFromCache = false;
+        std::string artifact;
+        std::string error;
+    };
+
+    static const char *stateName(Job::State state);
+
+    void acceptLoop();
+    void serveConnection(int fd);
+    void workerLoop();
+
+    std::string dispatch(const Request &request);
+    std::string handleSubmit(const RunRequest &run);
+    std::string handleStatus(uint64_t id);
+    std::string handleFetch(uint64_t id);
+    std::string invalidResponse(Request::Op op, const std::string &error);
+
+    DaemonOptions options_;
+    std::string gitDescribe_;
+
+    int listenFd_ = -1;
+    bool started_ = false;
+    bool stopped_ = false;
+
+    std::thread acceptThread_;
+    std::vector<std::thread> workerThreads_;
+    std::mutex connMutex_;
+    std::vector<std::thread> connThreads_;
+    std::vector<int> connFds_; ///< live connection fds (for hangup)
+
+    std::mutex stopMutex_;
+    std::condition_variable stopCv_;
+    bool stopRequested_ = false;
+
+    BoundedQueue<uint64_t> queue_;
+    ResultCache cache_;
+
+    std::mutex jobsMutex_;
+    std::unordered_map<uint64_t, Job> jobs_;
+    uint64_t nextJobId_ = 1;
+
+    std::atomic<uint64_t> requests_{0};
+    std::atomic<uint64_t> invalid_{0};
+    std::atomic<uint64_t> submits_{0};
+    std::atomic<uint64_t> servedCache_{0};
+    std::atomic<uint64_t> simulated_{0};
+    std::atomic<uint64_t> failed_{0};
+    std::atomic<uint64_t> workerCrashes_{0};
+
+    /** Per-request wall time, bucketed in milliseconds. Guarded by
+     *  histMutex_ (also held across statsJson's registry dump so a
+     *  concurrent record can't tear a snapshot). */
+    std::mutex histMutex_;
+    Histogram requestWallMs_{128};
+
+    obs::CounterRegistry registry_;
+};
+
+} // namespace eip::serve
+
+#endif // EIP_SERVE_DAEMON_HH

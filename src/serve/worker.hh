@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Crash-isolated job execution: each simulation runs in a forked child
+ * process that streams its rendered eip-run/v1 artifact back over a
+ * pipe and _exit()s. A child that crashes — assertion, bad memory
+ * access, injected fault — takes down only its own address space: the
+ * parent reaps it, decodes the wait status into a structured error,
+ * and keeps serving every other request.
+ */
+
+#ifndef EIP_SERVE_WORKER_HH
+#define EIP_SERVE_WORKER_HH
+
+#include <string>
+
+#include "harness/runner.hh"
+
+namespace eip::serve {
+
+/** What became of one forked job. */
+struct WorkerOutcome
+{
+    bool ok = false;
+    /** The child died on a signal (as opposed to a clean nonzero exit
+     *  or a truncated artifact). */
+    bool crashed = false;
+    std::string artifact; ///< complete eip-run/v1 document when ok
+    std::string error;    ///< structured failure description when !ok
+};
+
+/**
+ * Run @p job in a forked worker and collect its artifact. With
+ * @p inject_crash the child writes a deliberately truncated artifact
+ * and abort()s mid-run — the fault path the crash-isolation tests
+ * exercise end to end.
+ *
+ * The child never touches the parent's ProgramCache or any other lock
+ * shared with parent threads (see runJobArtifact's fork-safety note),
+ * and leaves via _exit() so no atexit handler of the embedding process
+ * (bench banners, artifact writers) runs twice.
+ */
+WorkerOutcome runForkedJob(const harness::RunJob &job, bool inject_crash);
+
+} // namespace eip::serve
+
+#endif // EIP_SERVE_WORKER_HH

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * eipc — client for the eipd job server.
+ *
+ *   eipc --socket PATH submit --workload W [--prefetcher ID]
+ *        [--data-prefetcher ID] [--instructions N] [--warmup N]
+ *        [--physical] [--no-skip] [--sample-interval N] [--inject-crash]
+ *        [--wait [--timeout SECONDS]] [--out FILE]
+ *   eipc --socket PATH status --job N
+ *   eipc --socket PATH fetch --job N [--out FILE]
+ *   eipc --socket PATH stats [--out FILE]
+ *   eipc --socket PATH shutdown
+ *
+ * Exit codes: 0 success, 1 transport/daemon error, 2 usage,
+ * 3 request rejected (backpressure) or job failed.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "serve/client.hh"
+
+namespace {
+
+void
+usage()
+{
+    std::printf(
+        "usage: eipc --socket PATH <command> [options]\n"
+        "commands:\n"
+        "  submit    --workload W [--prefetcher ID] [--data-prefetcher ID]\n"
+        "            [--instructions N] [--warmup N] [--physical]\n"
+        "            [--no-skip] [--sample-interval N] [--inject-crash]\n"
+        "            [--wait [--timeout SECONDS]] [--out FILE]\n"
+        "  status    --job N\n"
+        "  fetch     --job N [--out FILE]\n"
+        "  stats     [--out FILE]\n"
+        "  shutdown\n");
+}
+
+[[noreturn]] void
+usageError(const std::string &message)
+{
+    std::fprintf(stderr, "eipc: %s\n", message.c_str());
+    usage();
+    std::exit(2);
+}
+
+uint64_t
+parseU64(const std::string &flag, const char *text)
+{
+    char *end = nullptr;
+    unsigned long long value = std::strtoull(text, &end, 10);
+    if (!end || *end != '\0')
+        usageError(flag + " needs an unsigned integer, got '" +
+                   std::string(text) + "'");
+    return value;
+}
+
+/** Write @p text to @p path, or to stdout when the path is empty. */
+bool
+deliver(const std::string &path, const std::string &text)
+{
+    if (path.empty()) {
+        std::fwrite(text.data(), 1, text.size(), stdout);
+        if (text.empty() || text.back() != '\n')
+            std::fputc('\n', stdout);
+        return true;
+    }
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << text;
+    out.close();
+    if (!out) {
+        std::fprintf(stderr, "eipc: cannot write '%s'\n", path.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socket_path;
+    std::string command;
+    eip::serve::RunRequest run;
+    uint64_t job = 0;
+    bool have_job = false;
+    bool wait = false;
+    double timeout_seconds = 300.0;
+    std::string out_path;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto operand = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usageError(arg + " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg == "--socket") {
+            socket_path = operand();
+        } else if (arg == "--workload") {
+            run.workload = operand();
+        } else if (arg == "--prefetcher") {
+            run.prefetcher = operand();
+        } else if (arg == "--data-prefetcher") {
+            run.dataPrefetcher = operand();
+        } else if (arg == "--instructions") {
+            run.instructions = parseU64(arg, operand());
+        } else if (arg == "--warmup") {
+            run.warmup = parseU64(arg, operand());
+        } else if (arg == "--physical") {
+            run.physical = true;
+        } else if (arg == "--no-skip") {
+            run.eventSkip = false;
+        } else if (arg == "--sample-interval") {
+            run.sampleInterval = parseU64(arg, operand());
+        } else if (arg == "--inject-crash") {
+            run.injectCrash = true;
+        } else if (arg == "--job") {
+            job = parseU64(arg, operand());
+            have_job = true;
+        } else if (arg == "--wait") {
+            wait = true;
+        } else if (arg == "--timeout") {
+            timeout_seconds = std::atof(operand());
+        } else if (arg == "--out") {
+            out_path = operand();
+        } else if (!arg.empty() && arg[0] == '-') {
+            usageError("unknown option '" + arg + "'");
+        } else if (command.empty()) {
+            command = arg;
+        } else {
+            usageError("unexpected argument '" + arg + "'");
+        }
+    }
+
+    if (socket_path.empty())
+        usageError("--socket is required");
+    if (command.empty())
+        usageError("no command given");
+
+    eip::serve::Client client;
+    std::string error;
+    if (!client.connect(socket_path, &error)) {
+        std::fprintf(stderr, "eipc: %s\n", error.c_str());
+        return 1;
+    }
+
+    if (command == "submit") {
+        eip::serve::SubmitOutcome outcome;
+        if (!client.submit(run, outcome, &error)) {
+            std::fprintf(stderr, "eipc: %s\n", error.c_str());
+            return 1;
+        }
+        if (outcome.rejected) {
+            std::fprintf(stderr,
+                         "eipc: submit rejected (queue full) — retry later\n");
+            return 3;
+        }
+        if (!outcome.accepted) {
+            std::fprintf(stderr, "eipc: submit invalid: %s\n",
+                         outcome.error.c_str());
+            return 1;
+        }
+        std::printf("job %llu key %s served %s state %s\n",
+                    static_cast<unsigned long long>(outcome.job),
+                    outcome.key.c_str(), outcome.served.c_str(),
+                    outcome.state.c_str());
+        if (!wait && out_path.empty())
+            return 0;
+
+        eip::serve::JobView view;
+        if (!client.waitTerminal(outcome.job, view, timeout_seconds,
+                                 &error)) {
+            std::fprintf(stderr, "eipc: %s\n", error.c_str());
+            return 1;
+        }
+        if (view.state == "failed") {
+            std::fprintf(stderr, "eipc: job %llu failed: %s\n",
+                         static_cast<unsigned long long>(outcome.job),
+                         view.error.c_str());
+            return 3;
+        }
+        if (!out_path.empty()) {
+            if (!client.fetch(outcome.job, view, &error)) {
+                std::fprintf(stderr, "eipc: %s\n", error.c_str());
+                return 1;
+            }
+            if (!deliver(out_path, view.artifact))
+                return 1;
+        }
+        std::printf("job %llu done%s\n",
+                    static_cast<unsigned long long>(outcome.job),
+                    view.servedFromCache ? " (served from cache)" : "");
+        return 0;
+    }
+
+    if (command == "status" || command == "fetch") {
+        if (!have_job)
+            usageError(command + " requires --job");
+        eip::serve::JobView view;
+        bool ok = command == "status" ? client.status(job, view, &error)
+                                      : client.fetch(job, view, &error);
+        if (!ok) {
+            std::fprintf(stderr, "eipc: %s\n", error.c_str());
+            return 1;
+        }
+        if (command == "status") {
+            std::printf("job %llu state %s%s%s%s\n",
+                        static_cast<unsigned long long>(job),
+                        view.state.c_str(),
+                        view.servedFromCache ? " (served from cache)" : "",
+                        view.error.empty() ? "" : " error: ",
+                        view.error.c_str());
+            return view.state == "failed" ? 3 : 0;
+        }
+        if (view.state == "failed") {
+            std::fprintf(stderr, "eipc: job %llu failed: %s\n",
+                         static_cast<unsigned long long>(job),
+                         view.error.c_str());
+            return 3;
+        }
+        if (view.state != "done") {
+            std::fprintf(stderr, "eipc: job %llu not done yet (state %s)\n",
+                         static_cast<unsigned long long>(job),
+                         view.state.c_str());
+            return 1;
+        }
+        return deliver(out_path, view.artifact) ? 0 : 1;
+    }
+
+    if (command == "stats") {
+        std::string stats;
+        if (!client.stats(stats, &error)) {
+            std::fprintf(stderr, "eipc: %s\n", error.c_str());
+            return 1;
+        }
+        return deliver(out_path, stats + "\n") ? 0 : 1;
+    }
+
+    if (command == "shutdown") {
+        if (!client.shutdown(&error)) {
+            std::fprintf(stderr, "eipc: %s\n", error.c_str());
+            return 1;
+        }
+        std::printf("shutdown requested\n");
+        return 0;
+    }
+
+    usageError("unknown command '" + command + "'");
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * eipd — the simulation job server. Binds an eip-serve/v1 Unix-domain
+ * socket, serves submit/status/fetch/stats until a client sends the
+ * shutdown op, then drains queued work and exits. Pair with eipc.
+ *
+ *   eipd --socket /tmp/eipd.sock [--workers N] [--queue-depth N]
+ *        [--cache-mb N]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "serve/daemon.hh"
+#include "util/env.hh"
+#include "util/panic.hh"
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::printf("usage: %s --socket PATH [options]\n", argv0);
+    std::printf("  --socket PATH      Unix-domain socket to listen on "
+                "(required)\n");
+    std::printf("  --workers N        dispatcher threads / concurrent "
+                "forked simulations (default 2)\n");
+    std::printf("  --queue-depth N    admission queue capacity; further "
+                "submits are rejected (default 64)\n");
+    std::printf("  --cache-mb N       result cache budget in MB "
+                "(default 64)\n");
+    std::printf("Stop with: eipc --socket PATH shutdown\n");
+}
+
+uint64_t
+parsePositive(const char *flag, const char *text)
+{
+    char *end = nullptr;
+    unsigned long long value = std::strtoull(text, &end, 10);
+    if (!end || *end != '\0' || value == 0) {
+        std::fprintf(stderr, "eipd: %s needs a positive integer, got '%s'\n",
+                     flag, text);
+        std::exit(2);
+    }
+    return value;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    eip::serve::DaemonOptions options;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto operand = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "eipd: %s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (arg == "--socket") {
+            options.socketPath = operand();
+        } else if (arg == "--workers") {
+            options.workers =
+                static_cast<unsigned>(parsePositive("--workers", operand()));
+        } else if (arg == "--queue-depth") {
+            options.queueDepth = static_cast<size_t>(
+                parsePositive("--queue-depth", operand()));
+        } else if (arg == "--cache-mb") {
+            options.cacheBytes =
+                parsePositive("--cache-mb", operand()) * (1ull << 20);
+        } else {
+            std::fprintf(stderr, "eipd: unknown option '%s'\n", arg.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (options.socketPath.empty()) {
+        std::fprintf(stderr, "eipd: --socket is required\n");
+        usage(argv[0]);
+        return 2;
+    }
+
+    eip::serve::Daemon daemon(options);
+    std::string error;
+    if (!daemon.start(&error)) {
+        std::fprintf(stderr, "eipd: %s\n", error.c_str());
+        return 1;
+    }
+    std::printf("eipd: listening on %s (workers=%u queue=%zu cache=%lluMB)\n",
+                options.socketPath.c_str(), options.workers,
+                options.queueDepth,
+                static_cast<unsigned long long>(options.cacheBytes >> 20));
+    std::fflush(stdout);
+
+    daemon.waitStopRequested();
+    daemon.stop();
+    std::printf("eipd: shut down\n");
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * FNV-1a content hashing for cache keys. The serve result cache and the
+ * canonical-serialization golden tests hash canonical JSON strings; a
+ * 64-bit digest is ample for the at-most-thousands of distinct suite
+ * points one evaluation produces, and the fixed algorithm keeps digests
+ * stable across platforms and builds (no std::hash, whose value is
+ * implementation-defined).
+ */
+
+#ifndef EIP_UTIL_HASH_HH
+#define EIP_UTIL_HASH_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace eip::util {
+
+inline constexpr uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/** FNV-1a over @p data, chainable through @p seed for multi-part keys. */
+inline uint64_t
+fnv1a64(std::string_view data, uint64_t seed = kFnvOffsetBasis)
+{
+    uint64_t hash = seed;
+    for (unsigned char c : data) {
+        hash ^= c;
+        hash *= kFnvPrime;
+    }
+    return hash;
+}
+
+/** @p value as 16 lower-case hex digits (fixed width: digests sort and
+ *  compare as strings). */
+inline std::string
+hex64(uint64_t value)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<size_t>(i)] = digits[value & 0xF];
+        value >>= 4;
+    }
+    return out;
+}
+
+} // namespace eip::util
+
+#endif // EIP_UTIL_HASH_HH

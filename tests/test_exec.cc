@@ -16,6 +16,7 @@
 
 #include "exec/jobs.hh"
 #include "exec/program_cache.hh"
+#include "obs/registry.hh"
 #include "exec/run_batch.hh"
 #include "exec/thread_pool.hh"
 #include "harness/runner.hh"
@@ -168,6 +169,61 @@ TEST(ProgramCache, ClearKeepsOutstandingProgramsAlive)
     auto b = cache.get(trace::tinyWorkload(1).program);
     EXPECT_EQ(cache.builds(), 2u); // rebuilt after clear
     EXPECT_EQ(b->footprintBytes(), footprint);
+}
+
+TEST(ProgramCache, LruEvictionBoundsResidency)
+{
+    exec::ProgramCache cache(/*capacity=*/2);
+    auto a = cache.get(trace::tinyWorkload(1).program);
+    cache.get(trace::tinyWorkload(2).program);
+    EXPECT_EQ(cache.entries(), 2u);
+    EXPECT_EQ(cache.evictions(), 0u);
+
+    // Third distinct config evicts the least recently used (seed 1).
+    cache.get(trace::tinyWorkload(3).program);
+    EXPECT_EQ(cache.entries(), 2u);
+    EXPECT_EQ(cache.evictions(), 1u);
+
+    // The evicted program stays alive through the outstanding
+    // shared_ptr; re-requesting it builds a fresh instance.
+    uint64_t footprint = a->footprintBytes();
+    auto a2 = cache.get(trace::tinyWorkload(1).program);
+    EXPECT_EQ(a->footprintBytes(), footprint);
+    EXPECT_NE(a, a2);
+    EXPECT_EQ(cache.builds(), 4u);
+}
+
+TEST(ProgramCache, RecencyProtectsTheHotEntry)
+{
+    exec::ProgramCache cache(/*capacity=*/2);
+    cache.get(trace::tinyWorkload(1).program);
+    cache.get(trace::tinyWorkload(2).program);
+    // Touch seed 1: now seed 2 is the LRU victim.
+    cache.get(trace::tinyWorkload(1).program);
+    cache.get(trace::tinyWorkload(3).program);
+
+    uint64_t builds = cache.builds();
+    cache.get(trace::tinyWorkload(1).program); // still resident
+    EXPECT_EQ(cache.builds(), builds);
+    cache.get(trace::tinyWorkload(2).program); // evicted: rebuilds
+    EXPECT_EQ(cache.builds(), builds + 1);
+}
+
+TEST(ProgramCache, RegisterStatsExposesEvictionVocabulary)
+{
+    exec::ProgramCache cache(/*capacity=*/1);
+    cache.get(trace::tinyWorkload(1).program);
+    cache.get(trace::tinyWorkload(2).program); // evicts seed 1
+    cache.get(trace::tinyWorkload(2).program); // hit
+
+    obs::CounterRegistry registry;
+    cache.registerStats(registry, "program_cache");
+    obs::CounterDump dump = registry.dump();
+    EXPECT_EQ(dump.counter("program_cache.hits").value(), 1u);
+    EXPECT_EQ(dump.counter("program_cache.builds").value(), 2u);
+    EXPECT_EQ(dump.counter("program_cache.evictions").value(), 1u);
+    EXPECT_EQ(dump.counter("program_cache.entries").value(), 1u);
+    EXPECT_GE(dump.counter("program_cache.misses").value(), 2u);
 }
 
 // ------------------------------------------------------------ EIP_JOBS knob

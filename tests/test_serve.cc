@@ -1,0 +1,492 @@
+/**
+ * @file
+ * Tests for the eipd job server (src/serve): the bounded admission
+ * queue, the content-addressed result cache, the eip-serve/v1 protocol
+ * round-trip, and the daemon end to end over a real Unix-domain socket
+ * — cold simulate, warm cache-serve with byte-identical artifacts,
+ * worker-crash isolation, and explicit backpressure.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/artifacts.hh"
+#include "harness/canonical.hh"
+#include "obs/json.hh"
+#include "obs/registry.hh"
+#include "serve/client.hh"
+#include "serve/daemon.hh"
+#include "serve/protocol.hh"
+#include "serve/queue.hh"
+#include "serve/result_cache.hh"
+#include "serve/worker.hh"
+#include "sim/config.hh"
+#include "trace/workloads.hh"
+
+namespace {
+
+using namespace eip;
+
+/** Unique socket path per test so parallel ctest runs never collide. */
+std::string
+testSocket(const std::string &tag)
+{
+    return "/tmp/eip_serve_" + std::to_string(::getpid()) + "_" + tag +
+           ".sock";
+}
+
+/** A fast tiny-workload request (sub-second even in Debug). */
+serve::RunRequest
+tinyRequest()
+{
+    serve::RunRequest run;
+    run.workload = "tiny";
+    run.instructions = 20000;
+    run.warmup = 10000;
+    return run;
+}
+
+TEST(BoundedQueue, FifoWithRejectionWhenFull)
+{
+    serve::BoundedQueue<int> queue(2);
+    EXPECT_TRUE(queue.tryPush(1));
+    EXPECT_TRUE(queue.tryPush(2));
+    EXPECT_FALSE(queue.tryPush(3)); // full: explicit backpressure
+    EXPECT_EQ(queue.depth(), 2u);
+    EXPECT_EQ(queue.highWater(), 2u);
+    EXPECT_EQ(queue.rejected(), 1u);
+
+    EXPECT_EQ(queue.pop().value(), 1);
+    EXPECT_EQ(queue.pop().value(), 2);
+    EXPECT_TRUE(queue.tryPush(4));
+    EXPECT_EQ(queue.pop().value(), 4);
+}
+
+TEST(BoundedQueue, CloseDrainsBacklogThenReturnsEmpty)
+{
+    serve::BoundedQueue<int> queue(4);
+    EXPECT_TRUE(queue.tryPush(7));
+    queue.close();
+    EXPECT_FALSE(queue.tryPush(8)); // closed counts as rejected too
+    EXPECT_EQ(queue.pop().value(), 7);
+    EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(BoundedQueue, CloseWakesBlockedConsumer)
+{
+    serve::BoundedQueue<int> queue(1);
+    std::thread consumer([&queue] {
+        EXPECT_FALSE(queue.pop().has_value());
+    });
+    queue.close();
+    consumer.join();
+}
+
+TEST(ResultCache, HitMissAndByteWeightedEviction)
+{
+    serve::ResultCache cache(100);
+    EXPECT_FALSE(cache.get("a").has_value());
+    cache.put("a", std::string(60, 'x'));
+    cache.put("b", std::string(60, 'y'));
+    // 120 bytes > 100: "a" (least recently served) is evicted.
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_FALSE(cache.get("a").has_value());
+    EXPECT_EQ(cache.get("b").value(), std::string(60, 'y'));
+    EXPECT_EQ(cache.entries(), 1u);
+    EXPECT_EQ(cache.bytes(), 60u);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(ResultCache, RegisterStatsUsesSharedEvictionVocabulary)
+{
+    serve::ResultCache cache(1000);
+    cache.put("k", "artifact");
+    obs::CounterRegistry registry;
+    cache.registerStats(registry, "serve.cache");
+    obs::CounterDump dump = registry.dump();
+    EXPECT_EQ(dump.counter("serve.cache.hits").value(), 0u);
+    EXPECT_EQ(dump.counter("serve.cache.misses").value(), 0u);
+    EXPECT_EQ(dump.counter("serve.cache.evictions").value(), 0u);
+    EXPECT_EQ(dump.counter("serve.cache.entries").value(), 1u);
+    EXPECT_EQ(dump.counter("serve.cache.bytes").value(), 8u);
+}
+
+TEST(ServeProtocol, SubmitRoundTripsThroughJson)
+{
+    serve::Request request;
+    request.op = serve::Request::Op::Submit;
+    request.run.workload = "crypto-1";
+    request.run.prefetcher = "entangling-4k";
+    request.run.dataPrefetcher = "stride";
+    request.run.instructions = 123456;
+    request.run.warmup = 7890;
+    request.run.physical = true;
+    request.run.eventSkip = false;
+    request.run.sampleInterval = 1000;
+    request.run.injectCrash = true;
+
+    serve::Request parsed;
+    std::string error;
+    ASSERT_TRUE(serve::parseRequest(serve::requestJson(request), parsed,
+                                    error))
+        << error;
+    EXPECT_EQ(parsed.op, serve::Request::Op::Submit);
+    EXPECT_EQ(parsed.run.workload, "crypto-1");
+    EXPECT_EQ(parsed.run.prefetcher, "entangling-4k");
+    EXPECT_EQ(parsed.run.dataPrefetcher, "stride");
+    EXPECT_EQ(parsed.run.instructions, 123456u);
+    EXPECT_EQ(parsed.run.warmup, 7890u);
+    EXPECT_TRUE(parsed.run.physical);
+    EXPECT_FALSE(parsed.run.eventSkip);
+    EXPECT_EQ(parsed.run.sampleInterval, 1000u);
+    EXPECT_TRUE(parsed.run.injectCrash);
+}
+
+TEST(ServeProtocol, EveryOpRoundTrips)
+{
+    for (serve::Request::Op op :
+         {serve::Request::Op::Submit, serve::Request::Op::Status,
+          serve::Request::Op::Fetch, serve::Request::Op::Stats,
+          serve::Request::Op::Shutdown}) {
+        serve::Request request;
+        request.op = op;
+        request.job = 42;
+        serve::Request parsed;
+        std::string error;
+        ASSERT_TRUE(serve::parseRequest(serve::requestJson(request), parsed,
+                                        error))
+            << serve::opName(op) << ": " << error;
+        EXPECT_EQ(parsed.op, op);
+    }
+}
+
+TEST(ServeProtocol, RejectsMalformedRequests)
+{
+    serve::Request parsed;
+    std::string error;
+    // Not JSON at all.
+    EXPECT_FALSE(serve::parseRequest("not json", parsed, error));
+    // Wrong schema.
+    EXPECT_FALSE(serve::parseRequest(
+        R"({"schema":"eip-run/v1","kind":"request","op":"stats"})", parsed,
+        error));
+    // Wrong kind.
+    EXPECT_FALSE(serve::parseRequest(
+        R"({"schema":"eip-serve/v1","kind":"response","op":"stats"})",
+        parsed, error));
+    // Unknown op.
+    EXPECT_FALSE(serve::parseRequest(
+        R"({"schema":"eip-serve/v1","kind":"request","op":"reboot"})",
+        parsed, error));
+    // Status without a job id.
+    EXPECT_FALSE(serve::parseRequest(
+        R"({"schema":"eip-serve/v1","kind":"request","op":"status"})",
+        parsed, error));
+    // Submit with a zero instruction budget.
+    EXPECT_FALSE(serve::parseRequest(
+        R"({"schema":"eip-serve/v1","kind":"request","op":"submit",)"
+        R"("run":{"workload":"tiny","instructions":0}})",
+        parsed, error));
+    // Submit with a mistyped field.
+    EXPECT_FALSE(serve::parseRequest(
+        R"({"schema":"eip-serve/v1","kind":"request","op":"submit",)"
+        R"("run":{"workload":"tiny","instructions":"many"}})",
+        parsed, error));
+}
+
+TEST(ServeProtocol, ToRunSpecForcesCounterCollection)
+{
+    serve::RunRequest run = tinyRequest();
+    harness::RunSpec spec = serve::toRunSpec(run);
+    EXPECT_TRUE(spec.collectCounters);
+    EXPECT_EQ(spec.configId, run.prefetcher);
+    EXPECT_EQ(spec.instructions, run.instructions);
+    EXPECT_EQ(spec.tracer, nullptr);
+}
+
+TEST(ForkedWorker, DeliversByteIdenticalArtifact)
+{
+    harness::RunJob job;
+    job.workload = trace::tinyWorkload();
+    job.spec = serve::toRunSpec(tinyRequest());
+
+    serve::WorkerOutcome outcome = serve::runForkedJob(job, false);
+    ASSERT_TRUE(outcome.ok) << outcome.error;
+    EXPECT_FALSE(outcome.crashed);
+
+    harness::ArtifactRun inProcess = harness::runJobArtifact(job);
+    EXPECT_EQ(outcome.artifact, inProcess.json);
+}
+
+TEST(ForkedWorker, InjectedCrashYieldsStructuredSignalError)
+{
+    harness::RunJob job;
+    job.workload = trace::tinyWorkload();
+    job.spec = serve::toRunSpec(tinyRequest());
+
+    serve::WorkerOutcome outcome = serve::runForkedJob(job, true);
+    EXPECT_FALSE(outcome.ok);
+    EXPECT_TRUE(outcome.crashed);
+    EXPECT_NE(outcome.error.find("signal"), std::string::npos);
+    EXPECT_TRUE(outcome.artifact.empty());
+}
+
+TEST(ServeDaemon, ColdRunThenCacheServedByteIdentical)
+{
+    serve::DaemonOptions options;
+    options.socketPath = testSocket("cold_warm");
+    options.workers = 2;
+    options.queueDepth = 8;
+    serve::Daemon daemon(options);
+    std::string error;
+    ASSERT_TRUE(daemon.start(&error)) << error;
+
+    serve::Client client;
+    ASSERT_TRUE(client.connect(options.socketPath, &error)) << error;
+
+    // Cold: must simulate.
+    serve::SubmitOutcome cold;
+    ASSERT_TRUE(client.submit(tinyRequest(), cold, &error)) << error;
+    ASSERT_TRUE(cold.accepted) << cold.error;
+    EXPECT_EQ(cold.served, "queue");
+    EXPECT_EQ(cold.key.size(), 16u);
+
+    serve::JobView coldView;
+    ASSERT_TRUE(client.waitTerminal(cold.job, coldView, 60.0, &error))
+        << error;
+    ASSERT_EQ(coldView.state, "done");
+    EXPECT_FALSE(coldView.servedFromCache);
+    ASSERT_TRUE(client.fetch(cold.job, coldView, &error)) << error;
+    ASSERT_FALSE(coldView.artifact.empty());
+
+    // Warm: same request must come from the cache, byte for byte.
+    serve::SubmitOutcome warm;
+    ASSERT_TRUE(client.submit(tinyRequest(), warm, &error)) << error;
+    ASSERT_TRUE(warm.accepted) << warm.error;
+    EXPECT_EQ(warm.served, "cache");
+    EXPECT_EQ(warm.state, "done");
+    EXPECT_EQ(warm.key, cold.key);
+
+    serve::JobView warmView;
+    ASSERT_TRUE(client.fetch(warm.job, warmView, &error)) << error;
+    EXPECT_TRUE(warmView.servedFromCache);
+    EXPECT_EQ(warmView.artifact, coldView.artifact);
+
+    // And both match a fresh in-process run of the same job exactly.
+    harness::RunJob job;
+    job.workload = trace::tinyWorkload();
+    job.spec = serve::toRunSpec(tinyRequest());
+    harness::ArtifactRun reference = harness::runJobArtifact(job);
+    EXPECT_EQ(coldView.artifact, reference.json);
+
+    // The daemon's own accounting agrees.
+    obs::CounterDump stats = daemon.statsDump();
+    EXPECT_EQ(stats.counter("serve.simulated").value(), 1u);
+    EXPECT_EQ(stats.counter("serve.served_cache").value(), 1u);
+    EXPECT_EQ(stats.counter("serve.cache.entries").value(), 1u);
+    EXPECT_EQ(stats.counter("serve.failed").value(), 0u);
+
+    daemon.stop();
+}
+
+TEST(ServeDaemon, StatsDocumentIsServeSchema)
+{
+    serve::DaemonOptions options;
+    options.socketPath = testSocket("stats");
+    serve::Daemon daemon(options);
+    std::string error;
+    ASSERT_TRUE(daemon.start(&error)) << error;
+
+    serve::Client client;
+    ASSERT_TRUE(client.connect(options.socketPath, &error)) << error;
+    std::string stats_line;
+    ASSERT_TRUE(client.stats(stats_line, &error)) << error;
+
+    std::optional<obs::JsonValue> doc = obs::parseJson(stats_line);
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->find("schema")->string, "eip-serve/v1");
+    EXPECT_EQ(doc->find("kind")->string, "stats");
+    EXPECT_EQ(doc->find("tool")->string, "eipd");
+    ASSERT_NE(doc->find("counters"), nullptr);
+    EXPECT_NE(doc->find("counters")->find("serve.requests"), nullptr);
+    EXPECT_NE(doc->find("counters")->find("serve.cache.hits"), nullptr);
+    EXPECT_NE(doc->find("counters")->find("serve.program_cache.hits"),
+              nullptr);
+    ASSERT_NE(doc->find("histograms"), nullptr);
+    EXPECT_NE(doc->find("histograms")->find("serve.request_wall_ms"),
+              nullptr);
+
+    daemon.stop();
+}
+
+TEST(ServeDaemon, InvalidRequestsGetStructuredErrors)
+{
+    serve::DaemonOptions options;
+    options.socketPath = testSocket("invalid");
+    serve::Daemon daemon(options);
+    std::string error;
+    ASSERT_TRUE(daemon.start(&error)) << error;
+
+    serve::Client client;
+    ASSERT_TRUE(client.connect(options.socketPath, &error)) << error;
+
+    serve::RunRequest bad_workload = tinyRequest();
+    bad_workload.workload = "no-such-workload";
+    serve::SubmitOutcome outcome;
+    ASSERT_TRUE(client.submit(bad_workload, outcome, &error)) << error;
+    EXPECT_FALSE(outcome.accepted);
+    EXPECT_FALSE(outcome.rejected);
+    EXPECT_NE(outcome.error.find("unknown workload"), std::string::npos);
+
+    serve::RunRequest bad_prefetcher = tinyRequest();
+    bad_prefetcher.prefetcher = "no-such-prefetcher";
+    ASSERT_TRUE(client.submit(bad_prefetcher, outcome, &error)) << error;
+    EXPECT_FALSE(outcome.accepted);
+    EXPECT_NE(outcome.error.find("unknown prefetcher"), std::string::npos);
+
+    serve::JobView view;
+    EXPECT_FALSE(client.status(999, view, &error));
+    EXPECT_NE(error.find("unknown job"), std::string::npos);
+
+    obs::CounterDump stats = daemon.statsDump();
+    EXPECT_GE(stats.counter("serve.invalid").value(), 3u);
+
+    daemon.stop();
+}
+
+TEST(ServeDaemon, CrashingWorkerFailsInIsolation)
+{
+    serve::DaemonOptions options;
+    options.socketPath = testSocket("crash");
+    options.workers = 2;
+    options.queueDepth = 8;
+    serve::Daemon daemon(options);
+    std::string error;
+    ASSERT_TRUE(daemon.start(&error)) << error;
+
+    serve::Client client;
+    ASSERT_TRUE(client.connect(options.socketPath, &error)) << error;
+
+    // Distinct workloads so every job actually simulates (no cache
+    // short-circuit), interleaved with the fault-injected one.
+    std::vector<std::string> workloads = {"tiny", "crypto-1", "int-1"};
+    std::vector<uint64_t> healthy;
+    serve::SubmitOutcome outcome;
+    serve::RunRequest crash = tinyRequest();
+    crash.injectCrash = true;
+
+    ASSERT_TRUE(client.submit(tinyRequest(), outcome, &error)) << error;
+    // (cold tiny run; will also be in flight while the crash happens)
+    ASSERT_TRUE(outcome.accepted) << outcome.error;
+    healthy.push_back(outcome.job);
+
+    ASSERT_TRUE(client.submit(crash, outcome, &error)) << error;
+    ASSERT_TRUE(outcome.accepted) << outcome.error;
+    const uint64_t crash_job = outcome.job;
+
+    for (size_t i = 1; i < workloads.size(); ++i) {
+        serve::RunRequest run = tinyRequest();
+        run.workload = workloads[i];
+        ASSERT_TRUE(client.submit(run, outcome, &error)) << error;
+        ASSERT_TRUE(outcome.accepted) << outcome.error;
+        healthy.push_back(outcome.job);
+    }
+
+    // The crash job fails alone, with the signal in the error...
+    serve::JobView view;
+    ASSERT_TRUE(client.waitTerminal(crash_job, view, 60.0, &error)) << error;
+    EXPECT_EQ(view.state, "failed");
+    EXPECT_NE(view.error.find("signal"), std::string::npos);
+
+    // ...every other in-flight/queued job still completes...
+    for (uint64_t job : healthy) {
+        ASSERT_TRUE(client.waitTerminal(job, view, 60.0, &error)) << error;
+        EXPECT_EQ(view.state, "done") << "job " << job << ": " << view.error;
+    }
+
+    // ...and the daemon is still fully serving afterwards.
+    serve::SubmitOutcome after;
+    ASSERT_TRUE(client.submit(tinyRequest(), after, &error)) << error;
+    ASSERT_TRUE(after.accepted) << after.error;
+    EXPECT_EQ(after.served, "cache"); // the healthy tiny run seeded it
+
+    obs::CounterDump stats = daemon.statsDump();
+    EXPECT_EQ(stats.counter("serve.worker_crashes").value(), 1u);
+    EXPECT_EQ(stats.counter("serve.failed").value(), 1u);
+    EXPECT_EQ(stats.counter("serve.simulated").value(),
+              static_cast<uint64_t>(workloads.size()));
+
+    daemon.stop();
+}
+
+TEST(ServeDaemon, FullQueueRejectsWithBackpressure)
+{
+    serve::DaemonOptions options;
+    options.socketPath = testSocket("backpressure");
+    options.workers = 1;
+    options.queueDepth = 1;
+    serve::Daemon daemon(options);
+    std::string error;
+    ASSERT_TRUE(daemon.start(&error)) << error;
+
+    serve::Client client;
+    ASSERT_TRUE(client.connect(options.socketPath, &error)) << error;
+
+    // Flood: distinct requests (different budgets, so distinct cache
+    // keys) against a queue of one. Submitting is microseconds, each
+    // simulation is many milliseconds — rejections are guaranteed.
+    std::vector<uint64_t> accepted;
+    uint64_t rejected = 0;
+    for (int i = 0; i < 8; ++i) {
+        serve::RunRequest run = tinyRequest();
+        run.instructions = 100000 + static_cast<uint64_t>(i);
+        serve::SubmitOutcome outcome;
+        ASSERT_TRUE(client.submit(run, outcome, &error)) << error;
+        if (outcome.accepted)
+            accepted.push_back(outcome.job);
+        else if (outcome.rejected)
+            ++rejected;
+    }
+    EXPECT_GE(rejected, 1u);
+    EXPECT_GE(accepted.size(), 1u);
+
+    // Accepted work is unaffected by the shed load.
+    for (uint64_t job : accepted) {
+        serve::JobView view;
+        ASSERT_TRUE(client.waitTerminal(job, view, 120.0, &error)) << error;
+        EXPECT_EQ(view.state, "done") << view.error;
+    }
+
+    obs::CounterDump stats = daemon.statsDump();
+    EXPECT_EQ(stats.counter("serve.rejected_queue_full").value(), rejected);
+    EXPECT_EQ(stats.counter("serve.simulated").value(), accepted.size());
+
+    daemon.stop();
+}
+
+TEST(ServeDaemon, ShutdownOpStopsTheDaemon)
+{
+    serve::DaemonOptions options;
+    options.socketPath = testSocket("shutdown");
+    serve::Daemon daemon(options);
+    std::string error;
+    ASSERT_TRUE(daemon.start(&error)) << error;
+
+    serve::Client client;
+    ASSERT_TRUE(client.connect(options.socketPath, &error)) << error;
+    ASSERT_TRUE(client.shutdown(&error)) << error;
+
+    daemon.waitStopRequested(); // returns because the op fired
+    daemon.stop();
+    // The socket is gone: a fresh connect must fail.
+    serve::Client after;
+    EXPECT_FALSE(after.connect(options.socketPath, &error));
+}
+
+} // namespace

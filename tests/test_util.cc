@@ -11,7 +11,9 @@
 
 #include "util/bitops.hh"
 #include "util/circular_buffer.hh"
+#include "util/hash.hh"
 #include "util/histogram.hh"
+#include "util/lru.hh"
 #include "util/rng.hh"
 #include "util/saturating_counter.hh"
 #include "util/stats_math.hh"
@@ -270,6 +272,78 @@ TEST(StatsMath, Percentile)
     EXPECT_DOUBLE_EQ(percentile(v, 0.5), 3.0);
     EXPECT_DOUBLE_EQ(percentile(v, 1.0), 5.0);
     EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+}
+
+TEST(Fnv1a, MatchesPublishedVectors)
+{
+    // Reference values of the 64-bit FNV-1a specification.
+    EXPECT_EQ(util::fnv1a64(""), 0xcbf29ce484222325ULL);
+    EXPECT_EQ(util::fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+    // Chaining through the seed equals hashing the concatenation.
+    EXPECT_EQ(util::fnv1a64("bc", util::fnv1a64("a")), util::fnv1a64("abc"));
+}
+
+TEST(Fnv1a, Hex64IsFixedWidthLowercase)
+{
+    EXPECT_EQ(util::hex64(0), "0000000000000000");
+    EXPECT_EQ(util::hex64(0xdeadbeefULL), "00000000deadbeef");
+    EXPECT_EQ(util::hex64(0xcbf29ce484222325ULL), "cbf29ce484222325");
+}
+
+TEST(LruMap, GetRefreshesRecency)
+{
+    util::LruMap<int, std::string> lru(2);
+    lru.put(1, "one");
+    lru.put(2, "two");
+    ASSERT_NE(lru.get(1), nullptr); // 2 becomes the LRU victim
+    lru.put(3, "three");
+    EXPECT_EQ(lru.get(2), nullptr);
+    ASSERT_NE(lru.get(1), nullptr);
+    EXPECT_EQ(*lru.get(1), "one");
+    EXPECT_EQ(lru.evictions(), 1u);
+    EXPECT_EQ(lru.size(), 2u);
+}
+
+TEST(LruMap, WeightedEvictionKeepsMostRecentEntry)
+{
+    util::LruMap<int, int> lru(10);
+    lru.put(1, 10, 4);
+    lru.put(2, 20, 4);
+    lru.put(3, 30, 4); // 12 > 10: evicts key 1
+    EXPECT_EQ(lru.get(1), nullptr);
+    EXPECT_EQ(lru.weight(), 8u);
+
+    // An entry bigger than the whole budget still becomes resident:
+    // eviction never removes the most recently touched entry.
+    lru.put(4, 40, 100);
+    ASSERT_NE(lru.get(4), nullptr);
+    EXPECT_EQ(lru.size(), 1u);
+    EXPECT_EQ(lru.weight(), 100u);
+}
+
+TEST(LruMap, ReplacementUpdatesWeightInPlace)
+{
+    util::LruMap<int, int> lru(10);
+    lru.put(1, 10, 3);
+    lru.put(1, 11, 7); // same key: replace, no eviction
+    EXPECT_EQ(lru.size(), 1u);
+    EXPECT_EQ(lru.weight(), 7u);
+    EXPECT_EQ(*lru.get(1), 11);
+    EXPECT_EQ(lru.evictions(), 0u);
+}
+
+TEST(LruMap, CountsHitsAndMissesButNotClears)
+{
+    util::LruMap<int, int> lru(4);
+    lru.put(1, 10);
+    EXPECT_NE(lru.get(1), nullptr);
+    EXPECT_EQ(lru.get(2), nullptr);
+    EXPECT_EQ(lru.hits(), 1u);
+    EXPECT_EQ(lru.misses(), 1u);
+    lru.clear();
+    EXPECT_EQ(lru.size(), 0u);
+    EXPECT_EQ(lru.evictions(), 0u); // clear() is not an eviction
+    EXPECT_EQ(lru.hits(), 1u);      // history survives the clear
 }
 
 TEST(TablePrinter, AlignsColumns)
