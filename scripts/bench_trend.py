@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Host-speed trend over a series of eip-bench/v1 artifacts (stdlib only).
+
+Aggregates the host-MIPS tables of BENCH_*.json files given in
+chronological order (oldest first), prints one trend row per artifact
+(per-config means plus the overall mean and its delta against the
+previous artifact), and exits non-zero when the newest artifact's
+overall mean host-MIPS regressed more than the threshold against its
+predecessor.
+
+Artifacts without a host-speed table (bench dumps that only record
+figure data) are listed but excluded from the trend — never silently
+dropped.
+
+Usage: scripts/bench_trend.py [--threshold PCT] BENCH.json [BENCH.json...]
+
+Exit codes: 0 no regression (or fewer than two comparable artifacts),
+1 regression beyond the threshold, 2 usage/unreadable input.
+"""
+
+import json
+import sys
+
+
+def mips_values(doc):
+    """Per-config mean host-MIPS from every host-speed table of one
+    eip-bench/v1 document, or None when the document has none."""
+    configs = {}
+    for table in doc.get("tables", []):
+        if "MIPS" not in table.get("title", ""):
+            continue
+        for row in table.get("rows", []):
+            values = [v for v in row.get("values", [])
+                      if isinstance(v, (int, float))]
+            if values:
+                configs.setdefault(row.get("config", "?"), []).append(
+                    sum(values) / len(values))
+    if not configs:
+        return None
+    return {config: sum(means) / len(means)
+            for config, means in configs.items()}
+
+
+def main(argv):
+    threshold = 10.0
+    paths = []
+    args = iter(argv[1:])
+    for arg in args:
+        if arg == "--threshold":
+            try:
+                threshold = float(next(args))
+            except (StopIteration, ValueError):
+                print("bench-trend: --threshold needs a number",
+                      file=sys.stderr)
+                return 2
+        elif arg in ("--help", "-h"):
+            print(__doc__.strip())
+            return 0
+        else:
+            paths.append(arg)
+    if not paths:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    # (path, git_describe, per-config means, overall mean) per artifact.
+    trend = []
+    for path in paths:
+        try:
+            with open(path, "rb") as f:
+                doc = json.load(f)
+        except (OSError, ValueError) as err:
+            print(f"bench-trend: {path}: unreadable: {err}",
+                  file=sys.stderr)
+            return 2
+        if doc.get("schema") != "eip-bench/v1":
+            print(f"bench-trend: {path}: schema is "
+                  f"{doc.get('schema')!r}, expected eip-bench/v1",
+                  file=sys.stderr)
+            return 2
+        configs = mips_values(doc)
+        if configs is None:
+            print(f"{path}: no host-speed table "
+                  f"(bench {doc.get('bench')!r}) — excluded from trend")
+            continue
+        overall = sum(configs.values()) / len(configs)
+        trend.append((path, doc.get("git_describe", "?"), configs,
+                      overall))
+
+    if not trend:
+        print("bench-trend: no comparable artifacts")
+        return 0
+
+    print(f"{'artifact':<40} {'git':<18} {'mean MIPS':>10} {'delta':>8}")
+    previous = None
+    delta_pct = 0.0
+    for path, git, configs, overall in trend:
+        if previous is None or previous == 0.0:
+            delta = "-"
+        else:
+            delta_pct = 100.0 * (overall - previous) / previous
+            delta = f"{delta_pct:+.1f}%"
+        print(f"{path:<40} {git:<18} {overall:>10.3f} {delta:>8}")
+        for config in sorted(configs):
+            print(f"  {config:<38} {'':<18} {configs[config]:>10.3f}")
+        previous = overall
+
+    if len(trend) >= 2 and delta_pct < -threshold:
+        print(f"bench-trend: REGRESSION: newest mean host-MIPS is "
+              f"{-delta_pct:.1f}% below its predecessor "
+              f"(threshold {threshold:.1f}%)", file=sys.stderr)
+        return 1
+    print(f"bench-trend: OK ({len(trend)} artifacts, "
+          f"threshold {threshold:.1f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -7,9 +7,16 @@ Checks the three schemas produced by the observability layer:
   eip-suite/v1  suite roll-up (eipsim --workload all --stats-json)
   eip-bench/v1  bench table dump (BENCH_<name>.json)
   eip-trace/v1  event trace (eipsim --trace-out, Perfetto-loadable)
-  eip-serve/v1  eipd wire documents (requests, responses, stats dumps);
-                artifacts embedded in fetch responses are themselves
-                parsed and validated as timing-free eip-run/v1
+  eip-serve/v1  eipd wire documents (requests, responses incl. the
+                metrics window, stats dumps); artifacts embedded in
+                fetch responses are themselves parsed and validated as
+                timing-free eip-run/v1
+  eip-log/v1    structured log lines (eipd stderr); a file that is not
+                one JSON document is validated line by line as NDJSON
+
+eip-trace/v1 documents dispatch on their kind: run traces (prefetch
+lifecycle events) and serve traces (kind "serve", request spans from
+`eipc spans`) have different required sections.
 
 Usage: scripts/validate_stats_json.py FILE [FILE...]
 Exits non-zero and prints every violation if any file is invalid.
@@ -53,13 +60,20 @@ class Checker:
             self.require(manifest, where, key, (int,))
         self.require(manifest, where, "sim_scale", (int, float))
         timing_keys = ("wall_clock_seconds", "jobs", "host_wall_ms",
-                       "host_mips")
+                       "host_mips", "phase_ms")
         if timing_allowed:
             # Host-speed fields are optional (older artifacts lack them)
             # but must be numeric when present.
             for key in ("host_wall_ms", "host_mips"):
                 if key in manifest:
                     self.require(manifest, where, key, (int, float))
+            # Per-phase wall time (obs::PhaseProfiler totals).
+            if "phase_ms" in manifest:
+                phases = self.require(manifest, where, "phase_ms", (dict,))
+                for name, value in (phases or {}).items():
+                    if not isinstance(value, (int, float)) or value < 0:
+                        self.error(where, f"phase_ms['{name}'] is not a "
+                                          "non-negative number")
         else:
             for key in timing_keys:
                 if key in manifest:
@@ -182,7 +196,8 @@ class Checker:
 
     # -- eip-serve/v1 --------------------------------------------------
 
-    SERVE_OPS = ("submit", "status", "fetch", "stats", "shutdown")
+    SERVE_OPS = ("submit", "status", "fetch", "stats", "metrics",
+                 "spans", "shutdown")
     SERVE_STATUSES = ("ok", "accepted", "rejected", "invalid")
     SERVE_STATES = ("queued", "running", "done", "failed")
 
@@ -250,6 +265,24 @@ class Checker:
             artifact = self.require(doc, where, "artifact", (str,))
             if artifact is not None:
                 self.check_embedded_artifact(artifact, where)
+        if op == "metrics" and status == "ok":
+            window = self.require(doc, where, "window", (dict,)) or {}
+            ww = where + ".window"
+            for key in ("seconds", "requests", "cache_hits", "simulated",
+                        "failed", "rejected"):
+                value = self.require(window, ww, key, (int,))
+                if value is not None and value < 0:
+                    self.error(ww, f"'{key}' is negative")
+            for key in ("qps", "hit_ratio", "p50_ms", "p95_ms", "p99_ms"):
+                self.require(window, ww, key, (int, float))
+            exposition = self.require(doc, where, "exposition", (str,))
+            if exposition is not None:
+                if "# TYPE eip_" not in exposition:
+                    self.error(where, "exposition has no '# TYPE eip_*' "
+                                      "line (not a Prometheus page?)")
+                if not exposition.endswith("\n"):
+                    self.error(where, "exposition must end with a newline "
+                                      "(scrapers require it)")
 
     def check_embedded_artifact(self, artifact, where):
         """A fetch response carries the exact artifact bytes as one JSON
@@ -311,7 +344,78 @@ class Checker:
     STALL_KEYS = ("line_miss", "ftq_empty_mispredict",
                   "ftq_empty_starved", "backend_full")
 
+    SERVE_TERMINALS = ("done", "cache", "failed", "crashed", "rejected")
+
+    def check_serve_trace(self, doc):
+        """eip-trace/v1, kind "serve": request spans from the eipd span
+        collector (`eipc spans`)."""
+        where = "serve-trace"
+        meta = self.require(doc, where, "meta", (dict,)) or {}
+        mw = where + ".meta"
+        limit = self.require(meta, mw, "limit", (int,))
+        recorded = self.require(meta, mw, "recorded", (int,))
+        retained = self.require(meta, mw, "retained", (int,))
+        wrapped = self.require(meta, mw, "wrapped", (bool,))
+
+        serve = self.require(doc, where, "serve", (dict,)) or {}
+        sw = where + ".serve"
+        traces = self.require(serve, sw, "traces", (int,))
+        dropped = self.require(serve, sw, "span_dropped", (int,))
+        terminals = self.require(serve, sw, "terminals", (dict,)) or {}
+        closed = 0
+        for state, count in terminals.items():
+            if state not in self.SERVE_TERMINALS:
+                self.error(sw, f"unknown terminal state {state!r}")
+            if not isinstance(count, int) or count < 0:
+                self.error(sw, f"terminal '{state}' count is not a "
+                               "non-negative integer")
+            else:
+                closed += count
+        # Every trace id gets exactly one root span once it terminates;
+        # a scrape can catch requests mid-flight, never extra closures.
+        if traces is not None and closed > traces:
+            self.error(sw, f"{closed} closed root spans for {traces} "
+                           "traces")
+
+        events = self.require(doc, where, "traceEvents", (list,)) or []
+        spans = 0
+        for i, event in enumerate(events):
+            ew = f"traceEvents[{i}]"
+            if not isinstance(event, dict):
+                self.error(ew, "event is not an object")
+                continue
+            ph = self.require(event, ew, "ph", (str,))
+            if ph == "M":
+                continue
+            if ph != "X":
+                self.error(ew, f"unexpected phase {ph!r} (serve traces "
+                               "hold only complete spans)")
+                continue
+            spans += 1
+            self.require(event, ew, "name", (str,))
+            self.require(event, ew, "ts", (int,))
+            self.require(event, ew, "dur", (int,))
+            self.require(event, ew, "tid", (int,))
+        if retained is not None and spans != retained:
+            self.error(where, f"{spans} spans in the document but "
+                              f"meta.retained says {retained}")
+        if None not in (retained, limit) and retained > limit:
+            self.error(mw, f"retained {retained} exceeds ring limit "
+                           f"{limit}")
+        if None not in (recorded, retained, dropped):
+            if recorded - retained != dropped:
+                self.error(sw, f"span_dropped {dropped} != recorded "
+                               f"{recorded} - retained {retained}")
+        if None not in (recorded, retained, wrapped):
+            if wrapped != (recorded > retained):
+                self.error(mw, f"wrapped={wrapped} inconsistent with "
+                               f"recorded {recorded} / retained "
+                               f"{retained}")
+
     def check_trace(self, doc):
+        if doc.get("kind") == "serve":
+            self.check_serve_trace(doc)
+            return
         meta = self.require(doc, "trace", "meta", (dict,)) or {}
         limit = self.require(meta, "trace.meta", "limit", (int,))
         recorded = self.require(meta, "trace.meta", "recorded", (int,))
@@ -375,6 +479,22 @@ class Checker:
                            f"wrapped={wrapped} inconsistent with "
                            f"recorded {recorded} / retained {retained}")
 
+    # -- eip-log/v1 ----------------------------------------------------
+
+    LOG_LEVELS = ("debug", "info", "warn", "error")
+
+    def check_log(self, doc, where="log"):
+        ts = self.require(doc, where, "ts_us", (int,))
+        if ts is not None and ts < 0:
+            self.error(where, "ts_us is negative")
+        level = self.require(doc, where, "level", (str,))
+        if level is not None and level not in self.LOG_LEVELS:
+            self.error(where, f"unknown level {level!r}")
+        for key in ("component", "event"):
+            value = self.require(doc, where, key, (str,))
+            if value == "":
+                self.error(where, f"'{key}' must be non-empty")
+
     def check(self, doc):
         schema = doc.get("schema")
         if schema == "eip-run/v1":
@@ -387,8 +507,34 @@ class Checker:
             self.check_trace(doc)
         elif schema == "eip-serve/v1":
             self.check_serve(doc)
+        elif schema == "eip-log/v1":
+            self.check_log(doc)
         else:
             self.error("document", f"unknown schema {schema!r}")
+
+
+def check_ndjson(path, text):
+    """Validate a file of one JSON document per line (structured logs,
+    protocol transcripts). Returns a Checker with per-line errors, or
+    None when some line is not JSON at all."""
+    checker = Checker(path)
+    docs = 0
+    for n, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            doc = json.loads(line)
+        except ValueError:
+            return None
+        if not isinstance(doc, dict):
+            return None
+        checker.path = f"{path}:{n}"
+        checker.check(doc)
+        docs += 1
+    checker.path = path
+    if docs == 0:
+        checker.error("document", "no JSON documents found")
+    return checker
 
 
 def main(argv):
@@ -398,20 +544,32 @@ def main(argv):
     failed = False
     for path in argv[1:]:
         checker = Checker(path)
+        schema = None
         try:
             with open(path, "rb") as f:
-                doc = json.load(f)
-        except (OSError, ValueError) as err:
+                text = f.read().decode("utf-8")
+            doc = json.loads(text)
+            checker.check(doc)
+            schema = doc.get("schema")
+        except OSError as err:
             print(f"{path}: unreadable: {err}", file=sys.stderr)
             failed = True
             continue
-        checker.check(doc)
+        except ValueError as err:
+            # Not one document — maybe one document per line (NDJSON,
+            # the shape of eipd's structured stderr log).
+            checker = check_ndjson(path, text)
+            if checker is None:
+                print(f"{path}: unreadable: {err}", file=sys.stderr)
+                failed = True
+                continue
+            schema = "ndjson"
         if checker.errors:
             failed = True
             for line in checker.errors:
                 print(line, file=sys.stderr)
         else:
-            print(f"{path}: OK ({doc['schema']})")
+            print(f"{path}: OK ({schema})")
     return 1 if failed else 0
 
 

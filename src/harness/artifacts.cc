@@ -2,11 +2,13 @@
 
 #include <cmath>
 #include <cstdio>
+#include <memory>
 
 #include "exec/jobs.hh"
 #include "exec/program_cache.hh"
 #include "exec/run_batch.hh"
 #include "obs/json.hh"
+#include "obs/phase.hh"
 #include "util/env.hh"
 #include "util/panic.hh"
 
@@ -115,25 +117,49 @@ suiteArtifactJson(const std::vector<RunJob> &batch,
 }
 
 ArtifactRun
-runJobArtifact(const RunJob &job, bool use_program_cache)
+runJobArtifact(const RunJob &job, bool use_program_cache,
+               obs::PhaseProfiler *profiler)
 {
     RunJob collected = job;
     collected.spec.collectCounters = true;
+    collected.spec.profiler = profiler;
 
     ArtifactRun out;
     if (use_program_cache) {
-        std::shared_ptr<const trace::Program> program =
-            exec::ProgramCache::global().get(collected.workload.program);
+        std::shared_ptr<const trace::Program> program;
+        {
+            std::unique_ptr<obs::PhaseProfiler::Scope> scope;
+            if (profiler != nullptr)
+                scope = std::make_unique<obs::PhaseProfiler::Scope>(
+                    *profiler, "program_build");
+            program = exec::ProgramCache::global().get(
+                collected.workload.program);
+        }
         out.result = runOne(collected.workload, collected.spec, *program);
     } else {
-        trace::Program program =
-            trace::buildProgram(collected.workload.program);
-        out.result = runOne(collected.workload, collected.spec, program);
+        std::unique_ptr<trace::Program> program;
+        {
+            std::unique_ptr<obs::PhaseProfiler::Scope> scope;
+            if (profiler != nullptr)
+                scope = std::make_unique<obs::PhaseProfiler::Scope>(
+                    *profiler, "program_build");
+            program = std::make_unique<trace::Program>(
+                trace::buildProgram(collected.workload.program));
+        }
+        out.result = runOne(collected.workload, collected.spec, *program);
+    }
+    // runOne leaves the run's last phase (fill_drain) open; close it so
+    // the serialization below is charged to its own phase, not the run.
+    if (profiler != nullptr) {
+        profiler->close();
+        profiler->transition("serialize");
     }
     obs::RunManifest manifest =
         makeManifest(collected.workload, collected.spec, out.result);
     out.json = runArtifactJson(manifest, out.result,
                                /*include_timing=*/false);
+    if (profiler != nullptr)
+        profiler->close();
     return out;
 }
 

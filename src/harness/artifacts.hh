@@ -21,6 +21,10 @@
 #include "harness/runner.hh"
 #include "obs/manifest.hh"
 
+namespace eip::obs {
+class PhaseProfiler;
+}
+
 namespace eip::harness {
 
 /** Describe the (workload, spec) pair behind @p result. Timing fields
@@ -63,8 +67,13 @@ struct ArtifactRun
  * multi-threaded daemon may snapshot another thread mid-critical-section,
  * so the child cannot touch any lock shared with parent threads — it
  * builds the program directly instead (bit-identical either way).
+ *
+ * @p profiler (optional) attributes the job's host wall time to phases:
+ * program_build, prefetcher, warmup, measure, fill_drain, serialize.
+ * Pure observer — the artifact bytes are identical with and without it.
  */
-ArtifactRun runJobArtifact(const RunJob &job, bool use_program_cache = true);
+ArtifactRun runJobArtifact(const RunJob &job, bool use_program_cache = true,
+                           obs::PhaseProfiler *profiler = nullptr);
 
 /** Per-job artifact path: `<path>.r<NNN>.json` (NNN = submission
  *  index, zero-padded to three digits). */

@@ -8,6 +8,8 @@
 #include "check/invariants.hh"
 #include "exec/jobs.hh"
 #include "harness/artifacts.hh"
+#include "obs/log.hh"
+#include "obs/phase.hh"
 #include "obs/registry.hh"
 #include "obs/sampler.hh"
 #include "obs/trace.hh"
@@ -111,6 +113,9 @@ cliUsage()
         "                        (default all)\n"
         "  --trace-limit N       trace ring capacity in events (default\n"
         "                        1048576; oldest overwritten beyond it)\n"
+        "  --log-level LEVEL     structured-log threshold on stderr:\n"
+        "                        debug|info|warn|error|off (default: the\n"
+        "                        EIP_LOG environment variable, else warn)\n"
         "  --list-workloads      print the workload catalogue\n"
         "  --list-prefetchers    print the known prefetcher ids\n"
         "  --config              print the simulated system (Table III)\n"
@@ -198,6 +203,13 @@ parseCli(const std::vector<std::string> &args)
                 opt.error = "--trace-limit needs a positive event count";
             else if (v)
                 opt.traceLimit = limit;
+        } else if (arg == "--log-level") {
+            if (auto v = value("--log-level")) {
+                opt.logLevel = *v;
+                if (!obs::parseLogLevel(*v))
+                    opt.error = "--log-level needs one of "
+                                "debug|info|warn|error|off";
+            }
         } else if (arg == "--physical") {
             opt.physical = true;
         } else if (arg == "--no-skip") {
@@ -252,6 +264,10 @@ runCli(const CliOptions &opt)
         std::fprintf(stderr, "error: %s\n%s", opt.error.c_str(),
                      cliUsage().c_str());
         return 2;
+    }
+    if (!opt.logLevel.empty()) {
+        if (auto level = obs::parseLogLevel(opt.logLevel))
+            obs::Logger::global().setLevel(*level);
     }
     // Must happen before any Cpu is constructed (including batch
     // workers): the auditor registry is created in the Cpu constructor.
@@ -356,6 +372,12 @@ runCli(const CliOptions &opt)
                             .value_or(obs::kTraceAll);
         tracer = std::make_unique<obs::EventTracer>(tcfg);
     }
+    // Host-side phase attribution for the artifact's manifest
+    // (phase_ms). A timing field like hostWallMs: armed only when an
+    // artifact is requested, and never part of the canonical run bytes.
+    obs::PhaseProfiler profiler;
+    obs::PhaseProfiler *prof =
+        opt.statsJsonPath.empty() ? nullptr : &profiler;
     auto run_started = std::chrono::steady_clock::now();
     if (!opt.tracePath.empty()) {
         // Replay path: drive the CPU from the trace file directly.
@@ -382,7 +404,7 @@ runCli(const CliOptions &opt)
         ObsCollector collector;
         collector.arm(cpu, opt);
         result.stats = cpu.run(replay, opt.instructions, opt.warmup,
-                               collector.sampler.get());
+                               collector.sampler.get(), prof);
         collector.harvest(result);
         manifest.workload = opt.tracePath;
         manifest.category = "trace";
@@ -416,6 +438,7 @@ runCli(const CliOptions &opt)
             spec.sampleInterval = opt.sampleInterval;
         }
         spec.tracer = tracer.get();
+        spec.profiler = prof;
         // Wrong-path needs the config flag: route through runOne only for
         // the common case; otherwise run manually.
         if (!opt.wrongPath) {
@@ -446,7 +469,7 @@ runCli(const CliOptions &opt)
             ObsCollector collector;
             collector.arm(cpu, opt);
             result.stats = cpu.run(exec, opt.instructions, opt.warmup,
-                                   collector.sampler.get());
+                                   collector.sampler.get(), prof);
             collector.harvest(result);
         }
         manifest = makeManifest(*chosen, spec, result);
@@ -478,6 +501,8 @@ runCli(const CliOptions &opt)
             wall_us > 0.0
                 ? static_cast<double>(opt.warmup + opt.instructions) / wall_us
                 : 0.0;
+        profiler.close();
+        manifest.phaseMs = profiler.totalsMs();
         writeTextFile(opt.statsJsonPath,
                       runArtifactJson(manifest, result,
                                       /*include_timing=*/true));

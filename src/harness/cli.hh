@@ -68,6 +68,9 @@ struct CliOptions
     /** Trace ring capacity in events; beyond it the oldest events are
      *  overwritten (counts stay exact). */
     uint64_t traceLimit = 1u << 20;
+    /** Structured-log threshold (--log-level). Empty keeps the EIP_LOG
+     *  environment default (warn). */
+    std::string logLevel;
     std::string error; ///< non-empty when parsing failed
 };
 

@@ -6,6 +6,7 @@
 #include "exec/jobs.hh"
 #include "exec/program_cache.hh"
 #include "exec/run_batch.hh"
+#include "obs/phase.hh"
 #include "prefetch/factory.hh"
 #include "sim/cpu.hh"
 #include "util/env.hh"
@@ -83,8 +84,14 @@ findWorkload(const std::string &name, trace::Workload &out)
 RunResult
 runOne(const trace::Workload &workload, const RunSpec &spec)
 {
-    std::shared_ptr<const trace::Program> program =
-        exec::ProgramCache::global().get(workload.program);
+    std::shared_ptr<const trace::Program> program;
+    {
+        std::unique_ptr<obs::PhaseProfiler::Scope> scope;
+        if (spec.profiler != nullptr)
+            scope = std::make_unique<obs::PhaseProfiler::Scope>(
+                *spec.profiler, "program_build");
+        program = exec::ProgramCache::global().get(workload.program);
+    }
     return runOne(workload, spec, *program);
 }
 
@@ -108,8 +115,16 @@ runOne(const trace::Workload &workload, const RunSpec &spec,
         pf_id = "none";
     }
 
-    auto prefetcher = prefetch::makePrefetcher(pf_id);
-    auto data_prefetcher = prefetch::makePrefetcher(spec.dataPrefetcher);
+    std::unique_ptr<sim::Prefetcher> prefetcher;
+    std::unique_ptr<sim::Prefetcher> data_prefetcher;
+    {
+        std::unique_ptr<obs::PhaseProfiler::Scope> scope;
+        if (spec.profiler != nullptr)
+            scope = std::make_unique<obs::PhaseProfiler::Scope>(
+                *spec.profiler, "prefetcher");
+        prefetcher = prefetch::makePrefetcher(pf_id);
+        data_prefetcher = prefetch::makePrefetcher(spec.dataPrefetcher);
+    }
 
     sim::Cpu cpu(cfg);
     if (prefetcher != nullptr)
@@ -137,8 +152,8 @@ runOne(const trace::Workload &workload, const RunSpec &spec,
     RunResult result;
     result.workload = workload.name;
     result.category = workload.category;
-    result.stats =
-        cpu.run(exec, spec.instructions, spec.warmup, sampler.get());
+    result.stats = cpu.run(exec, spec.instructions, spec.warmup,
+                           sampler.get(), spec.profiler);
     if (collect)
         result.counters = registry.dump();
     if (sampler != nullptr)

@@ -31,6 +31,7 @@ struct EntanglingStats;
 
 namespace eip::obs {
 class EventTracer;
+class PhaseProfiler;
 }
 
 namespace eip::trace {
@@ -66,6 +67,15 @@ struct RunSpec
      *  identical with and without it. Not copied into batch artifacts —
      *  tracing is a single-run facility. */
     obs::EventTracer *tracer = nullptr;
+
+    /** Optional host-side phase profiler (src/obs/phase.hh): records
+     *  where the run's wall time goes (prefetcher construction,
+     *  warm-up, measure, fill-drain). Caller-owned, pure observer,
+     *  touched only at phase boundaries — never per cycle — and like
+     *  the tracer it is not part of the run's canonical identity
+     *  (harness::canonicalRunSpec ignores it, so cache keys and
+     *  artifact bytes are unchanged by profiling). */
+    obs::PhaseProfiler *profiler = nullptr;
 
     /** Global scaling knob honoured by all benches: the environment
      *  variable EIP_SIM_SCALE (e.g. "0.2" or "3") multiplies instruction

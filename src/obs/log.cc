@@ -1,0 +1,144 @@
+#include "obs/log.hh"
+
+#include <chrono>
+#include <cstdlib>
+
+#include "obs/json.hh"
+#include "util/panic.hh"
+
+namespace eip::obs {
+
+const char *
+logLevelName(LogLevel level)
+{
+    switch (level) {
+    case LogLevel::Debug:
+        return "debug";
+    case LogLevel::Info:
+        return "info";
+    case LogLevel::Warn:
+        return "warn";
+    case LogLevel::Error:
+        return "error";
+    case LogLevel::Off:
+        return "off";
+    }
+    return "unknown";
+}
+
+std::optional<LogLevel>
+parseLogLevel(const std::string &text)
+{
+    if (text == "debug")
+        return LogLevel::Debug;
+    if (text == "info")
+        return LogLevel::Info;
+    if (text == "warn" || text == "warning")
+        return LogLevel::Warn;
+    if (text == "error")
+        return LogLevel::Error;
+    if (text == "off" || text == "none")
+        return LogLevel::Off;
+    return std::nullopt;
+}
+
+uint64_t
+logElapsedUs()
+{
+    using clock = std::chrono::steady_clock;
+    // Initialized on first use; a forked child inherits the parent's
+    // epoch, so daemon and worker timestamps share one timeline.
+    static const clock::time_point start = clock::now();
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(clock::now() -
+                                                              start)
+            .count());
+}
+
+Logger::Logger() : level_(static_cast<int>(LogLevel::Warn))
+{
+    if (const char *env = std::getenv("EIP_LOG")) {
+        auto parsed = parseLogLevel(env);
+        if (!parsed) {
+            std::string msg = std::string("EIP_LOG: unknown level '") + env +
+                              "' (expected debug|info|warn|error|off)";
+            EIP_FATAL(msg.c_str());
+        }
+        level_.store(static_cast<int>(*parsed), std::memory_order_relaxed);
+    }
+}
+
+Logger &
+Logger::global()
+{
+    static Logger logger;
+    return logger;
+}
+
+void
+Logger::setSink(std::FILE *sink)
+{
+    std::lock_guard<std::mutex> lock(sinkMutex_);
+    sink_ = sink != nullptr ? sink : stderr;
+}
+
+void
+Logger::setCapture(std::vector<std::string> *lines)
+{
+    std::lock_guard<std::mutex> lock(sinkMutex_);
+    capture_ = lines;
+}
+
+std::string
+Logger::renderLine(LogLevel level, const char *component, const char *event,
+                   std::initializer_list<LogField> fields)
+{
+    JsonWriter json;
+    json.beginObject()
+        .kv("schema", "eip-log/v1")
+        .kv("ts_us", logElapsedUs())
+        .kv("level", logLevelName(level))
+        .kv("component", component)
+        .kv("event", event);
+    for (const LogField &f : fields) {
+        switch (f.kind) {
+        case LogField::Kind::Str:
+            json.kv(f.key, f.str);
+            break;
+        case LogField::Kind::U64:
+            json.kv(f.key, f.u64);
+            break;
+        case LogField::Kind::I64:
+            json.key(f.key).value(static_cast<double>(f.i64));
+            break;
+        case LogField::Kind::F64:
+            json.kv(f.key, f.f64);
+            break;
+        case LogField::Kind::Bool:
+            json.kv(f.key, f.boolean);
+            break;
+        }
+    }
+    json.endObject();
+    std::string line = json.str();
+    line.push_back('\n');
+    return line;
+}
+
+void
+Logger::emit(LogLevel level, const char *component, const char *event,
+             std::initializer_list<LogField> fields)
+{
+    if (!enabled(level))
+        return;
+    std::string line = renderLine(level, component, event, fields);
+    std::lock_guard<std::mutex> lock(sinkMutex_);
+    if (capture_ != nullptr) {
+        capture_->push_back(std::move(line));
+        return;
+    }
+    std::fwrite(line.data(), 1, line.size(), sink_);
+    std::fflush(sink_);
+}
+
+} // namespace eip::obs

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Structured NDJSON logger (`eip-log/v1`). One log call renders one
+ * self-describing JSON line — level, monotonic timestamp, component
+ * tag, event name, and typed key/value fields — so service logs can be
+ * grepped, validated (scripts/validate_stats_json.py) and post-
+ * processed with the same tooling as the other eip artifact schemas.
+ *
+ * The logger is deliberately cheap when quiet: `enabled()` is a single
+ * relaxed atomic load and compare, and the `EIP_LOG_*` macros evaluate
+ * their field arguments only after that check passes, so a disabled
+ * level costs one predictable branch on the caller side. The global
+ * level comes from `EIP_LOG` (debug|info|warn|error|off, default warn)
+ * and can be overridden per tool (`eipd --log-level`).
+ */
+
+#ifndef EIP_OBS_LOG_HH
+#define EIP_OBS_LOG_HH
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <initializer_list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace eip::obs {
+
+enum class LogLevel : int
+{
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+    Error = 3,
+    Off = 4,
+};
+
+/** "debug"/"info"/"warn"/"error"/"off". */
+const char *logLevelName(LogLevel level);
+
+/** Parse a level name (as accepted by EIP_LOG / --log-level). */
+std::optional<LogLevel> parseLogLevel(const std::string &text);
+
+/** One typed key/value pair attached to a log line. */
+struct LogField
+{
+    enum class Kind
+    {
+        Str,
+        U64,
+        I64,
+        F64,
+        Bool,
+    };
+
+    LogField(std::string k, const std::string &v)
+        : key(std::move(k)), kind(Kind::Str), str(v)
+    {
+    }
+    LogField(std::string k, const char *v)
+        : key(std::move(k)), kind(Kind::Str), str(v)
+    {
+    }
+    LogField(std::string k, uint64_t v)
+        : key(std::move(k)), kind(Kind::U64), u64(v)
+    {
+    }
+    LogField(std::string k, int v) : key(std::move(k)), kind(Kind::I64), i64(v)
+    {
+    }
+    LogField(std::string k, double v)
+        : key(std::move(k)), kind(Kind::F64), f64(v)
+    {
+    }
+    LogField(std::string k, bool v)
+        : key(std::move(k)), kind(Kind::Bool), boolean(v)
+    {
+    }
+
+    std::string key;
+    Kind kind;
+    std::string str;
+    uint64_t u64 = 0;
+    int64_t i64 = 0;
+    double f64 = 0.0;
+    bool boolean = false;
+};
+
+/**
+ * Process-wide leveled logger. Thread-safe: the level is an atomic and
+ * line emission is serialized under a mutex (one fwrite per line, so
+ * concurrent workers never interleave partial lines). The sink is
+ * stderr by default; tests capture lines in-process via setCapture.
+ */
+class Logger
+{
+  public:
+    /** The process logger. First use parses EIP_LOG (default warn). */
+    static Logger &global();
+
+    LogLevel level() const
+    {
+        return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+    }
+    void setLevel(LogLevel level)
+    {
+        level_.store(static_cast<int>(level), std::memory_order_relaxed);
+    }
+
+    /** The one hot check: is @p level currently emitted? */
+    bool enabled(LogLevel level) const
+    {
+        return static_cast<int>(level) >=
+               level_.load(std::memory_order_relaxed);
+    }
+
+    /** Redirect lines to @p sink (default stderr). */
+    void setSink(std::FILE *sink);
+    /** Capture lines into @p lines instead of the FILE sink (tests);
+     *  nullptr restores the FILE sink. */
+    void setCapture(std::vector<std::string> *lines);
+
+    /** Render and emit one eip-log/v1 line. Call through the EIP_LOG_*
+     *  macros so disabled levels skip field construction entirely. */
+    void emit(LogLevel level, const char *component, const char *event,
+              std::initializer_list<LogField> fields);
+
+    /** Render one line without emitting it (tests, the validator). */
+    static std::string renderLine(LogLevel level, const char *component,
+                                  const char *event,
+                                  std::initializer_list<LogField> fields);
+
+  private:
+    Logger();
+
+    std::atomic<int> level_;
+    std::mutex sinkMutex_;
+    std::FILE *sink_ = stderr;
+    std::vector<std::string> *capture_ = nullptr;
+};
+
+/** Monotonic microseconds since process start (log timestamps). */
+uint64_t logElapsedUs();
+
+} // namespace eip::obs
+
+#define EIP_LOG_AT(lvl, component, event, ...)                                \
+    do {                                                                      \
+        if (::eip::obs::Logger::global().enabled(lvl))                        \
+            ::eip::obs::Logger::global().emit(lvl, component, event,          \
+                                              {__VA_ARGS__});                 \
+    } while (0)
+
+#define EIP_LOG_DEBUG(component, event, ...)                                  \
+    EIP_LOG_AT(::eip::obs::LogLevel::Debug, component, event, __VA_ARGS__)
+#define EIP_LOG_INFO(component, event, ...)                                   \
+    EIP_LOG_AT(::eip::obs::LogLevel::Info, component, event, __VA_ARGS__)
+#define EIP_LOG_WARN(component, event, ...)                                   \
+    EIP_LOG_AT(::eip::obs::LogLevel::Warn, component, event, __VA_ARGS__)
+#define EIP_LOG_ERROR(component, event, ...)                                  \
+    EIP_LOG_AT(::eip::obs::LogLevel::Error, component, event, __VA_ARGS__)
+
+#endif // EIP_OBS_LOG_HH

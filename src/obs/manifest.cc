@@ -41,6 +41,12 @@ writeManifest(JsonWriter &json, const RunManifest &m, bool include_timing)
         json.kv("jobs", m.jobs);
         json.kv("host_wall_ms", m.hostWallMs);
         json.kv("host_mips", m.hostMips);
+        if (!m.phaseMs.empty()) {
+            json.key("phase_ms").beginObject();
+            for (const auto &[phase, ms] : m.phaseMs)
+                json.kv(phase, ms);
+            json.endObject();
+        }
     }
     json.endObject();
 }

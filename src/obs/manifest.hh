@@ -17,6 +17,8 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace eip::obs {
 
@@ -55,6 +57,10 @@ struct RunManifest
      *  results stay byte-comparable across hosts and skip modes. */
     double hostWallMs = 0.0;
     double hostMips = 0.0;
+    /** Host wall time per run phase (obs::PhaseProfiler::totalsMs),
+     *  first-seen order. Timing field like hostWallMs: single-run
+     *  artifacts only, omitted when empty. */
+    std::vector<std::pair<std::string, double>> phaseMs;
 
     RunManifest();
 };

@@ -1,0 +1,245 @@
+#include "obs/span.hh"
+
+#include <time.h>
+
+#include "obs/json.hh"
+
+namespace eip::obs {
+
+uint64_t
+monotonicMicros()
+{
+    // steady_clock is CLOCK_MONOTONIC on Linux: system-wide, so values
+    // taken in a forked worker line up with the parent's.
+    struct timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<uint64_t>(ts.tv_sec) * 1000000ull +
+           static_cast<uint64_t>(ts.tv_nsec) / 1000ull;
+}
+
+SpanCollector::SpanCollector(size_t limit)
+    : limit_(limit == 0 ? 1 : limit), epochUs_(monotonicMicros())
+{
+}
+
+uint64_t
+SpanCollector::newTrace()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ++nextTraceId_;
+}
+
+void
+SpanCollector::record(SpanRecord span)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++recorded_;
+    if (span.name == "request")
+        ++terminals_[span.state];
+    if (ring_.size() < limit_) {
+        ring_.push_back(std::move(span));
+        return;
+    }
+    ring_[head_] = std::move(span);
+    head_ = (head_ + 1) % limit_;
+    wrapped_ = true;
+}
+
+void
+SpanCollector::recordChild(uint64_t trace_id,
+                           const std::vector<SpanRecord> &spans)
+{
+    for (SpanRecord span : spans) {
+        span.traceId = trace_id;
+        record(std::move(span));
+    }
+}
+
+uint64_t
+SpanCollector::recorded() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return recorded_;
+}
+
+uint64_t
+SpanCollector::dropped() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return recorded_ - ring_.size();
+}
+
+size_t
+SpanCollector::retained() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ring_.size();
+}
+
+std::map<std::string, uint64_t>
+SpanCollector::terminals() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return terminals_;
+}
+
+namespace {
+
+void
+writeSpanEvent(JsonWriter &json, const SpanRecord &span, uint64_t epoch_us)
+{
+    const uint64_t ts = span.startUs > epoch_us ? span.startUs - epoch_us : 0;
+    json.beginObject()
+        .kv("name", span.name)
+        .kv("cat", "serve")
+        .kv("ph", "X")
+        .kv("ts", ts)
+        .kv("dur", span.durUs)
+        .kv("pid", 1)
+        .kv("tid", span.traceId);
+    json.key("args").beginObject();
+    if (!span.state.empty())
+        json.kv("state", span.state);
+    json.endObject();
+    json.endObject();
+}
+
+} // namespace
+
+std::string
+SpanCollector::toJson(
+    const std::vector<std::pair<std::string, std::string>> &meta) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    JsonWriter json;
+    json.beginObject();
+    json.kv("schema", "eip-trace/v1");
+    json.kv("kind", "serve");
+    json.kv("displayTimeUnit", "ms");
+
+    json.key("meta").beginObject();
+    json.kv("clock", "us");
+    json.kv("limit", static_cast<uint64_t>(limit_));
+    json.kv("recorded", recorded_);
+    json.kv("retained", static_cast<uint64_t>(ring_.size()));
+    json.kv("wrapped", wrapped_);
+    for (const auto &[key, value] : meta)
+        json.kv(key, value);
+    json.endObject();
+
+    // Exact roll-ups: terminal counts survive ring wrap, so eiptrace
+    // reconciles them 1:1 against the daemon's serve.* counters.
+    json.key("serve").beginObject();
+    json.kv("traces", nextTraceId_);
+    json.kv("span_dropped", recorded_ - ring_.size());
+    json.key("terminals").beginObject();
+    for (const auto &[state, count] : terminals_)
+        json.kv(state, count);
+    json.endObject();
+    json.endObject();
+
+    json.key("traceEvents").beginArray();
+    json.beginObject()
+        .kv("name", "process_name")
+        .kv("ph", "M")
+        .kv("pid", 1);
+    json.key("args").beginObject().kv("name", "eipd").endObject();
+    json.endObject();
+    // One named track per request that still has spans in the ring.
+    std::vector<uint64_t> tids;
+    auto forEachOldestFirst = [&](auto &&fn) {
+        for (size_t i = head_; i < ring_.size(); ++i)
+            fn(ring_[i]);
+        for (size_t i = 0; i < head_; ++i)
+            fn(ring_[i]);
+    };
+    forEachOldestFirst([&](const SpanRecord &span) {
+        for (uint64_t tid : tids)
+            if (tid == span.traceId)
+                return;
+        tids.push_back(span.traceId);
+    });
+    for (uint64_t tid : tids) {
+        json.beginObject()
+            .kv("name", "thread_name")
+            .kv("ph", "M")
+            .kv("pid", 1)
+            .kv("tid", tid);
+        json.key("args")
+            .beginObject()
+            .kv("name", "request " + std::to_string(tid))
+            .endObject();
+        json.endObject();
+    }
+    forEachOldestFirst(
+        [&](const SpanRecord &span) { writeSpanEvent(json, span, epochUs_); });
+    json.endArray();
+
+    json.endObject();
+    std::string out = json.str();
+    out.push_back('\n');
+    return out;
+}
+
+std::string
+spanPreambleJson(const std::vector<SpanRecord> &spans)
+{
+    JsonWriter json;
+    json.beginObject().kv("schema", "eip-span/v1");
+    json.key("spans").beginArray();
+    for (const SpanRecord &span : spans) {
+        json.beginObject()
+            .kv("name", span.name)
+            .kv("start_us", span.startUs)
+            .kv("dur_us", span.durUs)
+            .endObject();
+    }
+    json.endArray().endObject();
+    std::string out = json.str();
+    out.push_back('\n');
+    return out;
+}
+
+bool
+parseSpanPreamble(const std::string &line, std::vector<SpanRecord> &out)
+{
+    auto doc = parseJson(line);
+    if (!doc)
+        return false;
+    const JsonValue *schema = doc->find("schema");
+    if (schema == nullptr || schema->string != "eip-span/v1")
+        return false;
+    const JsonValue *spans = doc->find("spans");
+    if (spans == nullptr || spans->type != JsonValue::Type::Array)
+        return false;
+    for (const JsonValue &item : spans->array) {
+        const JsonValue *name = item.find("name");
+        const JsonValue *start = item.find("start_us");
+        const JsonValue *dur = item.find("dur_us");
+        if (name == nullptr || start == nullptr || dur == nullptr ||
+            !start->isNumber() || !dur->isNumber())
+            return false;
+        SpanRecord span;
+        span.name = name->string;
+        span.startUs = start->asU64();
+        span.durUs = dur->asU64();
+        out.push_back(std::move(span));
+    }
+    return true;
+}
+
+bool
+splitWorkerPayload(const std::string &payload, std::string &artifact,
+                   std::string &preamble)
+{
+    const size_t nl = payload.find('\n');
+    if (nl == std::string::npos)
+        return false;
+    artifact = payload.substr(0, nl + 1);
+    preamble = payload.substr(nl + 1);
+    if (!preamble.empty() && preamble.back() == '\n')
+        preamble.pop_back();
+    return true;
+}
+
+} // namespace eip::obs

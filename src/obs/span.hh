@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Request-scoped spans for the serve layer. Every `eipd` request gets
+ * a trace id; the daemon and its forked workers record named phase
+ * spans against it (queued, cache_lookup, forked, simulated,
+ * serialized, plus one root "request" span carrying the terminal
+ * state). The collector keeps a bounded ring of spans and exact
+ * terminal-state roll-ups, and renders the lot as an `eip-trace/v1`
+ * Perfetto document (`kind:"serve"`) — one track per request, so a
+ * trace viewer shows the per-request timeline and `eiptrace serve`
+ * can break latency down by phase.
+ *
+ * Spans cross the fork boundary as a one-line `eip-span/v1` preamble
+ * the worker child appends after its artifact line on the existing
+ * pipe; `splitWorkerPayload`/`parseSpanPreamble` do the framing.
+ *
+ * Timestamps are absolute CLOCK_MONOTONIC microseconds — on Linux the
+ * monotonic clock is system-wide, so parent- and child-recorded spans
+ * share one timeline; the exporter normalizes to the collector epoch.
+ */
+
+#ifndef EIP_OBS_SPAN_HH
+#define EIP_OBS_SPAN_HH
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace eip::obs {
+
+/** Absolute CLOCK_MONOTONIC now, in microseconds. */
+uint64_t monotonicMicros();
+
+/** One closed span. Root "request" spans carry a terminal @p state
+ *  (done|cache|failed|crashed|rejected); phase spans leave it empty. */
+struct SpanRecord
+{
+    uint64_t traceId = 0;
+    std::string name;
+    uint64_t startUs = 0;
+    uint64_t durUs = 0;
+    std::string state;
+};
+
+/**
+ * Thread-safe bounded span store. Retains at most @p limit spans
+ * (oldest dropped first, with a drop count), but terminal-state
+ * roll-ups count every root span ever recorded — so reconciliation
+ * against the daemon's counters stays exact no matter how small the
+ * ring is.
+ */
+class SpanCollector
+{
+  public:
+    explicit SpanCollector(size_t limit);
+
+    /** Allocate the next trace id (1-based, monotonically increasing). */
+    uint64_t newTrace();
+
+    /** Record one closed span. */
+    void record(SpanRecord span);
+    /** Record a batch relayed from a worker child, stamping @p traceId. */
+    void recordChild(uint64_t trace_id,
+                     const std::vector<SpanRecord> &spans);
+
+    size_t limit() const { return limit_; }
+    uint64_t recorded() const;
+    uint64_t dropped() const;
+    size_t retained() const;
+    /** Terminal-state counts over all root "request" spans. */
+    std::map<std::string, uint64_t> terminals() const;
+
+    /** Render the eip-trace/v1 serve document (one line + '\n').
+     *  @p meta pairs land in the meta section (e.g. tool provenance). */
+    std::string
+    toJson(const std::vector<std::pair<std::string, std::string>> &meta =
+               {}) const;
+
+  private:
+    const size_t limit_;
+    mutable std::mutex mutex_;
+    std::vector<SpanRecord> ring_; ///< insertion order with head_ cursor
+    size_t head_ = 0;              ///< next overwrite slot once full
+    bool wrapped_ = false;
+    uint64_t recorded_ = 0;
+    uint64_t nextTraceId_ = 0;
+    uint64_t epochUs_; ///< collector construction time (ts normalization)
+    std::map<std::string, uint64_t> terminals_;
+};
+
+/** Render @p spans as the one-line eip-span/v1 worker preamble
+ *  (trailing '\n' included). traceId/state are not transmitted — the
+ *  parent stamps the trace id and owns the terminal state. */
+std::string spanPreambleJson(const std::vector<SpanRecord> &spans);
+
+/** Parse an eip-span/v1 line back into span records. */
+bool parseSpanPreamble(const std::string &line,
+                       std::vector<SpanRecord> &out);
+
+/** Split a worker pipe payload into the artifact line and an optional
+ *  eip-span/v1 preamble line that follows it. Returns false when the
+ *  payload has no newline at all (truncated artifact — the caller
+ *  keeps its existing error handling). */
+bool splitWorkerPayload(const std::string &payload, std::string &artifact,
+                        std::string &preamble);
+
+} // namespace eip::obs
+
+#endif // EIP_OBS_SPAN_HH

@@ -249,6 +249,232 @@ latenessReport(const TraceDoc &doc, uint64_t interval)
     return out;
 }
 
+bool
+isServeTrace(const JsonValue &root)
+{
+    const JsonValue *kind = root.find("kind");
+    return kind != nullptr && kind->string == "serve";
+}
+
+std::optional<ServeTraceDoc>
+parseServeTrace(const std::string &text, std::string *error)
+{
+    std::optional<JsonValue> root = parseJson(text, error);
+    if (!root)
+        return std::nullopt;
+    const JsonValue *schema = root->find("schema");
+    if (schema == nullptr || schema->string != kTraceSchema) {
+        if (error)
+            *error = std::string("schema is not ") + kTraceSchema;
+        return std::nullopt;
+    }
+    if (!isServeTrace(*root)) {
+        if (error)
+            *error = "trace kind is not 'serve'";
+        return std::nullopt;
+    }
+
+    ServeTraceDoc doc;
+    const JsonValue *meta = root->find("meta");
+    if (meta == nullptr || meta->type != JsonValue::Type::Object) {
+        if (error)
+            *error = "missing 'meta' object";
+        return std::nullopt;
+    }
+    if (!readU64(*meta, "limit", &doc.limit, error) ||
+        !readU64(*meta, "recorded", &doc.recorded, error) ||
+        !readU64(*meta, "retained", &doc.retained, error))
+        return std::nullopt;
+    const JsonValue *wrapped = meta->find("wrapped");
+    doc.wrapped = wrapped != nullptr && wrapped->boolean;
+    for (const auto &[key, value] : meta->object) {
+        if (value.type == JsonValue::Type::String)
+            doc.meta.emplace_back(key, value.string);
+    }
+
+    const JsonValue *serve = root->find("serve");
+    if (serve == nullptr || serve->type != JsonValue::Type::Object) {
+        if (error)
+            *error = "missing 'serve' object";
+        return std::nullopt;
+    }
+    if (!readU64(*serve, "traces", &doc.traces, error) ||
+        !readU64(*serve, "span_dropped", &doc.spanDropped, error))
+        return std::nullopt;
+    const JsonValue *terminals = serve->find("terminals");
+    if (terminals == nullptr ||
+        terminals->type != JsonValue::Type::Object) {
+        if (error)
+            *error = "missing 'serve.terminals' object";
+        return std::nullopt;
+    }
+    for (const auto &[state, count] : terminals->object) {
+        if (!count.isNumber()) {
+            if (error)
+                *error = "non-numeric terminal count '" + state + "'";
+            return std::nullopt;
+        }
+        doc.terminals.emplace_back(state, count.asU64());
+    }
+
+    const JsonValue *events = root->find("traceEvents");
+    if (events == nullptr || events->type != JsonValue::Type::Array) {
+        if (error)
+            *error = "missing 'traceEvents' array";
+        return std::nullopt;
+    }
+    for (const JsonValue &ev : events->array) {
+        const JsonValue *ph = ev.find("ph");
+        if (ph == nullptr || ph->string != "X")
+            continue; // metadata events
+        const JsonValue *name = ev.find("name");
+        const JsonValue *ts = ev.find("ts");
+        const JsonValue *dur = ev.find("dur");
+        const JsonValue *tid = ev.find("tid");
+        if (name == nullptr || ts == nullptr || dur == nullptr ||
+            tid == nullptr || !ts->isNumber() || !dur->isNumber() ||
+            !tid->isNumber()) {
+            if (error)
+                *error = "malformed span event";
+            return std::nullopt;
+        }
+        ServeSpan span;
+        span.traceId = tid->asU64();
+        span.name = name->string;
+        span.ts = ts->asU64();
+        span.dur = dur->asU64();
+        const JsonValue *args = ev.find("args");
+        const JsonValue *state =
+            args != nullptr ? args->find("state") : nullptr;
+        if (state != nullptr)
+            span.state = state->string;
+        doc.spans.push_back(std::move(span));
+    }
+    return doc;
+}
+
+std::string
+serveReport(const ServeTraceDoc &doc)
+{
+    std::string out = "request terminal states (exact; survive ring wrap)\n";
+    uint64_t roots = 0;
+    for (const auto &[state, count] : doc.terminals)
+        roots += count;
+    for (const auto &[state, count] : doc.terminals)
+        out += lineShare(state.c_str(), count, roots);
+    out += line("requests total", roots);
+    out += line("trace ids allocated", doc.traces);
+
+    // Phase latency breakdown over the retained spans.
+    struct Phase
+    {
+        uint64_t count = 0;
+        uint64_t sum = 0;
+        uint64_t max = 0;
+    };
+    std::map<std::string, Phase> phases;
+    for (const ServeSpan &span : doc.spans) {
+        Phase &p = phases[span.name];
+        ++p.count;
+        p.sum += span.dur;
+        p.max = std::max(p.max, span.dur);
+    }
+    out += "\nphase latency over retained spans";
+    if (doc.wrapped)
+        out += " (ring wrapped; oldest spans missing)";
+    out += "\n  phase                     count      mean-ms       max-ms\n";
+    for (const auto &[name, p] : phases) {
+        char buf[128];
+        std::snprintf(buf, sizeof(buf),
+                      "  %-24s %7" PRIu64 " %12.3f %12.3f\n", name.c_str(),
+                      p.count,
+                      static_cast<double>(p.sum) /
+                          (1000.0 * static_cast<double>(p.count)),
+                      static_cast<double>(p.max) / 1000.0);
+        out += buf;
+    }
+
+    // Per-request timeline, oldest first (span order within a request
+    // follows recording order: child phases land before the root).
+    out += "\nper-request timeline (ts relative to collector start)\n";
+    std::vector<uint64_t> order;
+    for (const ServeSpan &span : doc.spans) {
+        bool seen = false;
+        for (uint64_t tid : order)
+            seen = seen || tid == span.traceId;
+        if (!seen)
+            order.push_back(span.traceId);
+    }
+    for (uint64_t tid : order) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "  request %" PRIu64 "\n", tid);
+        out += buf;
+        for (const ServeSpan &span : doc.spans) {
+            if (span.traceId != tid)
+                continue;
+            char row[160];
+            std::snprintf(row, sizeof(row),
+                          "    %-22s @%10.3fms  %10.3fms%s%s\n",
+                          span.name.c_str(),
+                          static_cast<double>(span.ts) / 1000.0,
+                          static_cast<double>(span.dur) / 1000.0,
+                          span.state.empty() ? "" : "  -> ",
+                          span.state.c_str());
+            out += row;
+        }
+    }
+    if (doc.spans.empty())
+        out += "  (no spans retained)\n";
+    return out;
+}
+
+std::vector<std::string>
+reconcileServe(const ServeTraceDoc &trace, const JsonValue &stats)
+{
+    std::vector<std::string> mismatches;
+    const JsonValue *counters = stats.find("counters");
+    if (counters == nullptr ||
+        counters->type != JsonValue::Type::Object) {
+        mismatches.push_back("stats document has no 'counters' object");
+        return mismatches;
+    }
+
+    auto terminal = [&](const char *state) {
+        for (const auto &[name, count] : trace.terminals)
+            if (name == state)
+                return count;
+        return uint64_t{0};
+    };
+    const struct {
+        const char *counter;
+        uint64_t traceValue;
+    } pairs[] = {
+        {"serve.served_cache", terminal("cache")},
+        {"serve.simulated", terminal("done")},
+        {"serve.rejected_queue_full", terminal("rejected")},
+        {"serve.worker_crashes", terminal("crashed")},
+        // A crashed worker is one way a request fails; the daemon counts
+        // both under serve.failed.
+        {"serve.failed", terminal("failed") + terminal("crashed")},
+    };
+    for (const auto &pair : pairs) {
+        const JsonValue *counter = counters->find(pair.counter);
+        if (counter == nullptr || !counter->isNumber()) {
+            mismatches.push_back(std::string("counter '") + pair.counter +
+                                 "' missing from stats document");
+            continue;
+        }
+        if (counter->asU64() != pair.traceValue) {
+            char buf[160];
+            std::snprintf(buf, sizeof(buf),
+                          "%s: stats=%" PRIu64 " trace=%" PRIu64,
+                          pair.counter, counter->asU64(), pair.traceValue);
+            mismatches.push_back(buf);
+        }
+    }
+    return mismatches;
+}
+
 std::vector<std::string>
 reconcileWithRun(const TraceDoc &trace, const JsonValue &run)
 {

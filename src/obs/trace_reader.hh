@@ -66,6 +66,58 @@ std::string latenessReport(const TraceDoc &doc, uint64_t interval);
 std::vector<std::string> reconcileWithRun(const TraceDoc &trace,
                                           const JsonValue &run);
 
+/** One request-phase span of a serve trace (ts relative to the
+ *  collector epoch, both in microseconds). */
+struct ServeSpan
+{
+    uint64_t traceId = 0;
+    std::string name;
+    uint64_t ts = 0;
+    uint64_t dur = 0;
+    std::string state; ///< terminal state on root "request" spans
+};
+
+/** Parsed serve-side trace (eip-trace/v1, kind "serve") produced by
+ *  the eipd span collector (obs::SpanCollector::toJson). */
+struct ServeTraceDoc
+{
+    uint64_t limit = 0;
+    uint64_t recorded = 0;
+    uint64_t retained = 0;
+    bool wrapped = false;
+    /** Exact roll-ups (survive ring wrap). */
+    uint64_t traces = 0;
+    uint64_t spanDropped = 0;
+    std::vector<std::pair<std::string, uint64_t>> terminals;
+    std::vector<std::pair<std::string, std::string>> meta;
+    /** Retained spans, oldest first (metadata events excluded). */
+    std::vector<ServeSpan> spans;
+};
+
+/** Does @p root look like a serve trace (kind "serve")? Used by
+ *  eiptrace to dispatch between the run-trace and serve-trace paths. */
+bool isServeTrace(const JsonValue &root);
+
+/** Parse @p text as a serve trace. Returns nullopt on malformed JSON
+ *  or schema violations (description in @p error). */
+std::optional<ServeTraceDoc> parseServeTrace(const std::string &text,
+                                             std::string *error = nullptr);
+
+/** Per-request timeline plus the queue-wait / fork / simulate /
+ *  cache-lookup latency breakdown of the retained spans. */
+std::string serveReport(const ServeTraceDoc &doc);
+
+/**
+ * Cross-check the serve trace's terminal-state roll-ups against the
+ * daemon's counters (an eip-serve/v1 stats response): cache vs
+ * serve.served_cache, done vs serve.simulated, rejected vs
+ * serve.rejected_queue_full, crashed vs serve.worker_crashes, and
+ * failed+crashed vs serve.failed. Exact — terminal counts survive
+ * ring wrap. Returns one message per mismatch.
+ */
+std::vector<std::string> reconcileServe(const ServeTraceDoc &trace,
+                                        const JsonValue &stats);
+
 } // namespace eip::obs
 
 #endif // EIP_OBS_TRACE_READER_HH

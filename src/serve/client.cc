@@ -187,6 +187,81 @@ Client::stats(std::string &stats_json, std::string *error)
 }
 
 bool
+Client::metrics(std::string &metrics_json, std::string &exposition,
+                std::string *error)
+{
+    if (fd_ < 0) {
+        if (error)
+            *error = "not connected";
+        return false;
+    }
+    Request request;
+    request.op = Request::Op::Metrics;
+    if (!sendLine(fd_, requestJson(request))) {
+        if (error)
+            *error = "daemon hung up while sending";
+        return false;
+    }
+    if (!reader_.readLine(metrics_json)) {
+        if (error)
+            *error = "daemon hung up without responding";
+        return false;
+    }
+    std::string parse_error;
+    std::optional<obs::JsonValue> doc =
+        obs::parseJson(metrics_json, &parse_error);
+    if (!doc) {
+        if (error)
+            *error = "malformed metrics document: " + parse_error;
+        return false;
+    }
+    if (stringField(*doc, "status") != "ok") {
+        if (error)
+            *error = stringField(*doc, "error");
+        return false;
+    }
+    exposition = stringField(*doc, "exposition");
+    return true;
+}
+
+bool
+Client::spans(std::string &trace_json, std::string *error)
+{
+    if (fd_ < 0) {
+        if (error)
+            *error = "not connected";
+        return false;
+    }
+    Request request;
+    request.op = Request::Op::Spans;
+    if (!sendLine(fd_, requestJson(request))) {
+        if (error)
+            *error = "daemon hung up while sending";
+        return false;
+    }
+    if (!reader_.readLine(trace_json)) {
+        if (error)
+            *error = "daemon hung up without responding";
+        return false;
+    }
+    std::string parse_error;
+    std::optional<obs::JsonValue> doc =
+        obs::parseJson(trace_json, &parse_error);
+    if (!doc) {
+        if (error)
+            *error = "malformed span document: " + parse_error;
+        return false;
+    }
+    // A span dump has no "status" — an error response does.
+    if (stringField(*doc, "kind") == "response") {
+        if (error)
+            *error = stringField(*doc, "error");
+        return false;
+    }
+    return true;
+}
+
+bool
 Client::shutdown(std::string *error)
 {
     Request request;

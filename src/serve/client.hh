@@ -76,6 +76,16 @@ class Client
     /** The daemon's eip-serve/v1 stats document (raw line). */
     bool stats(std::string &stats_json, std::string *error);
 
+    /** The metrics response: @p metrics_json gets the raw response
+     *  line (window + exposition), @p exposition the decoded
+     *  Prometheus text page. */
+    bool metrics(std::string &metrics_json, std::string &exposition,
+                 std::string *error);
+
+    /** The daemon's eip-trace/v1 serve span document (raw line).
+     *  False (with the daemon's diagnostic) when spans are disabled. */
+    bool spans(std::string &trace_json, std::string *error);
+
     bool shutdown(std::string *error);
 
     /** Poll status until the job reaches done/failed or

@@ -10,6 +10,7 @@
 #include "exec/program_cache.hh"
 #include "harness/canonical.hh"
 #include "obs/json.hh"
+#include "obs/log.hh"
 #include "obs/manifest.hh"
 #include "prefetch/factory.hh"
 #include "serve/socket_io.hh"
@@ -45,8 +46,11 @@ responseHead(Request::Op op, const char *status)
 
 Daemon::Daemon(DaemonOptions options)
     : options_(std::move(options)), gitDescribe_(obs::buildGitDescribe()),
-      queue_(options_.queueDepth), cache_(options_.cacheBytes)
+      queue_(options_.queueDepth), cache_(options_.cacheBytes),
+      metrics_(options_.metricsWindowSeconds)
 {
+    if (options_.spanLimit > 0)
+        spans_ = std::make_unique<obs::SpanCollector>(options_.spanLimit);
     registry_.counter("serve.requests", [this] { return requests_.load(); });
     registry_.counter("serve.invalid", [this] { return invalid_.load(); });
     registry_.counter("serve.submits", [this] { return submits_.load(); });
@@ -70,6 +74,45 @@ Daemon::Daemon(DaemonOptions options)
     exec::ProgramCache::global().registerStats(registry_,
                                                "serve.program_cache");
     registry_.histogram("serve.request_wall_ms", &requestWallMs_);
+    // Interpolated request-latency percentiles (util::Histogram's
+    // type-7 estimator — the same math the manifest-side percentile
+    // helper uses, so daemon and manifest numbers agree). The closures
+    // re-enter histMutex_ from inside statsDump's dump(); it is
+    // recursive for exactly that.
+    for (const auto &[name, q] :
+         {std::pair<const char *, double>{"serve.request_wall_ms.p50", 0.50},
+          {"serve.request_wall_ms.p95", 0.95},
+          {"serve.request_wall_ms.p99", 0.99}}) {
+        const double quantile = q;
+        registry_.gauge(name, [this, quantile] {
+            std::lock_guard<std::recursive_mutex> lock(histMutex_);
+            return requestWallMs_.percentile(quantile);
+        });
+    }
+    // The rolling window: what the daemon is doing *now* (last N
+    // seconds), as opposed to the since-start counters above.
+    registry_.gauge("serve.window.seconds", [this] {
+        return static_cast<double>(metrics_.windowSeconds());
+    });
+    registry_.gauge("serve.window.requests", [this] {
+        return static_cast<double>(metrics_.view().requests);
+    });
+    registry_.gauge("serve.window.qps",
+                    [this] { return metrics_.view().qps; });
+    registry_.gauge("serve.window.hit_ratio",
+                    [this] { return metrics_.view().hitRatio; });
+    registry_.gauge("serve.window.p50_ms",
+                    [this] { return metrics_.view().p50Ms; });
+    registry_.gauge("serve.window.p95_ms",
+                    [this] { return metrics_.view().p95Ms; });
+    registry_.gauge("serve.window.p99_ms",
+                    [this] { return metrics_.view().p99Ms; });
+    if (spans_ != nullptr) {
+        registry_.counter("serve.spans.recorded",
+                          [this] { return spans_->recorded(); });
+        registry_.counter("serve.spans.dropped",
+                          [this] { return spans_->dropped(); });
+    }
 }
 
 Daemon::~Daemon()
@@ -95,6 +138,14 @@ Daemon::start(std::string *error)
     workerThreads_.reserve(options_.workers);
     for (unsigned i = 0; i < options_.workers; ++i)
         workerThreads_.emplace_back([this] { workerLoop(); });
+    EIP_LOG_INFO("eipd", "listening",
+                 obs::LogField("socket", options_.socketPath),
+                 obs::LogField("workers",
+                               static_cast<uint64_t>(options_.workers)),
+                 obs::LogField("queue_depth",
+                               static_cast<uint64_t>(options_.queueDepth)),
+                 obs::LogField("span_limit",
+                               static_cast<uint64_t>(options_.spanLimit)));
     return true;
 }
 
@@ -148,6 +199,11 @@ Daemon::stop()
         thread.join();
 
     ::unlink(options_.socketPath.c_str());
+    EIP_LOG_INFO("eipd", "stopped",
+                 obs::LogField("requests", requests_.load()),
+                 obs::LogField("simulated", simulated_.load()),
+                 obs::LogField("served_cache", servedCache_.load()),
+                 obs::LogField("failed", failed_.load()));
 }
 
 void
@@ -208,6 +264,9 @@ Daemon::workerLoop()
         harness::RunJob run;
         std::string key;
         bool inject_crash = false;
+        uint64_t trace_id = 0;
+        uint64_t submit_us = 0;
+        uint64_t enqueue_us = 0;
         {
             std::lock_guard<std::mutex> lock(jobsMutex_);
             auto it = jobs_.find(*id);
@@ -217,15 +276,19 @@ Daemon::workerLoop()
             run = it->second.run;
             key = it->second.key;
             inject_crash = it->second.injectCrash;
+            trace_id = it->second.traceId;
+            submit_us = it->second.submitUs;
+            enqueue_us = it->second.enqueueUs;
         }
 
-        auto start = std::chrono::steady_clock::now();
-        WorkerOutcome outcome = runForkedJob(run, inject_crash);
-        double ms = std::chrono::duration<double, std::milli>(
-                        std::chrono::steady_clock::now() - start)
-                        .count();
+        const uint64_t fork_start_us = obs::monotonicMicros();
+        WorkerOutcome outcome =
+            runForkedJob(run, inject_crash, spans_ != nullptr);
+        const uint64_t fork_end_us = obs::monotonicMicros();
+        double ms =
+            static_cast<double>(fork_end_us - fork_start_us) / 1000.0;
         {
-            std::lock_guard<std::mutex> lock(histMutex_);
+            std::lock_guard<std::recursive_mutex> lock(histMutex_);
             requestWallMs_.record(static_cast<size_t>(ms));
         }
 
@@ -238,6 +301,37 @@ Daemon::workerLoop()
             failed_.fetch_add(1);
         if (outcome.crashed)
             workerCrashes_.fetch_add(1);
+
+        metrics_.record(outcome.ok ? MetricsWindow::Outcome::Simulated
+                                   : MetricsWindow::Outcome::Failed,
+                        ms);
+
+        if (spans_ != nullptr) {
+            // queued: admission push to worker pickup; forked: the
+            // whole child lifetime; the child's own phase spans ride
+            // the preamble; request: submit to terminal state.
+            spans_->record({trace_id, "queued", enqueue_us,
+                            fork_start_us - enqueue_us, ""});
+            spans_->record({trace_id, "forked", fork_start_us,
+                            fork_end_us - fork_start_us, ""});
+            spans_->recordChild(trace_id, outcome.childSpans);
+            const char *terminal = outcome.ok        ? "done"
+                                   : outcome.crashed ? "crashed"
+                                                     : "failed";
+            spans_->record({trace_id, "request", submit_us,
+                            fork_end_us - submit_us, terminal});
+        }
+
+        if (outcome.ok) {
+            EIP_LOG_INFO("eipd", "job_done", obs::LogField("job", *id),
+                         obs::LogField("wall_ms", ms),
+                         obs::LogField("trace", trace_id));
+        } else {
+            EIP_LOG_WARN("eipd", "job_failed", obs::LogField("job", *id),
+                         obs::LogField("crashed", outcome.crashed),
+                         obs::LogField("error", outcome.error),
+                         obs::LogField("trace", trace_id));
+        }
 
         std::lock_guard<std::mutex> lock(jobsMutex_);
         Job &job = jobs_[*id];
@@ -284,8 +378,18 @@ Daemon::dispatch(const Request &request)
         return handleFetch(request.job);
       case Request::Op::Stats:
         return statsJson();
+      case Request::Op::Metrics:
+        return metricsJson();
+      case Request::Op::Spans: {
+          if (spans_ == nullptr)
+              return invalidResponse(request.op,
+                                     "span collection is disabled "
+                                     "(daemon started with --span-limit 0)");
+          return spansJson();
+      }
       case Request::Op::Shutdown: {
           requestStop();
+          EIP_LOG_INFO("eipd", "shutdown_requested");
           obs::JsonWriter json = responseHead(request.op, "ok");
           json.endObject();
           return json.str();
@@ -323,22 +427,49 @@ Daemon::handleSubmit(const RunRequest &run)
     const std::string key = harness::resultCacheKey(
         gitDescribe_, sim::SimConfig{}, spec, workload);
 
+    // A trace opens only once the request is semantically valid — the
+    // invalid paths above never become request spans, so closed root
+    // spans reconcile exactly against the outcome counters.
+    const uint64_t submit_us = obs::monotonicMicros();
+    const uint64_t trace_id = spans_ != nullptr ? spans_->newTrace() : 0;
+
     // Cache probe first: a hit answers without consuming queue space or
     // forking a worker. Fault-injected jobs never touch the cache in
     // either direction — their artifacts are garbage by design.
     if (!run.injectCrash) {
-        if (std::optional<std::string> artifact = cache_.get(key)) {
+        std::optional<std::string> artifact = cache_.get(key);
+        const uint64_t probe_end_us = obs::monotonicMicros();
+        if (spans_ != nullptr)
+            spans_->record({trace_id, "cache_lookup", submit_us,
+                            probe_end_us - submit_us, ""});
+        if (artifact) {
             servedCache_.fetch_add(1);
+            const double ms =
+                static_cast<double>(probe_end_us - submit_us) / 1000.0;
+            metrics_.record(MetricsWindow::Outcome::Cache, ms);
+            {
+                std::lock_guard<std::recursive_mutex> lock(histMutex_);
+                requestWallMs_.record(static_cast<size_t>(ms));
+            }
+            if (spans_ != nullptr)
+                spans_->record({trace_id, "request", submit_us,
+                                probe_end_us - submit_us, "cache"});
             uint64_t id;
             {
                 std::lock_guard<std::mutex> lock(jobsMutex_);
                 id = nextJobId_++;
                 Job &job = jobs_[id];
                 job.key = key;
+                job.traceId = trace_id;
+                job.submitUs = submit_us;
                 job.state = Job::State::Done;
                 job.servedFromCache = true;
                 job.artifact = std::move(*artifact);
             }
+            EIP_LOG_DEBUG("eipd", "cache_served",
+                          obs::LogField("job", id),
+                          obs::LogField("key", key),
+                          obs::LogField("trace", trace_id));
             obs::JsonWriter json = responseHead(Request::Op::Submit,
                                                 "accepted");
             json.kv("job", id);
@@ -359,12 +490,28 @@ Daemon::handleSubmit(const RunRequest &run)
         job.run.spec = spec;
         job.key = key;
         job.injectCrash = run.injectCrash;
+        job.traceId = trace_id;
+        job.submitUs = submit_us;
+        // Stamped before tryPush: a worker may pop the id the moment
+        // the push lands, so the job record must already be complete.
+        job.enqueueUs = obs::monotonicMicros();
     }
     if (!queue_.tryPush(id)) {
         {
             std::lock_guard<std::mutex> lock(jobsMutex_);
             jobs_.erase(id);
         }
+        metrics_.record(MetricsWindow::Outcome::Rejected, 0.0);
+        if (spans_ != nullptr)
+            spans_->record({trace_id, "request", submit_us,
+                            obs::monotonicMicros() - submit_us,
+                            "rejected"});
+        EIP_LOG_WARN("eipd", "rejected",
+                     obs::LogField("workload", run.workload),
+                     obs::LogField("queue_capacity",
+                                   static_cast<uint64_t>(
+                                       options_.queueDepth)),
+                     obs::LogField("trace", trace_id));
         obs::JsonWriter json = responseHead(Request::Op::Submit,
                                             "rejected");
         json.kv("error", "queue full");
@@ -374,6 +521,9 @@ Daemon::handleSubmit(const RunRequest &run)
         return json.str();
     }
 
+    EIP_LOG_DEBUG("eipd", "enqueued", obs::LogField("job", id),
+                  obs::LogField("workload", run.workload),
+                  obs::LogField("trace", trace_id));
     obs::JsonWriter json = responseHead(Request::Op::Submit, "accepted");
     json.kv("job", id);
     json.kv("key", key);
@@ -441,7 +591,7 @@ Daemon::handleFetch(uint64_t id)
 obs::CounterDump
 Daemon::statsDump()
 {
-    std::lock_guard<std::mutex> lock(histMutex_);
+    std::lock_guard<std::recursive_mutex> lock(histMutex_);
     return registry_.dump();
 }
 
@@ -457,9 +607,51 @@ Daemon::statsJson()
     json.kv("workers", options_.workers);
     json.kv("queue_capacity", static_cast<uint64_t>(options_.queueDepth));
     json.kv("cache_capacity_bytes", options_.cacheBytes);
+    json.kv("span_limit", static_cast<uint64_t>(options_.spanLimit));
     obs::writeCounterSections(json, statsDump());
     json.endObject();
     return json.str();
+}
+
+std::string
+Daemon::metricsJson()
+{
+    const MetricsWindow::View view = metrics_.view();
+    obs::JsonWriter json = responseHead(Request::Op::Metrics, "ok");
+    json.key("window").beginObject();
+    json.kv("seconds", view.windowSeconds);
+    json.kv("requests", view.requests);
+    json.kv("cache_hits", view.cacheHits);
+    json.kv("simulated", view.simulated);
+    json.kv("failed", view.failed);
+    json.kv("rejected", view.rejected);
+    json.kv("qps", view.qps);
+    json.kv("hit_ratio", view.hitRatio);
+    json.kv("p50_ms", view.p50Ms);
+    json.kv("p95_ms", view.p95Ms);
+    json.kv("p99_ms", view.p99Ms);
+    json.endObject();
+    // The Prometheus page rides the NDJSON protocol as one escaped
+    // string value; eipc metrics unescapes it back to scrape text.
+    json.kv("exposition",
+            prometheusText(statsDump(),
+                           {{"tool", "eipd"},
+                            {"git_describe", gitDescribe_}}));
+    json.endObject();
+    return json.str();
+}
+
+std::string
+Daemon::spansJson()
+{
+    if (spans_ == nullptr)
+        return {};
+    std::string doc = spans_->toJson({{"tool", "eipd"},
+                                      {"git_describe", gitDescribe_}});
+    // One line on the wire, like every other response.
+    if (!doc.empty() && doc.back() == '\n')
+        doc.pop_back();
+    return doc;
 }
 
 } // namespace eip::serve

@@ -22,6 +22,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -30,6 +31,8 @@
 
 #include "harness/runner.hh"
 #include "obs/registry.hh"
+#include "obs/span.hh"
+#include "serve/metrics.hh"
 #include "serve/protocol.hh"
 #include "serve/queue.hh"
 #include "serve/result_cache.hh"
@@ -46,6 +49,11 @@ struct DaemonOptions
     size_t queueDepth = 64;
     /** Result-cache budget in artifact bytes. */
     uint64_t cacheBytes = 64ull << 20;
+    /** Request-span ring capacity; 0 disables span collection (the
+     *  "spans" op then answers invalid and workers skip the preamble). */
+    size_t spanLimit = 4096;
+    /** Rolling metrics window length for the "metrics" op. */
+    uint64_t metricsWindowSeconds = 60;
 };
 
 class Daemon
@@ -81,6 +89,16 @@ class Daemon
     /** The eip-serve/v1 stats document (one line, no newline). */
     std::string statsJson();
 
+    /** The "metrics" response: window view + Prometheus exposition. */
+    std::string metricsJson();
+
+    /** The eip-trace/v1 serve span document (one line, no trailing
+     *  newline), or empty when spans are disabled. */
+    std::string spansJson();
+
+    /** The live span collector (tests); nullptr when disabled. */
+    obs::SpanCollector *spans() { return spans_.get(); }
+
   private:
     /** One tracked submit and what became of it. */
     struct Job
@@ -88,6 +106,9 @@ class Daemon
         harness::RunJob run;
         std::string key;
         bool injectCrash = false;
+        uint64_t traceId = 0;   ///< span trace id (0 when spans off)
+        uint64_t submitUs = 0;  ///< request-received monotonic time
+        uint64_t enqueueUs = 0; ///< admission-queue push time
         enum class State
         {
             Queued,
@@ -146,9 +167,15 @@ class Daemon
 
     /** Per-request wall time, bucketed in milliseconds. Guarded by
      *  histMutex_ (also held across statsJson's registry dump so a
-     *  concurrent record can't tear a snapshot). */
-    std::mutex histMutex_;
+     *  concurrent record can't tear a snapshot; recursive because the
+     *  registered percentile gauges re-enter it from inside dump()). */
+    std::recursive_mutex histMutex_;
     Histogram requestWallMs_{128};
+
+    /** Request spans; allocated only when options_.spanLimit > 0 so a
+     *  disabled collector is one pointer test on every hook. */
+    std::unique_ptr<obs::SpanCollector> spans_;
+    MetricsWindow metrics_;
 
     obs::CounterRegistry registry_;
 };

@@ -65,6 +65,8 @@ opName(Request::Op op)
       case Request::Op::Status: return "status";
       case Request::Op::Fetch: return "fetch";
       case Request::Op::Stats: return "stats";
+      case Request::Op::Metrics: return "metrics";
+      case Request::Op::Spans: return "spans";
       case Request::Op::Shutdown: return "shutdown";
     }
     return "unknown";
@@ -75,7 +77,8 @@ opFromName(const std::string &name, Request::Op &out)
 {
     for (Request::Op op :
          {Request::Op::Submit, Request::Op::Status, Request::Op::Fetch,
-          Request::Op::Stats, Request::Op::Shutdown}) {
+          Request::Op::Stats, Request::Op::Metrics, Request::Op::Spans,
+          Request::Op::Shutdown}) {
         if (name == opName(op)) {
             out = op;
             return true;
@@ -112,6 +115,8 @@ requestJson(const Request &request)
         json.endObject();
         break;
       case Request::Op::Stats:
+      case Request::Op::Metrics:
+      case Request::Op::Spans:
       case Request::Op::Shutdown:
         break;
     }
@@ -201,6 +206,8 @@ parseRequest(const std::string &line, Request &out, std::string &error)
           break;
       }
       case Request::Op::Stats:
+      case Request::Op::Metrics:
+      case Request::Op::Spans:
       case Request::Op::Shutdown:
         break;
     }

@@ -48,6 +48,8 @@ struct Request
         Status,   ///< job state by id
         Fetch,    ///< artifact by job id
         Stats,    ///< daemon counter dump (eip-serve/v1 stats document)
+        Metrics,  ///< rolling window + Prometheus text exposition
+        Spans,    ///< request-span trace (eip-trace/v1 serve document)
         Shutdown, ///< request daemon stop (queued work drains first)
     };
 

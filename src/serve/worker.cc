@@ -10,6 +10,7 @@
 #include <string>
 
 #include "harness/artifacts.hh"
+#include "obs/phase.hh"
 
 namespace eip::serve {
 
@@ -34,10 +35,11 @@ writeAll(int fd, const std::string &text)
     }
 }
 
-/** Child-side body: simulate, stream the artifact, _exit. Never
- *  returns. */
+/** Child-side body: simulate, stream the artifact (followed by the
+ *  span preamble when profiling), _exit. Never returns. */
 [[noreturn]] void
-childMain(int write_fd, const harness::RunJob &job, bool inject_crash)
+childMain(int write_fd, const harness::RunJob &job, bool inject_crash,
+          bool collect_spans)
 {
     if (inject_crash) {
         // Mid-run fault: a recognizable artifact prefix is already on
@@ -46,9 +48,22 @@ childMain(int write_fd, const harness::RunJob &job, bool inject_crash)
         writeAll(write_fd, "{\"schema\":\"eip-run/v1\"");
         std::abort();
     }
-    harness::ArtifactRun run =
-        harness::runJobArtifact(job, /*use_program_cache=*/false);
+    obs::PhaseProfiler profiler;
+    harness::ArtifactRun run = harness::runJobArtifact(
+        job, /*use_program_cache=*/false,
+        collect_spans ? &profiler : nullptr);
     writeAll(write_fd, run.json);
+    if (collect_spans) {
+        std::vector<obs::SpanRecord> spans;
+        for (const obs::PhaseInterval &iv : profiler.intervals()) {
+            obs::SpanRecord span;
+            span.name = iv.name;
+            span.startUs = iv.startUs;
+            span.durUs = iv.endUs - iv.startUs;
+            spans.push_back(std::move(span));
+        }
+        writeAll(write_fd, obs::spanPreambleJson(spans));
+    }
     ::close(write_fd);
     ::_exit(0);
 }
@@ -56,7 +71,8 @@ childMain(int write_fd, const harness::RunJob &job, bool inject_crash)
 } // namespace
 
 WorkerOutcome
-runForkedJob(const harness::RunJob &job, bool inject_crash)
+runForkedJob(const harness::RunJob &job, bool inject_crash,
+             bool collect_spans)
 {
     WorkerOutcome outcome;
 
@@ -76,11 +92,11 @@ runForkedJob(const harness::RunJob &job, bool inject_crash)
 
     if (pid == 0) {
         ::close(pipe_fds[0]);
-        childMain(pipe_fds[1], job, inject_crash);
+        childMain(pipe_fds[1], job, inject_crash, collect_spans);
     }
 
     ::close(pipe_fds[1]);
-    std::string artifact;
+    std::string payload;
     char chunk[65536];
     for (;;) {
         ssize_t n = ::read(pipe_fds[0], chunk, sizeof(chunk));
@@ -91,9 +107,22 @@ runForkedJob(const harness::RunJob &job, bool inject_crash)
         }
         if (n == 0)
             break;
-        artifact.append(chunk, static_cast<size_t>(n));
+        payload.append(chunk, static_cast<size_t>(n));
     }
     ::close(pipe_fds[0]);
+
+    // The artifact is always exactly one line; anything after its
+    // newline is the optional span preamble. A payload with no newline
+    // at all is a truncated artifact and falls through to the length
+    // check below unchanged.
+    std::string artifact;
+    std::string preamble;
+    if (!obs::splitWorkerPayload(payload, artifact, preamble))
+        artifact = std::move(payload);
+    if (!preamble.empty() &&
+        !obs::parseSpanPreamble(preamble, outcome.childSpans))
+        outcome.childSpans.clear(); // partial preamble: spans are lost,
+                                    // the artifact still counts
 
     int status = 0;
     pid_t reaped;

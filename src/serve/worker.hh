@@ -12,8 +12,10 @@
 #define EIP_SERVE_WORKER_HH
 
 #include <string>
+#include <vector>
 
 #include "harness/runner.hh"
+#include "obs/span.hh"
 
 namespace eip::serve {
 
@@ -26,20 +28,30 @@ struct WorkerOutcome
     bool crashed = false;
     std::string artifact; ///< complete eip-run/v1 document when ok
     std::string error;    ///< structured failure description when !ok
+    /** Phase spans the child recorded (program_build, warmup, measure,
+     *  fill_drain, serialize — absolute monotonic timestamps), relayed
+     *  over the pipe as an eip-span/v1 preamble after the artifact
+     *  line. Empty unless collect_spans, or when the child died before
+     *  writing it. */
+    std::vector<obs::SpanRecord> childSpans;
 };
 
 /**
  * Run @p job in a forked worker and collect its artifact. With
  * @p inject_crash the child writes a deliberately truncated artifact
  * and abort()s mid-run — the fault path the crash-isolation tests
- * exercise end to end.
+ * exercise end to end. With @p collect_spans the child profiles its
+ * run phases and appends them as a one-line eip-span/v1 preamble after
+ * the artifact; the artifact bytes themselves are unchanged, so cached
+ * results stay byte-identical whether spans are on or off.
  *
  * The child never touches the parent's ProgramCache or any other lock
  * shared with parent threads (see runJobArtifact's fork-safety note),
  * and leaves via _exit() so no atexit handler of the embedding process
  * (bench banners, artifact writers) runs twice.
  */
-WorkerOutcome runForkedJob(const harness::RunJob &job, bool inject_crash);
+WorkerOutcome runForkedJob(const harness::RunJob &job, bool inject_crash,
+                           bool collect_spans = false);
 
 } // namespace eip::serve
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "check/invariants.hh"
+#include "obs/phase.hh"
 #include "obs/registry.hh"
 #include "obs/sampler.hh"
 #include "obs/trace.hh"
@@ -507,9 +508,16 @@ Cpu::skipIdleCycles(Cycle watchdog)
 
 SimStats
 Cpu::run(trace::InstructionSource &trace, uint64_t instructions,
-         uint64_t warmup_instructions, obs::IntervalSampler *sampler)
+         uint64_t warmup_instructions, obs::IntervalSampler *sampler,
+         obs::PhaseProfiler *profiler)
 {
     EIP_ASSERT(instructions > 0, "instruction budget must be positive");
+
+    // Phase attribution happens at the three boundaries only (entry,
+    // warm-up end, loop exit) — the hot loop never sees the profiler.
+    if (profiler != nullptr)
+        profiler->transition(warmup_instructions == 0 ? "measure"
+                                                      : "warmup");
 
     measuring_ = warmup_instructions == 0;
     measureStartRetired_ = retired;
@@ -569,6 +577,8 @@ Cpu::run(trace::InstructionSource &trace, uint64_t instructions,
             // as the stats they reconcile against.
             if (tracer_ != nullptr)
                 tracer_->measurementBoundary(now);
+            if (profiler != nullptr)
+                profiler->transition("measure");
         }
         if (measuring_ && sampler != nullptr)
             sampler->tick(retired - measureStartRetired_,
@@ -584,6 +594,11 @@ Cpu::run(trace::InstructionSource &trace, uint64_t instructions,
     // their stride counter ended up.
     if (checks_ != nullptr)
         checks_->runAll(now);
+
+    // Everything past the loop — stats assembly here, registry dump and
+    // analysis extraction in the caller — is fill/drain bookkeeping.
+    if (profiler != nullptr)
+        profiler->transition("fill_drain");
 
     SimStats stats;
     stats.instructions = retired - measureStartRetired_;

@@ -27,6 +27,7 @@ namespace eip::obs {
 class CounterRegistry;
 class EventTracer;
 class IntervalSampler;
+class PhaseProfiler;
 }
 
 namespace eip::check {
@@ -66,10 +67,14 @@ class Cpu
      * statistics are discarded). An optional @p sampler snapshots the
      * registered counters at instruction-interval boundaries of the
      * measured phase; sampling is read-only and never changes results.
+     * An optional @p profiler attributes host wall time to the run's
+     * coarse phases (warmup / measure / fill_drain); it is touched only
+     * at the two phase boundaries, never inside the cycle loop.
      */
     SimStats run(trace::InstructionSource &trace, uint64_t instructions,
                  uint64_t warmup_instructions = 0,
-                 obs::IntervalSampler *sampler = nullptr);
+                 obs::IntervalSampler *sampler = nullptr,
+                 obs::PhaseProfiler *profiler = nullptr);
 
     /**
      * Register every live counter of this CPU — core counters, the four

@@ -8,8 +8,15 @@
  *        [--wait [--timeout SECONDS]] [--out FILE]
  *   eipc --socket PATH status --job N
  *   eipc --socket PATH fetch --job N [--out FILE]
- *   eipc --socket PATH stats [--out FILE]
+ *   eipc --socket PATH stats [--json] [--out FILE]
+ *   eipc --socket PATH metrics [--prom|--json] [--out FILE]
+ *   eipc --socket PATH spans [--out FILE]
  *   eipc --socket PATH shutdown
+ *
+ * stats and metrics render a human-readable table on stdout; --json
+ * dumps the raw response document instead, and --out always writes the
+ * raw bytes (smoke scripts validate those files). metrics --prom
+ * prints the Prometheus text exposition (the scrape format).
  *
  * Exit codes: 0 success, 1 transport/daemon error, 2 usage,
  * 3 request rejected (backpressure) or job failed.
@@ -22,6 +29,7 @@
 #include <string>
 
 #include "serve/client.hh"
+#include "util/table_printer.hh"
 
 namespace {
 
@@ -37,8 +45,12 @@ usage()
         "            [--wait [--timeout SECONDS]] [--out FILE]\n"
         "  status    --job N\n"
         "  fetch     --job N [--out FILE]\n"
-        "  stats     [--out FILE]\n"
-        "  shutdown\n");
+        "  stats     [--json] [--out FILE]\n"
+        "  metrics   [--prom|--json] [--out FILE]\n"
+        "  spans     [--out FILE]\n"
+        "  shutdown\n"
+        "stats/metrics print a table; --json dumps the raw document,\n"
+        "--out writes the raw bytes, metrics --prom the Prometheus page\n");
 }
 
 [[noreturn]] void
@@ -58,6 +70,62 @@ parseU64(const std::string &flag, const char *text)
         usageError(flag + " needs an unsigned integer, got '" +
                    std::string(text) + "'");
     return value;
+}
+
+/** Human-readable stats table: every counter and gauge of the daemon's
+ *  stats document, one row each. Histograms are summarized by their
+ *  registered percentile gauges (serve.request_wall_ms.p50/p95/p99),
+ *  so the table alone answers the usual "how is the daemon doing". */
+std::string
+statsTable(const eip::obs::JsonValue &doc)
+{
+    eip::TablePrinter table;
+    table.newRow();
+    table.cell("kind");
+    table.cell("name");
+    table.cell("value");
+    auto section = [&](const char *key, const char *kind, int precision) {
+        const eip::obs::JsonValue *obj = doc.find(key);
+        if (obj == nullptr ||
+            obj->type != eip::obs::JsonValue::Type::Object)
+            return;
+        for (const auto &[name, value] : obj->object) {
+            if (!value.isNumber())
+                continue;
+            table.newRow();
+            table.cell(kind);
+            table.cell(name);
+            if (precision == 0)
+                table.cell(value.asU64());
+            else
+                table.cell(value.number, precision);
+        }
+    };
+    section("counters", "counter", 0);
+    section("gauges", "gauge", 3);
+    return table.toString();
+}
+
+/** Human-readable rolling-window table of a metrics response. */
+std::string
+metricsTable(const eip::obs::JsonValue &doc)
+{
+    eip::TablePrinter table;
+    table.newRow();
+    table.cell("metric");
+    table.cell("value");
+    const eip::obs::JsonValue *window = doc.find("window");
+    if (window != nullptr &&
+        window->type == eip::obs::JsonValue::Type::Object) {
+        for (const auto &[name, value] : window->object) {
+            if (!value.isNumber())
+                continue;
+            table.newRow();
+            table.cell(name);
+            table.cell(value.number, 3);
+        }
+    }
+    return table.toString();
 }
 
 /** Write @p text to @p path, or to stdout when the path is empty. */
@@ -93,6 +161,8 @@ main(int argc, char **argv)
     bool wait = false;
     double timeout_seconds = 300.0;
     std::string out_path;
+    bool raw_json = false;
+    bool prom = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -133,6 +203,10 @@ main(int argc, char **argv)
             timeout_seconds = std::atof(operand());
         } else if (arg == "--out") {
             out_path = operand();
+        } else if (arg == "--json") {
+            raw_json = true;
+        } else if (arg == "--prom") {
+            prom = true;
         } else if (!arg.empty() && arg[0] == '-') {
             usageError("unknown option '" + arg + "'");
         } else if (command.empty()) {
@@ -243,7 +317,51 @@ main(int argc, char **argv)
             std::fprintf(stderr, "eipc: %s\n", error.c_str());
             return 1;
         }
-        return deliver(out_path, stats + "\n") ? 0 : 1;
+        if (!out_path.empty())
+            return deliver(out_path, stats + "\n") ? 0 : 1;
+        if (raw_json)
+            return deliver("", stats + "\n") ? 0 : 1;
+        auto doc = eip::obs::parseJson(stats, &error);
+        if (!doc) {
+            std::fprintf(stderr, "eipc: stats unparseable: %s\n",
+                         error.c_str());
+            return 1;
+        }
+        std::fputs(statsTable(*doc).c_str(), stdout);
+        return 0;
+    }
+
+    if (command == "metrics") {
+        std::string metrics;
+        std::string exposition;
+        if (!client.metrics(metrics, exposition, &error)) {
+            std::fprintf(stderr, "eipc: %s\n", error.c_str());
+            return 1;
+        }
+        if (!out_path.empty())
+            return deliver(out_path, metrics + "\n") ? 0 : 1;
+        if (prom)
+            return deliver("", exposition) ? 0 : 1;
+        if (raw_json)
+            return deliver("", metrics + "\n") ? 0 : 1;
+        auto doc = eip::obs::parseJson(metrics, &error);
+        if (!doc) {
+            std::fprintf(stderr, "eipc: metrics unparseable: %s\n",
+                         error.c_str());
+            return 1;
+        }
+        std::fputs(metricsTable(*doc).c_str(), stdout);
+        return 0;
+    }
+
+    if (command == "spans") {
+        std::string trace;
+        if (!client.spans(trace, &error)) {
+            std::fprintf(stderr, "eipc: %s\n", error.c_str());
+            return 1;
+        }
+        // A serve trace is eiptrace/viewer input — always raw bytes.
+        return deliver(out_path, trace + "\n") ? 0 : 1;
     }
 
     if (command == "shutdown") {

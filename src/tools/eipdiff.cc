@@ -19,7 +19,10 @@
  *   4. event tracing off vs on — nothing but environment timing may
  *      differ: the tracer is a pure observer;
  *   5. single-run skip vs no-skip with timing included — only the
- *      host-speed fields (wall clock, host MIPS) may differ.
+ *      host-speed fields (wall clock, host MIPS) may differ;
+ *   6. phase profiling off vs on — the host-side phase profiler
+ *      (src/obs/phase.hh) is a pure observer: only its own manifest
+ *      field (phase_ms) and environment timing may differ.
  *
  * Exit code 0 when every comparison is clean, 1 on any unexplained
  * divergence, 2 on usage errors. CI runs this instead of hand-rolled
@@ -39,6 +42,7 @@
 #include "check/diff.hh"
 #include "harness/artifacts.hh"
 #include "harness/runner.hh"
+#include "obs/phase.hh"
 #include "obs/trace.hh"
 #include "trace/workloads.hh"
 #include "util/panic.hh"
@@ -303,6 +307,36 @@ diffSkipSingleLeg(check::DiffRunner &diff, const Options &opt,
                   "manifest.host_mips", "manifest.jobs"});
 }
 
+/** Profiling leg: the host-side phase profiler must not perturb the
+ *  run — only its own manifest field and environment timing may
+ *  differ. */
+void
+diffProfilingLeg(check::DiffRunner &diff, const Options &opt,
+                 const trace::Workload &workload)
+{
+    harness::RunSpec base = harness::RunSpec::defaultSpec();
+    base.configId = opt.prefetcher;
+    base.collectCounters = true;
+
+    obs::PhaseProfiler profiler;
+    harness::RunSpec profiled = base;
+    profiled.profiler = &profiler;
+
+    harness::RunResult result = harness::runOne(workload, profiled);
+    profiler.close();
+    obs::RunManifest manifest =
+        harness::makeManifest(workload, profiled, result);
+    manifest.phaseMs = profiler.totalsMs();
+    std::string profiled_artifact =
+        harness::runArtifactJson(manifest, result, /*include_timing=*/true);
+
+    diff.compare("profiling off vs on (" + workload.name + ")",
+                 singleRunArtifact(workload, base), profiled_artifact,
+                 {"manifest.wall_clock_seconds", "manifest.host_wall_ms",
+                  "manifest.host_mips", "manifest.jobs",
+                  "manifest.phase_ms"});
+}
+
 } // namespace
 
 int
@@ -336,6 +370,7 @@ main(int argc, char **argv)
     diffSamplingLeg(diff, opt, probe);
     diffTracingLeg(diff, opt, probe);
     diffSkipSingleLeg(diff, opt, probe);
+    diffProfilingLeg(diff, opt, probe);
 
     std::fputs(diff.report().c_str(), stdout);
     return diff.allClean() ? 0 : 1;

@@ -1,12 +1,20 @@
 /**
  * @file
- * eiptrace — analyse an eip-trace/v1 artifact produced by
- * `eipsim --trace-out`: print the prefetch-lifecycle funnel, the
- * drop-reason and stall-attribution tables and the per-interval
- * lateness profile, and (with --stats) reconcile the trace roll-ups
- * against the counters of the matching eip-run/v1 artifact. Exits
- * non-zero on unreadable input or any reconciliation mismatch, so CI
- * can gate on it.
+ * eiptrace — analyse an eip-trace/v1 artifact.
+ *
+ * Run traces (`eipsim --trace-out`): print the prefetch-lifecycle
+ * funnel, the drop-reason and stall-attribution tables and the
+ * per-interval lateness profile, and (with --stats) reconcile the
+ * trace roll-ups against the counters of the matching eip-run/v1
+ * artifact.
+ *
+ * Serve traces (`eipc spans`, kind "serve"): auto-detected; print the
+ * per-request timeline and phase-latency breakdown, and (with --stats)
+ * reconcile the terminal-state roll-ups against the daemon's serve.*
+ * counters from an `eipc stats` document.
+ *
+ * Exits non-zero on unreadable input or any reconciliation mismatch,
+ * so CI can gate on it.
  */
 
 #include <cstdio>
@@ -23,11 +31,16 @@ const char kUsage[] =
     "eiptrace — analyse an eip-trace/v1 event trace\n"
     "\n"
     "usage: eiptrace TRACE.json [options]\n"
-    "  --stats FILE    reconcile the trace's lifecycle and stall\n"
-    "                  roll-ups against the counters of the run's\n"
-    "                  eip-run/v1 artifact (exit 1 on any mismatch)\n"
-    "  --interval N    lateness bucket width in cycles (default 100000)\n"
-    "  --help          this text\n";
+    "  --stats FILE    reconcile the trace's roll-ups against the\n"
+    "                  counters of the matching artifact (run traces:\n"
+    "                  eip-run/v1; serve traces: an eipd stats\n"
+    "                  document); exit 1 on any mismatch\n"
+    "  --interval N    lateness bucket width in cycles (default 100000;\n"
+    "                  run traces only)\n"
+    "  --help          this text\n"
+    "\n"
+    "Serve traces (kind \"serve\", from `eipc spans`) are auto-detected\n"
+    "and render the per-request timeline and phase-latency breakdown.\n";
 
 bool
 readFile(const std::string &path, std::string *out)
@@ -95,6 +108,50 @@ main(int argc, char **argv)
         return 1;
     }
     std::string parse_error;
+
+    // Serve traces (kind "serve") get their own report path.
+    auto probe = eip::obs::parseJson(text, &parse_error);
+    if (probe && eip::obs::isServeTrace(*probe)) {
+        auto serve = eip::obs::parseServeTrace(text, &parse_error);
+        if (!serve) {
+            std::fprintf(stderr, "error: %s: %s\n", trace_path.c_str(),
+                         parse_error.c_str());
+            return 1;
+        }
+        for (const auto &[key, value] : serve->meta)
+            std::printf("%-12s %s\n", key.c_str(), value.c_str());
+        std::printf("spans        %llu recorded, %llu retained%s\n\n",
+                    static_cast<unsigned long long>(serve->recorded),
+                    static_cast<unsigned long long>(serve->retained),
+                    serve->wrapped ? " (ring wrapped)" : "");
+        std::fputs(eip::obs::serveReport(*serve).c_str(), stdout);
+        if (stats_path.empty())
+            return 0;
+        std::string stats_text;
+        if (!readFile(stats_path, &stats_text)) {
+            std::fprintf(stderr, "error: cannot read %s\n",
+                         stats_path.c_str());
+            return 1;
+        }
+        auto stats = eip::obs::parseJson(stats_text, &parse_error);
+        if (!stats) {
+            std::fprintf(stderr, "error: %s: %s\n", stats_path.c_str(),
+                         parse_error.c_str());
+            return 1;
+        }
+        auto mismatches = eip::obs::reconcileServe(*serve, *stats);
+        if (mismatches.empty()) {
+            std::printf("\nreconciliation against %s: OK\n",
+                        stats_path.c_str());
+            return 0;
+        }
+        std::fprintf(stderr, "\nreconciliation against %s FAILED:\n",
+                     stats_path.c_str());
+        for (const auto &m : mismatches)
+            std::fprintf(stderr, "  %s\n", m.c_str());
+        return 1;
+    }
+
     auto doc = eip::obs::parseTrace(text, &parse_error);
     if (!doc) {
         std::fprintf(stderr, "error: %s: %s\n", trace_path.c_str(),

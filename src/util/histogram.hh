@@ -57,6 +57,49 @@ class Histogram
                            : weightedSum / static_cast<double>(total_);
     }
 
+    /**
+     * Key at fraction @p q (in [0, 1]) of the recorded observations,
+     * linearly interpolated between the straddling order statistics —
+     * the same type-7 estimator as eip::percentile() in stats_math.hh,
+     * applied to the bucketed multiset, so daemon request-latency
+     * percentiles agree with manifest-side percentile math. Keys in
+     * the overflow bucket saturate to buckets(). Returns 0 when empty.
+     */
+    double
+    percentile(double q) const
+    {
+        if (total_ == 0)
+            return 0.0;
+        if (q < 0.0)
+            q = 0.0;
+        if (q > 1.0)
+            q = 1.0;
+        const double pos = q * static_cast<double>(total_ - 1);
+        const auto lo = static_cast<uint64_t>(pos);
+        const double frac = pos - static_cast<double>(lo);
+        // Walk the cumulative counts to find the keys at ranks lo and
+        // lo+1 (0-based over the sorted multiset of recorded keys).
+        double lo_key = 0.0, hi_key = 0.0;
+        uint64_t seen = 0;
+        bool have_lo = false;
+        for (size_t bucket = 0; bucket < counts.size(); ++bucket) {
+            seen += counts[bucket];
+            const double key = static_cast<double>(
+                bucket < counts.size() - 1 ? bucket : counts.size() - 1);
+            if (!have_lo && seen > lo) {
+                lo_key = key;
+                have_lo = true;
+            }
+            if (seen > lo + 1 || seen == total_) {
+                hi_key = key;
+                break;
+            }
+        }
+        if (frac <= 0.0)
+            return lo_key;
+        return lo_key + frac * (hi_key - lo_key);
+    }
+
     void
     clear()
     {

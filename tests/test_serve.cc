@@ -153,6 +153,7 @@ TEST(ServeProtocol, EveryOpRoundTrips)
     for (serve::Request::Op op :
          {serve::Request::Op::Submit, serve::Request::Op::Status,
           serve::Request::Op::Fetch, serve::Request::Op::Stats,
+          serve::Request::Op::Metrics, serve::Request::Op::Spans,
           serve::Request::Op::Shutdown}) {
         serve::Request request;
         request.op = op;
