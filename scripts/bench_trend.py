@@ -1,24 +1,34 @@
 #!/usr/bin/env python3
 """Host-speed trend over a series of eip-bench/v1 artifacts (stdlib only).
 
-Aggregates the host-MIPS tables of BENCH_*.json files given in
-chronological order (oldest first), prints one trend row per artifact
-(per-config means plus the overall mean and its delta against the
-previous artifact), and exits non-zero when the newest artifact's
-overall mean host-MIPS regressed more than the threshold against its
-predecessor.
+Aggregates two metric families from BENCH_*.json files given in
+chronological order (oldest first):
 
-Artifacts without a host-speed table (bench dumps that only record
-figure data) are listed but excluded from the trend — never silently
-dropped.
+  host-MIPS — per-config means of every host-speed table (tables whose
+              title mentions "MIPS", e.g. BENCH_simspeed.json);
+  warm QPS  — mean served-QPS of the warm rounds of the eipd request
+              storm (tables with a "served_qps" column and "warm-*"
+              rows, e.g. BENCH_servestorm.json).
+
+Prints one trend row per artifact and family (value plus the delta
+against the previous artifact of the same family) and exits non-zero
+when any family's newest artifact regressed more than the threshold
+against its predecessor. This is a CI gate, not an advisory report;
+set EIP_BENCH_REGRESS_OK=1 to acknowledge an expected regression (the
+trend still prints, the exit code is forced to 0).
+
+Artifacts carrying neither family are listed but excluded from the
+trend — never silently dropped.
 
 Usage: scripts/bench_trend.py [--threshold PCT] BENCH.json [BENCH.json...]
 
-Exit codes: 0 no regression (or fewer than two comparable artifacts),
-1 regression beyond the threshold, 2 usage/unreadable input.
+Exit codes: 0 no regression (or fewer than two comparable artifacts,
+or EIP_BENCH_REGRESS_OK=1), 1 regression beyond the threshold,
+2 usage/unreadable input.
 """
 
 import json
+import os
 import sys
 
 
@@ -39,6 +49,49 @@ def mips_values(doc):
         return None
     return {config: sum(means) / len(means)
             for config, means in configs.items()}
+
+
+def qps_values(doc):
+    """Per-round warm served-QPS from the request-storm tables of one
+    eip-bench/v1 document (rows named warm-*, column served_qps), or
+    None when the document has none."""
+    rounds = {}
+    for table in doc.get("tables", []):
+        columns = table.get("columns", [])
+        if "served_qps" not in columns:
+            continue
+        qps_col = columns.index("served_qps")
+        for row in table.get("rows", []):
+            if not str(row.get("config", "")).startswith("warm"):
+                continue
+            values = row.get("values", [])
+            if qps_col < len(values) and isinstance(values[qps_col],
+                                                    (int, float)):
+                rounds.setdefault(row["config"], []).append(
+                    values[qps_col])
+    if not rounds:
+        return None
+    return {name: sum(vals) / len(vals) for name, vals in rounds.items()}
+
+
+def print_family(name, unit, trend):
+    """One trend table; returns the newest artifact's delta-pct (0.0
+    with fewer than two artifacts)."""
+    print(f"\n{name} trend")
+    print(f"{'artifact':<40} {'git':<18} {'mean ' + unit:>10} {'delta':>8}")
+    previous = None
+    delta_pct = 0.0
+    for path, git, members, overall in trend:
+        if previous is None or previous == 0.0:
+            delta = "-"
+        else:
+            delta_pct = 100.0 * (overall - previous) / previous
+            delta = f"{delta_pct:+.1f}%"
+        print(f"{path:<40} {git:<18} {overall:>10.3f} {delta:>8}")
+        for member in sorted(members):
+            print(f"  {member:<38} {'':<18} {members[member]:>10.3f}")
+        previous = overall
+    return delta_pct if len(trend) >= 2 else 0.0
 
 
 def main(argv):
@@ -62,8 +115,9 @@ def main(argv):
         print(__doc__.strip(), file=sys.stderr)
         return 2
 
-    # (path, git_describe, per-config means, overall mean) per artifact.
-    trend = []
+    # family -> [(path, git_describe, per-member means, overall mean)].
+    families = {"host-MIPS": [], "warm QPS": []}
+    units = {"host-MIPS": "MIPS", "warm QPS": "QPS"}
     for path in paths:
         try:
             with open(path, "rb") as f:
@@ -77,39 +131,44 @@ def main(argv):
                   f"{doc.get('schema')!r}, expected eip-bench/v1",
                   file=sys.stderr)
             return 2
-        configs = mips_values(doc)
-        if configs is None:
-            print(f"{path}: no host-speed table "
+        git = doc.get("git_describe", "?")
+        matched = False
+        for family, extract in (("host-MIPS", mips_values),
+                                ("warm QPS", qps_values)):
+            members = extract(doc)
+            if members is None:
+                continue
+            overall = sum(members.values()) / len(members)
+            families[family].append((path, git, members, overall))
+            matched = True
+        if not matched:
+            print(f"{path}: no host-speed or request-storm table "
                   f"(bench {doc.get('bench')!r}) — excluded from trend")
-            continue
-        overall = sum(configs.values()) / len(configs)
-        trend.append((path, doc.get("git_describe", "?"), configs,
-                      overall))
 
-    if not trend:
+    if not any(families.values()):
         print("bench-trend: no comparable artifacts")
         return 0
 
-    print(f"{'artifact':<40} {'git':<18} {'mean MIPS':>10} {'delta':>8}")
-    previous = None
-    delta_pct = 0.0
-    for path, git, configs, overall in trend:
-        if previous is None or previous == 0.0:
-            delta = "-"
-        else:
-            delta_pct = 100.0 * (overall - previous) / previous
-            delta = f"{delta_pct:+.1f}%"
-        print(f"{path:<40} {git:<18} {overall:>10.3f} {delta:>8}")
-        for config in sorted(configs):
-            print(f"  {config:<38} {'':<18} {configs[config]:>10.3f}")
-        previous = overall
+    regressions = []
+    for family, trend in families.items():
+        if not trend:
+            continue
+        delta_pct = print_family(family, units[family], trend)
+        if delta_pct < -threshold:
+            regressions.append((family, delta_pct))
 
-    if len(trend) >= 2 and delta_pct < -threshold:
-        print(f"bench-trend: REGRESSION: newest mean host-MIPS is "
-              f"{-delta_pct:.1f}% below its predecessor "
-              f"(threshold {threshold:.1f}%)", file=sys.stderr)
+    counted = sum(len(t) for t in families.values())
+    if regressions:
+        for family, delta_pct in regressions:
+            print(f"bench-trend: REGRESSION: newest {family} is "
+                  f"{-delta_pct:.1f}% below its predecessor "
+                  f"(threshold {threshold:.1f}%)", file=sys.stderr)
+        if os.environ.get("EIP_BENCH_REGRESS_OK") == "1":
+            print("bench-trend: EIP_BENCH_REGRESS_OK=1 — regression "
+                  "acknowledged, exiting 0", file=sys.stderr)
+            return 0
         return 1
-    print(f"bench-trend: OK ({len(trend)} artifacts, "
+    print(f"\nbench-trend: OK ({counted} family entries, "
           f"threshold {threshold:.1f}%)")
     return 0
 

@@ -3,7 +3,10 @@
 
 Checks the three schemas produced by the observability layer:
 
-  eip-run/v1    one simulation run (eipsim --stats-json, per-job files)
+  eip-run/v1    one simulation run (eipsim --stats-json, per-job files);
+                a --why run's embedded eip-why/v1 section is validated
+                in place, including the blame-partition identity
+                against the L1I demand-miss counters
   eip-suite/v1  suite roll-up (eipsim --workload all --stats-json)
   eip-bench/v1  bench table dump (BENCH_<name>.json)
   eip-trace/v1  event trace (eipsim --trace-out, Perfetto-loadable)
@@ -138,6 +141,93 @@ class Checker:
             previous = values
         return rows
 
+    # -- eip-why/v1 (the optional miss-attribution section) ------------
+
+    BLAME_KEYS = ("never_predicted", "not_yet_learned",
+                  "dropped_queue_full", "dropped_cross_page",
+                  "late_partial", "evicted_before_use", "pair_evicted",
+                  "wrong_path_pollution")
+
+    def check_why(self, doc, why, where):
+        """The eip-why/v1 section of a --why run: taxonomy shape, the
+        mirror into the why.* counters, and the partition identity
+        against the L1I demand-miss counters (DESIGN.md §3.11)."""
+        schema = why.get("schema")
+        if schema != "eip-why/v1":
+            self.error(where, f"schema is {schema!r}, expected "
+                              "eip-why/v1")
+        top = self.require(why, where, "top", (int,))
+        blame = self.require(why, where, "blame", (dict,)) or {}
+        bw = where + ".blame"
+        total = 0
+        for key in self.BLAME_KEYS:
+            value = self.require(blame, bw, key, (int,))
+            if value is not None and value < 0:
+                self.error(bw, f"'{key}' is negative")
+            total += value or 0
+        for key in blame:
+            if key not in self.BLAME_KEYS:
+                self.error(bw, f"unknown blame category {key!r}")
+
+        counters = doc.get("counters")
+        if isinstance(counters, dict):
+            # The ledger is mirrored into registered counters; the two
+            # views must agree exactly.
+            for key in self.BLAME_KEYS:
+                counter = counters.get("why." + key)
+                if counter is None:
+                    self.error(where, f"counter 'why.{key}' missing "
+                                      "from a --why artifact")
+                elif blame.get(key) is not None and counter != blame[key]:
+                    self.error(where, f"counter why.{key} {counter} != "
+                                      f"blame.{key} {blame[key]}")
+            # Partition identity: the ledger partitions the demand
+            # misses and its late_partial lane is exactly the cache's
+            # late-prefetch count.
+            misses = counters.get("l1i.demand_misses")
+            if isinstance(misses, int) and total != misses:
+                self.error(where, f"blame sums to {total}, must "
+                                  f"partition l1i.demand_misses {misses}")
+            late = counters.get("l1i.late_prefetches")
+            if isinstance(late, int) and \
+                    blame.get("late_partial") not in (None, late):
+                self.error(where, f"blame.late_partial "
+                                  f"{blame['late_partial']} != "
+                                  f"l1i.late_prefetches {late}")
+
+        pcs = self.require(why, where, "top_pcs", (list,)) or []
+        if top is not None and len(pcs) > top:
+            self.error(where, f"{len(pcs)} top_pcs entries exceed "
+                              f"top {top}")
+        previous = None
+        for i, entry in enumerate(pcs):
+            pw = f"{where}.top_pcs[{i}]"
+            if not isinstance(entry, dict):
+                self.error(pw, "entry is not an object")
+                continue
+            pc = self.require(entry, pw, "pc", (str,))
+            if pc is not None and not pc.startswith("0x"):
+                self.error(pw, f"pc {pc!r} is not a 0x-prefixed address")
+            entry_total = self.require(entry, pw, "total", (int,))
+            entry_blame = self.require(entry, pw, "blame", (dict,)) or {}
+            entry_sum = 0
+            for key, value in entry_blame.items():
+                if key not in self.BLAME_KEYS:
+                    self.error(pw, f"unknown blame category {key!r}")
+                if not isinstance(value, int) or value <= 0:
+                    self.error(pw, f"blame '{key}' is not a positive "
+                                   "integer (zero lanes are omitted)")
+                else:
+                    entry_sum += value
+            if entry_total is not None and entry_sum != entry_total:
+                self.error(pw, f"blame sums to {entry_sum}, entry total "
+                               f"says {entry_total}")
+            if None not in (previous, entry_total) \
+                    and entry_total > previous:
+                self.error(pw, "top_pcs is not sorted by descending "
+                               "total")
+            previous = entry_total
+
     def check_run(self, doc, where="run", timing_allowed=True):
         schema = doc.get("schema")
         if schema != "eip-run/v1":
@@ -147,6 +237,12 @@ class Checker:
             self.check_manifest(manifest, where + ".manifest",
                                 timing_allowed)
         self.check_counter_sections(doc, where)
+        why = doc.get("why")
+        if why is not None:
+            if isinstance(why, dict):
+                self.check_why(doc, why, where + ".why")
+            else:
+                self.error(where, "'why' is not an object")
         samples = self.require(doc, where, "samples", (dict,))
         if samples is not None:
             self.check_samples(samples, where + ".samples")

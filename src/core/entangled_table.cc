@@ -10,6 +10,22 @@ namespace {
 constexpr unsigned kTagBits = 10; ///< paper §III-C3
 } // namespace
 
+void
+GhostPairSet::record(sim::Addr line)
+{
+    // Dedup: a re-recorded line keeps its original FIFO age.
+    if (!set_.insert(line).second)
+        return;
+    fifo_.push_back(line);
+    // Bound the FIFO, stale entries included; dropping a live ghost here
+    // only forgets an old eviction (that miss falls back to the seen-set
+    // categories), it never double-counts.
+    while (fifo_.size() > capacity_) {
+        set_.erase(fifo_.front());
+        fifo_.pop_front();
+    }
+}
+
 EntangledTable::EntangledTable(uint32_t entries, uint32_t ways,
                                const CompressionScheme &scheme)
     : numSets(entries / ways), numWays(ways),
@@ -109,8 +125,18 @@ EntangledTable::insert(sim::Addr line)
             }
         }
     }
-    if (!relocated)
+    if (!relocated) {
         ++stats_.evictions;
+        // Miss attribution: the victim's pairs are lost — any future miss
+        // on one of their destinations is explained by this eviction
+        // (relocation and the pair-less spare it clobbers lose no pairs).
+        if (ghost_ != nullptr) {
+            for (const Destination &d : victim->dests.all()) {
+                if (!d.confidence.zero())
+                    ghost_->record(d.line);
+            }
+        }
+    }
     victim->valid = true;
     victim->tag = tagOf(line);
     victim->line = line;
@@ -149,11 +175,22 @@ EntangledTable::addPair(sim::Addr src_line, sim::Addr dst_line,
     if (entry == nullptr)
         entry = insert(src_line);
     bool added = entry->dests.insert(src_line, dst_line, evict_on_full);
-    if (added)
+    if (added) {
         ++stats_.pairsAdded;
-    else
+        // The destination is predictable again: clear its ghost.
+        if (ghost_ != nullptr)
+            ghost_->erase(dst_line);
+    } else {
         ++stats_.pairsRejected;
+    }
     return added;
+}
+
+void
+EntangledTable::enableGhost()
+{
+    if (ghost_ == nullptr)
+        ghost_ = std::make_unique<GhostPairSet>();
 }
 
 std::pair<uint32_t, uint32_t>

@@ -12,7 +12,10 @@
 #define EIP_CORE_ENTANGLED_TABLE_HH
 
 #include <cstdint>
+#include <deque>
+#include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "core/dest_compression.hh"
@@ -23,6 +26,44 @@ class Invariants;
 }
 
 namespace eip::core {
+
+/**
+ * Ghost-pair set (miss attribution, DESIGN.md §3.11): a bounded,
+ * deduplicated FIFO of destination lines whose predictions a table
+ * discarded — the evidence behind the `pair_evicted` blame category.
+ * Model-level shadow state only: it is allocated on demand (enableGhost /
+ * Prefetcher::enableBlame), never consulted by prediction, and costs
+ * nothing on plain runs.
+ *
+ * Entries are erased when the line is learned again; a line that is
+ * evicted and later re-learned under a source we never see erased stays
+ * resident until capacity pushes it out, so `pair_evicted` can
+ * over-attribute slightly — but every miss still lands in exactly one
+ * category, so the partition identity is unaffected.
+ */
+class GhostPairSet
+{
+  public:
+    static constexpr size_t kDefaultCapacity = 4096;
+
+    explicit GhostPairSet(size_t capacity = kDefaultCapacity)
+        : capacity_(capacity)
+    {}
+
+    /** Remember that a prediction targeting @p line was discarded. */
+    void record(sim::Addr line);
+    /** The line was learned again; it is no longer a ghost. */
+    void erase(sim::Addr line) { set_.erase(line); }
+    bool contains(sim::Addr line) const { return set_.count(line) != 0; }
+    size_t size() const { return set_.size(); }
+
+  private:
+    size_t capacity_;
+    /** Insertion order; may hold stale (erased) lines — popping one is a
+     *  no-op on set_, so staleness only wastes FIFO slots. */
+    std::deque<sim::Addr> fifo_;
+    std::unordered_set<sim::Addr> set_;
+};
 
 /** One source entry of the Entangled table. */
 struct EntangledEntry
@@ -127,6 +168,23 @@ class EntangledTable
     void registerInvariants(check::Invariants &inv,
                             const std::string &prefix);
 
+    /**
+     * Arm ghost-pair tracking (miss attribution, DESIGN.md §3.11): from
+     * now on, every destination with live confidence that an eviction
+     * discards is recorded in a GhostPairSet, and addPair() clears the
+     * ghost when a destination is re-learned. Never called on plain
+     * runs, so the shadow set costs nothing when blame is off.
+     */
+    void enableGhost();
+    bool ghostEnabled() const { return ghost_ != nullptr; }
+    /** Is @p line a destination whose entangled pair was evicted and not
+     *  re-learned since? Always false until enableGhost(). */
+    bool
+    ghostContains(sim::Addr line) const
+    {
+        return ghost_ != nullptr && ghost_->contains(line);
+    }
+
     /** Iterate all valid entries (benches/tests). */
     template <typename Fn>
     void
@@ -152,6 +210,8 @@ class EntangledTable
     uint64_t fifoClock = 0;
     uint32_t auditSet_ = 0; ///< rotating cursor of the set audit
     EntangledTableStats stats_;
+    /** Ghost-pair shadow set; null (and free) until enableGhost(). */
+    std::unique_ptr<GhostPairSet> ghost_;
 };
 
 } // namespace eip::core

@@ -4,6 +4,7 @@
 
 #include "check/invariants.hh"
 #include "obs/registry.hh"
+#include "obs/why.hh"
 #include "sim/cache.hh"
 #include "util/bitops.hh"
 #include "util/panic.hh"
@@ -257,6 +258,15 @@ EntanglingPrefetcher::registerInvariants(check::Invariants &inv)
         }
         return true;
     });
+}
+
+obs::MissBlame
+EntanglingPrefetcher::blame(sim::Addr line, sim::Addr pc)
+{
+    (void)pc;
+    if (table_.ghostContains(line))
+        return obs::MissBlame::PairEvicted;
+    return obs::MissBlame::None;
 }
 
 void

@@ -125,6 +125,12 @@ class EntanglingPrefetcher : public sim::Prefetcher
     void onCacheFill(const sim::CacheFillInfo &info) override;
     void onPrefetchIssued(sim::Addr line, sim::Cycle cycle) override;
 
+    /** Arms the Entangled table's ghost-pair set (DESIGN.md §3.11). */
+    void enableBlame() override { table_.enableGhost(); }
+    /** `pair_evicted` when @p line is a ghosted destination: its pair
+     *  was evicted from the Entangled table and never re-learned. */
+    obs::MissBlame blame(sim::Addr line, sim::Addr pc) override;
+
     const EntanglingStats &analysis() const { return stats_; }
     const EntangledTable &table() const { return table_; }
     /** Mutable table access for tests and white-box benches. */

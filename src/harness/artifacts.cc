@@ -28,6 +28,13 @@ writeRunObject(obs::JsonWriter &json, const obs::RunManifest &manifest,
 
     obs::writeCounterSections(json, result.counters);
 
+    // Miss attribution (--why): present only when the run carried the
+    // observer, so plain artifacts keep their exact historic bytes.
+    if (result.why.enabled) {
+        json.key("why");
+        obs::writeWhySection(json, result.why);
+    }
+
     const obs::SampleSeries &series = result.samples;
     json.key("samples").beginObject();
     json.kv("interval", series.interval);

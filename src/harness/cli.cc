@@ -40,11 +40,18 @@ struct ObsCollector
 {
     obs::CounterRegistry registry;
     std::unique_ptr<obs::IntervalSampler> sampler;
+    std::unique_ptr<obs::MissAttribution> why;
     bool active = false;
 
     void
     arm(sim::Cpu &cpu, const CliOptions &opt)
     {
+        // Attach before registering counters so the why.* ledger is
+        // part of the dump.
+        if (opt.why) {
+            why = std::make_unique<obs::MissAttribution>(opt.whyTop);
+            cpu.attachWhy(why.get());
+        }
         if (opt.statsJsonPath.empty())
             return;
         active = true;
@@ -58,6 +65,8 @@ struct ObsCollector
     void
     harvest(RunResult &result)
     {
+        if (why != nullptr)
+            result.why = why->dump();
         if (!active)
             return;
         result.counters = registry.dump();
@@ -113,6 +122,12 @@ cliUsage()
         "                        (default all)\n"
         "  --trace-limit N       trace ring capacity in events (default\n"
         "                        1048576; oldest overwritten beyond it)\n"
+        "  --why                 attribute every L1I demand miss of the\n"
+        "                        measured window to a blame category\n"
+        "                        (eip-why/v1 artifact section; inspect\n"
+        "                        with `eiptrace eipwhy`)\n"
+        "  --why-top N           hot-miss PC table depth of the why\n"
+        "                        section (default 10; implies --why)\n"
         "  --log-level LEVEL     structured-log threshold on stderr:\n"
         "                        debug|info|warn|error|off (default: the\n"
         "                        EIP_LOG environment variable, else warn)\n"
@@ -210,6 +225,14 @@ parseCli(const std::vector<std::string> &args)
                     opt.error = "--log-level needs one of "
                                 "debug|info|warn|error|off";
             }
+        } else if (arg == "--why") {
+            opt.why = true;
+        } else if (arg == "--why-top") {
+            auto v = value("--why-top");
+            if (v && !parseU64(*v, opt.whyTop))
+                opt.error = "--why-top needs a number (PC table depth)";
+            else
+                opt.why = true;
         } else if (arg == "--physical") {
             opt.physical = true;
         } else if (arg == "--no-skip") {
@@ -321,6 +344,8 @@ runCli(const CliOptions &opt)
         spec.warmup = opt.warmup;
         spec.physicalL1i = opt.physical;
         spec.eventSkip = !opt.noSkip;
+        spec.why = opt.why;
+        spec.whyTop = opt.whyTop;
         if (!opt.statsJsonPath.empty())
             spec.sampleInterval = opt.sampleInterval;
 
@@ -433,6 +458,8 @@ runCli(const CliOptions &opt)
         spec.warmup = opt.warmup;
         spec.physicalL1i = opt.physical;
         spec.eventSkip = !opt.noSkip;
+        spec.why = opt.why;
+        spec.whyTop = opt.whyTop;
         if (!opt.statsJsonPath.empty()) {
             spec.collectCounters = true;
             spec.sampleInterval = opt.sampleInterval;
@@ -531,6 +558,21 @@ runCli(const CliOptions &opt)
                 static_cast<unsigned long long>(s.l1i.usefulPrefetches),
                 static_cast<unsigned long long>(s.l1i.latePrefetches),
                 static_cast<unsigned long long>(s.l1i.wrongPrefetches));
+    if (result.why.enabled) {
+        std::printf("miss blame    ");
+        const char *sep = "";
+        for (size_t i = 0; i < obs::kMissBlameCount; ++i) {
+            if (result.why.blame[i] == 0)
+                continue;
+            std::printf("%s%s %llu", sep,
+                        obs::missBlameName(
+                            static_cast<obs::MissBlame>(i + 1)),
+                        static_cast<unsigned long long>(
+                            result.why.blame[i]));
+            sep = ", ";
+        }
+        std::printf("\n");
+    }
     if (s.l1i.wrongPathAccesses > 0) {
         std::printf("wrong path    %llu accesses, %llu misses\n",
                     static_cast<unsigned long long>(

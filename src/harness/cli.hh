@@ -68,6 +68,14 @@ struct CliOptions
     /** Trace ring capacity in events; beyond it the oldest events are
      *  overwritten (counts stay exact). */
     uint64_t traceLimit = 1u << 20;
+    /** Miss attribution (--why, DESIGN.md §3.11): classify every L1I
+     *  demand miss of the measured window into the blame taxonomy and
+     *  embed the eip-why/v1 section in the artifact. Works for single
+     *  runs and batches. */
+    bool why = false;
+    /** Hot-miss PC table depth of the why section (--why-top; implies
+     *  --why). */
+    uint64_t whyTop = 10;
     /** Structured-log threshold (--log-level). Empty keeps the EIP_LOG
      *  environment default (warn). */
     std::string logLevel;

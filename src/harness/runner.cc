@@ -133,6 +133,14 @@ runOne(const trace::Workload &workload, const RunSpec &spec,
         cpu.l1d().attachPrefetcher(data_prefetcher.get());
     if (spec.tracer != nullptr)
         cpu.attachTracer(spec.tracer);
+    // Unlike the tracer, the miss-attribution observer is built here
+    // (value-field spec), so --why composes with batches: every job
+    // gets its own ledger.
+    std::unique_ptr<obs::MissAttribution> why;
+    if (spec.why) {
+        why = std::make_unique<obs::MissAttribution>(spec.whyTop);
+        cpu.attachWhy(why.get());
+    }
 
     trace::Executor exec(program, workload.exec);
 
@@ -158,6 +166,8 @@ runOne(const trace::Workload &workload, const RunSpec &spec,
         result.counters = registry.dump();
     if (sampler != nullptr)
         result.samples = sampler->series();
+    if (why != nullptr)
+        result.why = why->dump();
 
     if (prefetcher != nullptr) {
         result.configName = prefetcher->name();

@@ -21,6 +21,7 @@
 
 #include "obs/registry.hh"
 #include "obs/sampler.hh"
+#include "obs/why.hh"
 #include "sim/config.hh"
 #include "sim/stats.hh"
 #include "trace/workloads.hh"
@@ -62,6 +63,18 @@ struct RunSpec
      *  counters) into RunResult::counters at end of run. */
     bool collectCounters = false;
 
+    /** Miss attribution (--why, DESIGN.md §3.11): classify every L1I
+     *  demand miss of the measured window into the blame taxonomy.
+     *  Unlike the tracer this is a value field, not a caller-owned
+     *  pointer — the observer is built inside runOne — so it works for
+     *  batches and is dumped into RunResult::why. Pure observer:
+     *  sim results and artifact bytes are unchanged (the why.* counters
+     *  and the manifest "why" section only appear when enabled), and it
+     *  stays outside canonicalRunSpec like the tracer/profiler. */
+    bool why = false;
+    /** Hot-miss PC table depth of the why dump (--why-top). */
+    uint64_t whyTop = 10;
+
     /** Optional event tracer attached to the Cpu for the run (see
      *  src/obs/trace.hh). Caller-owned, pure observer: results are
      *  identical with and without it. Not copied into batch artifacts —
@@ -98,6 +111,8 @@ struct RunResult
     obs::CounterDump counters;
     /** Interval time-series (when RunSpec::sampleInterval > 0). */
     obs::SampleSeries samples;
+    /** Miss-attribution ledger (when RunSpec::why). */
+    obs::WhyDump why;
 
     // Entangling-internal analysis (only for entangling configs).
     bool hasEntanglingAnalysis = false;

@@ -384,6 +384,17 @@ EventTracer::toJson(
     json.kv("recorded", recorded);
     json.kv("retained", static_cast<uint64_t>(ring.size()));
     json.kv("wrapped", didWrap);
+    // Which event families fed the ring; readers need this to know
+    // whether an absent family means "filtered" or "never happened"
+    // (reconcileEvents only trusts pf event counts when "pf" is here).
+    std::string families;
+    if ((cfg.families & kTracePf) != 0)
+        families += "pf";
+    if ((cfg.families & kTraceStall) != 0)
+        families += families.empty() ? "stall" : ",stall";
+    if ((cfg.families & kTraceCache) != 0)
+        families += families.empty() ? "cache" : ",cache";
+    json.kv("families", families);
     for (const auto &[key, value] : meta)
         json.kv(key, value);
     json.endObject();

@@ -532,4 +532,67 @@ reconcileWithRun(const TraceDoc &trace, const JsonValue &run)
     return mismatches;
 }
 
+std::vector<std::string>
+reconcileEvents(const TraceDoc &trace)
+{
+    std::vector<std::string> mismatches;
+    // A wrapped ring lost its oldest events, so the retained count is a
+    // lower bound and nothing exact can be asserted.
+    if (trace.wrapped)
+        return mismatches;
+    // Honor the family mask: when "pf" was filtered out of the ring the
+    // roll-ups still count every event but the array has none. Traces
+    // from writers predating the "families" meta key carried every
+    // family by default, so an absent key means "pf" was live.
+    for (const auto &[key, value] : trace.meta) {
+        if (key == "families" &&
+            value.find("pf") == std::string::npos)
+            return mismatches;
+    }
+
+    // The roll-ups reset at the measurement boundary (warm-up excluded)
+    // but the ring keeps warm-up events, so only events after the last
+    // measure_start marker count. The array is in record order, which
+    // makes the split exact even when boundary and measured events
+    // share a cycle.
+    uint64_t first_use = 0;
+    uint64_t late_use = 0;
+    for (const JsonValue &ev : trace.events.array) {
+        const JsonValue *name = ev.find("name");
+        if (name == nullptr)
+            continue;
+        if (name->string == "measure_start") {
+            first_use = 0;
+            late_use = 0;
+        } else if (name->string == "pf_first_use") {
+            ++first_use;
+        } else if (name->string == "pf_late_use") {
+            ++late_use;
+        }
+    }
+
+    const struct {
+        const char *event;
+        const char *rollup;
+        uint64_t eventCount;
+        uint64_t rollupCount;
+    } pairs[] = {
+        {"pf_first_use", "lifecycle.first_use", first_use,
+         trace.lifecycle.firstUse},
+        {"pf_late_use", "lifecycle.late_use", late_use,
+         trace.lifecycle.lateUse},
+    };
+    for (const auto &pair : pairs) {
+        if (pair.eventCount == pair.rollupCount)
+            continue;
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "%s: events=%" PRIu64 " %s=%" PRIu64,
+                      pair.event, pair.eventCount, pair.rollup,
+                      pair.rollupCount);
+        mismatches.push_back(buf);
+    }
+    return mismatches;
+}
+
 } // namespace eip::obs

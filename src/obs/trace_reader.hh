@@ -66,6 +66,19 @@ std::string latenessReport(const TraceDoc &doc, uint64_t interval);
 std::vector<std::string> reconcileWithRun(const TraceDoc &trace,
                                           const JsonValue &run);
 
+/**
+ * Cross-check the retained pf_first_use / pf_late_use event counts
+ * (after the last measure_start marker, matching the roll-ups' warm
+ * boundary reset) against the lifecycle roll-ups of the same document.
+ * Exact only when
+ * the ring never wrapped (every recorded event was retained) and the
+ * "pf" family fed the ring (per the meta "families" key); otherwise
+ * the check is vacuous and the result is empty. Returns one
+ * field-level message per mismatch — a non-empty result means the
+ * writer lost or double-counted events, not a malformed input.
+ */
+std::vector<std::string> reconcileEvents(const TraceDoc &trace);
+
 /** One request-phase span of a serve trace (ts relative to the
  *  collector epoch, both in microseconds). */
 struct ServeSpan

@@ -1,0 +1,489 @@
+/**
+ * @file
+ * Miss-attribution ledger: shadow-state classification, counter
+ * registration, the eip-why/v1 artifact section and the `eipwhy`
+ * report renderer.
+ */
+
+#include "obs/why.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+#include "obs/json.hh"
+#include "obs/registry.hh"
+
+namespace eip::obs {
+
+namespace {
+
+/** Per-line cause flags (cleared when the episode resolves). */
+enum ShadowFlag : uint8_t
+{
+    kPredicted = 1u << 0,        ///< some prefetch targeted the line
+    kDroppedQueueFull = 1u << 1, ///< last request died on a full queue
+    kDroppedCrossPage = 1u << 2, ///< last candidate died at a page bound
+    kEvictedBeforeUse = 1u << 3, ///< prefetched line evicted untouched
+    kWrongPathEvicted = 1u << 4, ///< evicted by a wrong-path fill
+};
+
+constexpr uint8_t kDropFlags = kDroppedQueueFull | kDroppedCrossPage;
+
+std::string
+fmt(const char *format, ...)
+{
+    char buf[160];
+    va_list ap;
+    va_start(ap, format);
+    std::vsnprintf(buf, sizeof(buf), format, ap);
+    va_end(ap);
+    return buf;
+}
+
+} // namespace
+
+const char *
+missBlameName(MissBlame blame)
+{
+    switch (blame) {
+    case MissBlame::None:
+        return "none";
+    case MissBlame::NeverPredicted:
+        return "never_predicted";
+    case MissBlame::NotYetLearned:
+        return "not_yet_learned";
+    case MissBlame::DroppedQueueFull:
+        return "dropped_queue_full";
+    case MissBlame::DroppedCrossPage:
+        return "dropped_cross_page";
+    case MissBlame::LatePartial:
+        return "late_partial";
+    case MissBlame::EvictedBeforeUse:
+        return "evicted_before_use";
+    case MissBlame::PairEvicted:
+        return "pair_evicted";
+    case MissBlame::WrongPathPollution:
+        return "wrong_path_pollution";
+    }
+    return "unknown";
+}
+
+uint64_t
+WhyDump::total() const
+{
+    uint64_t sum = 0;
+    for (uint64_t v : blame)
+        sum += v;
+    return sum;
+}
+
+void
+MissAttribution::prefetchQueued(uint64_t line)
+{
+    // A live prefetch supersedes any earlier drop of the same line.
+    uint8_t &f = flags_[line];
+    f = static_cast<uint8_t>((f | kPredicted) & ~kDropFlags);
+}
+
+void
+MissAttribution::prefetchDropped(uint64_t line, PfDropReason reason)
+{
+    uint8_t &f = flags_[line];
+    f |= kPredicted;
+    switch (reason) {
+    case PfDropReason::QueueFull:
+        f |= kDroppedQueueFull;
+        break;
+    case PfDropReason::CrossPage:
+        f |= kDroppedCrossPage;
+        break;
+    default:
+        // Duplicate drops (already queued / cached / in flight) mean
+        // another copy of the prediction is still live — no cause.
+        break;
+    }
+}
+
+void
+MissAttribution::prefetchFilled(uint64_t line)
+{
+    // The line is resident again: earlier drops and evictions are no
+    // longer the proximate cause of a future miss.
+    uint8_t &f = flags_[line];
+    f = static_cast<uint8_t>(
+        (f | kPredicted) &
+        ~(kDropFlags | kEvictedBeforeUse | kWrongPathEvicted));
+}
+
+void
+MissAttribution::lineEvicted(uint64_t line, bool prefetchedUnused,
+                             bool byWrongPath)
+{
+    if (!prefetchedUnused && !byWrongPath)
+        return; // a plain demand-line capacity eviction carries no blame
+    uint8_t &f = flags_[line];
+    if (byWrongPath)
+        f |= kWrongPathEvicted;
+    if (prefetchedUnused)
+        f |= kEvictedBeforeUse;
+}
+
+void
+MissAttribution::demandHit(uint64_t line)
+{
+    seen_.insert(line);
+    flags_.erase(line); // episode resolved well — judge the next fresh
+}
+
+MissBlame
+MissAttribution::classifyShadow(uint64_t line) const
+{
+    auto it = flags_.find(line);
+    if (it == flags_.end())
+        return MissBlame::None;
+    const uint8_t f = it->second;
+    if (f & kWrongPathEvicted)
+        return MissBlame::WrongPathPollution;
+    if (f & kEvictedBeforeUse)
+        return MissBlame::EvictedBeforeUse;
+    if (f & kDroppedQueueFull)
+        return MissBlame::DroppedQueueFull;
+    if (f & kDroppedCrossPage)
+        return MissBlame::DroppedCrossPage;
+    return MissBlame::None;
+}
+
+bool
+MissAttribution::seenBefore(uint64_t line) const
+{
+    return seen_.count(line) != 0;
+}
+
+void
+MissAttribution::recordMiss(MissBlame blame, uint64_t line, uint64_t pc)
+{
+    const size_t idx = blameIndex(blame);
+    ++counts_[idx];
+    ++perPc_[pc][idx];
+    flags_.erase(line); // the cause has been charged — fresh episode
+    seen_.insert(line);
+}
+
+void
+MissAttribution::measurementBoundary()
+{
+    counts_.fill(0);
+    perPc_.clear();
+    // flags_/seen_ persist: warm-up-learned state explains measured
+    // misses (a line first seen in warm-up is not "not yet learned").
+}
+
+void
+MissAttribution::registerCounters(CounterRegistry &reg) const
+{
+    for (size_t i = 0; i < kMissBlameCount; ++i) {
+        reg.counter(std::string("why.") +
+                        missBlameName(static_cast<MissBlame>(i + 1)),
+                    &counts_[i]);
+    }
+}
+
+uint64_t
+MissAttribution::count(MissBlame blame) const
+{
+    return counts_[blameIndex(blame)];
+}
+
+uint64_t
+MissAttribution::total() const
+{
+    uint64_t sum = 0;
+    for (uint64_t v : counts_)
+        sum += v;
+    return sum;
+}
+
+WhyDump
+MissAttribution::dump() const
+{
+    WhyDump out;
+    out.enabled = true;
+    out.top = top_;
+    out.blame = counts_;
+    out.topPcs.reserve(perPc_.size());
+    for (const auto &[pc, blame] : perPc_) {
+        WhyDump::PcEntry entry;
+        entry.pc = pc;
+        entry.blame = blame;
+        for (uint64_t v : blame)
+            entry.total += v;
+        out.topPcs.push_back(entry);
+    }
+    std::sort(out.topPcs.begin(), out.topPcs.end(),
+              [](const WhyDump::PcEntry &a, const WhyDump::PcEntry &b) {
+                  if (a.total != b.total)
+                      return a.total > b.total;
+                  return a.pc < b.pc;
+              });
+    if (out.topPcs.size() > top_)
+        out.topPcs.resize(top_);
+    return out;
+}
+
+void
+writeWhySection(JsonWriter &json, const WhyDump &dump)
+{
+    json.beginObject();
+    json.kv("schema", kWhySchema);
+    json.kv("top", dump.top);
+    json.key("blame").beginObject();
+    for (size_t i = 0; i < kMissBlameCount; ++i)
+        json.kv(missBlameName(static_cast<MissBlame>(i + 1)),
+                dump.blame[i]);
+    json.endObject();
+    json.key("top_pcs").beginArray();
+    for (const auto &entry : dump.topPcs) {
+        json.beginObject();
+        json.kv("pc", fmt("0x%" PRIx64, entry.pc));
+        json.kv("total", entry.total);
+        // Non-zero categories only (canonical order) — the zero rows
+        // carry no information and the order is still deterministic.
+        json.key("blame").beginObject();
+        for (size_t i = 0; i < kMissBlameCount; ++i) {
+            if (entry.blame[i] != 0)
+                json.kv(missBlameName(static_cast<MissBlame>(i + 1)),
+                        entry.blame[i]);
+        }
+        json.endObject();
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+}
+
+namespace {
+
+std::optional<uint64_t>
+docCounter(const JsonValue &doc, const std::string &name)
+{
+    const JsonValue *counters = doc.find("counters");
+    if (counters == nullptr)
+        return std::nullopt;
+    const JsonValue *v = counters->find(name);
+    if (v == nullptr || !v->isNumber())
+        return std::nullopt;
+    return v->asU64();
+}
+
+std::string
+manifestString(const JsonValue &doc, const std::string &key)
+{
+    const JsonValue *manifest = doc.find("manifest");
+    const JsonValue *v =
+        manifest != nullptr ? manifest->find(key) : nullptr;
+    return v != nullptr && v->type == JsonValue::Type::String ? v->string
+                                                              : "?";
+}
+
+/** Append @p text to @p error ("; "-separated). */
+void
+addError(std::string *error, const std::string &text)
+{
+    if (error == nullptr)
+        return;
+    if (!error->empty())
+        *error += "; ";
+    *error += text;
+}
+
+/** Blame breakdown + partition identity for one eip-run/v1 document. */
+std::string
+whyRunReport(const JsonValue &doc, uint64_t top, std::string *error)
+{
+    std::string out;
+    const std::string workload = manifestString(doc, "workload");
+    const std::string config = manifestString(doc, "config_name");
+    out += fmt("workload %s  config %s\n", workload.c_str(),
+               config.c_str());
+
+    const JsonValue *why = doc.find("why");
+    if (why == nullptr || why->type != JsonValue::Type::Object) {
+        addError(error, workload + ": no 'why' section (run without "
+                                   "--why?)");
+        return out;
+    }
+    const JsonValue *blame = why->find("blame");
+    if (blame == nullptr || blame->type != JsonValue::Type::Object) {
+        addError(error, workload + ": 'why' section lacks 'blame'");
+        return out;
+    }
+
+    std::array<uint64_t, kMissBlameCount> counts{};
+    uint64_t sum = 0;
+    for (size_t i = 0; i < kMissBlameCount; ++i) {
+        const char *name = missBlameName(static_cast<MissBlame>(i + 1));
+        const JsonValue *v = blame->find(name);
+        counts[i] = v != nullptr && v->isNumber() ? v->asU64() : 0;
+        sum += counts[i];
+    }
+
+    const uint64_t demand =
+        docCounter(doc, "l1i.demand_misses").value_or(0);
+    const uint64_t late =
+        docCounter(doc, "l1i.late_prefetches").value_or(0);
+    const uint64_t denom = demand != 0 ? demand : 1;
+
+    out += "  blame breakdown (share of demand misses)\n";
+    for (size_t i = 0; i < kMissBlameCount; ++i) {
+        out += fmt("    %-22s %12" PRIu64 "  %6.2f%%\n",
+                   missBlameName(static_cast<MissBlame>(i + 1)),
+                   counts[i], 100.0 * counts[i] / denom);
+    }
+    out += fmt("    %-22s %12" PRIu64 "\n", "total", sum);
+
+    // The partition identity the ledger promises.
+    const uint64_t latePartial =
+        counts[blameIndex(MissBlame::LatePartial)];
+    if (sum != demand) {
+        out += fmt("  PARTITION BROKEN: blame sums to %" PRIu64
+                   ", l1i.demand_misses is %" PRIu64 "\n",
+                   sum, demand);
+        addError(error, workload + ": blame does not partition the "
+                                   "demand misses");
+    } else if (latePartial != late) {
+        out += fmt("  PARTITION BROKEN: late_partial %" PRIu64
+                   " != l1i.late_prefetches %" PRIu64 "\n",
+                   latePartial, late);
+        addError(error, workload + ": late_partial diverges from "
+                                   "l1i.late_prefetches");
+    } else {
+        out += fmt("  partition: %" PRIu64 " late + %" PRIu64
+                   " uncovered == %" PRIu64 " demand misses  OK\n",
+                   late, sum - latePartial, demand);
+    }
+
+    // Per-PC drill-down.
+    const JsonValue *pcs = why->find("top_pcs");
+    if (pcs != nullptr && pcs->type == JsonValue::Type::Array &&
+        !pcs->array.empty()) {
+        out += "  hot miss PCs\n";
+        uint64_t rows = 0;
+        for (const JsonValue &entry : pcs->array) {
+            if (rows++ >= top)
+                break;
+            const JsonValue *pc = entry.find("pc");
+            const JsonValue *total = entry.find("total");
+            out += fmt("    %-18s %10" PRIu64 "  ",
+                       pc != nullptr ? pc->string.c_str() : "?",
+                       total != nullptr ? total->asU64() : 0);
+            const JsonValue *pcBlame = entry.find("blame");
+            if (pcBlame != nullptr) {
+                bool first = true;
+                for (const auto &[name, v] : pcBlame->object) {
+                    out += fmt("%s%s=%" PRIu64, first ? "" : " ",
+                               name.c_str(), v.asU64());
+                    first = false;
+                }
+            }
+            out += "\n";
+        }
+    }
+    return out;
+}
+
+/** Entangled-table churn timeline from the interval samples (present
+ *  only when the run sampled an entangling configuration). */
+std::string
+whyChurnReport(const JsonValue &doc)
+{
+    const JsonValue *samples = doc.find("samples");
+    const JsonValue *columns =
+        samples != nullptr ? samples->find("columns") : nullptr;
+    const JsonValue *rows =
+        samples != nullptr ? samples->find("rows") : nullptr;
+    if (columns == nullptr || rows == nullptr || rows->array.empty())
+        return "";
+
+    auto column = [&](const char *name) -> int {
+        for (size_t i = 0; i < columns->array.size(); ++i) {
+            if (columns->array[i].string == name)
+                return static_cast<int>(i);
+        }
+        return -1;
+    };
+    const int inserts = column("entangling.table.inserts");
+    const int evictions = column("entangling.table.evictions");
+    const int relocEv = column("entangling.table.relocation_evictions");
+    const int pairs = column("entangling.table.pairs_added");
+    if (inserts < 0 || evictions < 0)
+        return "";
+
+    std::string out = "  entangled-table churn per sample interval\n";
+    out += fmt("    %-14s %10s %10s %10s %12s\n", "instructions",
+               "inserts", "evictions", "pairs+", "net-entries");
+    for (const JsonValue &row : rows->array) {
+        const JsonValue *instr = row.find("instructions");
+        const JsonValue *values = row.find("values");
+        const JsonValue *deltas = row.find("deltas");
+        if (values == nullptr || deltas == nullptr)
+            continue;
+        auto delta = [&](int c) -> uint64_t {
+            return c >= 0 && static_cast<size_t>(c) < deltas->array.size()
+                       ? deltas->array[c].asU64()
+                       : 0;
+        };
+        auto total = [&](int c) -> uint64_t {
+            return c >= 0 && static_cast<size_t>(c) < values->array.size()
+                       ? values->array[c].asU64()
+                       : 0;
+        };
+        // Net entries added since measure start (warm-up residents are
+        // not visible in measured counters, so this is growth, not
+        // absolute occupancy).
+        const int64_t net =
+            static_cast<int64_t>(total(inserts)) -
+            static_cast<int64_t>(total(evictions)) -
+            static_cast<int64_t>(total(relocEv));
+        out += fmt("    %-14" PRIu64 " %10" PRIu64 " %10" PRIu64
+                   " %10" PRIu64 " %+12" PRId64 "\n",
+                   instr != nullptr ? instr->asU64() : 0, delta(inserts),
+                   delta(evictions), delta(pairs), net);
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+whyReport(const JsonValue &doc, uint64_t top, std::string *error)
+{
+    const JsonValue *schema = doc.find("schema");
+    const std::string kind =
+        schema != nullptr ? schema->string : std::string();
+
+    std::string out;
+    if (kind == "eip-suite/v1") {
+        const JsonValue *runs = doc.find("runs");
+        if (runs == nullptr || runs->type != JsonValue::Type::Array) {
+            addError(error, "suite document has no 'runs' array");
+            return out;
+        }
+        for (const JsonValue &run : runs->array) {
+            out += whyRunReport(run, top, error);
+            out += whyChurnReport(run);
+            out += "\n";
+        }
+        return out;
+    }
+    if (kind != "eip-run/v1") {
+        addError(error, "not an eip-run/v1 or eip-suite/v1 document");
+        return out;
+    }
+    out += whyRunReport(doc, top, error);
+    out += whyChurnReport(doc);
+    return out;
+}
+
+} // namespace eip::obs

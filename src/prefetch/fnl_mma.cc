@@ -1,5 +1,6 @@
 #include "prefetch/fnl_mma.hh"
 
+#include "obs/why.hh"
 #include "util/bitops.hh"
 #include "util/panic.hh"
 
@@ -65,6 +66,9 @@ FnlMmaPrefetcher::mmaFindOrInsert(sim::Addr line)
         if (e.lastUse < victim->lastUse)
             victim = &e;
     }
+    // Miss attribution: the victim's miss-ahead prediction is lost.
+    if (ghost_ != nullptr && victim->valid && victim->ahead != 0)
+        ghost_->record(victim->ahead);
     victim->valid = true;
     victim->line = line;
     victim->ahead = 0;
@@ -98,6 +102,9 @@ FnlMmaPrefetcher::onCacheOperate(const sim::CacheOperateInfo &info)
         // The miss `missAhead` positions ago now knows its n-th successor.
         MmaEntry *e = mmaFindOrInsert(missQueue.front());
         e->ahead = line;
+        // The line is a live miss-ahead target again: un-ghost it.
+        if (ghost_ != nullptr)
+            ghost_->erase(line);
     }
 
     sim::Addr cursor = line;
@@ -111,6 +118,22 @@ FnlMmaPrefetcher::onCacheOperate(const sim::CacheOperateInfo &info)
             owner->enqueuePrefetch(e->ahead + 1);
         cursor = e->ahead;
     }
+}
+
+void
+FnlMmaPrefetcher::enableBlame()
+{
+    if (ghost_ == nullptr)
+        ghost_ = std::make_unique<core::GhostPairSet>();
+}
+
+obs::MissBlame
+FnlMmaPrefetcher::blame(sim::Addr line, sim::Addr pc)
+{
+    (void)pc;
+    if (ghost_ != nullptr && ghost_->contains(line))
+        return obs::MissBlame::PairEvicted;
+    return obs::MissBlame::None;
 }
 
 void

@@ -11,9 +11,11 @@
 #define EIP_PREFETCH_FNL_MMA_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "core/entangled_table.hh"
 #include "sim/cache.hh"
 #include "sim/prefetcher_api.hh"
 #include "util/saturating_counter.hh"
@@ -42,6 +44,12 @@ class FnlMmaPrefetcher : public sim::Prefetcher
     void onCacheOperate(const sim::CacheOperateInfo &info) override;
     void onCacheFill(const sim::CacheFillInfo &info) override;
 
+    /** Arms a ghost set of miss-ahead targets lost to MMA evictions. */
+    void enableBlame() override;
+    /** `pair_evicted` when @p line was an evicted entry's miss-ahead
+     *  target not re-learned since. */
+    obs::MissBlame blame(sim::Addr line, sim::Addr pc) override;
+
   private:
     struct MmaEntry
     {
@@ -63,6 +71,8 @@ class FnlMmaPrefetcher : public sim::Prefetcher
 
     /** Recent misses (newest at back) for miss-ahead training. */
     std::vector<sim::Addr> missQueue;
+    /** Miss-attribution shadow (DESIGN.md §3.11); null unless armed. */
+    std::unique_ptr<core::GhostPairSet> ghost_;
 };
 
 } // namespace eip::prefetch

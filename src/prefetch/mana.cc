@@ -1,6 +1,7 @@
 #include "prefetch/mana.hh"
 
 #include "obs/registry.hh"
+#include "obs/why.hh"
 #include "util/panic.hh"
 
 namespace eip::prefetch {
@@ -77,13 +78,55 @@ ManaPrefetcher::findOrInsert(sim::Addr line)
             victim = &e;
     }
     ++stats_.inserts;
-    if (victim->valid)
+    if (victim->valid) {
         ++stats_.evictions;
+        // Miss attribution: the victim's region prediction is lost.
+        if (ghost_ != nullptr)
+            ghostRecordRegion(*victim);
+    }
     *victim = Entry{};
     victim->valid = true;
     victim->line = line;
     victim->lastUse = ++clock;
+    if (ghost_ != nullptr)
+        ghost_->erase(line);
     return victim;
+}
+
+void
+ManaPrefetcher::ghostRecordRegion(const Entry &e)
+{
+    ghost_->record(e.line);
+    for (uint32_t i = 0; i < cfg.footprintLines; ++i) {
+        if (e.footprint & (1u << i))
+            ghost_->record(e.line + 1 + i);
+    }
+}
+
+void
+ManaPrefetcher::ghostEraseRegion(const Entry &e)
+{
+    ghost_->erase(e.line);
+    for (uint32_t i = 0; i < cfg.footprintLines; ++i) {
+        if (e.footprint & (1u << i))
+            ghost_->erase(e.line + 1 + i);
+    }
+}
+
+void
+ManaPrefetcher::enableBlame()
+{
+    if (ghost_ == nullptr)
+        ghost_ = std::make_unique<core::GhostPairSet>();
+}
+
+obs::MissBlame
+ManaPrefetcher::blame(sim::Addr line, sim::Addr pc)
+{
+    (void)pc;
+    if (ghost_ != nullptr && ghost_->contains(line))
+        return obs::MissBlame::PairEvicted;
+    return obs::MissBlame::None;
 }
 
 void
@@ -112,6 +155,9 @@ ManaPrefetcher::onCacheOperate(const sim::CacheOperateInfo &info)
             ++stats_.regionsCommitted;
             Entry *prev = findOrInsert(triggerLine);
             prev->footprint |= triggerFootprint;
+            // The committed region is predictable again: un-ghost it.
+            if (ghost_ != nullptr)
+                ghostEraseRegion(*prev);
             Entry *next = findOrInsert(line);
             // findOrInsert may have moved prev; re-find to be safe.
             prev = find(triggerLine);

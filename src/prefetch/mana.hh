@@ -11,9 +11,11 @@
 #define EIP_PREFETCH_MANA_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "core/entangled_table.hh"
 #include "sim/cache.hh"
 #include "sim/prefetcher_api.hh"
 #include "util/bitops.hh"
@@ -55,6 +57,11 @@ class ManaPrefetcher : public sim::Prefetcher
 
     void onCacheOperate(const sim::CacheOperateInfo &info) override;
 
+    /** Arms a ghost set of region lines lost to MANA-table evictions. */
+    void enableBlame() override;
+    /** `pair_evicted` when @p line was covered by an evicted region. */
+    obs::MissBlame blame(sim::Addr line, sim::Addr pc) override;
+
     const ManaStats &analysis() const { return stats_; }
 
   private:
@@ -72,12 +79,18 @@ class ManaPrefetcher : public sim::Prefetcher
     Entry *find(sim::Addr line);
     Entry *findOrInsert(sim::Addr line);
     void prefetchRegion(const Entry &e);
+    /** Ghost every line of @p e's region (blame armed, entry evicted). */
+    void ghostRecordRegion(const Entry &e);
+    /** Un-ghost every line the region of @p e covers (re-learned). */
+    void ghostEraseRegion(const Entry &e);
 
     ManaConfig cfg;
     uint32_t numSets;
     std::vector<Entry> table;
     uint64_t clock = 0;
     ManaStats stats_;
+    /** Miss-attribution shadow (DESIGN.md §3.11); null unless armed. */
+    std::unique_ptr<core::GhostPairSet> ghost_;
 
     // Training state: the current spatial region being recorded.
     bool hasTrigger = false;

@@ -1,6 +1,7 @@
 #include "prefetch/pif.hh"
 
 #include "obs/registry.hh"
+#include "obs/why.hh"
 #include "util/bitops.hh"
 #include "util/panic.hh"
 
@@ -47,11 +48,29 @@ PifPrefetcher::commitRegion()
         auto it = index.find(r.trigger);
         if (it != index.end() && it->second == head)
             index.erase(it);
+        // Miss attribution: the overwritten record's stream coverage is
+        // lost (replay reads history slots directly, so losing the
+        // record loses the lines regardless of the index).
+        if (ghost_ != nullptr) {
+            ghost_->record(r.trigger);
+            for (uint32_t i = 0; i < cfg.footprintLines; ++i) {
+                if (r.footprint & (1u << i))
+                    ghost_->record(r.trigger + 1 + i);
+            }
+        }
     }
     r.valid = true;
     r.trigger = triggerLine;
     r.footprint = triggerFootprint;
     ++stats_.recordsLogged;
+    // The freshly logged region is replayable again: un-ghost it.
+    if (ghost_ != nullptr) {
+        ghost_->erase(triggerLine);
+        for (uint32_t i = 0; i < cfg.footprintLines; ++i) {
+            if (triggerFootprint & (1u << i))
+                ghost_->erase(triggerLine + 1 + i);
+        }
+    }
     // Bound the model's index like the hardware table (drop-all is crude
     // but only ever forgets streams, never corrupts them).
     if (index.size() >= cfg.indexEntries) {
@@ -59,6 +78,22 @@ PifPrefetcher::commitRegion()
         ++stats_.indexFlushes;
     }
     index[triggerLine] = head;
+}
+
+void
+PifPrefetcher::enableBlame()
+{
+    if (ghost_ == nullptr)
+        ghost_ = std::make_unique<core::GhostPairSet>();
+}
+
+obs::MissBlame
+PifPrefetcher::blame(sim::Addr line, sim::Addr pc)
+{
+    (void)pc;
+    if (ghost_ != nullptr && ghost_->contains(line))
+        return obs::MissBlame::PairEvicted;
+    return obs::MissBlame::None;
 }
 
 void

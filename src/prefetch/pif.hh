@@ -18,10 +18,12 @@
 #define EIP_PREFETCH_PIF_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "core/entangled_table.hh"
 #include "sim/cache.hh"
 #include "sim/prefetcher_api.hh"
 
@@ -59,6 +61,12 @@ class PifPrefetcher : public sim::Prefetcher
 
     void onCacheOperate(const sim::CacheOperateInfo &info) override;
 
+    /** Arms a ghost set of record lines lost to history overwrites. */
+    void enableBlame() override;
+    /** `pair_evicted` when @p line was covered by an overwritten
+     *  history record not re-logged since. */
+    obs::MissBlame blame(sim::Addr line, sim::Addr pc) override;
+
     const PifStats &analysis() const { return stats_; }
 
   private:
@@ -78,6 +86,8 @@ class PifPrefetcher : public sim::Prefetcher
     PifStats stats_;
     /** trigger line -> most recent history position. */
     std::unordered_map<sim::Addr, size_t> index;
+    /** Miss-attribution shadow (DESIGN.md §3.11); null unless armed. */
+    std::unique_ptr<core::GhostPairSet> ghost_;
 
     // Current spatial region being accumulated.
     bool hasTrigger = false;

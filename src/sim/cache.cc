@@ -4,6 +4,7 @@
 
 #include "check/invariants.hh"
 #include "obs/trace.hh"
+#include "obs/why.hh"
 #include "util/bitops.hh"
 #include "util/panic.hh"
 
@@ -192,6 +193,11 @@ Cache::installLine(const Mshr &entry)
             if (tracer_ != nullptr)
                 tracer_->pfEvictedUnused(victim->line, entry.ready);
         }
+        if (why_ != nullptr) {
+            why_->lineEvicted(victim->line,
+                              victim->prefetched && !victim->used,
+                              entry.wrongPath);
+        }
     }
 
     victim->valid = true;
@@ -204,6 +210,8 @@ Cache::installLine(const Mshr &entry)
     ++stats_.fills;
     if (tracer_ != nullptr && entry.isPrefetch)
         tracer_->pfFilled(entry.line, entry.ready, entry.demandTouched);
+    if (why_ != nullptr && entry.isPrefetch)
+        why_->prefetchFilled(entry.line);
 
     if (prefetcher != nullptr)
         prefetcher->onCacheFill(info);
@@ -273,6 +281,8 @@ Cache::demandAccess(Addr line, Addr pc, Cycle now)
                 tracer_->pfFirstUse(line, now);
         }
         hit->used = true;
+        if (why_ != nullptr)
+            why_->demandHit(line);
         result.hit = true;
         result.ready = now + cfg.hitLatency;
         op.hit = true;
@@ -316,7 +326,15 @@ Cache::demandAccess(Addr line, Addr pc, Cycle now)
         } else {
             ++stats_.mshrMerges;
         }
+        if (why_ != nullptr) {
+            if (op.missLatePrefetch)
+                why_->recordMiss(obs::MissBlame::LatePartial, line, pc);
+            else
+                classifyDemandMiss(line, pc);
+        }
         inflight->demandTouched = true;
+        // A demanded fill is no longer wrong-path pollution.
+        inflight->wrongPath = false;
         result.ready = std::max(inflight->ready, now + cfg.hitLatency);
         classifyMiss(stats_, result.ready, now);
         if (tracer_ != nullptr) {
@@ -338,11 +356,16 @@ Cache::demandAccess(Addr line, Addr pc, Cycle now)
 
     ++stats_.demandAccesses;
     ++stats_.demandMisses;
+    // Classified before onCacheOperate below trains the prefetcher, so
+    // blame() sees the table state the miss actually hit.
+    if (why_ != nullptr)
+        classifyDemandMiss(line, pc);
     slot->valid = true;
     ++inflightFills_;
     slot->line = line;
     slot->isPrefetch = false;
     slot->demandTouched = true;
+    slot->wrongPath = false;
     slot->ready = fetchFromBelow(line, pc, now);
     nextReady_ = std::min(nextReady_, slot->ready);
     result.ready = slot->ready;
@@ -388,6 +411,7 @@ Cache::speculativeAccess(Addr line, Addr pc, Cycle now)
             slot->line = line;
             slot->isPrefetch = false;
             slot->demandTouched = true; // wrong-path fills look demanded
+            slot->wrongPath = true;
             slot->ready = fetchFromBelow(line, pc, now);
             nextReady_ = std::min(nextReady_, slot->ready);
         }
@@ -406,6 +430,8 @@ Cache::enqueuePrefetch(Addr line)
         ++stats_.prefetchDroppedFull;
         if (tracer_ != nullptr)
             tracer_->pfDropped(line, now_, obs::PfDropReason::QueueFull);
+        if (why_ != nullptr)
+            why_->prefetchDropped(line, obs::PfDropReason::QueueFull);
         return false;
     }
     // Duplicate suppression inside the queue (small, linear scan is fine).
@@ -417,6 +443,8 @@ Cache::enqueuePrefetch(Addr line)
                 tracer_->pfDropped(line, now_,
                                    obs::PfDropReason::DupQueued);
             }
+            if (why_ != nullptr)
+                why_->prefetchDropped(line, obs::PfDropReason::DupQueued);
             return false;
         }
     }
@@ -424,11 +452,15 @@ Cache::enqueuePrefetch(Addr line)
         ++stats_.prefetchDroppedFull;
         if (tracer_ != nullptr)
             tracer_->pfDropped(line, now_, obs::PfDropReason::QueueFull);
+        if (why_ != nullptr)
+            why_->prefetchDropped(line, obs::PfDropReason::QueueFull);
         return false;
     }
     pq.push_back(PqEntry{line});
     if (tracer_ != nullptr)
         tracer_->pfQueued(line, now_);
+    if (why_ != nullptr)
+        why_->prefetchQueued(line);
     return true;
 }
 
@@ -443,6 +475,8 @@ Cache::issuePrefetches(Cycle now)
             ++stats_.prefetchDropDupCached;
             if (tracer_ != nullptr)
                 tracer_->pfDropped(line, now, obs::PfDropReason::DupCached);
+            if (why_ != nullptr)
+                why_->prefetchDropped(line, obs::PfDropReason::DupCached);
             pq.pop_front();
             continue;
         }
@@ -453,6 +487,9 @@ Cache::issuePrefetches(Cycle now)
                 tracer_->pfDropped(line, now,
                                    obs::PfDropReason::DupInflight);
             }
+            if (why_ != nullptr)
+                why_->prefetchDropped(line,
+                                      obs::PfDropReason::DupInflight);
             pq.pop_front();
             continue;
         }
@@ -472,6 +509,7 @@ Cache::issuePrefetches(Cycle now)
         slot->line = line;
         slot->isPrefetch = true;
         slot->demandTouched = false;
+        slot->wrongPath = false;
         slot->ready = fetchFromBelow(line, /*pc=*/0, now);
         nextReady_ = std::min(nextReady_, slot->ready);
         ++stats_.prefetchIssued;
@@ -661,10 +699,37 @@ Cache::registerInvariants(check::Invariants &inv, const std::string &prefix)
     });
 }
 
+void
+Cache::classifyDemandMiss(Addr line, Addr pc)
+{
+    obs::MissBlame verdict = why_->classifyShadow(line);
+    if (verdict == obs::MissBlame::None && prefetcher != nullptr)
+        verdict = prefetcher->blame(line, pc);
+    if (verdict == obs::MissBlame::None) {
+        verdict = why_->seenBefore(line) ? obs::MissBlame::NeverPredicted
+                                         : obs::MissBlame::NotYetLearned;
+    }
+    why_->recordMiss(verdict, line, pc);
+}
+
 obs::EventTracer *
 Prefetcher::tracer() const
 {
     return owner != nullptr ? owner->tracer() : nullptr;
+}
+
+obs::MissBlame
+Prefetcher::blame(Addr line, Addr pc)
+{
+    (void)line;
+    (void)pc;
+    return obs::MissBlame::None;
+}
+
+obs::MissAttribution *
+Prefetcher::why() const
+{
+    return owner != nullptr ? owner->why() : nullptr;
 }
 
 } // namespace eip::sim

@@ -22,6 +22,7 @@
 
 namespace eip::obs {
 class EventTracer;
+class MissAttribution;
 }
 
 namespace eip::check {
@@ -122,6 +123,12 @@ class Cache
     void setTracer(obs::EventTracer *tracer) { tracer_ = tracer; }
     obs::EventTracer *tracer() const { return tracer_; }
 
+    /** Attach the miss-attribution observer (nullable; pure observer,
+     *  see src/obs/why.hh). Same contract as the tracer: every hook
+     *  site is one pointer test when off. */
+    void setWhy(obs::MissAttribution *why) { why_ = why; }
+    obs::MissAttribution *why() const { return why_; }
+
     /** Number of free MSHR entries (for tests). */
     uint32_t freeMshrs() const;
     /** Prefetch-queue occupancy (for tests). */
@@ -177,6 +184,10 @@ class Cache
         Cycle ready = kCycleNever;
         bool isPrefetch = false;
         bool demandTouched = false; ///< the paper's MSHR "access bit"
+        /** Fill initiated down the wrong path and never demanded since;
+         *  its eviction victim is charged to wrong_path_pollution (read
+         *  only by the miss-attribution observer). */
+        bool wrongPath = false;
     };
 
     struct PqEntry
@@ -197,6 +208,10 @@ class Cache
     Cycle fetchFromBelow(Addr line, Addr pc, Cycle now);
     /** Install @p line; fires eviction bookkeeping and returns fill info. */
     void installLine(const Mshr &entry);
+    /** Charge a demand miss to its blame category (why_ is non-null):
+     *  shadow verdict, then the prefetcher's blame() hook, then the
+     *  seen-set fallback. */
+    void classifyDemandMiss(Addr line, Addr pc);
     void drainFills(Cycle now);
     void issuePrefetches(Cycle now);
 
@@ -241,6 +256,7 @@ class Cache
      *  when none): pulls the per-cycle virtual call out of tick(). */
     bool pfCycleInert_ = true;
     obs::EventTracer *tracer_ = nullptr;
+    obs::MissAttribution *why_ = nullptr;
     /** Current cycle as of the last public entry point; gives
      *  enqueuePrefetch (which has no cycle parameter) a timestamp. */
     Cycle now_ = 0;

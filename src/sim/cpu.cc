@@ -7,6 +7,7 @@
 #include "obs/registry.hh"
 #include "obs/sampler.hh"
 #include "obs/trace.hh"
+#include "obs/why.hh"
 #include "util/panic.hh"
 
 namespace eip::sim {
@@ -54,6 +55,8 @@ Cpu::attachL1iPrefetcher(Prefetcher *pf)
     l1i_->attachPrefetcher(pf);
     if (checks_ != nullptr && pf != nullptr)
         pf->registerInvariants(*checks_);
+    if (why_ != nullptr && pf != nullptr)
+        pf->enableBlame();
 }
 
 void
@@ -121,6 +124,39 @@ Cpu::attachTracer(obs::EventTracer *tracer)
     // Both traced event families are L1I-centric (prefetch lifecycle,
     // instruction-fetch stalls); the data side is not traced.
     l1i_->setTracer(tracer);
+}
+
+void
+Cpu::attachWhy(obs::MissAttribution *why)
+{
+    why_ = why;
+    // Miss attribution is L1I-only: the taxonomy explains instruction
+    // misses against the instruction prefetcher.
+    l1i_->setWhy(why);
+    if (l1iPrefetcher != nullptr && why != nullptr)
+        l1iPrefetcher->enableBlame();
+
+    if (checks_ != nullptr && why != nullptr) {
+        // The ledger's defining identity: late_partial mirrors the L1I
+        // late-prefetch count and the full ledger sums to the demand
+        // misses, so the seven other categories partition the uncovered
+        // misses exactly (DESIGN.md §3.11).
+        checks_->add("why.blame_partition", [this](std::string &detail) {
+            const CacheStats &s = l1i_->stats();
+            const uint64_t late =
+                why_->count(obs::MissBlame::LatePartial);
+            const uint64_t total = why_->total();
+            if (total == s.demandMisses && late == s.latePrefetches)
+                return true;
+            detail = "blame_total=" + std::to_string(total) +
+                     " late_partial=" + std::to_string(late) +
+                     " l1i_demand_misses=" +
+                     std::to_string(s.demandMisses) +
+                     " l1i_late_prefetches=" +
+                     std::to_string(s.latePrefetches);
+            return false;
+        });
+    }
 }
 
 Addr
@@ -577,6 +613,11 @@ Cpu::run(trace::InstructionSource &trace, uint64_t instructions,
             // as the stats they reconcile against.
             if (tracer_ != nullptr)
                 tracer_->measurementBoundary(now);
+            // The blame ledger resets with the stats it partitions; the
+            // per-line shadow state persists (warm-up-learned state
+            // legitimately explains measured misses).
+            if (why_ != nullptr)
+                why_->measurementBoundary();
             if (profiler != nullptr)
                 profiler->transition("measure");
         }
@@ -668,6 +709,11 @@ Cpu::registerCounters(obs::CounterRegistry &reg)
 
     if (l1iPrefetcher != nullptr)
         l1iPrefetcher->registerStats(reg);
+
+    // Appended last so artifacts without --why keep their exact historic
+    // column order and bytes.
+    if (why_ != nullptr)
+        why_->registerCounters(reg);
 }
 
 } // namespace eip::sim

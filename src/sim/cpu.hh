@@ -27,6 +27,7 @@ namespace eip::obs {
 class CounterRegistry;
 class EventTracer;
 class IntervalSampler;
+class MissAttribution;
 class PhaseProfiler;
 }
 
@@ -62,6 +63,18 @@ class Cpu
     void attachTracer(obs::EventTracer *tracer);
 
     /**
+     * Attach the miss-attribution observer (see src/obs/why.hh) to the
+     * L1I and arm the attached prefetcher's blame machinery. Nullable;
+     * a pure observer like the tracer — but unlike the tracer its hooks
+     * are all event-driven, so event-driven cycle skipping stays armed
+     * and the blame ledger is identical across skip/no-skip. Owned by
+     * the caller and must outlive the Cpu's last run(). When invariant
+     * checking is on, also registers the why.blame_partition audit
+     * (blame categories partition the L1I demand misses exactly).
+     */
+    void attachWhy(obs::MissAttribution *why);
+
+    /**
      * Simulate until @p instructions have retired after a warm-up of
      * @p warmup_instructions (during which all structures train but
      * statistics are discarded). An optional @p sampler snapshots the
@@ -95,6 +108,8 @@ class Cpu
     /** The invariant registry of this CPU, or nullptr when checking is
      *  off (see check::checksEnabled()). Test-facing. */
     const check::Invariants *invariants() const { return checks_.get(); }
+    /** Mutable view for tests that drive the fatal audit path. */
+    check::Invariants *invariants() { return checks_.get(); }
 
     /**
      * Earliest future cycle at which any pipeline or hierarchy state can
@@ -218,6 +233,7 @@ class Cpu
     uint64_t fetchIdleCycles = 0;
 
     obs::EventTracer *tracer_ = nullptr;
+    obs::MissAttribution *why_ = nullptr;
     /** Cycle-level consistency checks; only allocated when checking is
      *  enabled, so unchecked runs pay one null-pointer test per cycle. */
     std::unique_ptr<check::Invariants> checks_;

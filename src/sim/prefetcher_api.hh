@@ -18,6 +18,8 @@
 namespace eip::obs {
 class CounterRegistry;
 class EventTracer;
+class MissAttribution;
+enum class MissBlame : uint8_t;
 }
 
 namespace eip::check {
@@ -136,6 +138,26 @@ class Prefetcher
      */
     virtual bool cycleInert() const { return true; }
 
+    /**
+     * Miss attribution (DESIGN.md §3.11): when blame is armed, the
+     * prefetcher is asked to explain a demand miss the cache-side
+     * shadow state could not (e.g. "the entangled pair for this line
+     * was evicted from the table before its trigger fired"). Pure
+     * observer — the verdict feeds the why.* ledger, never timing.
+     * Return obs::MissBlame::None when this prefetcher has nothing to
+     * add (the default; defined in cache.cc, which sees the enum).
+     */
+    virtual obs::MissBlame blame(Addr line, Addr pc);
+
+    /**
+     * Arm miss attribution: allocate whatever ghost/shadow structures
+     * blame() needs (the entangled table's ghost-pair set, the
+     * baselines' evicted-coverage sets). Called by the Cpu when a
+     * MissAttribution observer is attached; never called on plain
+     * runs, so the structures cost nothing when blame is off.
+     */
+    virtual void enableBlame() {}
+
   protected:
     /**
      * Event tracer of the owning cache; nullptr when tracing is off or
@@ -146,6 +168,15 @@ class Prefetcher
      * simulation behavior on it. Defined in cache.cc (needs Cache).
      */
     obs::EventTracer *tracer() const;
+
+    /**
+     * Miss-attribution observer of the owning cache; nullptr when
+     * blame is off or the prefetcher is unattached. Prefetchers use it
+     * to record shadow events the cache never sees (e.g. cross-page
+     * candidates discarded before Cache::enqueuePrefetch). Pure
+     * observer, same contract as tracer(). Defined in cache.cc.
+     */
+    obs::MissAttribution *why() const;
 
     Cache *owner = nullptr;
 };

@@ -22,7 +22,16 @@
  *      host-speed fields (wall clock, host MIPS) may differ;
  *   6. phase profiling off vs on — the host-side phase profiler
  *      (src/obs/phase.hh) is a pure observer: only its own manifest
- *      field (phase_ms) and environment timing may differ.
+ *      field (phase_ms) and environment timing may differ;
+ *   7. miss attribution off vs on — the blame ledger (--why,
+ *      DESIGN.md §3.11) is a pure observer: only its own artifact
+ *      sections (the "why" object and the counters.why.* keys, which
+ *      are appended after every historic counter) and environment
+ *      timing may differ;
+ *   8. miss attribution determinism: the why-enabled suite on 1 worker
+ *      vs N workers vs serial no-skip — blame classification is
+ *      event-driven, so the ledger (and everything else) must match
+ *      with an *empty* allow-list across scheduling and skipping.
  *
  * Exit code 0 when every comparison is clean, 1 on any unexplained
  * divergence, 2 on usage errors. CI runs this instead of hand-rolled
@@ -337,6 +346,86 @@ diffProfilingLeg(check::DiffRunner &diff, const Options &opt,
                   "manifest.phase_ms"});
 }
 
+/** Why inertness leg: the miss-attribution observer must not perturb
+ *  the run — only its own artifact surface (the "why" section and the
+ *  counters.why.* keys) and environment timing may differ. */
+void
+diffWhyInertLeg(check::DiffRunner &diff, const Options &opt,
+                const trace::Workload &workload)
+{
+    harness::RunSpec base = harness::RunSpec::defaultSpec();
+    base.configId = opt.prefetcher;
+    base.collectCounters = true;
+
+    harness::RunSpec whyd = base;
+    whyd.why = true;
+
+    diff.compare("why off vs on (" + workload.name + ")",
+                 singleRunArtifact(workload, base),
+                 singleRunArtifact(workload, whyd),
+                 {"manifest.wall_clock_seconds", "manifest.host_wall_ms",
+                  "manifest.host_mips", "manifest.jobs", "why",
+                  "counters.why.never_predicted",
+                  "counters.why.not_yet_learned",
+                  "counters.why.dropped_queue_full",
+                  "counters.why.dropped_cross_page",
+                  "counters.why.late_partial",
+                  "counters.why.evicted_before_use",
+                  "counters.why.pair_evicted",
+                  "counters.why.wrong_path_pollution"});
+}
+
+/** Why determinism leg: the blame ledger is classified by event-driven
+ *  hooks only, so the why-enabled suite must produce field-identical
+ *  artifacts — ledger included — across worker counts and with cycle
+ *  skipping disabled. Empty allow-list, roll-up and per-job alike. */
+void
+diffWhyLegs(check::DiffRunner &diff, const Options &opt,
+            const std::vector<trace::Workload> &suite,
+            const std::string &scale)
+{
+    ::setenv("EIP_SIM_SCALE", scale.c_str(), 1);
+    harness::RunSpec spec = harness::RunSpec::defaultSpec();
+    spec.configId = opt.prefetcher;
+    spec.why = true;
+
+    std::vector<harness::RunJob> batch;
+    for (const auto &w : suite)
+        batch.push_back(harness::RunJob{w, spec});
+
+    std::string serial = opt.outDir + "/why-scale" + scale + "-j1.json";
+    std::string parallel = opt.outDir + "/why-scale" + scale + "-j" +
+                           std::to_string(opt.jobs) + ".json";
+    harness::runBatchWithArtifacts(batch, 1, serial);
+    harness::runBatchWithArtifacts(batch, opt.jobs, parallel);
+
+    const std::vector<std::string> kNothingAllowed;
+    diff.compareFiles("why suite scale=" + scale + " jobs=1 vs jobs=" +
+                          std::to_string(opt.jobs),
+                      serial, parallel, kNothingAllowed);
+
+    std::vector<harness::RunJob> noskip_batch = batch;
+    for (harness::RunJob &job : noskip_batch)
+        job.spec.eventSkip = false;
+    std::string noskip = opt.outDir + "/why-scale" + scale +
+                         "-noskip.json";
+    harness::runBatchWithArtifacts(noskip_batch, 1, noskip);
+    diff.compareFiles("why suite scale=" + scale + " skip vs no-skip",
+                      serial, noskip, kNothingAllowed);
+    for (size_t i = 0; i < batch.size(); ++i) {
+        diff.compareFiles("why per-job scale=" + scale + " " +
+                              batch[i].workload.name,
+                          harness::perJobArtifactPath(serial, i),
+                          harness::perJobArtifactPath(parallel, i),
+                          kNothingAllowed);
+        diff.compareFiles("why per-job scale=" + scale + " no-skip " +
+                              batch[i].workload.name,
+                          harness::perJobArtifactPath(serial, i),
+                          harness::perJobArtifactPath(noskip, i),
+                          kNothingAllowed);
+    }
+}
+
 } // namespace
 
 int
@@ -371,6 +460,11 @@ main(int argc, char **argv)
     diffTracingLeg(diff, opt, probe);
     diffSkipSingleLeg(diff, opt, probe);
     diffProfilingLeg(diff, opt, probe);
+    diffWhyInertLeg(diff, opt, probe);
+
+    // Why determinism at the first scale point only: the leg runs the
+    // suite three more times, so one point bounds the gate's runtime.
+    diffWhyLegs(diff, opt, suite, opt.scales.front());
 
     std::fputs(diff.report().c_str(), stdout);
     return diff.allClean() ? 0 : 1;

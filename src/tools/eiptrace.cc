@@ -13,8 +13,14 @@
  * reconcile the terminal-state roll-ups against the daemon's serve.*
  * counters from an `eipc stats` document.
  *
- * Exits non-zero on unreadable input or any reconciliation mismatch,
- * so CI can gate on it.
+ * eipwhy mode (`eiptrace eipwhy STATS.json`, also auto-detected when
+ * the input is an eip-run/v1 or eip-suite/v1 stats artifact): render
+ * the miss-attribution report of a `--why` run — per-workload blame
+ * breakdown, partition-identity check, per-PC drill-down and the
+ * entangled-table occupancy/churn timeline.
+ *
+ * Exits non-zero on unreadable input, any reconciliation mismatch or a
+ * broken blame-partition identity, so CI can gate on it.
  */
 
 #include <cstdio>
@@ -23,24 +29,32 @@
 #include <string>
 #include <vector>
 
+#include "obs/manifest.hh"
 #include "obs/trace_reader.hh"
+#include "obs/why.hh"
 
 namespace {
 
 const char kUsage[] =
     "eiptrace — analyse an eip-trace/v1 event trace\n"
     "\n"
-    "usage: eiptrace TRACE.json [options]\n"
+    "usage: eiptrace [eipwhy] FILE.json [options]\n"
     "  --stats FILE    reconcile the trace's roll-ups against the\n"
     "                  counters of the matching artifact (run traces:\n"
     "                  eip-run/v1; serve traces: an eipd stats\n"
     "                  document); exit 1 on any mismatch\n"
     "  --interval N    lateness bucket width in cycles (default 100000;\n"
     "                  run traces only)\n"
+    "  --top N         per-PC drill-down depth of the eipwhy report\n"
+    "                  (default 10)\n"
     "  --help          this text\n"
     "\n"
     "Serve traces (kind \"serve\", from `eipc spans`) are auto-detected\n"
-    "and render the per-request timeline and phase-latency breakdown.\n";
+    "and render the per-request timeline and phase-latency breakdown.\n"
+    "Stats artifacts (eip-run/v1, eip-suite/v1) render the eipwhy\n"
+    "miss-attribution report: per-workload blame breakdown, partition\n"
+    "check, hot-PC drill-down, entangled-table churn timeline; exit 1\n"
+    "when the blame ledger does not partition the demand misses.\n";
 
 bool
 readFile(const std::string &path, std::string *out)
@@ -63,10 +77,24 @@ main(int argc, char **argv)
     std::string trace_path;
     std::string stats_path;
     uint64_t interval = 100000;
+    uint64_t top = 10;
+    bool why_mode = false;
     for (size_t i = 0; i < args.size(); ++i) {
         if (args[i] == "--help" || args[i] == "-h") {
             std::fputs(kUsage, stdout);
             return 0;
+        }
+        if (args[i] == "eipwhy" && trace_path.empty() && !why_mode) {
+            why_mode = true;
+            continue;
+        }
+        if (args[i] == "--top") {
+            if (i + 1 >= args.size()) {
+                std::fprintf(stderr, "error: --top needs a number\n");
+                return 2;
+            }
+            top = std::strtoull(args[++i].c_str(), nullptr, 10);
+            continue;
         }
         if (args[i] == "--stats") {
             if (i + 1 >= args.size()) {
@@ -109,8 +137,39 @@ main(int argc, char **argv)
     }
     std::string parse_error;
 
-    // Serve traces (kind "serve") get their own report path.
     auto probe = eip::obs::parseJson(text, &parse_error);
+
+    // eipwhy mode: a stats artifact (eip-run/v1 or eip-suite/v1) renders
+    // the miss-attribution report. Auto-detected by schema; the explicit
+    // `eipwhy` keyword makes the intent greppable in scripts.
+    bool is_stats_doc = false;
+    if (probe) {
+        const eip::obs::JsonValue *schema = probe->find("schema");
+        is_stats_doc = schema != nullptr &&
+                       (schema->string == eip::obs::kRunSchema ||
+                        schema->string == eip::obs::kSuiteSchema);
+    }
+    if (why_mode || is_stats_doc) {
+        if (!probe || !is_stats_doc) {
+            std::fprintf(stderr,
+                         "error: %s: eipwhy needs an eip-run/v1 or "
+                         "eip-suite/v1 stats artifact%s%s\n",
+                         trace_path.c_str(),
+                         parse_error.empty() ? "" : ": ",
+                         parse_error.c_str());
+            return 1;
+        }
+        std::string why_error;
+        std::string report = eip::obs::whyReport(*probe, top, &why_error);
+        std::fputs(report.c_str(), stdout);
+        if (!why_error.empty()) {
+            std::fprintf(stderr, "error: %s\n", why_error.c_str());
+            return 1;
+        }
+        return 0;
+    }
+
+    // Serve traces (kind "serve") get their own report path.
     if (probe && eip::obs::isServeTrace(*probe)) {
         auto serve = eip::obs::parseServeTrace(text, &parse_error);
         if (!serve) {
@@ -172,6 +231,19 @@ main(int argc, char **argv)
     std::fputs(eip::obs::stallReport(*doc).c_str(), stdout);
     std::fputs("\n", stdout);
     std::fputs(eip::obs::latenessReport(*doc, interval).c_str(), stdout);
+
+    // Internal consistency first: the retained first-use/late-use
+    // events must reconcile with the document's own lifecycle roll-ups
+    // (exact whenever the ring never wrapped). A mismatch means the
+    // writer lost or double-counted events — fail even without --stats.
+    auto event_mismatches = eip::obs::reconcileEvents(*doc);
+    if (!event_mismatches.empty()) {
+        std::fprintf(stderr,
+                     "\nevent/roll-up reconciliation FAILED:\n");
+        for (const auto &m : event_mismatches)
+            std::fprintf(stderr, "  %s\n", m.c_str());
+        return 1;
+    }
 
     if (stats_path.empty())
         return 0;

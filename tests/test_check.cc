@@ -15,6 +15,7 @@
 #include "core/entangling.hh"
 #include "core/history_buffer.hh"
 #include "obs/json.hh"
+#include "obs/why.hh"
 #include "sim/cpu.hh"
 #include "trace/workloads.hh"
 
@@ -182,6 +183,51 @@ TEST(CheckedRun, UncheckedCpuPaysNoRegistry)
     sim::SimConfig cfg;
     sim::Cpu cpu(cfg);
     EXPECT_EQ(cpu.invariants(), nullptr);
+}
+
+TEST(CheckedRun, BalancedBlameLedgerSurvivesACheckedRun)
+{
+    setChecksEnabled(true);
+    trace::Workload w = trace::tinyWorkload(1);
+    trace::Program prog = trace::buildProgram(w.program);
+    trace::Executor exec(prog, w.exec);
+    core::EntanglingPrefetcher pf(core::EntanglingConfig::preset2K());
+    sim::SimConfig cfg;
+    sim::Cpu cpu(cfg);
+    cpu.attachL1iPrefetcher(&pf);
+    obs::MissAttribution why;
+    cpu.attachWhy(&why);
+    // The why.blame_partition invariant is audited every checked cycle;
+    // reaching the end of the run proves the ledger partitioned the
+    // demand misses at every step.
+    cpu.run(exec, 50000, 10000);
+    EXPECT_FALSE(cpu.invariants()->firstFailure().has_value());
+    EXPECT_GT(why.total(), 0u);
+    setChecksEnabled(false);
+}
+
+TEST(CheckedRunDeathTest, UnbalancedBlameLedgerIsFatal)
+{
+    setChecksEnabled(true);
+    trace::Workload w = trace::tinyWorkload(1);
+    trace::Program prog = trace::buildProgram(w.program);
+    trace::Executor exec(prog, w.exec);
+    core::EntanglingPrefetcher pf(core::EntanglingConfig::preset2K());
+    sim::SimConfig cfg;
+    sim::Cpu cpu(cfg);
+    cpu.attachL1iPrefetcher(&pf);
+    obs::MissAttribution why;
+    cpu.attachWhy(&why);
+    cpu.run(exec, 50000, 10000);
+    // A miss the cache never saw unbalances the ledger: blame_total
+    // exceeds l1i.demand_misses, and the next audit must be fatal with
+    // the partition arithmetic in the detail.
+    why.recordMiss(obs::MissBlame::NeverPredicted, 0xdead40, 0x401000);
+    ASSERT_NE(cpu.invariants(), nullptr);
+    EXPECT_DEATH(cpu.invariants()->run(99),
+                 "invariant 'why.blame_partition' violated at cycle 99: "
+                 "blame_total=");
+    setChecksEnabled(false);
 }
 
 // ---------------------------------------------------------------------

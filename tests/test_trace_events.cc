@@ -434,6 +434,63 @@ TEST(TraceSim, TraceReconcilesExactlyWithRunArtifact)
         << mismatches[0];
 }
 
+TEST(TraceSim, EventCountsReconcileWithLifecycleRollups)
+{
+    // Warm-up on: reconcileEvents must split the ring at the
+    // measure_start marker exactly as the roll-ups reset there.
+    EventTracer tracer;
+    trace::Workload workload = srvWorkload();
+    harness::runOne(workload, tracedSpec(&tracer, /*warmup=*/40000));
+    tracer.finish();
+
+    std::string error;
+    auto doc = obs::parseTrace(tracer.toJson(), &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+    ASSERT_FALSE(doc->wrapped);
+    ASSERT_GT(doc->lifecycle.firstUse, 0u);
+    EXPECT_EQ(obs::reconcileEvents(*doc), std::vector<std::string>{});
+
+    // A corrupted roll-up must produce a field-level diff.
+    doc->lifecycle.lateUse += 1;
+    std::vector<std::string> mismatches = obs::reconcileEvents(*doc);
+    ASSERT_EQ(mismatches.size(), 1u);
+    EXPECT_NE(mismatches[0].find("pf_late_use"), std::string::npos)
+        << mismatches[0];
+    EXPECT_NE(mismatches[0].find("lifecycle.late_use"), std::string::npos)
+        << mismatches[0];
+}
+
+TEST(TraceSim, EventReconciliationIsVacuousWhenInexact)
+{
+    trace::Workload workload = srvWorkload();
+
+    // A wrapped ring lost events: nothing exact can be asserted.
+    TraceConfig small;
+    small.limit = 64;
+    EventTracer wrapped_tracer(small);
+    harness::runOne(workload, tracedSpec(&wrapped_tracer, /*warmup=*/0));
+    wrapped_tracer.finish();
+    ASSERT_TRUE(wrapped_tracer.wrapped());
+    std::string error;
+    auto doc = obs::parseTrace(wrapped_tracer.toJson(), &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+    EXPECT_EQ(obs::reconcileEvents(*doc), std::vector<std::string>{});
+
+    // A ring that filtered the pf family carries the roll-ups but no
+    // pf events; the meta families key makes that a non-mismatch.
+    TraceConfig no_pf;
+    no_pf.families = obs::kTraceStall | obs::kTraceCache;
+    EventTracer filtered(no_pf);
+    harness::runOne(workload, tracedSpec(&filtered, /*warmup=*/0));
+    filtered.finish();
+    auto filtered_doc = obs::parseTrace(filtered.toJson(), &error);
+    ASSERT_TRUE(filtered_doc.has_value()) << error;
+    ASSERT_FALSE(filtered_doc->wrapped);
+    ASSERT_GT(filtered_doc->lifecycle.firstUse, 0u);
+    EXPECT_EQ(obs::reconcileEvents(*filtered_doc),
+              std::vector<std::string>{});
+}
+
 TEST(TraceSim, RingWrapInLiveRunKeepsDocumentConsistent)
 {
     TraceConfig cfg;
