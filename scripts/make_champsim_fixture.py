@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Generate a small, deterministic ChampSim-format trace fixture.
+
+Emits the 64-byte little-endian ``input_instr`` records of the public
+DPC-3/IPC-1 trace format:
+
+    uint64 ip; uint8 is_branch; uint8 branch_taken;
+    uint8 destination_registers[2]; uint8 source_registers[4];
+    uint64 destination_memory[2];   uint64 source_memory[4];
+
+The generated stream walks a synthetic multi-function program so every
+branch class of the ChampSim register-pattern taxonomy appears (direct /
+indirect jumps and calls, conditionals taken and not-taken, returns),
+instruction sizes vary (recoverable from consecutive ips), and loads and
+stores are mixed in. Everything is derived from the seed — no wall
+clock, no os.urandom — so the committed fixture can be regenerated
+bit-identically.
+
+The output extension picks the container: ``.champsimtrace`` (raw),
+``.champsimtrace.xz``, or ``.champsimtrace.gz`` (Python's lzma/gzip
+modules; no external tools needed).
+
+Usage:
+    scripts/make_champsim_fixture.py tests/data/fixture.champsimtrace.xz
+    scripts/make_champsim_fixture.py out.champsimtrace --records 6000
+"""
+
+import argparse
+import gzip
+import lzma
+import struct
+
+REG_SP = 6
+REG_FLAGS = 25
+REG_IP = 26
+
+FUNC_BASE = 0x400000
+FUNC_STRIDE = 0x440
+NUM_FUNCS = 128
+# Function bodies span several cache lines and the visited set tops
+# 50 KB — larger than a 32 KB L1I — so steady-state replay actually
+# misses and the instruction prefetcher has something to learn.
+SLOTS_PER_FUNC = 96
+DATA_BASE = 0x10000000
+MAX_STACK = 48
+
+
+def pack_record(ip, is_branch=0, taken=0, dst=(), src=(), dmem=(), smem=()):
+    dst = (list(dst) + [0, 0])[:2]
+    src = (list(src) + [0, 0, 0, 0])[:4]
+    dmem = (list(dmem) + [0, 0])[:2]
+    smem = (list(smem) + [0, 0, 0, 0])[:4]
+    return struct.pack("<QBB2B4B2Q4Q", ip, is_branch, taken,
+                       *dst, *src, *dmem, *smem)
+
+
+class Program:
+    """Per-function instruction layout: (offset, size, role) triples."""
+
+    SIZE_PATTERN = [3, 4, 2, 5, 6, 4, 7, 1, 4, 3, 5, 2]
+
+    def __init__(self):
+        self.funcs = []
+        for f in range(NUM_FUNCS):
+            offs, off = [], 0
+            for s in range(SLOTS_PER_FUNC):
+                size = self.SIZE_PATTERN[(f + s) % len(self.SIZE_PATTERN)]
+                offs.append((off, size))
+                off += size
+            self.funcs.append(offs)
+
+    def addr(self, func, slot):
+        return FUNC_BASE + func * FUNC_STRIDE + self.funcs[func][slot][0]
+
+    def size(self, func, slot):
+        return self.funcs[func][slot][1]
+
+
+def generate(count, seed):
+    prog = Program()
+    records = []
+    func, slot = 0, 0
+    root = 0  # rotates so every function is eventually visited
+    stack = []  # (func, slot) return sites
+    visits = {}  # per-branch-site toggle for conditional outcomes
+    state = seed & 0xFFFFFFFFFFFFFFFF
+
+    def rng():
+        nonlocal state
+        state = (state * 6364136223846793005 + 1442695040888963407) \
+            % (1 << 64)
+        return state >> 33
+
+    while len(records) < count:
+        ip = prog.addr(func, slot)
+        # Slot roles, fixed per function shape (see module docstring).
+        if slot % 24 == 5:
+            # Conditional, skipping two slots when taken; outcome
+            # alternates per site so both directions appear.
+            key = (func, slot)
+            visits[key] = visits.get(key, 0) + 1
+            taken = visits[key] % 2
+            records.append(pack_record(ip, 1, taken, dst=[REG_IP],
+                                       src=[REG_FLAGS, REG_IP]))
+            slot = slot + 3 if taken else slot + 1
+        elif slot == 9 and len(stack) < MAX_STACK:
+            # Direct call.
+            callee = (func * 7 + 3) % NUM_FUNCS
+            records.append(pack_record(ip, 1, 1, dst=[REG_SP, REG_IP],
+                                       src=[REG_SP, REG_IP]))
+            stack.append((func, slot + 1))
+            func, slot = callee, 0
+        elif slot == 13 and len(stack) < MAX_STACK:
+            # Indirect call (reads a general register too).
+            callee = (func * 13 + 5 + (rng() % 3)) % NUM_FUNCS
+            records.append(pack_record(ip, 1, 1, dst=[REG_SP, REG_IP],
+                                       src=[REG_SP, REG_IP, 1]))
+            stack.append((func, slot + 1))
+            func, slot = callee, 0
+        elif slot % 24 == 17:
+            # Backward conditional: loop 15 slots back every third visit.
+            key = (func, slot)
+            visits[key] = visits.get(key, 0) + 1
+            taken = 1 if visits[key] % 3 == 0 else 0
+            records.append(pack_record(ip, 1, taken, dst=[REG_IP],
+                                       src=[REG_FLAGS, REG_IP]))
+            slot = slot - 15 if taken else slot + 1
+        elif slot == 20 and func % 11 == 0:
+            # Occasional indirect jump (dispatcher-style).
+            target = (func + 1 + (rng() % 5)) % NUM_FUNCS
+            records.append(pack_record(ip, 1, 1, dst=[REG_IP], src=[2]))
+            func, slot = target, 0
+        elif slot == 21 and func % 13 == 0:
+            # Occasional direct tail-jump into the next function.
+            records.append(pack_record(ip, 1, 1, dst=[REG_IP]))
+            func, slot = (func + 1) % NUM_FUNCS, 0
+        elif slot == SLOTS_PER_FUNC - 1:
+            # Return (to the caller, or restart at func 0 from the root).
+            records.append(pack_record(ip, 1, 1, dst=[REG_SP, REG_IP],
+                                       src=[REG_SP]))
+            if stack:
+                func, slot = stack.pop()
+            else:
+                root = (root + 1) % NUM_FUNCS
+                func, slot = root, 0
+        else:
+            # Plain instruction; every few slots touch data memory.
+            dmem, smem = (), ()
+            if slot % 7 == 2:
+                smem = [DATA_BASE + ((ip * 31) & 0xFFFF8)]
+            elif slot % 7 == 4:
+                dmem = [DATA_BASE + ((ip * 17) & 0xFFFF8)]
+            records.append(pack_record(ip, dst=[1], src=[2, 3],
+                                       dmem=dmem, smem=smem))
+            slot += 1
+    return b"".join(records)
+
+
+def write(path, payload):
+    if path.endswith(".xz"):
+        # Fixed filter/preset so the compressed bytes are reproducible.
+        data = lzma.compress(payload, preset=6)
+    elif path.endswith(".gz"):
+        data = gzip.compress(payload, compresslevel=6, mtime=0)
+    else:
+        data = payload
+    with open(path, "wb") as f:
+        f.write(data)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("output", help="*.champsimtrace[.xz|.gz] path")
+    ap.add_argument("--records", type=int, default=24000,
+                    help="number of 64-byte records (default 24000)")
+    ap.add_argument("--seed", type=int, default=0xE1F,
+                    help="deterministic generator seed")
+    args = ap.parse_args()
+    payload = generate(args.records, args.seed)
+    write(args.output, payload)
+    print("wrote %d records (%d raw bytes) to %s"
+          % (args.records, len(payload), args.output))
+
+
+if __name__ == "__main__":
+    main()

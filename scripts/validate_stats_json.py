@@ -82,6 +82,35 @@ class Checker:
                 if key in manifest:
                     self.error(where, f"timing key '{key}' breaks the "
                                       "jobs-independence byte contract")
+        self.check_trace_provenance(manifest, where)
+
+    TRACE_KINDS = ("eip-trace", "champsim")
+
+    def check_trace_provenance(self, manifest, where):
+        """Trace-backed runs stamp kind + byte count + content digest —
+        all three together (a path-only identity would alias traces)."""
+        present = [k for k in ("trace_kind", "trace_bytes", "trace_digest")
+                   if k in manifest]
+        if not present:
+            return
+        if len(present) != 3:
+            self.error(where, f"partial trace provenance {present}: "
+                              "trace_kind/trace_bytes/trace_digest must "
+                              "appear together")
+        kind = manifest.get("trace_kind")
+        if "trace_kind" in manifest and kind not in self.TRACE_KINDS:
+            self.error(where, f"trace_kind {kind!r} not in "
+                              f"{self.TRACE_KINDS}")
+        size = manifest.get("trace_bytes")
+        if "trace_bytes" in manifest and \
+                (not isinstance(size, int) or size <= 0):
+            self.error(where, "trace_bytes is not a positive integer")
+        digest = manifest.get("trace_digest")
+        if "trace_digest" in manifest and (
+                not isinstance(digest, str) or len(digest) != 16
+                or any(c not in "0123456789abcdef" for c in digest)):
+            self.error(where, f"trace_digest {digest!r} is not 16 "
+                              "lowercase hex digits")
 
     def check_histogram(self, hist, where):
         self.require(hist, where, "total", (int,))

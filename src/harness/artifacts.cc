@@ -88,6 +88,11 @@ makeManifest(const trace::Workload &workload, const RunSpec &spec,
     m.warmup = spec.warmup;
     m.sampleInterval = spec.sampleInterval;
     m.simScale = util::envDouble("EIP_SIM_SCALE").value_or(1.0);
+    if (workload.kind != trace::WorkloadKind::Synthetic) {
+        m.traceKind = trace::workloadKindName(workload.kind);
+        m.traceBytes = workload.traceBytes;
+        m.traceDigest = workload.traceDigest;
+    }
     return m;
 }
 
@@ -132,7 +137,10 @@ runJobArtifact(const RunJob &job, bool use_program_cache,
     collected.spec.profiler = profiler;
 
     ArtifactRun out;
-    if (use_program_cache) {
+    if (collected.workload.kind != trace::WorkloadKind::Synthetic) {
+        // Trace-backed workloads have no program to build or cache.
+        out.result = runOne(collected.workload, collected.spec);
+    } else if (use_program_cache) {
         std::shared_ptr<const trace::Program> program;
         {
             std::unique_ptr<obs::PhaseProfiler::Scope> scope;

@@ -83,6 +83,7 @@ canonicalRunSpec(const RunSpec &spec)
     json.kv("physical_l1i", spec.physicalL1i);
     json.kv("data_prefetcher", spec.dataPrefetcher);
     json.kv("event_skip", spec.eventSkip);
+    json.kv("wrong_path", spec.wrongPath);
     json.kv("sample_interval", spec.sampleInterval);
     json.kv("collect_counters", spec.collectCounters);
     json.endObject();
@@ -96,6 +97,17 @@ canonicalWorkload(const trace::Workload &workload)
     json.beginObject();
     json.kv("name", workload.name);
     json.kv("category", workload.category);
+    // Trace-backed workloads extend the form with their kind and content
+    // identity. The extra keys sit between "category" and "program", so
+    // no trace-backed serialization can ever equal a synthetic one —
+    // and the synthetic form stays byte-identical to before trace
+    // support existed (pinned by the golden-digest tests). The path is
+    // deliberately absent: identity is the bytes, not where they live.
+    if (workload.kind != trace::WorkloadKind::Synthetic) {
+        json.kv("kind", trace::workloadKindName(workload.kind));
+        json.kv("trace_bytes", workload.traceBytes);
+        json.kv("trace_digest", workload.traceDigest);
+    }
     json.key("program").raw(exec::canonicalProgramConfig(workload.program));
     json.key("exec").raw(exec::canonicalExecutorConfig(workload.exec));
     json.endObject();

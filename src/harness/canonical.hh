@@ -37,7 +37,10 @@ std::string canonicalSimConfig(const sim::SimConfig &cfg);
 std::string canonicalRunSpec(const RunSpec &spec);
 
 /** Workload identity: name, category and the canonical generator and
- *  executor configs. */
+ *  executor configs. Trace-backed workloads additionally carry their
+ *  kind, byte count, and content digest (never the path — two different
+ *  traces at one path must not alias, and one trace at two paths
+ *  should). */
 std::string canonicalWorkload(const trace::Workload &workload);
 
 /**

@@ -10,13 +10,9 @@
 #include "harness/artifacts.hh"
 #include "obs/log.hh"
 #include "obs/phase.hh"
-#include "obs/registry.hh"
-#include "obs/sampler.hh"
 #include "obs/trace.hh"
 #include "prefetch/factory.hh"
 #include "sim/config.hh"
-#include "sim/cpu.hh"
-#include "trace/trace_file.hh"
 #include "trace/workloads.hh"
 
 namespace eip::harness {
@@ -33,48 +29,6 @@ parseU64(const std::string &text, uint64_t &out)
     return end != nullptr && *end == '\0';
 }
 
-/** Observability for the manually-driven run paths (trace replay,
- *  wrong-path) that bypass runOne: a registry plus optional sampler
- *  bound to one Cpu for the duration of the run. */
-struct ObsCollector
-{
-    obs::CounterRegistry registry;
-    std::unique_ptr<obs::IntervalSampler> sampler;
-    std::unique_ptr<obs::MissAttribution> why;
-    bool active = false;
-
-    void
-    arm(sim::Cpu &cpu, const CliOptions &opt)
-    {
-        // Attach before registering counters so the why.* ledger is
-        // part of the dump.
-        if (opt.why) {
-            why = std::make_unique<obs::MissAttribution>(opt.whyTop);
-            cpu.attachWhy(why.get());
-        }
-        if (opt.statsJsonPath.empty())
-            return;
-        active = true;
-        cpu.registerCounters(registry);
-        if (opt.sampleInterval > 0) {
-            sampler = std::make_unique<obs::IntervalSampler>(
-                registry, opt.sampleInterval);
-        }
-    }
-
-    void
-    harvest(RunResult &result)
-    {
-        if (why != nullptr)
-            result.why = why->dump();
-        if (!active)
-            return;
-        result.counters = registry.dump();
-        if (sampler != nullptr)
-            result.samples = sampler->series();
-    }
-};
-
 } // namespace
 
 std::string
@@ -84,9 +38,12 @@ cliUsage()
         "eipsim — Entangling instruction-prefetcher simulator\n"
         "\n"
         "usage: eipsim [options]\n"
-        "  --workload NAME       catalogue workload (default srv-1), or\n"
-        "                        'all' to run the whole catalogue\n"
-        "  --trace FILE          replay a captured .trc file instead\n"
+        "  --workload NAME       catalogue workload (default srv-1), 'all'\n"
+        "                        to run the whole catalogue, or a trace\n"
+        "                        file path (.trc, .champsimtrace[.xz|.gz])\n"
+        "  --trace FILE          replay an on-disk trace: a captured .trc\n"
+        "                        or a ChampSim .champsimtrace[.xz|.gz]\n"
+        "                        (equivalent to --workload FILE)\n"
         "  --prefetcher ID       none|ideal|l1i-64kb|l1i-96kb|nextline|\n"
         "                        sn4l|mana-{2k,4k,8k}|rdip|djolt|fnl+mma|\n"
         "                        pif|epi|entangling-{2k,4k,8k}[-phys]|\n"
@@ -404,47 +361,23 @@ runCli(const CliOptions &opt)
     obs::PhaseProfiler *prof =
         opt.statsJsonPath.empty() ? nullptr : &profiler;
     auto run_started = std::chrono::steady_clock::now();
-    if (!opt.tracePath.empty()) {
-        // Replay path: drive the CPU from the trace file directly.
-        sim::SimConfig cfg;
-        cfg.physicalL1I = opt.physical;
-        cfg.modelWrongPath = opt.wrongPath;
-        cfg.eventSkip = !opt.noSkip;
-        std::string pf_id = opt.prefetcher;
-        if (pf_id == "ideal") {
-            cfg.l1i.idealHit = true;
-            pf_id = "none";
-        }
-        auto pf = prefetch::makePrefetcher(pf_id);
-        sim::Cpu cpu(cfg);
-        if (pf != nullptr)
-            cpu.attachL1iPrefetcher(pf.get());
-        if (tracer != nullptr)
-            cpu.attachTracer(tracer.get());
-        trace::TraceReplayer replay(opt.tracePath);
-        result.workload = opt.tracePath;
-        result.configName = pf != nullptr ? pf->name() : opt.prefetcher;
-        result.storageKB =
-            pf != nullptr ? pf->storageBits() / 8.0 / 1024.0 : 0.0;
-        ObsCollector collector;
-        collector.arm(cpu, opt);
-        result.stats = cpu.run(replay, opt.instructions, opt.warmup,
-                               collector.sampler.get(), prof);
-        collector.harvest(result);
-        manifest.workload = opt.tracePath;
-        manifest.category = "trace";
-        manifest.configId = opt.prefetcher;
-        manifest.configName = result.configName;
-        manifest.dataPrefetcher = opt.dataPrefetcher;
-        manifest.storageBits = pf != nullptr ? pf->storageBits() : 0;
-        manifest.instructions = opt.instructions;
-        manifest.warmup = opt.warmup;
-    } else {
-        std::optional<trace::Workload> chosen;
-        trace::Workload found;
-        if (findWorkload(opt.workload, found))
-            chosen = found;
-        if (!chosen) {
+    {
+        // Resolve what to run. --trace FILE is sugar for --workload FILE;
+        // either way a recognized trace path (.trc, .champsimtrace[.xz|
+        // .gz]) becomes a trace-backed workload with the file's content
+        // digest as identity, and runs through the exact same runOne path
+        // as the synthetic catalogue — no hand-rolled replay loop that
+        // can drift from the runner.
+        const std::string &wanted =
+            !opt.tracePath.empty() ? opt.tracePath : opt.workload;
+        trace::Workload chosen;
+        if (!opt.tracePath.empty() || trace::isTracePath(wanted)) {
+            std::string trace_error;
+            if (!trace::tryTraceWorkload(wanted, chosen, &trace_error)) {
+                std::fprintf(stderr, "error: %s\n", trace_error.c_str());
+                return 2;
+            }
+        } else if (!findWorkload(wanted, chosen)) {
             std::fprintf(stderr,
                          "error: unknown workload '%s' "
                          "(try --list-workloads)\n",
@@ -458,6 +391,7 @@ runCli(const CliOptions &opt)
         spec.warmup = opt.warmup;
         spec.physicalL1i = opt.physical;
         spec.eventSkip = !opt.noSkip;
+        spec.wrongPath = opt.wrongPath;
         spec.why = opt.why;
         spec.whyTop = opt.whyTop;
         if (!opt.statsJsonPath.empty()) {
@@ -466,40 +400,8 @@ runCli(const CliOptions &opt)
         }
         spec.tracer = tracer.get();
         spec.profiler = prof;
-        // Wrong-path needs the config flag: route through runOne only for
-        // the common case; otherwise run manually.
-        if (!opt.wrongPath) {
-            result = runOne(*chosen, spec);
-        } else {
-            sim::SimConfig cfg;
-            cfg.physicalL1I = opt.physical;
-            cfg.modelWrongPath = true;
-            cfg.eventSkip = !opt.noSkip;
-            std::string pf_id = opt.prefetcher;
-            if (pf_id == "ideal") {
-                cfg.l1i.idealHit = true;
-                pf_id = "none";
-            }
-            auto pf = prefetch::makePrefetcher(pf_id);
-            sim::Cpu cpu(cfg);
-            if (pf != nullptr)
-                cpu.attachL1iPrefetcher(pf.get());
-            if (tracer != nullptr)
-                cpu.attachTracer(tracer.get());
-            trace::Program prog = trace::buildProgram(chosen->program);
-            trace::Executor exec(prog, chosen->exec);
-            result.workload = chosen->name;
-            result.configName =
-                pf != nullptr ? pf->name() : std::string("no");
-            result.storageKB =
-                pf != nullptr ? pf->storageBits() / 8.0 / 1024.0 : 0.0;
-            ObsCollector collector;
-            collector.arm(cpu, opt);
-            result.stats = cpu.run(exec, opt.instructions, opt.warmup,
-                                   collector.sampler.get(), prof);
-            collector.harvest(result);
-        }
-        manifest = makeManifest(*chosen, spec, result);
+        result = runOne(chosen, spec);
+        manifest = makeManifest(chosen, spec, result);
     }
 
     if (tracer != nullptr) {

@@ -30,8 +30,12 @@ struct CliOptions
     };
 
     Action action = Action::Run;
-    std::string workload = "srv-1";  ///< catalogue name, or "all"
-    std::string tracePath;           ///< when set, replay this trace file
+    /** Catalogue name, "all", or an on-disk trace path
+     *  (.trc / .champsimtrace[.xz|.gz]). */
+    std::string workload = "srv-1";
+    /** When set, replay this trace file (same formats as a trace-path
+     *  --workload; kept as a separate flag for compatibility). */
+    std::string tracePath;
     std::string prefetcher = "entangling-4k";
     std::string dataPrefetcher = "none";
     uint64_t instructions = 600000;

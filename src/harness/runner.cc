@@ -9,6 +9,7 @@
 #include "obs/phase.hh"
 #include "prefetch/factory.hh"
 #include "sim/cpu.hh"
+#include "trace/source.hh"
 #include "util/env.hh"
 #include "util/panic.hh"
 #include "util/stats_math.hh"
@@ -64,6 +65,11 @@ defaultCatalogue()
 bool
 findWorkload(const std::string &name, trace::Workload &out)
 {
+    // On-disk traces resolve by path, not against the catalogue; the
+    // non-fatal factory keeps a daemon alive when a submission names a
+    // file that is missing or unreadable.
+    if (trace::isTracePath(name))
+        return trace::tryTraceWorkload(name, out);
     const auto &all = catalogueMemo();
     for (const auto &w : all) {
         if (w.name == name) {
@@ -81,9 +87,19 @@ findWorkload(const std::string &name, trace::Workload &out)
     return false;
 }
 
+namespace {
+
+RunResult runImpl(const trace::Workload &workload, const RunSpec &spec,
+                  const trace::Program *program);
+
+} // namespace
+
 RunResult
 runOne(const trace::Workload &workload, const RunSpec &spec)
 {
+    // Trace-backed workloads stream from disk: nothing to build.
+    if (workload.kind != trace::WorkloadKind::Synthetic)
+        return runImpl(workload, spec, nullptr);
     std::shared_ptr<const trace::Program> program;
     {
         std::unique_ptr<obs::PhaseProfiler::Scope> scope;
@@ -92,16 +108,28 @@ runOne(const trace::Workload &workload, const RunSpec &spec)
                 *spec.profiler, "program_build");
         program = exec::ProgramCache::global().get(workload.program);
     }
-    return runOne(workload, spec, *program);
+    return runImpl(workload, spec, program.get());
 }
 
 RunResult
 runOne(const trace::Workload &workload, const RunSpec &spec,
        const trace::Program &program)
 {
+    EIP_ASSERT(workload.kind == trace::WorkloadKind::Synthetic,
+               "prebuilt-program runOne is for synthetic workloads");
+    return runImpl(workload, spec, &program);
+}
+
+namespace {
+
+RunResult
+runImpl(const trace::Workload &workload, const RunSpec &spec,
+        const trace::Program *program)
+{
     sim::SimConfig cfg;
     cfg.physicalL1I = spec.physicalL1i;
     cfg.eventSkip = spec.eventSkip;
+    cfg.modelWrongPath = spec.wrongPath;
 
     std::string pf_id = spec.configId;
     if (spec.configId == "ideal") {
@@ -142,7 +170,10 @@ runOne(const trace::Workload &workload, const RunSpec &spec,
         cpu.attachWhy(why.get());
     }
 
-    trace::Executor exec(program, workload.exec);
+    // One seam for every backend: synthetic Executor, .trc replay, or
+    // ChampSim decode, chosen by the workload's kind.
+    std::unique_ptr<trace::InstructionSource> stream =
+        trace::makeTraceSource(workload, program)->open();
 
     // Observability: the registry and sampler live on this stack frame,
     // watching the Cpu's live counters for exactly the run's duration.
@@ -160,7 +191,7 @@ runOne(const trace::Workload &workload, const RunSpec &spec,
     RunResult result;
     result.workload = workload.name;
     result.category = workload.category;
-    result.stats = cpu.run(exec, spec.instructions, spec.warmup,
+    result.stats = cpu.run(*stream, spec.instructions, spec.warmup,
                            sampler.get(), spec.profiler);
     if (collect)
         result.counters = registry.dump();
@@ -191,6 +222,8 @@ runOne(const trace::Workload &workload, const RunSpec &spec,
     return result;
 }
 
+} // namespace
+
 std::vector<RunResult>
 runBatch(const std::vector<RunJob> &batch, unsigned jobs)
 {
@@ -198,9 +231,11 @@ runBatch(const std::vector<RunJob> &batch, unsigned jobs)
     return exec::runBatch(
         batch, exec::resolveJobs(jobs), [&cache](const RunJob &job) {
             // The shared program is immutable; all run state (Cpu,
-            // Executor, RNG) is constructed inside runOne, so each job
-            // is a pure function of its (workload, spec) pair and the
-            // batch result is independent of scheduling.
+            // Executor/replayer, RNG) is constructed inside runOne, so
+            // each job is a pure function of its (workload, spec) pair
+            // and the batch result is independent of scheduling.
+            if (job.workload.kind != trace::WorkloadKind::Synthetic)
+                return runOne(job.workload, job.spec);
             std::shared_ptr<const trace::Program> program =
                 cache.get(job.workload.program);
             return runOne(job.workload, job.spec, *program);

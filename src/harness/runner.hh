@@ -55,6 +55,10 @@ struct RunSpec
     /** Event-driven cycle skipping (SimConfig::eventSkip). Results are
      *  bit-identical either way; off only for A/B host-speed timing. */
     bool eventSkip = true;
+    /** Model wrong-path fetch after mispredictions
+     *  (SimConfig::modelWrongPath). Result-affecting, so part of the
+     *  canonical spec. */
+    bool wrongPath = false;
 
     /** Snapshot all registered counters every N measured instructions
      *  (0 = no interval time-series). Implies collectCounters. */
@@ -132,18 +136,23 @@ std::vector<trace::Workload> defaultCatalogue();
 
 /** Catalogue workload by name. A bare category name ("crypto") falls
  *  back to its first seed ("crypto-1") so category-level callers don't
- *  need to know the seed-suffix convention. Returns false when the name
- *  resolves to nothing. */
+ *  need to know the seed-suffix convention. A recognized trace path
+ *  (trace::isTracePath — .trc / .champsimtrace[.xz|.gz]) resolves to a
+ *  trace-backed workload instead, digesting the file for identity.
+ *  Returns false when the name resolves to nothing (including an
+ *  unreadable trace file). */
 bool findWorkload(const std::string &name, trace::Workload &out);
 
-/** Run @p workload under @p spec. The synthetic program comes from the
+/** Run @p workload under @p spec. Synthetic programs come from the
  *  shared exec::ProgramCache, so repeated runs of one workload (across
- *  configs, or concurrently) build it once. */
+ *  configs, or concurrently) build it once; trace-backed workloads
+ *  stream from their file and build no program at all. */
 RunResult runOne(const trace::Workload &workload, const RunSpec &spec);
 
 /** As above with an already-built @p program (must match
- *  workload.program). The program is only read, never mutated, so one
- *  instance may serve many concurrent runs. */
+ *  workload.program; synthetic workloads only). The program is only
+ *  read, never mutated, so one instance may serve many concurrent
+ *  runs. */
 RunResult runOne(const trace::Workload &workload, const RunSpec &spec,
                  const trace::Program &program);
 

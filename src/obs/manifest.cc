@@ -36,6 +36,11 @@ writeManifest(JsonWriter &json, const RunManifest &m, bool include_timing)
     json.kv("sample_interval", m.sampleInterval);
     json.kv("sim_scale", m.simScale);
     json.kv("git_describe", m.gitDescribe);
+    if (!m.traceKind.empty()) {
+        json.kv("trace_kind", m.traceKind);
+        json.kv("trace_bytes", m.traceBytes);
+        json.kv("trace_digest", m.traceDigest);
+    }
     if (include_timing) {
         json.kv("wall_clock_seconds", m.wallClockSeconds);
         json.kv("jobs", m.jobs);

@@ -48,6 +48,15 @@ struct RunManifest
     double simScale = 1.0;       ///< EIP_SIM_SCALE at run time
     std::string gitDescribe;     ///< build provenance (set by default)
 
+    /** Trace provenance (trace-backed workloads only; all three fields
+     *  appear together, or — for synthetic workloads — not at all, so
+     *  pre-existing artifacts stay byte-identical). The digest pins the
+     *  trace content: two different traces at the same path can never
+     *  produce artifacts that alias. */
+    std::string traceKind;   ///< "eip-trace" | "champsim" | "" (synthetic)
+    uint64_t traceBytes = 0; ///< trace file size as stored
+    std::string traceDigest; ///< 16-hex FNV-1a of the trace file bytes
+
     // Environment-dependent timing (see file comment).
     double wallClockSeconds = 0.0;
     unsigned jobs = 0;

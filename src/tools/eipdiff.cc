@@ -32,6 +32,12 @@
  *      vs N workers vs serial no-skip — blame classification is
  *      event-driven, so the ledger (and everything else) must match
  *      with an *empty* allow-list across scheduling and skipping.
+ *   9. capture vs replay — recording a workload's instruction stream to
+ *      a .trc file and replaying it through the trace backend must
+ *      reproduce the direct run's artifact with an *empty* allow-list
+ *      (both rendered under the origin workload's manifest, so every
+ *      result byte is compared; the capture's own provenance fields are
+ *      pinned equal by construction).
  *
  * Exit code 0 when every comparison is clean, 1 on any unexplained
  * divergence, 2 on usage errors. CI runs this instead of hand-rolled
@@ -53,6 +59,8 @@
 #include "harness/runner.hh"
 #include "obs/phase.hh"
 #include "obs/trace.hh"
+#include "trace/executor.hh"
+#include "trace/trace_file.hh"
 #include "trace/workloads.hh"
 #include "util/panic.hh"
 
@@ -375,6 +383,52 @@ diffWhyInertLeg(check::DiffRunner &diff, const Options &opt,
                   "counters.why.wrong_path_pollution"});
 }
 
+/** Capture→replay leg: recording a workload's stream with captureTrace
+ *  and replaying the .trc through the trace-backed runOne path must
+ *  reproduce the direct run bit-for-bit. Both artifacts are rendered
+ *  under the origin workload's manifest — the capture's provenance
+ *  fields (trace_kind/bytes/digest) are facts we stamped ourselves, so
+ *  pinning them equal by construction lets every *result* byte
+ *  (counters, samples, stats-derived manifest fields) face a truly
+ *  empty allow-list. */
+void
+diffCaptureReplayLeg(check::DiffRunner &diff, const Options &opt,
+                     const trace::Workload &workload)
+{
+    harness::RunSpec spec = harness::RunSpec::defaultSpec();
+    spec.configId = opt.prefetcher;
+    spec.collectCounters = true;
+
+    const std::string path =
+        opt.outDir + "/capture-" + workload.name + ".trc";
+    {
+        trace::Program prog = trace::buildProgram(workload.program);
+        trace::Executor exec(prog, workload.exec);
+        // The front end runs ahead of retirement (FTQ + ROB); capture
+        // enough slack that the replay never wraps inside the window.
+        trace::captureTrace(path, exec,
+                            spec.warmup + spec.instructions + 65536);
+    }
+    const trace::Workload replayed =
+        trace::capturedWorkload(workload, path);
+
+    harness::RunResult direct = harness::runOne(workload, spec);
+    harness::RunResult replay = harness::runOne(replayed, spec);
+
+    obs::RunManifest direct_m =
+        harness::makeManifest(workload, spec, direct);
+    obs::RunManifest replay_m =
+        harness::makeManifest(workload, spec, replay);
+    const std::vector<std::string> kNothingAllowed;
+    diff.compare(
+        "capture vs replay (" + workload.name + ")",
+        harness::runArtifactJson(direct_m, direct,
+                                 /*include_timing=*/false),
+        harness::runArtifactJson(replay_m, replay,
+                                 /*include_timing=*/false),
+        kNothingAllowed);
+}
+
 /** Why determinism leg: the blame ledger is classified by event-driven
  *  hooks only, so the why-enabled suite must produce field-identical
  *  artifacts — ledger included — across worker counts and with cycle
@@ -461,6 +515,7 @@ main(int argc, char **argv)
     diffSkipSingleLeg(diff, opt, probe);
     diffProfilingLeg(diff, opt, probe);
     diffWhyInertLeg(diff, opt, probe);
+    diffCaptureReplayLeg(diff, opt, probe);
 
     // Why determinism at the first scale point only: the leg runs the
     // suite three more times, so one point bounds the gate's runtime.

@@ -1,0 +1,292 @@
+#include "trace/champsim.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/stat.h>
+#include <sys/wait.h>
+
+#include "util/panic.hh"
+
+namespace eip::trace {
+
+namespace {
+
+/** Read-ahead window: 1024 records = 64 KiB. Bounds memory regardless of
+ *  trace size and keeps the decompressor pipe ahead of the simulator. */
+constexpr size_t kReadAheadRecords = 1024;
+
+uint64_t
+readU64(const unsigned char *p)
+{
+    uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+bool
+endsWith(const std::string &s, const char *suffix)
+{
+    const size_t n = std::strlen(suffix);
+    return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+/** POSIX-shell single-quote @p s so popen cannot interpret any of it. */
+std::string
+shellQuote(const std::string &s)
+{
+    std::string out = "'";
+    for (char c : s) {
+        if (c == '\'')
+            out += "'\\''";
+        else
+            out += c;
+    }
+    out += "'";
+    return out;
+}
+
+[[noreturn]] void
+fatal(const std::string &msg)
+{
+    EIP_FATAL(msg.c_str());
+}
+
+} // namespace
+
+ChampSimRecord
+decodeChampSimRecord(const unsigned char raw[kChampSimRecordBytes])
+{
+    ChampSimRecord rec;
+    rec.ip = readU64(raw);
+    rec.isBranch = raw[8];
+    rec.branchTaken = raw[9];
+    rec.destRegs[0] = raw[10];
+    rec.destRegs[1] = raw[11];
+    for (int i = 0; i < 4; ++i)
+        rec.srcRegs[i] = raw[12 + i];
+    rec.destMem[0] = readU64(raw + 16);
+    rec.destMem[1] = readU64(raw + 24);
+    for (int i = 0; i < 4; ++i)
+        rec.srcMem[i] = readU64(raw + 32 + 8 * i);
+    return rec;
+}
+
+BranchType
+champSimBranchType(const ChampSimRecord &rec)
+{
+    if (!rec.isBranch)
+        return BranchType::NotBranch;
+
+    bool reads_sp = false, reads_flags = false, reads_ip = false;
+    bool reads_other = false;
+    for (uint8_t r : rec.srcRegs) {
+        if (r == kChampSimRegStackPointer)
+            reads_sp = true;
+        else if (r == kChampSimRegFlags)
+            reads_flags = true;
+        else if (r == kChampSimRegInstructionPointer)
+            reads_ip = true;
+        else if (r != 0)
+            reads_other = true;
+    }
+    bool writes_sp = false, writes_ip = false;
+    for (uint8_t r : rec.destRegs) {
+        if (r == kChampSimRegStackPointer)
+            writes_sp = true;
+        else if (r == kChampSimRegInstructionPointer)
+            writes_ip = true;
+    }
+
+    // ChampSim front-end classification, in its order of precedence.
+    if (!reads_sp && !reads_flags && writes_ip && !reads_other)
+        return BranchType::DirectJump;
+    if (!reads_sp && !reads_flags && writes_ip && reads_other)
+        return BranchType::IndirectJump;
+    if (!reads_sp && reads_ip && !writes_sp && writes_ip && reads_flags &&
+        !reads_other)
+        return BranchType::Conditional;
+    if (reads_sp && reads_ip && writes_sp && writes_ip && !reads_flags &&
+        !reads_other)
+        return BranchType::DirectCall;
+    if (reads_sp && reads_ip && writes_sp && writes_ip && !reads_flags &&
+        reads_other)
+        return BranchType::IndirectCall;
+    if (reads_sp && !reads_ip && writes_sp && writes_ip)
+        return BranchType::Return;
+    // ChampSim's BRANCH_OTHER bucket.
+    return BranchType::IndirectJump;
+}
+
+Instruction
+champSimInstruction(const ChampSimRecord &rec, uint64_t next_ip)
+{
+    Instruction inst;
+    inst.pc = rec.ip;
+    inst.branch = champSimBranchType(rec);
+    if (inst.branch == BranchType::Conditional)
+        inst.taken = rec.branchTaken != 0;
+    else if (inst.branch != BranchType::NotBranch)
+        inst.taken = true; // unconditional kinds always redirect
+    if (inst.taken)
+        inst.target = next_ip;
+
+    // Size is absent from the format; when execution fell through, the ip
+    // delta IS the size. Accept it in x86's (0, 15] range; otherwise
+    // (taken branches, interrupted flow, rep-style re-execution) fall back
+    // to 4 bytes — only sequential-fetch grouping depends on it.
+    const uint64_t delta = next_ip - rec.ip;
+    if (!inst.taken && delta >= 1 && delta <= 15)
+        inst.size = static_cast<uint8_t>(delta);
+    else
+        inst.size = 4;
+
+    for (uint64_t a : rec.srcMem) {
+        if (a != 0) {
+            inst.isLoad = true;
+            inst.memAddr = a;
+            break;
+        }
+    }
+    for (uint64_t a : rec.destMem) {
+        if (a != 0) {
+            inst.isStore = true;
+            if (inst.memAddr == 0)
+                inst.memAddr = a;
+            break;
+        }
+    }
+    return inst;
+}
+
+bool
+ChampSimReader::isCompressedPath(const std::string &path)
+{
+    return endsWith(path, ".xz") || endsWith(path, ".gz");
+}
+
+ChampSimReader::ChampSimReader(const std::string &path) : path_(path)
+{
+    buffer.resize(kReadAheadRecords * kChampSimRecordBytes);
+
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0)
+        fatal("cannot open ChampSim trace: " + path + " (" +
+              std::strerror(errno) + ")");
+
+    if (isCompressedPath(path)) {
+        const char *tool = endsWith(path, ".xz") ? "xz -dc" : "gzip -dc";
+        const std::string cmd = std::string(tool) + " " + shellQuote(path);
+        stream = ::popen(cmd.c_str(), "r");
+        if (!stream)
+            fatal("cannot spawn decompressor: " + cmd);
+        piped = true;
+    } else {
+        if (st.st_size == 0)
+            fatal("ChampSim trace is empty: " + path);
+        if (st.st_size % kChampSimRecordBytes != 0)
+            fatal("ChampSim trace is truncated or not this format: " + path +
+                  " (" + std::to_string(st.st_size) +
+                  " bytes is not a multiple of the 64-byte record size)");
+        stream = std::fopen(path.c_str(), "rb");
+        if (!stream)
+            fatal("cannot open ChampSim trace: " + path);
+    }
+}
+
+ChampSimReader::~ChampSimReader()
+{
+    closeStream(/*check_exit=*/false);
+}
+
+void
+ChampSimReader::closeStream(bool check_exit)
+{
+    if (!stream)
+        return;
+    if (piped) {
+        const int status = ::pclose(stream);
+        stream = nullptr;
+        if (check_exit &&
+            (status == -1 || !WIFEXITED(status) || WEXITSTATUS(status) != 0))
+            fatal("decompressor failed for ChampSim trace " + path_ +
+                  " (corrupt archive, or xz/gzip not installed?)");
+    } else {
+        std::fclose(stream);
+        stream = nullptr;
+    }
+}
+
+void
+ChampSimReader::fill()
+{
+    if (eof)
+        return;
+    if (bufPos < bufLen)
+        std::memmove(buffer.data(), buffer.data() + bufPos, bufLen - bufPos);
+    bufLen -= bufPos;
+    bufPos = 0;
+
+    const size_t got =
+        std::fread(buffer.data() + bufLen, 1, buffer.size() - bufLen, stream);
+    if (got < buffer.size() - bufLen && std::ferror(stream))
+        fatal("read error in ChampSim trace " + path_ + " after record " +
+              std::to_string(position_));
+    bufLen += got;
+
+    if (std::feof(stream)) {
+        eof = true;
+        // Exit-status check first: a dead decompressor explains any
+        // byte-count anomaly better than the anomaly does.
+        closeStream(/*check_exit=*/true);
+        if (bufLen % kChampSimRecordBytes != 0)
+            fatal("ChampSim trace is truncated: " + path_ + " ends with " +
+                  std::to_string(bufLen % kChampSimRecordBytes) +
+                  " stray bytes after record " +
+                  std::to_string(position_ + bufLen / kChampSimRecordBytes));
+        if (position_ == 0 && bufLen == 0)
+            fatal("ChampSim trace decompressed to zero bytes: " + path_);
+    }
+}
+
+bool
+ChampSimReader::next(ChampSimRecord &out)
+{
+    if (bufLen - bufPos < kChampSimRecordBytes) {
+        fill();
+        if (bufLen - bufPos < kChampSimRecordBytes)
+            return false; // clean end-of-trace (fill() fatals on partials)
+    }
+    out = decodeChampSimRecord(buffer.data() + bufPos);
+    bufPos += kChampSimRecordBytes;
+    ++position_;
+    return true;
+}
+
+ChampSimReplayer::ChampSimReplayer(const std::string &path) : path(path)
+{
+    reader = std::make_unique<ChampSimReader>(path);
+    if (!reader->next(pending))
+        fatal("cannot replay an empty ChampSim trace: " + path);
+    served = 1;
+}
+
+const Instruction &
+ChampSimReplayer::next()
+{
+    const ChampSimRecord cur = pending;
+    if (!reader->next(pending)) {
+        // End of a pass: restart. The lookahead crosses the loop seam, so
+        // the last instruction's "next ip" is the first record again.
+        length = served;
+        reader = std::make_unique<ChampSimReader>(path);
+        const bool ok = reader->next(pending);
+        EIP_ASSERT(ok, "ChampSim trace emptied mid-replay");
+        served = 0;
+    }
+    ++served;
+    current = champSimInstruction(cur, pending.ip);
+    return current;
+}
+
+} // namespace eip::trace

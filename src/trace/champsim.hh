@@ -1,0 +1,156 @@
+/**
+ * @file
+ * ChampSim trace ingestion: decode the public `.champsimtrace{,.xz,.gz}`
+ * format (DPC-3 / IPC-1 corpus) into trace::Instruction streams.
+ *
+ * A ChampSim trace is a headerless sequence of 64-byte little-endian
+ * `input_instr` records:
+ *
+ *     uint64 ip;                        // offset  0
+ *     uint8  is_branch;                 // offset  8
+ *     uint8  branch_taken;              // offset  9
+ *     uint8  destination_registers[2];  // offset 10
+ *     uint8  source_registers[4];       // offset 12
+ *     uint64 destination_memory[2];     // offset 16
+ *     uint64 source_memory[4];          // offset 32
+ *
+ * The format carries no branch-type field, no target, and no instruction
+ * size. Branch type is recovered from the register pattern exactly as
+ * ChampSim's own front-end does (reads/writes of the stack pointer, flags,
+ * and instruction pointer); the taken target and fall-through size are
+ * recovered from the NEXT record's ip via one record of lookahead. See
+ * DESIGN.md §3.12 for the full mapping decision record.
+ *
+ * Compressed traces are streamed through `xz -dc` / `gzip -dc` subprocess
+ * pipes with a bounded read-ahead buffer, so multi-GB traces cost constant
+ * memory and no temporary files.
+ */
+
+#ifndef EIP_TRACE_CHAMPSIM_HH
+#define EIP_TRACE_CHAMPSIM_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/instruction.hh"
+
+namespace eip::trace {
+
+/** Size of one on-disk ChampSim record. */
+constexpr size_t kChampSimRecordBytes = 64;
+
+/** ChampSim's x86 special register numbers (trace encoding ABI). */
+constexpr uint8_t kChampSimRegStackPointer = 6;
+constexpr uint8_t kChampSimRegFlags = 25;
+constexpr uint8_t kChampSimRegInstructionPointer = 26;
+
+/** One decoded ChampSim `input_instr` record. */
+struct ChampSimRecord
+{
+    uint64_t ip = 0;
+    uint8_t isBranch = 0;
+    uint8_t branchTaken = 0;
+    uint8_t destRegs[2] = {0, 0};
+    uint8_t srcRegs[4] = {0, 0, 0, 0};
+    uint64_t destMem[2] = {0, 0};
+    uint64_t srcMem[4] = {0, 0, 0, 0};
+};
+
+/** Decode one raw 64-byte record (explicit little-endian, alignment-free). */
+ChampSimRecord decodeChampSimRecord(
+    const unsigned char raw[kChampSimRecordBytes]);
+
+/**
+ * Classify a branch record from its register pattern, following ChampSim's
+ * front-end rules. Records ChampSim would class BRANCH_OTHER (rare fused
+ * or misidentified forms) map to IndirectJump: unconditional with an
+ * unpredictable target, which is the behaviour-preserving choice for an
+ * instruction prefetcher. Non-branch records map to NotBranch.
+ */
+BranchType champSimBranchType(const ChampSimRecord &rec);
+
+/**
+ * Convert @p rec into our Instruction, using @p next_ip (the ip of the
+ * following record) to recover what the format omits: the taken target
+ * (next_ip when the branch is taken) and the instruction size (the
+ * fall-through delta when plausible — in (0, 15], x86's size range —
+ * else 4).
+ */
+Instruction champSimInstruction(const ChampSimRecord &rec, uint64_t next_ip);
+
+/**
+ * Streaming, forward-only ChampSim record reader with bounded read-ahead.
+ * Plain files are validated at open (size must be a positive multiple of
+ * 64); compressed files are streamed through `xz -dc` / `gzip -dc` and
+ * validated at end-of-stream (decompressor exit status, whole trailing
+ * record). All failures are fatal with the record position — a trace is
+ * immutable input, so any short read is corruption, never a transient.
+ */
+class ChampSimReader
+{
+  public:
+    /** Open @p path; fatal on a missing, empty, or misaligned file. */
+    explicit ChampSimReader(const std::string &path);
+    ~ChampSimReader();
+
+    ChampSimReader(const ChampSimReader &) = delete;
+    ChampSimReader &operator=(const ChampSimReader &) = delete;
+
+    /**
+     * Read the next record into @p out.
+     * @return false at a clean end-of-trace (never mid-record).
+     */
+    bool next(ChampSimRecord &out);
+
+    /** Records returned so far (== position of the next record). */
+    uint64_t position() const { return position_; }
+
+    /** True for .xz/.gz paths (decompressor pipe will be used). */
+    static bool isCompressedPath(const std::string &path);
+
+  private:
+    void fill();
+    void closeStream(bool check_exit);
+
+    std::string path_;
+    std::FILE *stream = nullptr;
+    bool piped = false;
+    std::vector<unsigned char> buffer; ///< bounded read-ahead window
+    size_t bufPos = 0;
+    size_t bufLen = 0;
+    bool eof = false;
+    uint64_t position_ = 0;
+};
+
+/**
+ * Adapter: replays a ChampSim trace as an endless InstructionSource
+ * (restarting from the beginning when exhausted, like TraceReplayer).
+ * Maintains the one-record lookahead champSimInstruction needs; across
+ * the loop seam the "next ip" is the first record of the next pass.
+ */
+class ChampSimReplayer : public InstructionSource
+{
+  public:
+    /** Open @p path; fatal if the trace is unreadable or empty. */
+    explicit ChampSimReplayer(const std::string &path);
+
+    const Instruction &next() override;
+
+    /** Records in one pass of the trace, known once a pass completes. */
+    uint64_t traceLength() const { return length; }
+
+  private:
+    std::string path;
+    std::unique_ptr<ChampSimReader> reader;
+    ChampSimRecord pending;  ///< lookahead record, not yet returned
+    Instruction current;
+    uint64_t length = 0;
+    uint64_t served = 0;     ///< records consumed from the current pass
+};
+
+} // namespace eip::trace
+
+#endif // EIP_TRACE_CHAMPSIM_HH

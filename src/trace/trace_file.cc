@@ -131,6 +131,32 @@ TraceReader::TraceReader(const std::string &path, bool loop)
     if (header[8] != kTraceVersion)
         EIP_FATAL("unsupported trace file version");
     total = readU64(header + 16);
+
+    // Validate the header's instruction count against the actual file
+    // size now, while we can still name the problem — a mismatch found
+    // mid-simulation is a raw short-read with no context. Too few bytes
+    // means a truncated copy; too many means a writer crashed before
+    // patching the count into the header.
+    if (std::fseek(file, 0, SEEK_END) != 0)
+        EIP_FATAL("cannot seek trace file");
+    const long end = std::ftell(file);
+    EIP_ASSERT(end >= static_cast<long>(kHeaderBytes),
+               "trace file shrank below its own header");
+    const uint64_t actual = static_cast<uint64_t>(end) - kHeaderBytes;
+    const uint64_t expected = total * kPackedBytes;
+    if (actual != expected) {
+        const std::string msg =
+            "trace file " + path + ": header promises " +
+            std::to_string(total) + " records (" + std::to_string(expected) +
+            " bytes) but the file holds " + std::to_string(actual) +
+            " bytes of records — " +
+            (actual < expected
+                 ? "truncated or partially copied; re-copy or re-capture it"
+                 : "stale header from an interrupted capture; re-capture "
+                   "the trace");
+        EIP_FATAL(msg.c_str());
+    }
+    std::fseek(file, kHeaderBytes, SEEK_SET);
 }
 
 TraceReader::~TraceReader()
@@ -151,8 +177,13 @@ TraceReader::next(Instruction &out)
         position = 0;
     }
     uint8_t buf[kPackedBytes];
-    if (std::fread(buf, 1, sizeof(buf), file) != sizeof(buf))
-        EIP_FATAL("trace record read failed (truncated file?)");
+    if (std::fread(buf, 1, sizeof(buf), file) != sizeof(buf)) {
+        const std::string msg =
+            "trace record read failed at record " + std::to_string(position) +
+            " of " + std::to_string(total) +
+            " (file changed or truncated after open?)";
+        EIP_FATAL(msg.c_str());
+    }
     unpackRecord(buf, out);
     ++position;
     return true;

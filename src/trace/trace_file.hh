@@ -72,6 +72,9 @@ class TraceReader
     /** Instructions recorded in the file. */
     uint64_t size() const { return total; }
 
+    /** Position of the next record to be read, in [0, size()]. */
+    uint64_t tell() const { return position; }
+
     /**
      * Read the next instruction into @p out.
      * @return false at end-of-trace when looping is disabled.
@@ -102,7 +105,16 @@ class TraceReplayer : public InstructionSource
     const Instruction &
     next() override
     {
-        reader.next(current);
+        // A looping reader over a non-empty trace must always produce;
+        // serving a stale `current` on a refused read would silently
+        // corrupt the replay, so check and die loudly instead.
+        if (!reader.next(current)) {
+            const std::string msg =
+                "trace replay stalled at record " +
+                std::to_string(reader.tell()) + " of " +
+                std::to_string(reader.size());
+            EIP_PANIC(msg.c_str());
+        }
         return current;
     }
 

@@ -1,12 +1,28 @@
 #include "trace/workloads.hh"
 
+#include <cstdio>
 #include <cstring>
 #include <unordered_set>
 
 #include "trace/executor.hh"
+#include "util/hash.hh"
 #include "util/panic.hh"
 
 namespace eip::trace {
+
+const char *
+workloadKindName(WorkloadKind kind)
+{
+    switch (kind) {
+    case WorkloadKind::Synthetic:
+        return "synthetic";
+    case WorkloadKind::EipTrace:
+        return "eip-trace";
+    case WorkloadKind::ChampSim:
+        return "champsim";
+    }
+    EIP_PANIC("unknown WorkloadKind");
+}
 
 ProgramConfig
 categoryConfig(const std::string &category)
@@ -216,6 +232,114 @@ tinyWorkload(uint64_t seed)
     w.program.numFunctions = 120;
     w.program.seed = seed;
     w.exec.seed = seed * 31 + 7;
+    return w;
+}
+
+namespace {
+
+bool
+endsWith(const std::string &s, const char *suffix)
+{
+    const size_t n = std::strlen(suffix);
+    return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+/** FNV-1a over the stored file bytes, chunked so multi-GB traces never
+ *  need to fit in memory. Returns false (with @p error set) on I/O error. */
+bool
+digestFile(const std::string &path, uint64_t &bytes_out,
+           std::string &digest_out, std::string *error)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (!file) {
+        if (error)
+            *error = "cannot open trace file: " + path;
+        return false;
+    }
+    uint64_t hash = util::kFnvOffsetBasis;
+    uint64_t bytes = 0;
+    char chunk[64 * 1024];
+    size_t got;
+    while ((got = std::fread(chunk, 1, sizeof(chunk), file)) > 0) {
+        hash = util::fnv1a64(std::string_view(chunk, got), hash);
+        bytes += got;
+    }
+    const bool failed = std::ferror(file) != 0;
+    std::fclose(file);
+    if (failed) {
+        if (error)
+            *error = "read error while digesting trace file: " + path;
+        return false;
+    }
+    if (bytes == 0) {
+        if (error)
+            *error = "trace file is empty: " + path;
+        return false;
+    }
+    bytes_out = bytes;
+    digest_out = util::hex64(hash);
+    return true;
+}
+
+} // namespace
+
+bool
+isTracePath(const std::string &path)
+{
+    return endsWith(path, ".trc") || endsWith(path, ".champsimtrace") ||
+           endsWith(path, ".champsimtrace.xz") ||
+           endsWith(path, ".champsimtrace.gz");
+}
+
+WorkloadKind
+kindFromTracePath(const std::string &path)
+{
+    EIP_ASSERT(isTracePath(path), "not a recognized trace path");
+    return endsWith(path, ".trc") ? WorkloadKind::EipTrace
+                                  : WorkloadKind::ChampSim;
+}
+
+bool
+tryTraceWorkload(const std::string &path, Workload &out, std::string *error)
+{
+    if (!isTracePath(path)) {
+        if (error)
+            *error = "unsupported trace extension (want .trc, .champsimtrace"
+                     "[.xz|.gz]): " +
+                     path;
+        return false;
+    }
+    Workload w;
+    if (!digestFile(path, w.traceBytes, w.traceDigest, error))
+        return false;
+    const size_t slash = path.find_last_of("/\\");
+    w.name = slash == std::string::npos ? path : path.substr(slash + 1);
+    w.category = "trace";
+    w.kind = kindFromTracePath(path);
+    w.tracePath = path;
+    out = std::move(w);
+    return true;
+}
+
+Workload
+traceWorkload(const std::string &path)
+{
+    Workload w;
+    std::string error;
+    if (!tryTraceWorkload(path, w, &error))
+        EIP_FATAL(error.c_str());
+    return w;
+}
+
+Workload
+capturedWorkload(const Workload &origin, const std::string &path)
+{
+    Workload w = origin;
+    w.kind = WorkloadKind::EipTrace;
+    w.tracePath = path;
+    std::string error;
+    if (!digestFile(path, w.traceBytes, w.traceDigest, &error))
+        EIP_FATAL(error.c_str());
     return w;
 }
 

@@ -2,13 +2,17 @@
  * @file
  * Workload catalogue: synthetic stand-ins for the CVP-1/2 trace categories
  * (crypto / int / fp / srv) and the CloudSuite applications evaluated in the
- * paper. Each workload is a (generator config, executor config) pair; the
- * harness builds and executes them on demand.
+ * paper, plus trace-backed workloads replayed from on-disk files (our own
+ * captured `.trc` streams and external ChampSim traces). Synthetic entries
+ * are a (generator config, executor config) pair the harness builds and
+ * executes on demand; trace-backed entries carry the file path and a
+ * content digest so two different traces can never alias one identity.
  */
 
 #ifndef EIP_TRACE_WORKLOADS_HH
 #define EIP_TRACE_WORKLOADS_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -17,13 +21,41 @@
 
 namespace eip::trace {
 
-/** A named synthetic workload. */
+/** How a workload's instruction stream is produced. */
+enum class WorkloadKind : uint8_t
+{
+    Synthetic, ///< generated CFG walked by the Executor
+    EipTrace,  ///< our binary `.trc` capture format (trace_file.hh)
+    ChampSim,  ///< ChampSim `.champsimtrace{,.xz,.gz}` (champsim.hh)
+};
+
+/** Stable lower-case name of @p kind ("synthetic", "eip-trace",
+ *  "champsim") — used in canonical serializations and manifests. */
+const char *workloadKindName(WorkloadKind kind);
+
+/** A named workload. Synthetic entries are fully described by the
+ *  (program, exec) configs; trace-backed entries by the trace content
+ *  (path is where the bytes live, digest is what they are). */
 struct Workload
 {
     std::string name;
-    std::string category; ///< crypto | int | fp | srv | cloud
+    std::string category; ///< crypto | int | fp | srv | cloud | trace
     ProgramConfig program;
     ExecutorConfig exec;
+
+    /** Stream backend; trace-backed kinds ignore (program, exec) at run
+     *  time but keep them as provenance for captured synthetics. */
+    WorkloadKind kind = WorkloadKind::Synthetic;
+    /** On-disk trace file (trace-backed kinds only). */
+    std::string tracePath;
+    /** Size in bytes of the trace file as stored (compressed size for
+     *  .xz/.gz ChampSim traces). */
+    uint64_t traceBytes = 0;
+    /** 16-hex-digit FNV-1a digest of the trace file bytes. Part of the
+     *  workload's canonical identity: two different traces at the same
+     *  path get different digests, so artifacts and serve-cache entries
+     *  can never alias on the path alone. */
+    std::string traceDigest;
 };
 
 /** Base generator config for one CVP category (before seeding). */
@@ -41,6 +73,37 @@ std::vector<Workload> cloudSuite();
 
 /** A small, fast workload for tests and the quickstart example. */
 Workload tinyWorkload(uint64_t seed = 1);
+
+/** Does @p path name a supported on-disk trace (by extension):
+ *  `.trc`, `.champsimtrace`, `.champsimtrace.xz`, `.champsimtrace.gz`? */
+bool isTracePath(const std::string &path);
+
+/** Trace kind for a path isTracePath accepted. */
+WorkloadKind kindFromTracePath(const std::string &path);
+
+/**
+ * Build a trace-backed workload from an on-disk trace file: stats the
+ * file and digests its bytes (FNV-1a over the stored bytes, so the
+ * digest is cheap even for compressed traces). Non-fatal: returns false
+ * with a diagnostic in @p error (when non-null) on an unreadable or
+ * unsupported file, so a daemon can reject bad submissions instead of
+ * dying. Name is the path's basename, category "trace".
+ */
+bool tryTraceWorkload(const std::string &path, Workload &out,
+                      std::string *error = nullptr);
+
+/** As tryTraceWorkload, fatal on failure (one-shot CLI convenience). */
+Workload traceWorkload(const std::string &path);
+
+/**
+ * Identity-preserving capture/replay pin: a workload that replays
+ * @p path (an eip `.trc` capture of @p origin's stream) while keeping
+ * the origin's name, category, and generator/executor provenance. The
+ * capture's content digest still enters the canonical identity, so a
+ * stale or foreign file at the path can never masquerade as the
+ * capture it replaced.
+ */
+Workload capturedWorkload(const Workload &origin, const std::string &path);
 
 } // namespace eip::trace
 

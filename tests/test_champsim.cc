@@ -1,0 +1,400 @@
+/**
+ * @file
+ * Tests for the ChampSim trace decoder: record decode, the
+ * register-pattern branch taxonomy, lookahead-based size/target
+ * recovery, plain and compressed streaming, truncation error paths, and
+ * the checked-in fixture running end-to-end through the harness.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "harness/artifacts.hh"
+#include "harness/runner.hh"
+#include "obs/manifest.hh"
+#include "trace/champsim.hh"
+#include "trace/workloads.hh"
+
+#ifndef EIP_TEST_DATA_DIR
+#define EIP_TEST_DATA_DIR "tests/data"
+#endif
+
+namespace eip::trace {
+namespace {
+
+/** Build one on-disk ChampSim record (little-endian, 64 bytes). */
+std::vector<unsigned char>
+packRecord(uint64_t ip, uint8_t is_branch, uint8_t taken,
+           std::initializer_list<uint8_t> dst,
+           std::initializer_list<uint8_t> src,
+           std::initializer_list<uint64_t> dmem = {},
+           std::initializer_list<uint64_t> smem = {})
+{
+    std::vector<unsigned char> raw(kChampSimRecordBytes, 0);
+    for (int i = 0; i < 8; ++i)
+        raw[i] = static_cast<unsigned char>(ip >> (8 * i));
+    raw[8] = is_branch;
+    raw[9] = taken;
+    size_t at = 10;
+    for (uint8_t r : dst)
+        raw[at++] = r;
+    at = 12;
+    for (uint8_t r : src)
+        raw[at++] = r;
+    at = 16;
+    for (uint64_t a : dmem) {
+        for (int i = 0; i < 8; ++i)
+            raw[at + i] = static_cast<unsigned char>(a >> (8 * i));
+        at += 8;
+    }
+    at = 32;
+    for (uint64_t a : smem) {
+        for (int i = 0; i < 8; ++i)
+            raw[at + i] = static_cast<unsigned char>(a >> (8 * i));
+        at += 8;
+    }
+    return raw;
+}
+
+void
+writeBytes(const std::string &path, const std::vector<unsigned char> &bytes)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+    std::fclose(f);
+}
+
+bool
+haveTool(const char *probe)
+{
+    return std::system(probe) == 0;
+}
+
+/** Temp-path helper that cleans up the file and compressed variants. */
+class ChampSimTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path = ::testing::TempDir() + "eip_champsim_" +
+               ::testing::UnitTest::GetInstance()
+                   ->current_test_info()
+                   ->name() +
+               ".champsimtrace";
+    }
+
+    void
+    TearDown() override
+    {
+        std::remove(path.c_str());
+        std::remove((path + ".xz").c_str());
+        std::remove((path + ".gz").c_str());
+    }
+
+    std::string path;
+};
+
+constexpr uint8_t kSp = kChampSimRegStackPointer;
+constexpr uint8_t kFlags = kChampSimRegFlags;
+constexpr uint8_t kIp = kChampSimRegInstructionPointer;
+
+TEST(ChampSimDecode, RecoversEveryField)
+{
+    auto raw = packRecord(0x400123, 1, 1, {kSp, kIp}, {kSp, kIp, 3},
+                          {0xdead0000}, {0xbeef0000, 0xbeef0040});
+    ChampSimRecord rec = decodeChampSimRecord(raw.data());
+    EXPECT_EQ(rec.ip, 0x400123u);
+    EXPECT_EQ(rec.isBranch, 1);
+    EXPECT_EQ(rec.branchTaken, 1);
+    EXPECT_EQ(rec.destRegs[0], kSp);
+    EXPECT_EQ(rec.destRegs[1], kIp);
+    EXPECT_EQ(rec.srcRegs[0], kSp);
+    EXPECT_EQ(rec.srcRegs[1], kIp);
+    EXPECT_EQ(rec.srcRegs[2], 3);
+    EXPECT_EQ(rec.srcRegs[3], 0);
+    EXPECT_EQ(rec.destMem[0], 0xdead0000u);
+    EXPECT_EQ(rec.destMem[1], 0u);
+    EXPECT_EQ(rec.srcMem[0], 0xbeef0000u);
+    EXPECT_EQ(rec.srcMem[1], 0xbeef0040u);
+}
+
+TEST(ChampSimDecode, BranchTaxonomyFollowsRegisterPatterns)
+{
+    struct Case
+    {
+        std::initializer_list<uint8_t> dst, src;
+        BranchType expect;
+    };
+    const Case cases[] = {
+        // ChampSim front-end patterns, one per branch class.
+        {{kIp}, {}, BranchType::DirectJump},
+        {{kIp}, {2}, BranchType::IndirectJump},
+        {{kIp}, {kFlags, kIp}, BranchType::Conditional},
+        {{kSp, kIp}, {kSp, kIp}, BranchType::DirectCall},
+        {{kSp, kIp}, {kSp, kIp, 1}, BranchType::IndirectCall},
+        {{kSp, kIp}, {kSp}, BranchType::Return},
+        // BRANCH_OTHER shapes collapse to IndirectJump (unconditional,
+        // unknown target — the conservative choice for a prefetcher).
+        {{kIp}, {kFlags, kIp, 4}, BranchType::IndirectJump},
+    };
+    for (const Case &c : cases) {
+        auto raw = packRecord(0x1000, 1, 1, c.dst, c.src);
+        EXPECT_EQ(champSimBranchType(decodeChampSimRecord(raw.data())),
+                  c.expect);
+    }
+    // Non-branch records classify as NotBranch regardless of registers.
+    auto plain = packRecord(0x1000, 0, 0, {kIp}, {kFlags, kIp});
+    EXPECT_EQ(champSimBranchType(decodeChampSimRecord(plain.data())),
+              BranchType::NotBranch);
+}
+
+TEST(ChampSimDecode, ConversionRecoversSizeTargetAndMemory)
+{
+    // Not-taken conditional: the ip delta to the next record is the
+    // instruction's own size; no target.
+    auto cond = packRecord(0x2000, 1, 0, {kIp}, {kFlags, kIp});
+    Instruction inst =
+        champSimInstruction(decodeChampSimRecord(cond.data()), 0x2007);
+    EXPECT_EQ(inst.branch, BranchType::Conditional);
+    EXPECT_FALSE(inst.taken);
+    EXPECT_EQ(inst.size, 7);
+    EXPECT_EQ(inst.target, 0u);
+
+    // Taken branch: the next record's ip IS the target; size falls back.
+    auto jump = packRecord(0x2000, 1, 1, {kIp}, {});
+    inst = champSimInstruction(decodeChampSimRecord(jump.data()), 0x8000);
+    EXPECT_EQ(inst.branch, BranchType::DirectJump);
+    EXPECT_TRUE(inst.taken);
+    EXPECT_EQ(inst.target, 0x8000u);
+    EXPECT_EQ(inst.size, 4);
+
+    // Implausible fall-through delta (> 15 bytes): fall back to 4.
+    auto wide = packRecord(0x2000, 0, 0, {1}, {2});
+    inst = champSimInstruction(decodeChampSimRecord(wide.data()), 0x2040);
+    EXPECT_EQ(inst.size, 4);
+
+    // Memory operands map to load/store flags; the load address wins
+    // the single memAddr slot when both are present.
+    auto mem = packRecord(0x3000, 0, 0, {1}, {2}, {0x9000}, {0x7000});
+    inst = champSimInstruction(decodeChampSimRecord(mem.data()), 0x3004);
+    EXPECT_TRUE(inst.isLoad);
+    EXPECT_TRUE(inst.isStore);
+    EXPECT_EQ(inst.memAddr, 0x7000u);
+}
+
+TEST_F(ChampSimTest, PlainTraceStreamsAndEndsCleanly)
+{
+    std::vector<unsigned char> bytes;
+    for (uint64_t i = 0; i < 100; ++i) {
+        auto raw = packRecord(0x4000 + i * 4, 0, 0, {1}, {2});
+        bytes.insert(bytes.end(), raw.begin(), raw.end());
+    }
+    writeBytes(path, bytes);
+
+    ChampSimReader reader(path);
+    ChampSimRecord rec;
+    for (uint64_t i = 0; i < 100; ++i) {
+        ASSERT_TRUE(reader.next(rec));
+        EXPECT_EQ(rec.ip, 0x4000 + i * 4);
+    }
+    EXPECT_FALSE(reader.next(rec));
+    EXPECT_EQ(reader.position(), 100u);
+}
+
+TEST_F(ChampSimTest, ReplayerLookaheadCrossesLoopSeam)
+{
+    // 8 records ending in a taken jump; on the loop seam its target
+    // must resolve to the first record's ip of the next pass.
+    std::vector<unsigned char> bytes;
+    for (uint64_t i = 0; i < 7; ++i) {
+        auto raw = packRecord(0x5000 + i * 4, 0, 0, {1}, {2});
+        bytes.insert(bytes.end(), raw.begin(), raw.end());
+    }
+    auto jump = packRecord(0x5100, 1, 1, {kIp}, {});
+    bytes.insert(bytes.end(), jump.begin(), jump.end());
+    writeBytes(path, bytes);
+
+    ChampSimReplayer replay(path);
+    for (int i = 0; i < 7; ++i)
+        replay.next();
+    const Instruction &seam = replay.next(); // the jump record
+    EXPECT_EQ(seam.pc, 0x5100u);
+    EXPECT_TRUE(seam.taken);
+    EXPECT_EQ(seam.target, 0x5000u);
+    EXPECT_EQ(replay.traceLength(), 8u);
+    // And the stream keeps producing across many passes.
+    for (int i = 0; i < 100; ++i)
+        replay.next();
+}
+
+TEST_F(ChampSimTest, MisalignedPlainFileFailsAtOpen)
+{
+    std::vector<unsigned char> bytes(kChampSimRecordBytes * 3 + 17, 0xAB);
+    writeBytes(path, bytes);
+    EXPECT_EXIT(ChampSimReader reader(path), ::testing::ExitedWithCode(1),
+                "not a multiple");
+}
+
+TEST_F(ChampSimTest, EmptyPlainFileFailsAtOpen)
+{
+    writeBytes(path, {});
+    EXPECT_EXIT(ChampSimReader reader(path), ::testing::ExitedWithCode(1),
+                "empty");
+}
+
+TEST_F(ChampSimTest, MissingFileFailsAtOpen)
+{
+    EXPECT_EXIT(ChampSimReader reader(path + ".nope.champsimtrace"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST_F(ChampSimTest, XzAndGzStreamingMatchPlain)
+{
+    if (!haveTool("xz --version > /dev/null 2>&1") ||
+        !haveTool("gzip --version > /dev/null 2>&1"))
+        GTEST_SKIP() << "xz/gzip not available";
+
+    std::vector<unsigned char> bytes;
+    for (uint64_t i = 0; i < 200; ++i) {
+        auto raw = i % 9 == 8
+                       ? packRecord(0x6000 + i * 4, 1, 1, {kIp}, {})
+                       : packRecord(0x6000 + i * 4, 0, 0, {1}, {2});
+        bytes.insert(bytes.end(), raw.begin(), raw.end());
+    }
+    writeBytes(path, bytes);
+    ASSERT_EQ(std::system(("xz -kf '" + path + "' > /dev/null 2>&1")
+                              .c_str()),
+              0);
+    ASSERT_EQ(std::system(("gzip -kf '" + path + "' > /dev/null 2>&1")
+                              .c_str()),
+              0);
+
+    ChampSimReplayer plain(path);
+    ChampSimReplayer xz(path + ".xz");
+    ChampSimReplayer gz(path + ".gz");
+    // Compare well past one pass so the compressed loop seam is hit.
+    for (int i = 0; i < 500; ++i) {
+        const Instruction a = plain.next();
+        const Instruction b = xz.next();
+        const Instruction c = gz.next();
+        ASSERT_EQ(a.pc, b.pc);
+        ASSERT_EQ(a.pc, c.pc);
+        ASSERT_EQ(a.branch, b.branch);
+        ASSERT_EQ(a.target, b.target);
+        ASSERT_EQ(a.size, c.size);
+    }
+}
+
+TEST_F(ChampSimTest, TruncatedXzStreamDiesWithDecompressorError)
+{
+    if (!haveTool("xz --version > /dev/null 2>&1"))
+        GTEST_SKIP() << "xz not available";
+    std::vector<unsigned char> bytes;
+    for (uint64_t i = 0; i < 2000; ++i) {
+        auto raw = packRecord(0x7000 + i * 4, 0, 0, {1}, {2});
+        bytes.insert(bytes.end(), raw.begin(), raw.end());
+    }
+    writeBytes(path, bytes);
+    ASSERT_EQ(std::system(("xz -kf '" + path + "' > /dev/null 2>&1")
+                              .c_str()),
+              0);
+    const std::string xz_path = path + ".xz";
+    std::FILE *f = std::fopen(xz_path.c_str(), "rb");
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fclose(f);
+    ASSERT_EQ(::truncate(xz_path.c_str(), size / 2), 0);
+
+    EXPECT_EXIT(
+        {
+            ChampSimReader reader(xz_path);
+            ChampSimRecord rec;
+            while (reader.next(rec)) {
+            }
+            ::exit(0); // must not be reached
+        },
+        ::testing::ExitedWithCode(1), "decompressor failed");
+}
+
+TEST_F(ChampSimTest, TruncatedPlainTailDiesWithStrayByteCount)
+{
+    // A plain file that grows a partial record after open (open-time
+    // validation sees a well-formed file; the tail check must catch the
+    // stray bytes at end-of-stream).
+    std::vector<unsigned char> bytes;
+    for (uint64_t i = 0; i < 4; ++i) {
+        auto raw = packRecord(0x8000 + i * 4, 0, 0, {1}, {2});
+        bytes.insert(bytes.end(), raw.begin(), raw.end());
+    }
+    writeBytes(path, bytes);
+    EXPECT_EXIT(
+        {
+            ChampSimReader reader(path);
+            // Append stray bytes behind the reader's back.
+            std::FILE *f = std::fopen(path.c_str(), "ab");
+            std::fwrite("xyz", 1, 3, f);
+            std::fclose(f);
+            ChampSimRecord rec;
+            while (reader.next(rec)) {
+            }
+            ::exit(0);
+        },
+        ::testing::ExitedWithCode(1), "stray bytes");
+}
+
+TEST(ChampSimFixture, RunsEndToEndThroughHarness)
+{
+    if (!haveTool("xz --version > /dev/null 2>&1"))
+        GTEST_SKIP() << "xz not available";
+    const std::string fixture =
+        std::string(EIP_TEST_DATA_DIR) + "/fixture.champsimtrace.xz";
+
+    trace::Workload w;
+    std::string error;
+    ASSERT_TRUE(tryTraceWorkload(fixture, w, &error)) << error;
+    EXPECT_EQ(w.kind, WorkloadKind::ChampSim);
+    EXPECT_EQ(w.category, "trace");
+    EXPECT_EQ(w.name, "fixture.champsimtrace.xz");
+    EXPECT_EQ(w.traceDigest.size(), 16u);
+    EXPECT_GT(w.traceBytes, 0u);
+
+    harness::RunSpec spec;
+    spec.configId = "entangling-2k";
+    spec.instructions = 30000;
+    spec.warmup = 10000;
+    spec.collectCounters = true;
+    harness::RunResult result = harness::runOne(w, spec);
+    // Retirement is width-granular, so the measured window may overshoot
+    // the budget by a few instructions.
+    EXPECT_GE(result.stats.instructions, spec.instructions);
+    EXPECT_LT(result.stats.instructions, spec.instructions + 16);
+    EXPECT_GT(result.stats.cycles, 0u);
+    EXPECT_GT(result.stats.l1i.demandAccesses, 0u);
+
+    // The artifact carries the trace provenance fields.
+    obs::RunManifest m = harness::makeManifest(w, spec, result);
+    EXPECT_EQ(m.traceKind, "champsim");
+    EXPECT_EQ(m.traceBytes, w.traceBytes);
+    EXPECT_EQ(m.traceDigest, w.traceDigest);
+    const std::string json = harness::runArtifactJson(m, result, false);
+    EXPECT_NE(json.find("\"trace_kind\":\"champsim\""), std::string::npos);
+    EXPECT_NE(json.find("\"trace_digest\":\"" + w.traceDigest + "\""),
+              std::string::npos);
+
+    // findWorkload routes trace paths too (the CLI/serve entry).
+    trace::Workload via_find;
+    ASSERT_TRUE(harness::findWorkload(fixture, via_find));
+    EXPECT_EQ(via_find.traceDigest, w.traceDigest);
+}
+
+} // namespace
+} // namespace eip::trace

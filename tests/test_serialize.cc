@@ -111,11 +111,46 @@ TEST(CanonicalSerialization, EveryRunSpecFieldIsKeyed)
     changed.eventSkip = !changed.eventSkip;
     EXPECT_NE(key(changed), key(base));
     changed = base;
+    changed.wrongPath = !changed.wrongPath;
+    EXPECT_NE(key(changed), key(base));
+    changed = base;
     changed.sampleInterval = 12345;
     EXPECT_NE(key(changed), key(base));
     changed = base;
     changed.collectCounters = !changed.collectCounters;
     EXPECT_NE(key(changed), key(base));
+}
+
+TEST(CanonicalSerialization, TraceWorkloadsKeyOnContentDigest)
+{
+    // Trace-backed workloads insert kind/trace_bytes/trace_digest into
+    // the canonical form (the synthetic form stays byte-identical, so
+    // pre-existing cache keys survive). Identity is the content digest,
+    // never the path.
+    trace::Workload synthetic = trace::tinyWorkload();
+    trace::Workload traced = synthetic;
+    traced.kind = trace::WorkloadKind::ChampSim;
+    traced.tracePath = "/some/where/fixture.champsimtrace.xz";
+    traced.traceBytes = 384000;
+    traced.traceDigest = "0123456789abcdef";
+
+    const std::string form = harness::canonicalWorkload(traced);
+    EXPECT_NE(form.find("\"kind\":\"champsim\""), std::string::npos);
+    EXPECT_NE(form.find("\"trace_bytes\":384000"), std::string::npos);
+    EXPECT_NE(form.find("\"trace_digest\":\"0123456789abcdef\""),
+              std::string::npos);
+    EXPECT_NE(form, harness::canonicalWorkload(synthetic));
+    EXPECT_EQ(form.find("champsimtrace"), std::string::npos)
+        << "the trace path must not enter the canonical form";
+
+    // Same path, different content digest: different identity.
+    trace::Workload other = traced;
+    other.traceDigest = "fedcba9876543210";
+    EXPECT_NE(harness::canonicalWorkload(other), form);
+    EXPECT_NE(harness::resultCacheKey("v1", sim::SimConfig{},
+                                      harness::RunSpec{}, other),
+              harness::resultCacheKey("v1", sim::SimConfig{},
+                                      harness::RunSpec{}, traced));
 }
 
 TEST(CanonicalSerialization, TracerDoesNotEnterTheCanonicalForm)
@@ -167,13 +202,13 @@ TEST(CanonicalSerialization, GoldenDigestsPinTheFormat)
     EXPECT_EQ(digest(harness::canonicalSimConfig(sim::SimConfig{})),
               "f18e7181c5558662");
     EXPECT_EQ(digest(harness::canonicalRunSpec(harness::RunSpec{})),
-              "a8b7e6d1d512b2b8");
+              "575913ab3682152e");
     EXPECT_EQ(digest(harness::canonicalWorkload(trace::tinyWorkload())),
               "f5541ee1de68d03a");
     EXPECT_EQ(harness::resultCacheKey("golden", sim::SimConfig{},
                                       harness::RunSpec{},
                                       trace::tinyWorkload()),
-              "040bc9c0a6431d9c");
+              "736ccfa307fc1cc2");
 }
 
 } // namespace

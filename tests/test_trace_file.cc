@@ -10,6 +10,12 @@
 #include <cstdio>
 #include <string>
 
+#include <unistd.h>
+
+#include "check/diff.hh"
+#include "harness/artifacts.hh"
+#include "harness/runner.hh"
+#include "obs/manifest.hh"
 #include "sim/cpu.hh"
 #include "trace/executor.hh"
 #include "prefetch/factory.hh"
@@ -163,6 +169,131 @@ TEST_F(TraceFileTest, HeaderRejectsGarbage)
     std::fclose(f);
     EXPECT_EXIT(TraceReader reader(path),
                 ::testing::ExitedWithCode(1), "bad magic");
+}
+
+TEST_F(TraceFileTest, TruncatedTailFailsAtOpen)
+{
+    {
+        TraceWriter writer(path);
+        for (uint64_t i = 0; i < 100; ++i)
+            writer.append(sampleInst(i));
+    }
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fclose(f);
+    ASSERT_EQ(::truncate(path.c_str(), size - 10), 0);
+    EXPECT_EXIT(TraceReader reader(path), ::testing::ExitedWithCode(1),
+                "truncated or partially copied");
+}
+
+TEST_F(TraceFileTest, StaleHeaderCountFailsAtOpen)
+{
+    {
+        TraceWriter writer(path);
+        for (uint64_t i = 0; i < 100; ++i)
+            writer.append(sampleInst(i));
+    }
+    // Rewrite the header count to fewer records than the file holds —
+    // the shape an interrupted capture leaves behind (the writer patches
+    // the count only at close).
+    std::FILE *f = std::fopen(path.c_str(), "r+b");
+    uint8_t forty[8] = {40, 0, 0, 0, 0, 0, 0, 0};
+    std::fseek(f, 16, SEEK_SET);
+    ASSERT_EQ(std::fwrite(forty, 1, 8, f), 8u);
+    std::fclose(f);
+    EXPECT_EXIT(TraceReader reader(path), ::testing::ExitedWithCode(1),
+                "stale header");
+}
+
+TEST_F(TraceFileTest, PostOpenTruncationDiesWithRecordPosition)
+{
+    // Open-time validation sees a healthy file; shrinking it afterwards
+    // must still die with the record position, not serve stale data.
+    {
+        TraceWriter writer(path);
+        for (uint64_t i = 0; i < 20000; ++i)
+            writer.append(sampleInst(i));
+    }
+    EXPECT_EXIT(
+        {
+            TraceReader reader(path, /*loop=*/false);
+            ASSERT_EQ(::truncate(path.c_str(), 24 + 28 * 1000), 0);
+            Instruction inst;
+            while (reader.next(inst)) {
+            }
+            ::exit(0); // must not be reached: the loop has to die first
+        },
+        ::testing::ExitedWithCode(1), "read failed at record");
+}
+
+TEST_F(TraceFileTest, ReplayManifestCarriesTraceProvenance)
+{
+    Workload origin = tinyWorkload();
+    {
+        Program prog = buildProgram(origin.program);
+        Executor exec(prog, origin.exec);
+        captureTrace(path, exec, 5000);
+    }
+    Workload replayed = capturedWorkload(origin, path);
+    EXPECT_EQ(replayed.kind, WorkloadKind::EipTrace);
+    EXPECT_EQ(replayed.name, origin.name);
+    EXPECT_EQ(replayed.traceBytes, 24u + 28u * 5000u);
+    EXPECT_EQ(replayed.traceDigest.size(), 16u);
+
+    harness::RunSpec spec;
+    obs::RunManifest m =
+        harness::makeManifest(replayed, spec, harness::RunResult{});
+    EXPECT_EQ(m.traceKind, "eip-trace");
+    EXPECT_EQ(m.traceBytes, replayed.traceBytes);
+    EXPECT_EQ(m.traceDigest, replayed.traceDigest);
+
+    // Identity is the content digest, not the path: different bytes at
+    // the same path must change the digest.
+    {
+        TraceWriter writer(path);
+        for (uint64_t i = 0; i < 5000; ++i)
+            writer.append(sampleInst(i + 1));
+    }
+    Workload other = capturedWorkload(origin, path);
+    EXPECT_NE(other.traceDigest, replayed.traceDigest);
+}
+
+TEST_F(TraceFileTest, CaptureReplayArtifactBitIdentity)
+{
+    // The capture→replay contract: replaying a captured trace through
+    // the full harness produces a byte-identical result artifact — no
+    // allow-list, every field compared.
+    Workload origin = tinyWorkload();
+    harness::RunSpec spec;
+    spec.configId = "entangling-2k";
+    spec.instructions = 30000;
+    spec.warmup = 10000;
+    spec.collectCounters = true;
+    {
+        Program prog = buildProgram(origin.program);
+        Executor exec(prog, origin.exec);
+        // Slack past the measured window: the front end runs ahead of
+        // retirement, so the capture must outlast warmup + instructions.
+        captureTrace(path, exec, spec.warmup + spec.instructions + 65536);
+    }
+    Workload replayed = capturedWorkload(origin, path);
+
+    harness::RunResult direct = harness::runOne(origin, spec);
+    harness::RunResult replay = harness::runOne(replayed, spec);
+
+    // Render both under the origin workload's manifest (timing off) so
+    // provenance is pinned equal by construction and the diff covers
+    // every result byte.
+    obs::RunManifest dm = harness::makeManifest(origin, spec, direct);
+    obs::RunManifest rm = harness::makeManifest(origin, spec, replay);
+    check::DiffRunner diff;
+    const bool clean = diff.compare(
+        "capture vs replay",
+        harness::runArtifactJson(dm, direct, /*include_timing=*/false),
+        harness::runArtifactJson(rm, replay, /*include_timing=*/false),
+        /*allow=*/{});
+    EXPECT_TRUE(clean) << diff.report();
 }
 
 } // namespace
