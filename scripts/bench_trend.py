@@ -6,6 +6,10 @@ chronological order (oldest first):
 
   host-MIPS — per-config means of every host-speed table (tables whose
               title mentions "MIPS", e.g. BENCH_simspeed.json);
+  sampled host-MIPS — the same, restricted to sampled-mode rows
+              (configs containing "sampled"): the SMARTS-schedule win
+              is gated as its own family so a sampling-path slowdown
+              cannot hide inside the full-mode mean;
   warm QPS  — mean served-QPS of the warm rounds of the eipd request
               storm (tables with a "served_qps" column and "warm-*"
               rows, e.g. BENCH_servestorm.json).
@@ -32,14 +36,19 @@ import os
 import sys
 
 
-def mips_values(doc):
+def mips_values(doc, sampled=False):
     """Per-config mean host-MIPS from every host-speed table of one
-    eip-bench/v1 document, or None when the document has none."""
+    eip-bench/v1 document, or None when the document has none. With
+    @p sampled, only sampled-mode rows (config contains "sampled")
+    contribute; without it, only full-mode rows do — the two families
+    trend independently."""
     configs = {}
     for table in doc.get("tables", []):
         if "MIPS" not in table.get("title", ""):
             continue
         for row in table.get("rows", []):
+            if ("sampled" in str(row.get("config", ""))) != sampled:
+                continue
             values = [v for v in row.get("values", [])
                       if isinstance(v, (int, float))]
             if values:
@@ -49,6 +58,10 @@ def mips_values(doc):
         return None
     return {config: sum(means) / len(means)
             for config, means in configs.items()}
+
+
+def sampled_mips_values(doc):
+    return mips_values(doc, sampled=True)
 
 
 def qps_values(doc):
@@ -116,8 +129,9 @@ def main(argv):
         return 2
 
     # family -> [(path, git_describe, per-member means, overall mean)].
-    families = {"host-MIPS": [], "warm QPS": []}
-    units = {"host-MIPS": "MIPS", "warm QPS": "QPS"}
+    families = {"host-MIPS": [], "sampled host-MIPS": [], "warm QPS": []}
+    units = {"host-MIPS": "MIPS", "sampled host-MIPS": "MIPS",
+             "warm QPS": "QPS"}
     for path in paths:
         try:
             with open(path, "rb") as f:
@@ -134,6 +148,7 @@ def main(argv):
         git = doc.get("git_describe", "?")
         matched = False
         for family, extract in (("host-MIPS", mips_values),
+                                ("sampled host-MIPS", sampled_mips_values),
                                 ("warm QPS", qps_values)):
             members = extract(doc)
             if members is None:

@@ -6,7 +6,10 @@ Checks the three schemas produced by the observability layer:
   eip-run/v1    one simulation run (eipsim --stats-json, per-job files);
                 a --why run's embedded eip-why/v1 section is validated
                 in place, including the blame-partition identity
-                against the L1I demand-miss counters
+                against the L1I demand-miss counters; a periodic-mode
+                run's `sampling` section (estimate/std_error/ci95 per
+                metric) and its manifest schedule echo are validated
+                together
   eip-suite/v1  suite roll-up (eipsim --workload all --stats-json)
   eip-bench/v1  bench table dump (BENCH_<name>.json)
   eip-trace/v1  event trace (eipsim --trace-out, Perfetto-loadable)
@@ -83,6 +86,38 @@ class Checker:
                     self.error(where, f"timing key '{key}' breaks the "
                                       "jobs-independence byte contract")
         self.check_trace_provenance(manifest, where)
+        self.check_sample_schedule(manifest, where)
+
+    def check_sample_schedule(self, manifest, where):
+        """Periodic-mode manifests echo the full sampling schedule —
+        mode, window, period, seed and warm bound together (full-mode
+        artifacts omit all five to keep their historic bytes)."""
+        keys = ("sample_mode", "sample_window", "sample_period",
+                "sample_seed", "sample_warm")
+        present = [k for k in keys if k in manifest]
+        if not present:
+            return
+        if len(present) != len(keys):
+            self.error(where, f"partial sampling schedule {present}: "
+                              f"{'/'.join(keys)} must appear together")
+        mode = manifest.get("sample_mode")
+        if "sample_mode" in manifest and mode != "periodic":
+            self.error(where, f"sample_mode {mode!r} in an artifact "
+                              "(full mode omits the schedule echo)")
+        for key in keys[1:]:
+            value = manifest.get(key)
+            if key in manifest and \
+                    (not isinstance(value, int) or value < 0):
+                self.error(where, f"'{key}' is not a non-negative "
+                                  "integer")
+        window = manifest.get("sample_window")
+        period = manifest.get("sample_period")
+        if isinstance(window, int) and window <= 0:
+            self.error(where, "sample_window must be positive")
+        if isinstance(window, int) and isinstance(period, int) \
+                and period < window:
+            self.error(where, f"sample_period {period} < sample_window "
+                              f"{window}")
 
     TRACE_KINDS = ("eip-trace", "champsim")
 
@@ -169,6 +204,46 @@ class Checker:
                                    f"{value} - {prev} != {delta}")
             previous = values
         return rows
+
+    # -- the optional sampled-simulation estimates section -------------
+
+    SAMPLING_COUNTS = ("windows", "window_instructions",
+                       "warmed_instructions", "skipped_instructions",
+                       "offset")
+    SAMPLING_METRICS = ("ipc", "l1i_mpki", "l1i_coverage", "l1i_accuracy")
+
+    def check_sampling(self, doc, sampling, where):
+        """The `sampling` section of a periodic-mode run: schedule
+        accounting plus the four estimate/std_error/ci95 triples
+        (DESIGN.md §3.13)."""
+        for key in self.SAMPLING_COUNTS:
+            value = self.require(sampling, where, key, (int,))
+            if value is not None and value < 0:
+                self.error(where, f"'{key}' is negative")
+        windows = sampling.get("windows")
+        if isinstance(windows, int) and windows < 1:
+            self.error(where, "a periodic run has at least one window")
+        for key in self.SAMPLING_METRICS:
+            metric = self.require(sampling, where, key, (dict,))
+            if metric is None:
+                continue
+            mw = f"{where}.{key}"
+            for field in ("estimate", "std_error", "ci95"):
+                value = self.require(metric, mw, field, (int, float))
+                if field != "estimate" and value is not None and value < 0:
+                    self.error(mw, f"'{field}' is negative")
+            # One window has no dispersion estimate: the triple must
+            # honestly report a zero-width interval, never fabricate one.
+            if windows == 1:
+                for field in ("std_error", "ci95"):
+                    if metric.get(field) not in (0, 0.0, None):
+                        self.error(mw, f"'{field}' nonzero with a single "
+                                       "window")
+        manifest = doc.get("manifest")
+        if isinstance(manifest, dict) and \
+                manifest.get("sample_mode") != "periodic":
+            self.error(where, "sampling section present but the manifest "
+                              "does not echo a periodic schedule")
 
     # -- eip-why/v1 (the optional miss-attribution section) ------------
 
@@ -266,6 +341,12 @@ class Checker:
             self.check_manifest(manifest, where + ".manifest",
                                 timing_allowed)
         self.check_counter_sections(doc, where)
+        sampling = doc.get("sampling")
+        if sampling is not None:
+            if isinstance(sampling, dict):
+                self.check_sampling(doc, sampling, where + ".sampling")
+            else:
+                self.error(where, "'sampling' is not an object")
         why = doc.get("why")
         if why is not None:
             if isinstance(why, dict):

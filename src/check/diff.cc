@@ -202,6 +202,18 @@ DiffRunner::compareFiles(const std::string &label,
 }
 
 bool
+DiffRunner::check(const std::string &label, bool ok,
+                  const std::string &detail)
+{
+    Comparison cmp;
+    cmp.label = label;
+    cmp.detail = detail;
+    cmp.checkFailed = !ok;
+    comparisons_.push_back(std::move(cmp));
+    return ok;
+}
+
+bool
 DiffRunner::allClean() const
 {
     for (const Comparison &cmp : comparisons_) {
@@ -219,6 +231,10 @@ DiffRunner::report() const
         out << (cmp.clean() ? "PASS" : "FAIL") << "  " << cmp.label;
         if (!cmp.error.empty()) {
             out << "  (" << cmp.error << ")\n";
+            continue;
+        }
+        if (!cmp.detail.empty()) {
+            out << "  (" << cmp.detail << ")\n";
             continue;
         }
         out << "  (" << cmp.fieldsCompared << " fields";

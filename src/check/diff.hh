@@ -62,12 +62,15 @@ class DiffRunner
         std::string label;
         size_t fieldsCompared = 0;
         std::vector<DiffEntry> divergences;
-        std::string error; ///< non-empty when a side failed to parse
+        std::string error;  ///< non-empty when a side failed to parse
+        std::string detail; ///< numeric checks: measured values shown
+                            ///< on the report line
+        bool checkFailed = false; ///< numeric check asserted false
 
         bool
         clean() const
         {
-            return error.empty() && divergences.empty();
+            return error.empty() && divergences.empty() && !checkFailed;
         }
     };
 
@@ -80,6 +83,18 @@ class DiffRunner
     bool compareFiles(const std::string &label, const std::string &lhs_path,
                       const std::string &rhs_path,
                       const std::vector<std::string> &allow);
+
+    /**
+     * Record a numeric assertion alongside the document diffs. Some
+     * gates are tolerance checks rather than field identities — the
+     * sampled-vs-full leg asserts that a full run's IPC falls inside the
+     * sampled run's reported confidence interval — and routing them
+     * through the same runner gives them the same report line and the
+     * same exit-code weight. @p detail is shown on the report line
+     * (measured values, the tolerance applied). @return @p ok.
+     */
+    bool check(const std::string &label, bool ok,
+               const std::string &detail);
 
     bool allClean() const;
     const std::vector<Comparison> &comparisons() const

@@ -16,6 +16,19 @@ namespace eip::harness {
 
 namespace {
 
+/** One sampled-metric estimate: point value, standard error, and the
+ *  95% confidence-interval half-width (t-distributed over windows). */
+void
+writeMetricSummary(obs::JsonWriter &json, const char *name,
+                   const sample::MetricSummary &m)
+{
+    json.key(name).beginObject();
+    json.kv("estimate", m.estimate);
+    json.kv("std_error", m.stdError);
+    json.kv("ci95", m.ci95);
+    json.endObject();
+}
+
 /** The eip-run/v1 object body (shared by single-run artifacts and the
  *  per-run members of a suite roll-up). */
 void
@@ -27,6 +40,24 @@ writeRunObject(obs::JsonWriter &json, const obs::RunManifest &manifest,
     obs::writeManifest(json, manifest, include_timing);
 
     obs::writeCounterSections(json, result.counters);
+
+    // Sampled-simulation estimates: present only for periodic-mode runs,
+    // so full-run artifacts keep their exact historic bytes (same
+    // contract as the --why section below).
+    if (result.hasSampling) {
+        const sample::Summary &s = result.sampling;
+        json.key("sampling").beginObject();
+        json.kv("windows", s.windows);
+        json.kv("window_instructions", s.windowInstructions);
+        json.kv("warmed_instructions", s.warmedInstructions);
+        json.kv("skipped_instructions", s.skippedInstructions);
+        json.kv("offset", s.offset);
+        writeMetricSummary(json, "ipc", s.ipc);
+        writeMetricSummary(json, "l1i_mpki", s.l1iMpki);
+        writeMetricSummary(json, "l1i_coverage", s.l1iCoverage);
+        writeMetricSummary(json, "l1i_accuracy", s.l1iAccuracy);
+        json.endObject();
+    }
 
     // Miss attribution (--why): present only when the run carried the
     // observer, so plain artifacts keep their exact historic bytes.
@@ -87,6 +118,15 @@ makeManifest(const trace::Workload &workload, const RunSpec &spec,
     m.instructions = spec.instructions;
     m.warmup = spec.warmup;
     m.sampleInterval = spec.sampleInterval;
+    // Periodic-mode echo only: a full run's manifest stays byte-identical
+    // to before sampled simulation existed.
+    if (spec.sampleMode == "periodic") {
+        m.sampleMode = spec.sampleMode;
+        m.sampleWindow = spec.sampleWindow;
+        m.samplePeriod = spec.samplePeriod;
+        m.sampleSeed = spec.sampleSeed;
+        m.sampleWarm = spec.sampleWarm;
+    }
     m.simScale = util::envDouble("EIP_SIM_SCALE").value_or(1.0);
     if (workload.kind != trace::WorkloadKind::Synthetic) {
         m.traceKind = trace::workloadKindName(workload.kind);

@@ -86,6 +86,11 @@ canonicalRunSpec(const RunSpec &spec)
     json.kv("wrong_path", spec.wrongPath);
     json.kv("sample_interval", spec.sampleInterval);
     json.kv("collect_counters", spec.collectCounters);
+    json.kv("sample_mode", spec.sampleMode);
+    json.kv("sample_window", spec.sampleWindow);
+    json.kv("sample_period", spec.samplePeriod);
+    json.kv("sample_seed", spec.sampleSeed);
+    json.kv("sample_warm", spec.sampleWarm);
     json.endObject();
     return json.str();
 }

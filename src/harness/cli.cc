@@ -12,6 +12,7 @@
 #include "obs/phase.hh"
 #include "obs/trace.hh"
 #include "prefetch/factory.hh"
+#include "sample/schedule.hh"
 #include "sim/config.hh"
 #include "trace/workloads.hh"
 
@@ -44,6 +45,11 @@ cliUsage()
         "  --trace FILE          replay an on-disk trace: a captured .trc\n"
         "                        or a ChampSim .champsimtrace[.xz|.gz]\n"
         "                        (equivalent to --workload FILE)\n"
+        "  --suite-trace FILE    with --workload all: append this corpus\n"
+        "                        trace to the batch catalogue (repeatable;\n"
+        "                        same formats as --trace). Each trace\n"
+        "                        passes the suite's >= 1 L1I MPKI\n"
+        "                        qualification or is skipped with a note\n"
         "  --prefetcher ID       none|ideal|l1i-64kb|l1i-96kb|nextline|\n"
         "                        sn4l|mana-{2k,4k,8k}|rdip|djolt|fnl+mma|\n"
         "                        pif|epi|entangling-{2k,4k,8k}[-phys]|\n"
@@ -70,6 +76,21 @@ cliUsage()
         "  --sample-interval N   counter time-series interval in measured\n"
         "                        instructions (default 100000; 0 = off;\n"
         "                        needs --stats-json)\n"
+        "  --sample-mode MODE    full (default): simulate every measured\n"
+        "                        instruction in detail; periodic:\n"
+        "                        SMARTS-style sampling — functional\n"
+        "                        warming between detailed windows, with\n"
+        "                        per-metric 95% confidence intervals\n"
+        "  --sample-window N     detailed instructions per window\n"
+        "                        (periodic mode; required, positive)\n"
+        "  --sample-period N     instructions per sampling period\n"
+        "                        (periodic mode; required, >= window)\n"
+        "  --sample-seed N       systematic sampling offset seed\n"
+        "                        (periodic mode; default 0)\n"
+        "  --sample-warm N       functionally warm only the last N\n"
+        "                        instructions before each window,\n"
+        "                        fast-forwarding the rest (periodic\n"
+        "                        mode; default 0 = warm whole gaps)\n"
         "  --trace-out FILE      record an event trace (prefetch\n"
         "                        lifecycle, fetch stalls, L1I misses) as\n"
         "                        Chrome/Perfetto trace_event JSON\n"
@@ -122,6 +143,9 @@ parseCli(const std::vector<std::string> &args)
         } else if (arg == "--trace") {
             if (auto v = value("--trace"))
                 opt.tracePath = *v;
+        } else if (arg == "--suite-trace") {
+            if (auto v = value("--suite-trace"))
+                opt.suiteTraces.push_back(*v);
         } else if (arg == "--prefetcher") {
             if (auto v = value("--prefetcher"))
                 opt.prefetcher = *v;
@@ -154,6 +178,32 @@ parseCli(const std::vector<std::string> &args)
             if (v && !parseU64(*v, opt.sampleInterval))
                 opt.error = "--sample-interval needs a number "
                             "(instructions; 0 = off)";
+        } else if (arg == "--sample-mode") {
+            if (auto v = value("--sample-mode")) {
+                opt.sampleMode = *v;
+                sample::Mode mode;
+                if (!sample::parseMode(*v, &mode))
+                    opt.error = "--sample-mode needs full or periodic";
+            }
+        } else if (arg == "--sample-window") {
+            auto v = value("--sample-window");
+            if (v && !parseU64(*v, opt.sampleWindow))
+                opt.error = "--sample-window needs a number "
+                            "(instructions per detailed window)";
+        } else if (arg == "--sample-period") {
+            auto v = value("--sample-period");
+            if (v && !parseU64(*v, opt.samplePeriod))
+                opt.error = "--sample-period needs a number "
+                            "(instructions per sampling period)";
+        } else if (arg == "--sample-seed") {
+            auto v = value("--sample-seed");
+            if (v && !parseU64(*v, opt.sampleSeed))
+                opt.error = "--sample-seed needs a number";
+        } else if (arg == "--sample-warm") {
+            auto v = value("--sample-warm");
+            if (v && !parseU64(*v, opt.sampleWarm))
+                opt.error = "--sample-warm needs a number (instructions "
+                            "warmed before each window; 0 = whole gap)";
         } else if (arg == "--trace-out") {
             if (auto v = value("--trace-out")) {
                 opt.traceOutPath = *v;
@@ -208,6 +258,15 @@ parseCli(const std::vector<std::string> &args)
     }
     if (opt.instructions == 0)
         opt.error = "--instructions must be positive";
+    // Mirror sample::validateSpec at the CLI boundary so a bad schedule
+    // is a usage error with help text, not a runtime panic.
+    if (opt.error.empty() && opt.sampleMode == "periodic") {
+        if (opt.sampleWindow == 0)
+            opt.error = "--sample-mode periodic needs a positive "
+                        "--sample-window";
+        else if (opt.samplePeriod < opt.sampleWindow)
+            opt.error = "--sample-period must be at least --sample-window";
+    }
     return opt;
 }
 
@@ -280,6 +339,12 @@ runCli(const CliOptions &opt)
         break;
     }
 
+    if (!opt.suiteTraces.empty() &&
+        (opt.workload != "all" || !opt.tracePath.empty())) {
+        std::fprintf(stderr, "error: --suite-trace needs --workload all "
+                             "(use --trace for a single replay)\n");
+        return 2;
+    }
     if (opt.tracePath.empty() && opt.workload == "all") {
         // Batch mode: the whole catalogue under one config, fanned out
         // across the exec thread pool.
@@ -303,19 +368,34 @@ runCli(const CliOptions &opt)
         spec.eventSkip = !opt.noSkip;
         spec.why = opt.why;
         spec.whyTop = opt.whyTop;
+        spec.sampleMode = opt.sampleMode;
+        spec.sampleWindow = opt.sampleWindow;
+        spec.samplePeriod = opt.samplePeriod;
+        spec.sampleSeed = opt.sampleSeed;
+        spec.sampleWarm = opt.sampleWarm;
         if (!opt.statsJsonPath.empty())
             spec.sampleInterval = opt.sampleInterval;
+
+        // Corpus traces ride the same batch as the synthetic catalogue,
+        // gated by the per-trace MPKI qualification; every admission and
+        // skip is reported so a silently thin suite cannot masquerade as
+        // a full one.
+        std::vector<std::string> suite_notes;
+        std::vector<trace::Workload> suite =
+            mixedCatalogue(opt.suiteTraces, &suite_notes);
+        for (const std::string &line : suite_notes)
+            std::fprintf(stderr, "suite-trace: %s\n", line.c_str());
 
         unsigned jobs = exec::resolveJobs(opt.jobs);
         auto started = std::chrono::steady_clock::now();
         std::vector<RunResult> results;
         if (!opt.statsJsonPath.empty()) {
             std::vector<RunJob> batch;
-            for (const auto &w : defaultCatalogue())
+            for (const auto &w : suite)
                 batch.push_back(RunJob{w, spec});
             results = runBatchWithArtifacts(batch, jobs, opt.statsJsonPath);
         } else {
-            results = runSuite(defaultCatalogue(), spec, jobs);
+            results = runSuite(suite, spec, jobs);
         }
         double seconds =
             std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -394,6 +474,11 @@ runCli(const CliOptions &opt)
         spec.wrongPath = opt.wrongPath;
         spec.why = opt.why;
         spec.whyTop = opt.whyTop;
+        spec.sampleMode = opt.sampleMode;
+        spec.sampleWindow = opt.sampleWindow;
+        spec.samplePeriod = opt.samplePeriod;
+        spec.sampleSeed = opt.sampleSeed;
+        spec.sampleWarm = opt.sampleWarm;
         if (!opt.statsJsonPath.empty()) {
             spec.collectCounters = true;
             spec.sampleInterval = opt.sampleInterval;
@@ -423,13 +508,20 @@ runCli(const CliOptions &opt)
                 .count();
         manifest.jobs = 1;
         // Host simulation speed over the whole run (warm-up + measured
-        // instructions; the warm-up is simulated work all the same).
+        // instructions; the warm-up is simulated work all the same). A
+        // sampled run only covers what its schedule actually executed —
+        // warmed + fast-forwarded + detailed-window instructions; the
+        // tail past the last window is never touched — so its MIPS
+        // numerator comes from the sampling summary, not the spec.
         manifest.hostWallMs = manifest.wallClockSeconds * 1000.0;
         double wall_us = manifest.wallClockSeconds * 1e6;
-        manifest.hostMips =
-            wall_us > 0.0
-                ? static_cast<double>(opt.warmup + opt.instructions) / wall_us
-                : 0.0;
+        double covered = static_cast<double>(opt.warmup + opt.instructions);
+        if (result.hasSampling)
+            covered = static_cast<double>(
+                result.sampling.warmedInstructions +
+                result.sampling.skippedInstructions +
+                result.sampling.windowInstructions);
+        manifest.hostMips = wall_us > 0.0 ? covered / wall_us : 0.0;
         profiler.close();
         manifest.phaseMs = profiler.totalsMs();
         writeTextFile(opt.statsJsonPath,
@@ -460,6 +552,21 @@ runCli(const CliOptions &opt)
                 static_cast<unsigned long long>(s.l1i.usefulPrefetches),
                 static_cast<unsigned long long>(s.l1i.latePrefetches),
                 static_cast<unsigned long long>(s.l1i.wrongPrefetches));
+    if (result.hasSampling) {
+        const sample::Summary &sm = result.sampling;
+        std::printf("sampling      %llu windows x %llu insts "
+                    "(warmed %llu, offset %llu)\n",
+                    static_cast<unsigned long long>(sm.windows),
+                    static_cast<unsigned long long>(
+                        sm.windows > 0
+                            ? sm.windowInstructions / sm.windows : 0),
+                    static_cast<unsigned long long>(sm.warmedInstructions),
+                    static_cast<unsigned long long>(sm.offset));
+        std::printf("IPC 95%% CI    %.4f +/- %.4f\n", sm.ipc.estimate,
+                    sm.ipc.ci95);
+        std::printf("MPKI 95%% CI   %.2f +/- %.2f\n", sm.l1iMpki.estimate,
+                    sm.l1iMpki.ci95);
+    }
     if (result.why.enabled) {
         std::printf("miss blame    ");
         const char *sep = "";

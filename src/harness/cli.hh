@@ -36,6 +36,11 @@ struct CliOptions
     /** When set, replay this trace file (same formats as a trace-path
      *  --workload; kept as a separate flag for compatibility). */
     std::string tracePath;
+    /** Corpus traces appended to the batch catalogue (--suite-trace,
+     *  repeatable; needs --workload all). Each is admitted through the
+     *  per-trace MPKI qualification (trace::traceQualifies); traces that
+     *  fail it are skipped with a notice, not fatal. */
+    std::vector<std::string> suiteTraces;
     std::string prefetcher = "entangling-4k";
     std::string dataPrefetcher = "none";
     uint64_t instructions = 600000;
@@ -62,6 +67,22 @@ struct CliOptions
      *  embedded in the artifact; 0 disables sampling. Only consulted
      *  when --stats-json is given. */
     uint64_t sampleInterval = 100000;
+    /** Sampled simulation (DESIGN.md §3.13): "full" runs every measured
+     *  instruction in detail; "periodic" alternates functional warming
+     *  with detailed windows and reports per-metric confidence
+     *  intervals. */
+    std::string sampleMode = "full";
+    /** Detailed instructions per sampling window (periodic mode). */
+    uint64_t sampleWindow = 0;
+    /** Instructions per sampling period: one window plus the functional
+     *  warming gap (periodic mode; must be >= the window). */
+    uint64_t samplePeriod = 0;
+    /** Seed of the systematic sampling offset (periodic mode). */
+    uint64_t sampleSeed = 0;
+    /** Functional-warming bound per gap: warm only the last N
+     *  instructions before each window and fast-forward the rest at
+     *  source level; 0 warms whole gaps (periodic mode). */
+    uint64_t sampleWarm = 0;
     /** When non-empty, record an event trace of the run and write it
      *  here as Chrome/Perfetto trace_event JSON (schema eip-trace/v1).
      *  Single-run facility: rejected with --workload all. */

@@ -1,6 +1,7 @@
 #include "harness/runner.hh"
 
 #include <memory>
+#include <unordered_set>
 
 #include "core/entangling.hh"
 #include "exec/jobs.hh"
@@ -8,6 +9,7 @@
 #include "exec/run_batch.hh"
 #include "obs/phase.hh"
 #include "prefetch/factory.hh"
+#include "sample/sampled.hh"
 #include "sim/cpu.hh"
 #include "trace/source.hh"
 #include "util/env.hh"
@@ -60,6 +62,42 @@ std::vector<trace::Workload>
 defaultCatalogue()
 {
     return catalogueMemo();
+}
+
+std::vector<trace::Workload>
+mixedCatalogue(const std::vector<std::string> &trace_paths,
+               std::vector<std::string> *notes)
+{
+    std::vector<trace::Workload> suite = catalogueMemo();
+    auto note = [notes](const std::string &line) {
+        if (notes != nullptr)
+            notes->push_back(line);
+    };
+    std::unordered_set<std::string> seen;
+    for (const std::string &path : trace_paths) {
+        if (!seen.insert(path).second) {
+            note(path + ": duplicate path — listed once already");
+            continue;
+        }
+        trace::Workload w;
+        std::string error;
+        if (!trace::tryTraceWorkload(path, w, &error)) {
+            note(path + ": skipped (" + error + ")");
+            continue;
+        }
+        uint64_t footprint = 0;
+        if (!trace::traceQualifies(w, &footprint)) {
+            note(path + ": skipped — code footprint " +
+                 std::to_string(footprint / 1024) +
+                 " KB is below the >= 1 L1I MPKI proxy (40 KB), "
+                 "mirroring the synthetic seed filter");
+            continue;
+        }
+        note(path + ": admitted (" + std::to_string(footprint / 1024) +
+             " KB code footprint)");
+        suite.push_back(std::move(w));
+    }
+    return suite;
 }
 
 bool
@@ -191,8 +229,27 @@ runImpl(const trace::Workload &workload, const RunSpec &spec,
     RunResult result;
     result.workload = workload.name;
     result.category = workload.category;
-    result.stats = cpu.run(*stream, spec.instructions, spec.warmup,
-                           sampler.get(), spec.profiler);
+    sample::SampleSpec sample_spec;
+    EIP_ASSERT(sample::parseMode(spec.sampleMode, &sample_spec.mode),
+               "unknown sample mode (expected full|periodic)");
+    if (sample_spec.mode == sample::Mode::Periodic) {
+        // Sampled run: the controller alternates functional warming and
+        // detailed windows. The interval sampler stays out — its
+        // instruction/cycle axes assume one contiguous measured region.
+        sample_spec.window = spec.sampleWindow;
+        sample_spec.period = spec.samplePeriod;
+        sample_spec.seed = spec.sampleSeed;
+        sample_spec.warm = spec.sampleWarm;
+        sample::SampledResult sampled =
+            sample::runSampled(cpu, *stream, spec.instructions,
+                               spec.warmup, sample_spec, spec.profiler);
+        result.stats = sampled.stats;
+        result.hasSampling = true;
+        result.sampling = sampled.summary;
+    } else {
+        result.stats = cpu.run(*stream, spec.instructions, spec.warmup,
+                               sampler.get(), spec.profiler);
+    }
     if (collect)
         result.counters = registry.dump();
     if (sampler != nullptr)

@@ -22,6 +22,7 @@
 #include "obs/registry.hh"
 #include "obs/sampler.hh"
 #include "obs/why.hh"
+#include "sample/estimator.hh"
 #include "sim/config.hh"
 #include "sim/stats.hh"
 #include "trace/workloads.hh"
@@ -59,6 +60,23 @@ struct RunSpec
      *  (SimConfig::modelWrongPath). Result-affecting, so part of the
      *  canonical spec. */
     bool wrongPath = false;
+
+    /** Sampled simulation (SMARTS-style, DESIGN.md §3.13): "full"
+     *  (default, conventional single-interval simulation) or
+     *  "periodic". Periodic mode alternates functional warming with
+     *  detailed windows of sampleWindow instructions once every
+     *  samplePeriod instructions, at a sampleSeed-derived systematic
+     *  offset; the warm-up phase is functional too. sampleWarm bounds
+     *  functional warming to the N instructions just before each window
+     *  (the rest of each gap is fast-forwarded at source level with no
+     *  state updates); 0 warms every gap end to end, the classic SMARTS
+     *  discipline. Result-affecting, so all five fields are part of the
+     *  canonical spec. */
+    std::string sampleMode = "full";
+    uint64_t sampleWindow = 0;
+    uint64_t samplePeriod = 0;
+    uint64_t sampleSeed = 0;
+    uint64_t sampleWarm = 0;
 
     /** Snapshot all registered counters every N measured instructions
      *  (0 = no interval time-series). Implies collectCounters. */
@@ -118,6 +136,12 @@ struct RunResult
     /** Miss-attribution ledger (when RunSpec::why). */
     obs::WhyDump why;
 
+    /** Sampling confidence summary (periodic RunSpec::sampleMode only):
+     *  per-metric estimate / standard error / 95% CI over the detailed
+     *  windows, exported as the artifact's "sampling" section. */
+    bool hasSampling = false;
+    sample::Summary sampling;
+
     // Entangling-internal analysis (only for entangling configs).
     bool hasEntanglingAnalysis = false;
     double avgDestsPerHit = 0.0;
@@ -142,6 +166,21 @@ std::vector<trace::Workload> defaultCatalogue();
  *  Returns false when the name resolves to nothing (including an
  *  unreadable trace file). */
 bool findWorkload(const std::string &name, trace::Workload &out);
+
+/**
+ * The default catalogue extended with trace-backed workloads, one per
+ * entry of @p trace_paths, so batch suites can mix corpus traces with
+ * the synthetic categories. Each trace is admitted through the same
+ * selection filter that gates synthetic seeds (trace::traceQualifies,
+ * the >= 1 L1I MPKI footprint proxy); unreadable paths and traces below
+ * the threshold are skipped — never fatal, so one bad corpus file
+ * cannot sink a suite run — with a human-readable line per skip (and
+ * per admission) appended to @p notes when non-null. Duplicate paths
+ * are admitted once.
+ */
+std::vector<trace::Workload>
+mixedCatalogue(const std::vector<std::string> &trace_paths,
+               std::vector<std::string> *notes = nullptr);
 
 /** Run @p workload under @p spec. Synthetic programs come from the
  *  shared exec::ProgramCache, so repeated runs of one workload (across

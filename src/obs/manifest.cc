@@ -41,6 +41,13 @@ writeManifest(JsonWriter &json, const RunManifest &m, bool include_timing)
         json.kv("trace_bytes", m.traceBytes);
         json.kv("trace_digest", m.traceDigest);
     }
+    if (!m.sampleMode.empty()) {
+        json.kv("sample_mode", m.sampleMode);
+        json.kv("sample_window", m.sampleWindow);
+        json.kv("sample_period", m.samplePeriod);
+        json.kv("sample_seed", m.sampleSeed);
+        json.kv("sample_warm", m.sampleWarm);
+    }
     if (include_timing) {
         json.kv("wall_clock_seconds", m.wallClockSeconds);
         json.kv("jobs", m.jobs);

@@ -57,6 +57,15 @@ struct RunManifest
     uint64_t traceBytes = 0; ///< trace file size as stored
     std::string traceDigest; ///< 16-hex FNV-1a of the trace file bytes
 
+    /** Sampled-simulation spec echo (periodic runs only; like the trace
+     *  triple the fields appear together or not at all, keeping full-run
+     *  artifacts byte-identical to before sampling existed). */
+    std::string sampleMode;    ///< "periodic" | "" (full run)
+    uint64_t sampleWindow = 0; ///< detailed instructions per window
+    uint64_t samplePeriod = 0; ///< instructions per sampling period
+    uint64_t sampleSeed = 0;   ///< systematic-offset seed
+    uint64_t sampleWarm = 0;   ///< warming bound per gap (0 = whole gap)
+
     // Environment-dependent timing (see file comment).
     double wallClockSeconds = 0.0;
     unsigned jobs = 0;

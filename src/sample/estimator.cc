@@ -1,0 +1,42 @@
+#include "sample/estimator.hh"
+
+#include <cmath>
+
+namespace eip::sample {
+
+double
+Welford::stdError() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return std::sqrt(variance() / static_cast<double>(n_));
+}
+
+double
+tCritical95(uint64_t df)
+{
+    // Two-sided 95% quantiles of Student's t. Sampled runs use a handful
+    // of windows, where the difference from the normal 1.96 is large
+    // (df=3: 3.18); beyond 30 the asymptote is within 2%.
+    static constexpr double kTable[] = {
+        0.0,    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365,
+        2.306,  2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131,
+        2.120,  2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069,
+        2.064,  2.060,  2.056, 2.052, 2.048, 2.045, 2.042,
+    };
+    if (df < sizeof(kTable) / sizeof(kTable[0]))
+        return kTable[df];
+    return 1.96;
+}
+
+MetricSummary
+summarize(const Welford &w)
+{
+    MetricSummary s;
+    s.estimate = w.mean();
+    s.stdError = w.stdError();
+    s.ci95 = w.n() >= 2 ? tCritical95(w.n() - 1) * s.stdError : 0.0;
+    return s;
+}
+
+} // namespace eip::sample

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Streaming per-metric statistics for sampled simulation (SMARTS-style,
+ * DESIGN.md §3.13): a Welford mean/variance accumulator fed one value
+ * per detailed window, summarized as point estimate, standard error and
+ * a 95% confidence interval using Student's t (window counts are small
+ * — 4 to 16 — so the normal 1.96 would understate the interval).
+ */
+
+#ifndef EIP_SAMPLE_ESTIMATOR_HH
+#define EIP_SAMPLE_ESTIMATOR_HH
+
+#include <cstdint>
+
+namespace eip::sample {
+
+/** Welford's online mean/variance; numerically stable, O(1) per value. */
+class Welford
+{
+  public:
+    void
+    add(double value)
+    {
+        ++n_;
+        double delta = value - mean_;
+        mean_ += delta / static_cast<double>(n_);
+        m2_ += delta * (value - mean_);
+    }
+
+    uint64_t n() const { return n_; }
+    double mean() const { return mean_; }
+
+    /** Sample variance (n-1 denominator); 0 with fewer than two values. */
+    double
+    variance() const
+    {
+        return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+    }
+
+    /** Standard error of the mean; 0 with fewer than two values. */
+    double stdError() const;
+
+  private:
+    uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+};
+
+/**
+ * Two-sided 95% critical value of Student's t with @p df degrees of
+ * freedom (exact table through 30, 1.96 asymptote beyond). df 0 returns
+ * 0: a single window has no dispersion estimate and reports a
+ * zero-width interval rather than a fabricated one.
+ */
+double tCritical95(uint64_t df);
+
+/** One estimated metric: the triple the `sampling` artifact section
+ *  reports (estimate, standard error, 95% CI half-width). */
+struct MetricSummary
+{
+    double estimate = 0.0;
+    double stdError = 0.0;
+    double ci95 = 0.0; ///< half-width: the metric lies in estimate ± ci95
+};
+
+/** Collapse an accumulator into its reported triple. */
+MetricSummary summarize(const Welford &w);
+
+/**
+ * Full sampling summary of one run: the schedule actually executed and
+ * the four estimated metrics (the paper's reporting set: IPC, L1I MPKI,
+ * coverage, accuracy).
+ */
+struct Summary
+{
+    uint64_t windows = 0;             ///< detailed windows executed
+    uint64_t windowInstructions = 0;  ///< total detailed instructions
+    uint64_t warmedInstructions = 0;  ///< total functionally-warmed insts
+    uint64_t skippedInstructions = 0; ///< total fast-forwarded insts
+    uint64_t offset = 0;              ///< seeded systematic offset used
+    MetricSummary ipc;
+    MetricSummary l1iMpki;
+    MetricSummary l1iCoverage;
+    MetricSummary l1iAccuracy;
+};
+
+} // namespace eip::sample
+
+#endif // EIP_SAMPLE_ESTIMATOR_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The sampling controller: drives a sim::Cpu through the alternating
+ * functional-warming / detailed-window phases of a periodic schedule
+ * (src/sample/schedule.hh) and feeds each window's metric vector into
+ * the streaming estimators (src/sample/estimator.hh). The result pairs
+ * the aggregate SimStats over the detailed windows with the per-metric
+ * confidence summary that lands in the run artifact's `sampling`
+ * section. See DESIGN.md §3.13.
+ */
+
+#ifndef EIP_SAMPLE_SAMPLED_HH
+#define EIP_SAMPLE_SAMPLED_HH
+
+#include "sample/estimator.hh"
+#include "sample/schedule.hh"
+#include "sim/cpu.hh"
+#include "sim/stats.hh"
+#include "trace/executor.hh"
+
+namespace eip::obs {
+class PhaseProfiler;
+}
+
+namespace eip::sample {
+
+/** A sampled run's outputs: window-aggregate statistics plus the
+ *  confidence summary. */
+struct SampledResult
+{
+    sim::SimStats stats;
+    Summary summary;
+};
+
+/**
+ * Execute a sampled run: functionally warm @p warmup instructions (the
+ * sampled counterpart of run()'s timed warm-up), then alternate warming
+ * and detailed windows over the @p instructions measurement region per
+ * @p spec (mode must be Periodic; degenerate schedules are fatal, see
+ * validateSpec). The optional @p profiler is transitioned at phase
+ * boundaries only ("warming" / "window" / "fill_drain").
+ */
+SampledResult runSampled(sim::Cpu &cpu, trace::InstructionSource &trace,
+                         uint64_t instructions, uint64_t warmup,
+                         const SampleSpec &spec,
+                         obs::PhaseProfiler *profiler = nullptr);
+
+} // namespace eip::sample
+
+#endif // EIP_SAMPLE_SAMPLED_HH

@@ -110,6 +110,15 @@ requestJson(const Request &request)
         json.kv("physical_l1i", request.run.physical);
         json.kv("event_skip", request.run.eventSkip);
         json.kv("sample_interval", request.run.sampleInterval);
+        // Like inject_crash: emitted only when used, so full-run request
+        // lines keep their historic bytes.
+        if (request.run.sampleMode != "full") {
+            json.kv("sample_mode", request.run.sampleMode);
+            json.kv("sample_window", request.run.sampleWindow);
+            json.kv("sample_period", request.run.samplePeriod);
+            json.kv("sample_seed", request.run.sampleSeed);
+            json.kv("sample_warm", request.run.sampleWarm);
+        }
         if (request.run.injectCrash)
             json.kv("inject_crash", true);
         json.endObject();
@@ -192,6 +201,11 @@ parseRequest(const std::string &line, Request &out, std::string &error)
               !readBool(*run, "physical_l1i", r.physical, error) ||
               !readBool(*run, "event_skip", r.eventSkip, error) ||
               !readU64(*run, "sample_interval", r.sampleInterval, error) ||
+              !readString(*run, "sample_mode", r.sampleMode, error) ||
+              !readU64(*run, "sample_window", r.sampleWindow, error) ||
+              !readU64(*run, "sample_period", r.samplePeriod, error) ||
+              !readU64(*run, "sample_seed", r.sampleSeed, error) ||
+              !readU64(*run, "sample_warm", r.sampleWarm, error) ||
               !readBool(*run, "inject_crash", r.injectCrash, error)) {
               return false;
           }
@@ -202,6 +216,23 @@ parseRequest(const std::string &line, Request &out, std::string &error)
           if (r.instructions == 0) {
               error = "submit instructions must be positive";
               return false;
+          }
+          // Schedule validation lives here, not in the worker: a bad
+          // schedule must be a rejected request, never a daemon panic.
+          if (r.sampleMode != "full" && r.sampleMode != "periodic") {
+              error = "submit sample_mode must be 'full' or 'periodic'";
+              return false;
+          }
+          if (r.sampleMode == "periodic") {
+              if (r.sampleWindow == 0) {
+                  error = "submit sample_window must be positive";
+                  return false;
+              }
+              if (r.samplePeriod < r.sampleWindow) {
+                  error = "submit sample_period must be at least "
+                          "sample_window";
+                  return false;
+              }
           }
           break;
       }
@@ -231,6 +262,11 @@ toRunSpec(const RunRequest &run)
     spec.dataPrefetcher = run.dataPrefetcher;
     spec.eventSkip = run.eventSkip;
     spec.sampleInterval = run.sampleInterval;
+    spec.sampleMode = run.sampleMode;
+    spec.sampleWindow = run.sampleWindow;
+    spec.samplePeriod = run.samplePeriod;
+    spec.sampleSeed = run.sampleSeed;
+    spec.sampleWarm = run.sampleWarm;
     spec.collectCounters = true;
     return spec;
 }

@@ -34,6 +34,14 @@ struct RunRequest
     bool physical = false;
     bool eventSkip = true;
     uint64_t sampleInterval = 0;
+    /** Sampled simulation: "full" (default) or "periodic" (SMARTS-style
+     *  functional warming + detailed windows; window/period/seed as in
+     *  the eipsim CLI). Result-affecting, so part of the cache key. */
+    std::string sampleMode = "full";
+    uint64_t sampleWindow = 0;
+    uint64_t samplePeriod = 0;
+    uint64_t sampleSeed = 0;
+    uint64_t sampleWarm = 0;
     /** Fault injection for the crash-isolation tests: the forked worker
      *  writes a partial artifact and aborts mid-run. Never cached. */
     bool injectCrash = false;

@@ -184,19 +184,25 @@ Cache::installLine(const Mshr &entry)
     info.demandHappened = entry.demandTouched;
 
     if (victim->valid) {
-        ++stats_.evictions;
         info.evictedValid = true;
         info.evictedLine = victim->line;
-        if (victim->prefetched && !victim->used) {
-            ++stats_.wrongPrefetches;
+        if (victim->prefetched && !victim->used)
             info.evictedUnusedPrefetch = true;
-            if (tracer_ != nullptr)
-                tracer_->pfEvictedUnused(victim->line, entry.ready);
-        }
-        if (why_ != nullptr) {
-            why_->lineEvicted(victim->line,
-                              victim->prefetched && !victim->used,
-                              entry.wrongPath);
+        // Warming freezes statistics and observers; the prefetcher still
+        // sees the full CacheFillInfo (learning continues, counting
+        // does not).
+        if (!warming_) {
+            ++stats_.evictions;
+            if (info.evictedUnusedPrefetch) {
+                ++stats_.wrongPrefetches;
+                if (tracer_ != nullptr)
+                    tracer_->pfEvictedUnused(victim->line, entry.ready);
+            }
+            if (why_ != nullptr) {
+                why_->lineEvicted(victim->line,
+                                  victim->prefetched && !victim->used,
+                                  entry.wrongPath);
+            }
         }
     }
 
@@ -207,11 +213,13 @@ Cache::installLine(const Mshr &entry)
     victim->prefetched = entry.isPrefetch;
     victim->used = entry.demandTouched;
     tags_[static_cast<size_t>(victim - lines.data())] = entry.line;
-    ++stats_.fills;
-    if (tracer_ != nullptr && entry.isPrefetch)
-        tracer_->pfFilled(entry.line, entry.ready, entry.demandTouched);
-    if (why_ != nullptr && entry.isPrefetch)
-        why_->prefetchFilled(entry.line);
+    if (!warming_) {
+        ++stats_.fills;
+        if (tracer_ != nullptr && entry.isPrefetch)
+            tracer_->pfFilled(entry.line, entry.ready, entry.demandTouched);
+        if (why_ != nullptr && entry.isPrefetch)
+            why_->prefetchFilled(entry.line);
+    }
 
     if (prefetcher != nullptr)
         prefetcher->onCacheFill(info);
@@ -420,9 +428,139 @@ Cache::speculativeAccess(Addr line, Addr pc, Cycle now)
         prefetcher->onCacheOperate(op);
 }
 
+Cycle
+Cache::warmFetchBelow(Addr line, Addr pc, Cycle now)
+{
+    if (nextLevel != nullptr)
+        return nextLevel->warmAccess(line, pc, now);
+    EIP_ASSERT(dram_ != nullptr, "last-level cache has no DRAM attached");
+    return now + dram_->warmLatency();
+}
+
+Cycle
+Cache::warmAccess(Addr line, Addr pc, Cycle now)
+{
+    now_ = now;
+    // Fills left in flight by the previous detailed window drain on
+    // their own schedule (installLine is statistics-free while warming).
+    if (nextReady_ <= now)
+        drainFills(now);
+
+    CacheOperateInfo op;
+    op.line = line;
+    op.triggerPc = pc;
+    op.cycle = now;
+
+    if (Line *hit = findLine(line)) {
+        touchLine(*hit);
+        if (hit->prefetched && !hit->used)
+            op.hitWasPrefetch = true;
+        hit->used = true;
+        op.hit = true;
+        if (prefetcher != nullptr)
+            prefetcher->onCacheOperate(op);
+        return now + cfg.hitLatency;
+    }
+
+    if (cfg.idealHit) {
+        // Mirror the timed ideal-L1I path: always hit, still pollute the
+        // levels below.
+        warmFetchBelow(line, pc, now);
+        Mshr pseudo;
+        pseudo.line = line;
+        pseudo.ready = now;
+        pseudo.isPrefetch = false;
+        pseudo.demandTouched = true;
+        installLine(pseudo);
+        return now + cfg.hitLatency;
+    }
+
+    if (Mshr *inflight = findMshr(line)) {
+        // A window-era fill is still in flight; demand-touch it and let
+        // it drain when due (installing a second copy now would break
+        // mshr_array_disjoint).
+        if (inflight->isPrefetch && !inflight->demandTouched)
+            op.missLatePrefetch = true;
+        inflight->demandTouched = true;
+        inflight->wrongPath = false;
+        if (prefetcher != nullptr)
+            prefetcher->onCacheOperate(op);
+        return std::max(inflight->ready, now + cfg.hitLatency);
+    }
+
+    // Miss: train the prefetcher first (it records the outstanding miss),
+    // then install at the synthetic latency — onCacheFill fires at the
+    // cycle a timed fill would have landed, so latency learning sees the
+    // same distances as detailed simulation.
+    if (warmThrottle_) {
+        // Data-side level: contend for a real MSHR so warming thins the
+        // miss stream exactly where the timed path abandons accesses
+        // (see setWarmMshrThrottle). A dropped access still trained the
+        // prefetcher above, like the timed drop did.
+        Mshr *slot = allocMshr();
+        if (slot == nullptr) {
+            if (prefetcher != nullptr)
+                prefetcher->onCacheOperate(op);
+            return now + cfg.hitLatency + 1;
+        }
+        slot->valid = true;
+        ++inflightFills_;
+        slot->line = line;
+        slot->isPrefetch = false;
+        slot->demandTouched = true;
+        slot->ready = warmFetchBelow(line, pc, now);
+        nextReady_ = std::min(nextReady_, slot->ready);
+        if (prefetcher != nullptr)
+            prefetcher->onCacheOperate(op);
+        return slot->ready;
+    }
+    Cycle ready = warmFetchBelow(line, pc, now);
+    if (prefetcher != nullptr)
+        prefetcher->onCacheOperate(op);
+    // The miss hook may have functionally prefetched the missing line
+    // itself (enqueuePrefetch installs immediately while warming; the
+    // timed path is protected by the demand MSHR allocated before its
+    // hook fires). Installing a second copy would corrupt the set, so
+    // adopt the prefetched copy as demand-touched instead.
+    if (Line *filled = findLine(line)) {
+        touchLine(*filled);
+        filled->used = true;
+        return ready;
+    }
+    Mshr pseudo;
+    pseudo.line = line;
+    pseudo.ready = ready;
+    pseudo.isPrefetch = false;
+    pseudo.demandTouched = true;
+    installLine(pseudo);
+    return ready;
+}
+
 bool
 Cache::enqueuePrefetch(Addr line)
 {
+    if (warming_) {
+        // Functional prefetch: skip the queue and MSHRs, install the
+        // line with its prefetch bit set, and fire the issue/fill hooks
+        // at the synthetic latency so confidence learning continues.
+        // The same duplicate filters as the timed issue path apply.
+        if (findLine(line) != nullptr || findMshr(line) != nullptr)
+            return false;
+        Cycle ready = warmFetchBelow(line, /*pc=*/0, now_);
+        if (prefetcher != nullptr)
+            prefetcher->onPrefetchIssued(line, now_);
+        // The issue hook may itself have prefetched this line through a
+        // re-entrant enqueuePrefetch — never install a second copy.
+        if (findLine(line) != nullptr)
+            return true;
+        Mshr pseudo;
+        pseudo.line = line;
+        pseudo.ready = ready;
+        pseudo.isPrefetch = true;
+        pseudo.demandTouched = false;
+        installLine(pseudo);
+        return true;
+    }
     ++stats_.prefetchRequested;
     if (tracer_ != nullptr)
         tracer_->pfRequested(line, now_);

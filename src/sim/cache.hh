@@ -90,8 +90,57 @@ class Cache
      * Request a prefetch of @p line (prefetcher-facing). Enqueued into the
      * prefetch queue; dropped when the queue is full or disabled.
      * @return true when the request was accepted into the queue.
+     * In warming mode (setWarming) the request bypasses the queue and
+     * MSHRs entirely: the line installs functionally with its prefetch
+     * bit set and the issue/fill hooks fire at a synthetic latency, so
+     * the prefetcher's confidence learning continues while no timing or
+     * statistics state moves.
      */
     bool enqueuePrefetch(Addr line);
+
+    /**
+     * Functional-warming access (SMARTS-style sampling, DESIGN.md §3.13):
+     * the array, replacement state, prefetch/used bits and the prefetcher
+     * hooks all update exactly as on a demand access, but no statistics,
+     * observers, or MSHR timing state move. A miss fetches down the
+     * hierarchy recursively (each level warms too) and installs the line
+     * immediately at a synthetic latency — the DRAM mean instead of a
+     * jitter draw — so latency-sensitive learning (the entangled table's
+     * timeliness distances) keeps seeing realistic fill delays.
+     * Fills left in flight by a preceding detailed window still drain
+     * (statistics-free) as @p now passes their ready cycles.
+     * @return the cycle at which the data would be consumable, exactly
+     * parallel to Access::ready on the timed path.
+     */
+    Cycle warmAccess(Addr line, Addr pc, Cycle now);
+
+    /**
+     * Enter/leave functional-warming mode. While set, installLine and
+     * drainFills freeze every statistic and observer hook (prefetcher
+     * learning hooks still fire) and enqueuePrefetch installs
+     * functionally. The Cpu flips this on all four levels around each
+     * warming phase; the "stats frozen during warming" audit in
+     * Cpu::warmFunctional pins the contract under --check.
+     */
+    void setWarming(bool on) { warming_ = on; }
+    bool warming() const { return warming_; }
+
+    /**
+     * Make warmAccess contend for real MSHR entries instead of
+     * installing misses immediately. The Cpu sets this on the data-side
+     * levels (L1D, L2, LLC) because their timed paths ABANDON an access
+     * when every MSHR is busy — backendLatency charges a flat penalty
+     * and never fetches the line, and fetchFromBelow lets an upper-level
+     * fill proceed past a saturated lower level. Warming must reproduce
+     * that thinning or it over-populates the long-memory levels with
+     * exactly the lines detailed simulation would have dropped, and the
+     * first detailed window starts from a hierarchy state the full run
+     * can never reach (measured: 3x the LLC data hit rate and +9% IPC on
+     * fp workloads). The L1I keeps immediate installs: its timed path
+     * retries a blocked access every cycle until it succeeds, so every
+     * instruction line does eventually fetch.
+     */
+    void setWarmMshrThrottle(bool on) { warmThrottle_ = on; }
 
     /**
      * Per-cycle maintenance: drain fills, issue queued prefetches. This
@@ -206,6 +255,8 @@ class Cache
     Mshr *allocMshr();
     /** Fetch @p line from the next level; returns data-ready cycle. */
     Cycle fetchFromBelow(Addr line, Addr pc, Cycle now);
+    /** Warming counterpart: recurse with warmAccess, mean DRAM latency. */
+    Cycle warmFetchBelow(Addr line, Addr pc, Cycle now);
     /** Install @p line; fires eviction bookkeeping and returns fill info. */
     void installLine(const Mshr &entry);
     /** Charge a demand miss to its blame category (why_ is non-null):
@@ -260,6 +311,10 @@ class Cache
     /** Current cycle as of the last public entry point; gives
      *  enqueuePrefetch (which has no cycle parameter) a timestamp. */
     Cycle now_ = 0;
+    /** Functional-warming mode (see setWarming). */
+    bool warming_ = false;
+    /** Warm misses contend for MSHRs (see setWarmMshrThrottle). */
+    bool warmThrottle_ = false;
 
     CacheStats stats_;
 };

@@ -40,6 +40,13 @@ Cpu::Cpu(const SimConfig &config)
     l2_->setNextLevel(llc_.get());
     llc_->setDram(dram_.get());
 
+    // Warming fidelity (see setWarmMshrThrottle): the data-side levels
+    // drop accesses under MSHR pressure in the timed paths, so their
+    // warm misses must contend for MSHRs too. The L1I retries instead.
+    l1d_->setWarmMshrThrottle(true);
+    l2_->setWarmMshrThrottle(true);
+    llc_->setWarmMshrThrottle(true);
+
     if (check::checksEnabled()) {
         checks_ = std::make_unique<check::Invariants>();
         registerInvariants();
@@ -165,11 +172,18 @@ Cpu::l1iLine(Addr pc)
     return cfg.physicalL1I ? lineAddr(vmem.translate(pc)) : lineAddr(pc);
 }
 
+template <bool Warming>
 uint8_t
-Cpu::predictBranch(const trace::Instruction &inst)
+Cpu::predictBranchImpl(const trace::Instruction &inst)
 {
+    // One body for the timed and the functional-warming front end: the
+    // training and lookup sequence (including LRU touches and history
+    // rolls) is identical by construction; warming only elides the
+    // branch counters, so statistics stay frozen between detailed
+    // windows while the predictors learn exactly as they would have.
     using trace::BranchType;
-    ++branches;
+    if constexpr (!Warming)
+        ++branches;
 
     uint8_t kind = 0; // 0 none, 1 decode-resteer, 2 execute-flush
     lastPredictedPc = inst.nextPc();
@@ -178,7 +192,8 @@ Cpu::predictBranch(const trace::Instruction &inst)
         bool predicted = direction->predict(inst.pc);
         direction->update(inst.pc, inst.taken);
         if (predicted != inst.taken) {
-            ++branchMispredicts;
+            if constexpr (!Warming)
+                ++branchMispredicts;
             kind = 2;
             // The wrong path: the direction the predictor chose.
             lastPredictedPc =
@@ -186,7 +201,8 @@ Cpu::predictBranch(const trace::Instruction &inst)
         } else if (inst.taken) {
             Addr btb_target = btb.lookup(inst.pc);
             if (btb_target != inst.target) {
-                ++btbMisses;
+                if constexpr (!Warming)
+                    ++btbMisses;
                 kind = std::max<uint8_t>(kind, 1);
             }
         }
@@ -198,7 +214,8 @@ Cpu::predictBranch(const trace::Instruction &inst)
       case BranchType::DirectCall: {
         Addr btb_target = btb.lookup(inst.pc);
         if (btb_target != inst.target) {
-            ++btbMisses;
+            if constexpr (!Warming)
+                ++btbMisses;
             kind = 1; // direct target is recomputed at decode
         }
         btb.update(inst.pc, inst.target);
@@ -210,7 +227,8 @@ Cpu::predictBranch(const trace::Instruction &inst)
       case BranchType::IndirectCall: {
         Addr predicted = itc.predict(inst.pc);
         if (predicted != inst.target) {
-            ++branchMispredicts;
+            if constexpr (!Warming)
+                ++branchMispredicts;
             kind = 2;
             lastPredictedPc = predicted;
         }
@@ -222,7 +240,8 @@ Cpu::predictBranch(const trace::Instruction &inst)
       case BranchType::Return: {
         Addr predicted = ras.pop();
         if (predicted != inst.target) {
-            ++branchMispredicts;
+            if constexpr (!Warming)
+                ++branchMispredicts;
             kind = 2;
             lastPredictedPc = predicted;
         }
@@ -235,6 +254,12 @@ Cpu::predictBranch(const trace::Instruction &inst)
     if (l1iPrefetcher != nullptr)
         l1iPrefetcher->onBranch(inst.pc, inst.branch, inst.target);
     return kind;
+}
+
+uint8_t
+Cpu::predictBranch(const trace::Instruction &inst)
+{
+    return predictBranchImpl<false>(inst);
 }
 
 void
@@ -660,6 +685,219 @@ Cpu::run(trace::InstructionSource &trace, uint64_t instructions,
     return stats;
 }
 
+uint64_t
+Cpu::statsFingerprint() const
+{
+    uint64_t h = 1469598103934665603ULL; // FNV-1a offset basis
+    auto mix = [&h](uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ULL;
+    };
+    mix(retired);
+    mix(branches);
+    mix(branchMispredicts);
+    mix(btbMisses);
+    mix(fetchStallLineMiss);
+    mix(fetchStallFtqEmptyMispredict);
+    mix(fetchStallFtqEmptyStarved);
+    mix(fetchStallRobFull);
+    mix(fetchIdleCycles);
+    mix(dram_->accesses());
+    for (const Cache *cache :
+         {l1i_.get(), l1d_.get(), l2_.get(), llc_.get()}) {
+        const CacheStats &s = cache->stats();
+        mix(s.demandAccesses);
+        mix(s.demandHits);
+        mix(s.demandMisses);
+        mix(s.mshrMerges);
+        mix(s.prefetchRequested);
+        mix(s.prefetchFiltered);
+        mix(s.prefetchIssued);
+        mix(s.usefulPrefetches);
+        mix(s.latePrefetches);
+        mix(s.wrongPrefetches);
+        mix(s.fills);
+        mix(s.evictions);
+        mix(s.writeAccesses);
+        mix(s.wrongPathAccesses);
+        mix(s.wrongPathMisses);
+        mix(s.missLatencySum);
+    }
+    return h;
+}
+
+void
+Cpu::warmFunctional(trace::InstructionSource &trace, uint64_t instructions,
+                    uint64_t cpiCycles, uint64_t cpiInstructions)
+{
+    if (instructions == 0)
+        return;
+    if (cpiCycles == 0 || cpiInstructions == 0) {
+        cpiCycles = 1;
+        cpiInstructions = 1;
+    }
+
+    // Warming-mode invariant (DESIGN.md §3.13): statistics are frozen
+    // and no cycle is attributed to any stall bucket while warming —
+    // audited by an entry/exit fingerprint whenever --check is on.
+    const uint64_t entry_fingerprint =
+        checks_ != nullptr ? statsFingerprint() : 0;
+
+    l1i_->setWarming(true);
+    l1d_->setWarming(true);
+    l2_->setWarming(true);
+    llc_->setWarming(true);
+
+    // One monotonic clock: `now` advances at the caller's measured CPI
+    // (Bresenham-style integer accumulation, so the schedule stays
+    // deterministic) so MSHR drains and cycle-stamped prefetcher
+    // learning (timeliness distances) stay coherent with detailed
+    // execution — but these cycles are charged nowhere.
+    Addr last_line = ~Addr{0};
+    uint64_t cpi_acc = 0;
+    for (uint64_t i = 0; i < instructions; ++i) {
+        const trace::Instruction inst = trace.next();
+        if (inst.isBranch())
+            predictBranchImpl<true>(inst);
+        Addr line = l1iLine(inst.pc);
+        if (line != last_line) {
+            // Consecutive same-line fetches collapse to one access, the
+            // same dedup the FTQ's line groups perform for the timed
+            // front end.
+            l1i_->warmAccess(line, inst.pc, now);
+            last_line = line;
+        }
+        if (inst.isLoad || inst.isStore)
+            l1d_->warmAccess(lineAddr(inst.memAddr), inst.pc, now);
+        cpi_acc += cpiCycles;
+        now += cpi_acc / cpiInstructions;
+        cpi_acc %= cpiInstructions;
+    }
+
+    l1i_->setWarming(false);
+    l1d_->setWarming(false);
+    l2_->setWarming(false);
+    llc_->setWarming(false);
+
+    if (checks_ != nullptr) {
+        EIP_ASSERT(statsFingerprint() == entry_fingerprint,
+                   "functional warming mutated frozen statistics");
+    }
+}
+
+void
+Cpu::beginSampledMeasurement()
+{
+    // Mirrors run()'s warm-up boundary: reset every statistic and pin
+    // the measurement origin. Warming freezes statistics afterwards, so
+    // the cumulative counters equal the sum over detailed windows.
+    sampledMode_ = true;
+    sampledCycles_ = 0;
+    measuring_ = true;
+    measureStartRetired_ = retired;
+    measureStartCycle_ = now;
+    dramStart_ = dram_->accesses();
+    l1i_->stats() = CacheStats{};
+    l1d_->stats() = CacheStats{};
+    l2_->stats() = CacheStats{};
+    llc_->stats() = CacheStats{};
+    branches = 0;
+    branchMispredicts = 0;
+    btbMisses = 0;
+    fetchStallLineMiss = 0;
+    fetchStallFtqEmptyMispredict = 0;
+    fetchStallFtqEmptyStarved = 0;
+    fetchStallRobFull = 0;
+    fetchIdleCycles = 0;
+    if (tracer_ != nullptr)
+        tracer_->measurementBoundary(now);
+    if (why_ != nullptr)
+        why_->measurementBoundary();
+}
+
+Cpu::WindowStats
+Cpu::runWindow(trace::InstructionSource &trace, uint64_t instructions)
+{
+    EIP_ASSERT(sampledMode_,
+               "runWindow requires beginSampledMeasurement()");
+    EIP_ASSERT(instructions > 0, "window budget must be positive");
+
+    const uint64_t start_retired = retired;
+    const Cycle start_cycle = now;
+    const CacheStats &l1i_stats = l1i_->stats();
+    const uint64_t start_misses = l1i_stats.demandMisses;
+    const uint64_t start_useful = l1i_stats.usefulPrefetches;
+    const uint64_t start_late = l1i_stats.latePrefetches;
+    const uint64_t start_issued = l1i_stats.prefetchIssued;
+
+    const uint64_t target = retired + instructions;
+    // Same deadlock bound as run(), relative to window entry (`now`
+    // already carries warming cycles).
+    const Cycle watchdog = now + 10000 * instructions + 10'000'000;
+
+    skipActive_ = cfg.eventSkip && tracer_ == nullptr && checks_ == nullptr;
+
+    while (true) {
+        ++now;
+        retireStage();
+        fetchStage();
+        if (ftqPendingAccess_ > 0)
+            l1iAccessStage();
+        if (wrongPathActive)
+            wrongPathStage();
+        predictStage(trace);
+        l1i_->tick(now);
+        l1d_->tick(now);
+        l2_->tick(now);
+        llc_->tick(now);
+
+        if (checks_ != nullptr)
+            checks_->run(now);
+
+        if (retired >= target)
+            break;
+        EIP_ASSERT(now < watchdog, "pipeline deadlock (watchdog expired)");
+        if (skipActive_)
+            skipIdleCycles(watchdog);
+    }
+
+    if (checks_ != nullptr)
+        checks_->runAll(now);
+
+    sampledCycles_ += now - start_cycle;
+
+    WindowStats window;
+    window.instructions = retired - start_retired;
+    window.cycles = now - start_cycle;
+    window.l1iDemandMisses = l1i_stats.demandMisses - start_misses;
+    window.l1iUsefulPrefetches = l1i_stats.usefulPrefetches - start_useful;
+    window.l1iLatePrefetches = l1i_stats.latePrefetches - start_late;
+    window.l1iPrefetchIssued = l1i_stats.prefetchIssued - start_issued;
+    return window;
+}
+
+SimStats
+Cpu::sampledStats() const
+{
+    SimStats stats;
+    stats.instructions = retired - measureStartRetired_;
+    stats.cycles = sampledCycles_;
+    stats.branches = branches;
+    stats.branchMispredicts = branchMispredicts;
+    stats.btbMisses = btbMisses;
+    stats.fetchStallLineMiss = fetchStallLineMiss;
+    stats.fetchStallFtqEmptyMispredict = fetchStallFtqEmptyMispredict;
+    stats.fetchStallFtqEmptyStarved = fetchStallFtqEmptyStarved;
+    stats.fetchStallRobFull = fetchStallRobFull;
+    stats.fetchIdleCycles = fetchIdleCycles;
+    stats.l1i = l1i_->stats();
+    stats.l1d = l1d_->stats();
+    stats.l2 = l2_->stats();
+    stats.llc = llc_->stats();
+    stats.dramAccesses = dram_->accesses() - dramStart_;
+    return stats;
+}
+
 void
 Cpu::registerCounters(obs::CounterRegistry &reg)
 {
@@ -668,7 +906,11 @@ Cpu::registerCounters(obs::CounterRegistry &reg)
     reg.counter("cpu.instructions",
                 [this]() { return retired - measureStartRetired_; });
     reg.counter("cpu.cycles", [this]() {
-        return static_cast<uint64_t>(now - measureStartCycle_);
+        // Sampled runs: warming advances `now` without charging cycles,
+        // so the measured cycle count is the in-window accumulator.
+        return sampledMode_
+            ? sampledCycles_
+            : static_cast<uint64_t>(now - measureStartCycle_);
     });
     reg.counter("cpu.branches", &branches);
     reg.counter("cpu.branch_mispredicts", &branchMispredicts);
@@ -687,7 +929,9 @@ Cpu::registerCounters(obs::CounterRegistry &reg)
                 [this]() { return dram_->accesses() - dramStart_; });
 
     reg.gauge("cpu.ipc", [this]() {
-        uint64_t cycles = now - measureStartCycle_;
+        uint64_t cycles = sampledMode_
+            ? sampledCycles_
+            : static_cast<uint64_t>(now - measureStartCycle_);
         uint64_t insts = retired - measureStartRetired_;
         return cycles == 0 ? 0.0
                            : static_cast<double>(insts) /

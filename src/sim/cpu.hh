@@ -89,6 +89,106 @@ class Cpu
                  obs::IntervalSampler *sampler = nullptr,
                  obs::PhaseProfiler *profiler = nullptr);
 
+    /** Per-window scalar counters of one detailed sampling window (the
+     *  inputs of the four estimated metrics; see src/sample). */
+    struct WindowStats
+    {
+        uint64_t instructions = 0;
+        uint64_t cycles = 0;
+        uint64_t l1iDemandMisses = 0;
+        uint64_t l1iUsefulPrefetches = 0;
+        uint64_t l1iLatePrefetches = 0;
+        uint64_t l1iPrefetchIssued = 0;
+
+        double
+        ipc() const
+        {
+            return cycles == 0 ? 0.0
+                               : static_cast<double>(instructions) /
+                                     static_cast<double>(cycles);
+        }
+
+        double
+        mpki() const
+        {
+            return instructions == 0
+                ? 0.0
+                : 1000.0 * static_cast<double>(l1iDemandMisses) /
+                      static_cast<double>(instructions);
+        }
+
+        /** Same semantics as CacheStats::coverage (late prefetches are
+         *  excluded from the would-be-miss denominator). */
+        double
+        coverage() const
+        {
+            uint64_t uncovered = l1iDemandMisses - l1iLatePrefetches;
+            uint64_t would_be = l1iUsefulPrefetches + uncovered;
+            return would_be == 0
+                ? 0.0
+                : static_cast<double>(l1iUsefulPrefetches) /
+                      static_cast<double>(would_be);
+        }
+
+        double
+        accuracy() const
+        {
+            return l1iPrefetchIssued == 0
+                ? 0.0
+                : static_cast<double>(l1iUsefulPrefetches) /
+                      static_cast<double>(l1iPrefetchIssued);
+        }
+    };
+
+    /**
+     * Functional warming (SMARTS-style sampling, DESIGN.md §3.13):
+     * execute @p instructions from @p trace so every learning structure
+     * — caches, replacement state, branch predictors, BTB/RAS/ITC, the
+     * prefetcher's tables — updates exactly as it would under detailed
+     * simulation, while no pipeline timing is modelled and no statistic,
+     * stall bucket, or observer moves. `now` advances at the CPI ratio
+     * @p cpiCycles / @p cpiInstructions — the sampling controller feeds
+     * it the previous detailed window's measurement (1:1 before any
+     * window exists) — so in-flight fills and cycle-stamped prefetcher
+     * learning span the same *instruction* distances as detailed
+     * execution; those cycles are never charged to any counter. The
+     * rate matters: with a fixed 1 cycle/instruction clock, a high-IPC
+     * workload's warm MSHR occupancy is several times shorter in
+     * instruction terms than detailed simulation's, the data-side
+     * throttle (Cache::setWarmMshrThrottle) never engages, and the LLC
+     * enters each window holding lines the timed path would have
+     * dropped. Under --check an entry/exit fingerprint audits that
+     * every statistic stayed frozen.
+     */
+    void warmFunctional(trace::InstructionSource &trace,
+                        uint64_t instructions, uint64_t cpiCycles = 1,
+                        uint64_t cpiInstructions = 1);
+
+    /**
+     * Enter sampled measurement just before the first detailed window:
+     * resets statistics exactly like run()'s warm-up boundary and pins
+     * the measurement origin, so cumulative statistics equal the sum
+     * over the detailed windows (warming freezes them in between) and
+     * registered counters report the window aggregate.
+     */
+    void beginSampledMeasurement();
+
+    /**
+     * One detailed sampling window: full timing simulation (event
+     * skipping included, same eligibility rules as run()) until
+     * @p instructions retire. Requires beginSampledMeasurement() first.
+     * Returns this window's scalar deltas for the streaming estimator.
+     */
+    WindowStats runWindow(trace::InstructionSource &trace,
+                          uint64_t instructions);
+
+    /**
+     * Aggregate statistics over all detailed windows so far (cycles are
+     * the accumulated in-window cycles, never warming time) — the
+     * sampled-run counterpart of run()'s return value.
+     */
+    SimStats sampledStats() const;
+
     /**
      * Register every live counter of this CPU — core counters, the four
      * cache levels, DRAM, and (when attached) the L1I prefetcher's
@@ -174,6 +274,14 @@ class Cpu
     /** Classify the prediction of a branch; trains all predictors and
      *  leaves the (possibly wrong) predicted target in lastPredictedPc. */
     uint8_t predictBranch(const trace::Instruction &inst);
+    /** Shared body of predictBranch/warming: identical training and
+     *  lookup sequence; the branch counters advance only when !Warming. */
+    template <bool Warming>
+    uint8_t predictBranchImpl(const trace::Instruction &inst);
+    /** Hash of every statistic warming must not touch (stall buckets,
+     *  branch counters, per-level cache stats, DRAM accesses, retired):
+     *  warmFunctional audits entry == exit under --check. */
+    uint64_t statsFingerprint() const;
     /** Line address of @p pc in the L1I's address space. */
     Addr l1iLine(Addr pc);
 
@@ -221,6 +329,13 @@ class Cpu
     uint64_t measureStartRetired_ = 0;
     Cycle measureStartCycle_ = 0;
     uint64_t dramStart_ = 0;
+
+    // Sampled-mode bookkeeping (beginSampledMeasurement/runWindow).
+    // Warming advances `now` without charging cycles anywhere, so the
+    // cycle counters report the accumulated in-window cycles instead of
+    // now - measureStartCycle_ while sampledMode_ is set.
+    bool sampledMode_ = false;
+    uint64_t sampledCycles_ = 0;
 
     // Raw counters (copied into SimStats).
     uint64_t branches = 0;

@@ -35,6 +35,21 @@ class Dram
 
     uint64_t accesses() const { return accesses_; }
 
+    /**
+     * Expected latency of one access, for functional warming: the jitter
+     * RNG and the access counter must not advance outside detailed
+     * windows (sampled and full runs share the RNG stream per timed
+     * access), so warming charges the distribution's mean instead of
+     * drawing from it: base + P(jitter) * E[below(jitter)].
+     */
+    Cycle
+    warmLatency() const
+    {
+        Cycle expected_extra =
+            jitter_ > 0 ? (3 * static_cast<Cycle>(jitter_ - 1)) / 20 : 0;
+        return baseLatency + expected_extra;
+    }
+
   private:
     uint32_t baseLatency;
     uint32_t jitter_;

@@ -38,6 +38,14 @@
  *      (both rendered under the origin workload's manifest, so every
  *      result byte is compared; the capture's own provenance fields are
  *      pinned equal by construction).
+ *  10. sampled vs full — a numeric accuracy gate rather than a field
+ *      diff: per fig06 workload, a SMARTS-style sampled run (functional
+ *      warming + periodic detailed windows, DESIGN.md §3.13) must
+ *      bracket the full detailed run — the full IPC inside the sampled
+ *      run's reported 95% CI AND relative IPC error ≤ 2%. Runs at a
+ *      fixed budget rather than EIP_SIM_SCALE (warm-up has to cover the
+ *      longest cold-cache transient in the suite, a property of the
+ *      workload footprint, not of the budget).
  *
  * Exit code 0 when every comparison is clean, 1 on any unexplained
  * divergence, 2 on usage errors. CI runs this instead of hand-rolled
@@ -47,6 +55,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -429,6 +438,57 @@ diffCaptureReplayLeg(check::DiffRunner &diff, const Options &opt,
         kNothingAllowed);
 }
 
+/** Sampled-vs-full accuracy leg: per workload, run the same budget once
+ *  fully detailed and once under the SMARTS-style periodic schedule,
+ *  then assert the sampled estimate brackets the truth — the full run's
+ *  IPC must fall inside the sampled run's reported 95% CI, and the
+ *  relative IPC error must stay within 2%.
+ *
+ *  The budget is fixed, not EIP_SIM_SCALE-scaled: warm-up must cover the
+ *  longest cold-cache transient in the suite (fp's LLC-sized compulsory
+ *  fill runs ~6.5M instructions; measuring any part of it with warmed
+ *  gaps biases IPC high by ~8% because warm-mode fills do not reproduce
+ *  detailed-mode MSHR back-pressure), and that length is a property of
+ *  the workload footprint, not of the budget. */
+void
+diffSampledLeg(check::DiffRunner &diff, const Options &opt,
+               const std::vector<trace::Workload> &suite)
+{
+    // 10 windows of 125k insts once every 350k across a 3.5M-instruction
+    // measured region, warm-up past the fp transient. Everything is
+    // deterministic (seeded offset, deterministic simulator), so the
+    // observed margins hold run over run.
+    harness::RunSpec full = harness::RunSpec::defaultSpec();
+    full.configId = opt.prefetcher;
+    full.warmup = 6500000;
+    full.instructions = 3500000;
+
+    harness::RunSpec sampled = full;
+    sampled.sampleMode = "periodic";
+    sampled.sampleWindow = 125000;
+    sampled.samplePeriod = 350000;
+
+    for (const auto &w : suite) {
+        harness::RunResult fr = harness::runOne(w, full);
+        harness::RunResult sr = harness::runOne(w, sampled);
+        EIP_ASSERT(sr.hasSampling && fr.stats.cycles > 0,
+                   "sampled leg produced no sampling summary");
+
+        const double full_ipc = static_cast<double>(fr.stats.instructions) /
+                                static_cast<double>(fr.stats.cycles);
+        const sample::MetricSummary &est = sr.sampling.ipc;
+        const double err = std::fabs(est.estimate - full_ipc) / full_ipc;
+        const bool in_ci = std::fabs(full_ipc - est.estimate) <= est.ci95;
+
+        char detail[160];
+        std::snprintf(detail, sizeof(detail),
+                      "full %.4f vs sampled %.4f +/- %.4f, rel err %.2f%%",
+                      full_ipc, est.estimate, est.ci95, err * 100.0);
+        diff.check("sampled vs full (" + w.name + ")",
+                   in_ci && err <= 0.02, detail);
+    }
+}
+
 /** Why determinism leg: the blame ledger is classified by event-driven
  *  hooks only, so the why-enabled suite must produce field-identical
  *  artifacts — ledger included — across worker counts and with cycle
@@ -520,6 +580,11 @@ main(int argc, char **argv)
     // Why determinism at the first scale point only: the leg runs the
     // suite three more times, so one point bounds the gate's runtime.
     diffWhyLegs(diff, opt, suite, opt.scales.front());
+
+    // Sampled accuracy across the whole (one-per-category) suite at its
+    // own fixed budget — see the leg's comment for why it ignores
+    // EIP_SIM_SCALE.
+    diffSampledLeg(diff, opt, suite);
 
     std::fputs(diff.report().c_str(), stdout);
     return diff.allClean() ? 0 : 1;

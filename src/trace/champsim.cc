@@ -274,7 +274,14 @@ ChampSimReplayer::ChampSimReplayer(const std::string &path) : path(path)
 const Instruction &
 ChampSimReplayer::next()
 {
+    if (cached_) {
+        const Instruction &inst = recorded[replayPos];
+        replayPos = replayPos + 1 == recorded.size() ? 0 : replayPos + 1;
+        return inst;
+    }
+
     const ChampSimRecord cur = pending;
+    bool pass_ended = false;
     if (!reader->next(pending)) {
         // End of a pass: restart. The lookahead crosses the loop seam, so
         // the last instruction's "next ip" is the first record again.
@@ -283,10 +290,42 @@ ChampSimReplayer::next()
         const bool ok = reader->next(pending);
         EIP_ASSERT(ok, "ChampSim trace emptied mid-replay");
         served = 0;
+        pass_ended = true;
     }
     ++served;
     current = champSimInstruction(cur, pending.ip);
+
+    if (recording) {
+        if (recorded.size() >= kMaxCachedInstructions) {
+            recording = false;
+            recorded.clear();
+            recorded.shrink_to_fit();
+        } else {
+            recorded.push_back(current);
+            if (pass_ended) {
+                // The memo now holds the whole pass; replay from memory
+                // (the streaming reader and its pipe are released) and
+                // serve the first record of the new pass next.
+                cached_ = true;
+                reader.reset();
+                replayPos = 0;
+            }
+        }
+    }
     return current;
+}
+
+void
+ChampSimReplayer::skip(uint64_t n)
+{
+    // Stream (and possibly finish memoizing) until the memo is usable;
+    // once cached, skipping is a reposition.
+    while (n > 0 && !cached_) {
+        next();
+        --n;
+    }
+    if (n > 0)
+        replayPos = (replayPos + n) % recorded.size();
 }
 
 } // namespace eip::trace

@@ -130,17 +130,33 @@ class ChampSimReader
  * (restarting from the beginning when exhausted, like TraceReplayer).
  * Maintains the one-record lookahead champSimInstruction needs; across
  * the loop seam the "next ip" is the first record of the next pass.
+ *
+ * Small traces (at most kMaxCachedInstructions records) are memoized
+ * during the first pass: later passes replay the decoded instructions
+ * from memory instead of re-spawning the decompressor pipe, and skip()
+ * becomes an O(1) reposition. The cached stream is bit-identical to the
+ * streamed one (each instruction is a pure function of its record and
+ * the next record's ip, both invariant across passes). Larger traces
+ * keep the constant-memory streaming behaviour.
  */
 class ChampSimReplayer : public InstructionSource
 {
   public:
+    /** Traces longer than this stream every pass (bounds replay memory
+     *  to ~48 MB; the multi-GB corpus traces never cache). */
+    static constexpr uint64_t kMaxCachedInstructions = 1u << 20;
+
     /** Open @p path; fatal if the trace is unreadable or empty. */
     explicit ChampSimReplayer(const std::string &path);
 
     const Instruction &next() override;
+    void skip(uint64_t n) override;
 
     /** Records in one pass of the trace, known once a pass completes. */
     uint64_t traceLength() const { return length; }
+
+    /** True once replay serves from the in-memory first-pass memo. */
+    bool cached() const { return cached_; }
 
   private:
     std::string path;
@@ -149,6 +165,10 @@ class ChampSimReplayer : public InstructionSource
     Instruction current;
     uint64_t length = 0;
     uint64_t served = 0;     ///< records consumed from the current pass
+    std::vector<Instruction> recorded; ///< first-pass memo (see above)
+    bool recording = true;   ///< still within the memo size bound
+    bool cached_ = false;    ///< recorded covers a whole pass
+    size_t replayPos = 0;    ///< next instruction to serve when cached
 };
 
 } // namespace eip::trace

@@ -73,6 +73,21 @@ class InstructionSource
     /** Produce the next dynamic instruction. Must never fail; sources of
      *  finite traces loop or repeat. */
     virtual const Instruction &next() = 0;
+
+    /**
+     * Advance the stream past @p n instructions without observing them.
+     * Positionally equivalent to n next() calls — stateful sources (the
+     * synthetic Executor) still execute the skipped region so the stream
+     * after the skip is bit-identical to having consumed it; replayers
+     * may reposition in O(1). Used by the sampling controller's
+     * fast-forward phase.
+     */
+    virtual void
+    skip(uint64_t n)
+    {
+        for (uint64_t i = 0; i < n; ++i)
+            next();
+    }
 };
 
 } // namespace eip::trace

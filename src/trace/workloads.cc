@@ -4,7 +4,10 @@
 #include <cstring>
 #include <unordered_set>
 
+#include <memory>
+
 #include "trace/executor.hh"
+#include "trace/source.hh"
 #include "util/hash.hh"
 #include "util/panic.hh"
 
@@ -113,26 +116,52 @@ categoryConfig(const std::string &category)
 
 namespace {
 
+/** One recurrence window of the selection probe, in instructions. */
+constexpr uint64_t kQualifyWindow = 400000;
+
+/** Footprint threshold of the selection probe: >= ~40KB of touched code
+ *  (vs the 32KB L1I) corresponds to >= 1 L1I MPKI on this simulator. */
+constexpr uint64_t kQualifyFootprintBytes = 40 * 1024;
+
+/** Dynamic code footprint (bytes of distinct 64-byte lines) of one
+ *  selection window streamed from @p stream. */
+uint64_t
+probeFootprint(InstructionSource &stream)
+{
+    std::unordered_set<uint64_t> lines;
+    for (uint64_t i = 0; i < kQualifyWindow; ++i)
+        lines.insert(stream.next().pc >> 6);
+    return lines.size() * 64;
+}
+
 /**
  * Workload selection, emulating the paper's methodology: of the CVP
  * traces, only those with at least 1 L1I MPKI on the baseline were
  * evaluated (959 of them). The cheap trace-level proxy for that property
- * is the dynamic code footprint of one recurrence window: measurements
- * show >= ~40KB of touched code (vs the 32KB L1I) corresponds to
- * >= 1 MPKI on this simulator.
+ * is the dynamic code footprint of one recurrence window.
  */
 bool
 workloadQualifies(const Workload &candidate)
 {
     Program prog = buildProgram(candidate.program);
     Executor exec(prog, candidate.exec);
-    std::unordered_set<uint64_t> lines;
-    for (int i = 0; i < 400000; ++i)
-        lines.insert(exec.next().pc >> 6);
-    return lines.size() * 64 >= 40 * 1024;
+    return probeFootprint(exec) >= kQualifyFootprintBytes;
 }
 
 } // namespace
+
+bool
+traceQualifies(const Workload &workload, uint64_t *footprint_bytes)
+{
+    EIP_ASSERT(workload.kind != WorkloadKind::Synthetic,
+               "traceQualifies takes a trace-backed workload");
+    std::unique_ptr<InstructionSource> stream =
+        makeTraceSource(workload, nullptr)->open();
+    uint64_t footprint = probeFootprint(*stream);
+    if (footprint_bytes != nullptr)
+        *footprint_bytes = footprint;
+    return footprint >= kQualifyFootprintBytes;
+}
 
 std::vector<Workload>
 cvpSuite(int seeds_per_category)

@@ -96,6 +96,20 @@ bool tryTraceWorkload(const std::string &path, Workload &out,
 Workload traceWorkload(const std::string &path);
 
 /**
+ * Per-trace mirror of the synthetic suite's selection filter: stream one
+ * recurrence window (400k instructions) of the trace and apply the same
+ * >= 40KB dynamic-code-footprint proxy for >= 1 L1I MPKI that admits
+ * synthetic seeds into cvpSuite. Traces below the threshold would dilute
+ * a suite's prefetcher-sensitivity signal exactly like an unqualifying
+ * seed, so mixed catalogues gate them identically. @p footprint_bytes,
+ * when non-null, receives the measured footprint for reporting either
+ * way. Traces shorter than the window wrap (InstructionSource loops), so
+ * the probe saturates at the trace's whole code footprint.
+ */
+bool traceQualifies(const Workload &workload,
+                    uint64_t *footprint_bytes = nullptr);
+
+/**
  * Identity-preserving capture/replay pin: a workload that replays
  * @p path (an eip `.trc` capture of @p origin's stream) while keeping
  * the origin's name, category, and generator/executor provenance. The

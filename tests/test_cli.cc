@@ -94,6 +94,18 @@ TEST(Cli, TraceOptionParses)
     EXPECT_EQ(opt.tracePath, "/tmp/foo.trc");
 }
 
+TEST(Cli, SuiteTraceAccumulates)
+{
+    EXPECT_TRUE(parse({}).suiteTraces.empty());
+    CliOptions opt = parse({"--workload", "all", "--suite-trace", "a.trc",
+                            "--suite-trace", "b.champsimtrace.xz"});
+    EXPECT_TRUE(opt.error.empty()) << opt.error;
+    ASSERT_EQ(opt.suiteTraces.size(), 2u);
+    EXPECT_EQ(opt.suiteTraces[0], "a.trc");
+    EXPECT_EQ(opt.suiteTraces[1], "b.champsimtrace.xz");
+    EXPECT_FALSE(parse({"--suite-trace"}).error.empty()); // missing value
+}
+
 TEST(Cli, TraceOutFlagsParse)
 {
     CliOptions opt = parse({});
@@ -122,7 +134,8 @@ TEST(Cli, UsageMentionsAllFlags)
 {
     std::string usage = cliUsage();
     for (const char *flag :
-         {"--workload", "--trace", "--prefetcher", "--instructions",
+         {"--workload", "--trace", "--suite-trace", "--prefetcher",
+          "--instructions",
           "--warmup", "--jobs", "--physical", "--wrong-path", "--json",
           "--trace-out", "--trace-events", "--trace-limit",
           "--list-workloads", "--list-prefetchers", "--config"}) {

@@ -6,9 +6,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "energy/energy_model.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
+#include "trace/executor.hh"
+#include "trace/program_builder.hh"
+#include "trace/trace_file.hh"
 
 namespace eip::harness {
 namespace {
@@ -96,6 +101,62 @@ TEST(Runner, GeomeanSpeedupOfSelfIsOne)
     auto suite = std::vector<trace::Workload>{trace::tinyWorkload(1)};
     auto base = runSuite(suite, quickSpec("none"));
     EXPECT_NEAR(geomeanSpeedup(base, base), 1.0, 1e-12);
+}
+
+TEST(MixedCatalogue, AdmitsQualifyingTraceSkipsRestWithNotes)
+{
+    // A captured .trc of srv-1 carries srv-1's large code footprint, so
+    // it must clear the same MPKI proxy that admitted srv-1 itself; an
+    // unreadable path and a duplicate listing must be skipped with a
+    // note each, never fatally.
+    trace::Workload srv;
+    ASSERT_TRUE(findWorkload("srv-1", srv));
+    std::string path = ::testing::TempDir() + "eip_mixed_srv1.trc";
+    {
+        trace::Program prog = trace::buildProgram(srv.program);
+        trace::Executor exec(prog, srv.exec);
+        trace::captureTrace(path, exec, 400000);
+    }
+
+    std::vector<std::string> notes;
+    auto suite = mixedCatalogue({path, "/nope/missing.trc", path}, &notes);
+    std::remove(path.c_str());
+
+    size_t base = defaultCatalogue().size();
+    ASSERT_EQ(suite.size(), base + 1);
+    EXPECT_EQ(suite.back().kind, trace::WorkloadKind::EipTrace);
+    EXPECT_EQ(suite.back().tracePath, path);
+    ASSERT_EQ(notes.size(), 3u);
+    EXPECT_NE(notes[0].find("admitted"), std::string::npos) << notes[0];
+    EXPECT_NE(notes[1].find("skipped"), std::string::npos) << notes[1];
+    EXPECT_NE(notes[2].find("duplicate"), std::string::npos) << notes[2];
+}
+
+TEST(MixedCatalogue, RejectsTracesBelowTheFootprintProxy)
+{
+    // tiny's footprint is a fraction of the 40KB threshold; a capture
+    // of it must be gated out exactly like an unqualifying seed.
+    trace::Workload tiny = trace::tinyWorkload();
+    std::string path = ::testing::TempDir() + "eip_mixed_tiny.trc";
+    {
+        trace::Program prog = trace::buildProgram(tiny.program);
+        trace::Executor exec(prog, tiny.exec);
+        trace::captureTrace(path, exec, 400000);
+    }
+
+    trace::Workload as_trace;
+    ASSERT_TRUE(findWorkload(path, as_trace));
+    uint64_t footprint = 0;
+    EXPECT_FALSE(trace::traceQualifies(as_trace, &footprint));
+    EXPECT_LT(footprint, 40u * 1024u);
+    EXPECT_GT(footprint, 0u);
+
+    std::vector<std::string> notes;
+    auto suite = mixedCatalogue({path}, &notes);
+    std::remove(path.c_str());
+    EXPECT_EQ(suite.size(), defaultCatalogue().size());
+    ASSERT_EQ(notes.size(), 1u);
+    EXPECT_NE(notes[0].find("below"), std::string::npos) << notes[0];
 }
 
 TEST(Runner, Deterministic)

@@ -119,6 +119,21 @@ TEST(CanonicalSerialization, EveryRunSpecFieldIsKeyed)
     changed = base;
     changed.collectCounters = !changed.collectCounters;
     EXPECT_NE(key(changed), key(base));
+    changed = base;
+    changed.sampleMode = "periodic";
+    EXPECT_NE(key(changed), key(base));
+    changed = base;
+    changed.sampleWindow = 10000;
+    EXPECT_NE(key(changed), key(base));
+    changed = base;
+    changed.samplePeriod = 40000;
+    EXPECT_NE(key(changed), key(base));
+    changed = base;
+    changed.sampleSeed = 7;
+    EXPECT_NE(key(changed), key(base));
+    changed = base;
+    changed.sampleWarm = 5000;
+    EXPECT_NE(key(changed), key(base));
 }
 
 TEST(CanonicalSerialization, TraceWorkloadsKeyOnContentDigest)
@@ -201,14 +216,17 @@ TEST(CanonicalSerialization, GoldenDigestsPinTheFormat)
               "bd21d74ba45aa9f5");
     EXPECT_EQ(digest(harness::canonicalSimConfig(sim::SimConfig{})),
               "f18e7181c5558662");
+    // Re-pinned when the sampled-simulation fields (sample_mode/window/
+    // period/seed/warm) entered the canonical form — a conscious format
+    // change; every cached full-run key went cold with it.
     EXPECT_EQ(digest(harness::canonicalRunSpec(harness::RunSpec{})),
-              "575913ab3682152e");
+              "b9882947f3db8fe6");
     EXPECT_EQ(digest(harness::canonicalWorkload(trace::tinyWorkload())),
               "f5541ee1de68d03a");
     EXPECT_EQ(harness::resultCacheKey("golden", sim::SimConfig{},
                                       harness::RunSpec{},
                                       trace::tinyWorkload()),
-              "736ccfa307fc1cc2");
+              "140c8bf86f3fede6");
 }
 
 } // namespace
